@@ -1,0 +1,96 @@
+//! Scaling-law fits.
+//!
+//! The paper's per-topology results are asymptotic orders: `m(n) = Θ(√n)`
+//! for grids/cubes/planes, `Θ(n^{(d−1)/d})` for d-dimensional meshes,
+//! `Θ(log n)` for optimal hierarchies, `Θ(n)` for rings. Fitting the
+//! log–log slope of measured `(n, m)` series recovers the exponent and
+//! lets the harness assert the paper's *shape* without matching absolute
+//! constants.
+
+/// Least-squares slope of `log(y)` against `log(x)` — the scaling
+/// exponent `k` of `y ≈ c·x^k`.
+///
+/// Returns `None` when fewer than two valid (positive) points exist.
+pub fn log_log_slope(points: &[(f64, f64)]) -> Option<f64> {
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|&&(x, y)| x > 0.0 && y > 0.0)
+        .map(|&(x, y)| (x.ln(), y.ln()))
+        .collect();
+    slope(&logs)
+}
+
+/// Least-squares slope of `y` against `log(x)` — positive and finite when
+/// `y` grows logarithmically; used to check `m(n) = O(log n)` claims.
+pub fn semi_log_slope(points: &[(f64, f64)]) -> Option<f64> {
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|&&(x, _)| x > 0.0)
+        .map(|&(x, y)| (x.ln(), y))
+        .collect();
+    slope(&logs)
+}
+
+/// Plain least-squares slope.
+fn slope(pts: &[(f64, f64)]) -> Option<f64> {
+    if pts.len() < 2 {
+        return None;
+    }
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    Some((n * sxy - sx * sy) / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_sqrt_exponent() {
+        let pts: Vec<(f64, f64)> = (4..12)
+            .map(|k| {
+                let n = (1u64 << k) as f64;
+                (n, 2.0 * n.sqrt())
+            })
+            .collect();
+        let s = log_log_slope(&pts).unwrap();
+        assert!((s - 0.5).abs() < 1e-9, "slope {s}");
+    }
+
+    #[test]
+    fn recovers_linear_exponent() {
+        let pts: Vec<(f64, f64)> = (1..10).map(|k| (k as f64 * 10.0, k as f64 * 30.0)).collect();
+        let s = log_log_slope(&pts).unwrap();
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_growth_has_small_log_log_slope() {
+        let pts: Vec<(f64, f64)> = (4..16)
+            .map(|k| {
+                let n = (1u64 << k) as f64;
+                (n, 2.0 * n.log2())
+            })
+            .collect();
+        let s = log_log_slope(&pts).unwrap();
+        assert!(s < 0.25, "log growth must look sub-polynomial, slope {s}");
+        let semi = semi_log_slope(&pts).unwrap();
+        assert!(semi > 0.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(log_log_slope(&[]), None);
+        assert_eq!(log_log_slope(&[(1.0, 1.0)]), None);
+        assert_eq!(log_log_slope(&[(0.0, 1.0), (-1.0, 2.0)]), None);
+        // vertical line
+        assert_eq!(slope(&[(2.0, 1.0), (2.0, 5.0)]), None);
+    }
+}

@@ -1,0 +1,104 @@
+//! Serializable experiment records, for regenerating EXPERIMENTS.md and
+//! machine-readable comparisons.
+
+use serde::{Deserialize, Serialize};
+
+/// One paper-vs-measured data point of an experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentRecord {
+    /// Experiment id, e.g. `"E8"`.
+    pub id: String,
+    /// What is measured, e.g. `"m(n), 32x32 grid"`.
+    pub quantity: String,
+    /// The paper's predicted value (closed form evaluated).
+    pub predicted: f64,
+    /// Our measured value.
+    pub measured: f64,
+}
+
+impl ExperimentRecord {
+    /// Builds a record.
+    pub fn new(id: &str, quantity: &str, predicted: f64, measured: f64) -> Self {
+        ExperimentRecord {
+            id: id.to_string(),
+            quantity: quantity.to_string(),
+            predicted,
+            measured,
+        }
+    }
+
+    /// `measured / predicted` — 1.0 is a perfect match.
+    ///
+    /// Returns `f64::INFINITY` when the prediction is zero but the
+    /// measurement is not.
+    pub fn ratio(&self) -> f64 {
+        if self.predicted == 0.0 {
+            if self.measured == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.measured / self.predicted
+        }
+    }
+
+    /// `true` if measured is within `factor`× of predicted (both ways).
+    pub fn within_factor(&self, factor: f64) -> bool {
+        let r = self.ratio();
+        r.is_finite() && r <= factor && r >= 1.0 / factor
+    }
+}
+
+/// Renders records as a markdown table body for EXPERIMENTS.md.
+pub fn to_markdown(records: &[ExperimentRecord]) -> String {
+    let mut out = String::from("| id | quantity | paper | measured | ratio |\n|---|---|---|---|---|\n");
+    for r in records {
+        out.push_str(&format!(
+            "| {} | {} | {:.3} | {:.3} | {:.2} |\n",
+            r.id,
+            r.quantity,
+            r.predicted,
+            r.measured,
+            r.ratio()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_and_factor() {
+        let r = ExperimentRecord::new("E1", "m(9)", 6.0, 6.3);
+        assert!((r.ratio() - 1.05).abs() < 1e-12);
+        assert!(r.within_factor(1.1));
+        assert!(!r.within_factor(1.01));
+    }
+
+    #[test]
+    fn zero_prediction_edge_cases() {
+        assert_eq!(ExperimentRecord::new("x", "q", 0.0, 0.0).ratio(), 1.0);
+        assert_eq!(
+            ExperimentRecord::new("x", "q", 0.0, 5.0).ratio(),
+            f64::INFINITY
+        );
+        assert!(!ExperimentRecord::new("x", "q", 0.0, 5.0).within_factor(100.0));
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let recs = vec![ExperimentRecord::new("E2", "pq/n", 1.0, 0.98)];
+        let md = to_markdown(&recs);
+        assert!(md.contains("| E2 |"));
+        assert!(md.contains("0.98"));
+    }
+
+    #[test]
+    fn records_are_serializable() {
+        fn assert_serializable<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
+        assert_serializable::<ExperimentRecord>();
+    }
+}

@@ -1,0 +1,130 @@
+//! ASCII table rendering for experiment output.
+
+use std::fmt;
+
+/// A simple column-aligned table with a title and a header row.
+///
+/// # Example
+///
+/// ```
+/// use mm_analysis::Table;
+/// let mut t = Table::new("demo", &["n", "m(n)"]);
+/// t.row(&["9", "6.0"]);
+/// t.row(&["16", "8.0"]);
+/// let s = t.to_string();
+/// assert!(s.contains("m(n)"));
+/// assert!(s.contains("16"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; missing cells render empty, extras are kept.
+    pub fn row(&mut self, cells: &[&str]) -> &mut Self {
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Appends a row of already-owned strings.
+    pub fn row_owned(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if no data rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        writeln!(f, "## {}", self.title)?;
+        let fmt_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for i in 0..cols {
+                let empty = String::new();
+                let c = cells.get(i).unwrap_or(&empty);
+                write!(f, " {:>width$} |", c, width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        fmt_row(f, &self.header)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{:-<width$}|", "", width = w + 2)?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            fmt_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("t", &["a", "long-header"]);
+        t.row(&["1", "2"]);
+        t.row(&["100", "2000"]);
+        let s = t.to_string();
+        assert!(s.contains("## t"));
+        assert!(s.lines().count() >= 5);
+        // all data lines same length
+        let lens: Vec<usize> = s.lines().skip(1).map(|l| l.len()).collect();
+        assert!(lens.windows(2).all(|w| w[0] == w[1]), "{s}");
+    }
+
+    #[test]
+    fn tolerates_ragged_rows() {
+        let mut t = Table::new("r", &["x"]);
+        t.row(&["1", "extra"]);
+        t.row(&[]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        let s = t.to_string();
+        assert!(s.contains("extra"));
+    }
+
+    #[test]
+    fn row_owned_works() {
+        let mut t = Table::new("o", &["v"]);
+        t.row_owned(vec![format!("{:.2}", 1.234f64)]);
+        assert!(t.to_string().contains("1.23"));
+    }
+}

@@ -1,0 +1,40 @@
+//! E4/E5 bench — Prop. 3 checkerboard: building P/Q sets and running a
+//! full match-making instance at the truly-distributed 2√n cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mm_bench::harness::measure_instance;
+use mm_core::strategies::Checkerboard;
+use mm_core::Strategy;
+use mm_sim::CostModel;
+use mm_topo::{gen, NodeId};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_checkerboard_instance");
+    g.sample_size(10);
+    for n in [64usize, 256, 1024] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                measure_instance(
+                    gen::complete(n),
+                    Checkerboard::new(n),
+                    NodeId::new(1),
+                    NodeId::from(n - 1),
+                    CostModel::Uniform,
+                )
+            });
+        });
+    }
+    g.finish();
+
+    let mut g2 = c.benchmark_group("e5_checkerboard_sets");
+    for n in [1024usize, 4096, 16384] {
+        g2.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let s = Checkerboard::new(n);
+            b.iter(|| (s.post_set(NodeId::new(7)), s.query_set(NodeId::new(11))));
+        });
+    }
+    g2.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E7 bench — §3 general networks: the √n-decomposition itself and the
+//! decomposition-based locate on random connected graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mm_bench::harness::measure_instance;
+use mm_core::strategies::DecomposedStrategy;
+use mm_sim::CostModel;
+use mm_topo::{gen, Decomposition, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_decomposition_build");
+    g.sample_size(10);
+    for n in [256usize, 1024, 4096] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(7);
+            let graph = gen::random_connected(n, 3 * n, &mut rng).unwrap();
+            b.iter(|| Decomposition::new(&graph).unwrap());
+        });
+    }
+    g.finish();
+
+    let mut g2 = c.benchmark_group("e7_decomposed_locate");
+    g2.sample_size(10);
+    for n in [64usize, 256] {
+        g2.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(7);
+            let graph = gen::random_connected(n, 3 * n, &mut rng).unwrap();
+            let d = Arc::new(Decomposition::new(&graph).unwrap());
+            b.iter(|| {
+                measure_instance(
+                    graph.clone(),
+                    DecomposedStrategy::new(Arc::clone(&d)),
+                    NodeId::new(1),
+                    NodeId::from(n - 2),
+                    CostModel::Hops,
+                )
+            });
+        });
+    }
+    g2.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

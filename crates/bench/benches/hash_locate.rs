@@ -1,0 +1,38 @@
+//! E15 bench — §5 Hash Locate: the O(1)-message locate across universe
+//! sizes, and rehash fallback cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mm_core::strategies::HashLocate;
+use mm_core::Port;
+use mm_proto::hash_locate::HashLocateRuntime;
+use mm_sim::CostModel;
+use mm_topo::{gen, NodeId};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e15_hash_locate");
+    g.sample_size(10);
+    for n in [64usize, 256, 1024] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rt =
+                    HashLocateRuntime::new(gen::complete(n), 2, CostModel::Uniform);
+                let p = Port::from_name("bench");
+                rt.register_server(NodeId::new(1), p);
+                rt.locate_with_rehash(NodeId::new(2), p, 2)
+            });
+        });
+    }
+    g.finish();
+
+    c.bench_function("e15_rendezvous_nodes_r3", |b| {
+        let h = HashLocate::new(4096, 3);
+        let mut x = 0u128;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            h.rendezvous_nodes(Port::new(x))
+        });
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E12 bench — §3.5 hierarchical networks: locate instances across
+//! hierarchy depths (m = O(log n) at the optimal depth).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mm_bench::harness::measure_instance;
+use mm_core::strategies::HierarchicalStrategy;
+use mm_sim::CostModel;
+use mm_topo::gen::{hierarchy_graph, Hierarchy};
+use mm_topo::NodeId;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e12_hierarchy_locate");
+    g.sample_size(10);
+    for levels in [2usize, 3, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(levels), &levels, |b, &levels| {
+            let h = Hierarchy::uniform(4, levels).unwrap();
+            let graph = hierarchy_graph(&h);
+            let n = h.node_count();
+            b.iter(|| {
+                measure_instance(
+                    graph.clone(),
+                    HierarchicalStrategy::new(h.clone()),
+                    NodeId::new(1),
+                    NodeId::from(n - 1),
+                    CostModel::Hops,
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

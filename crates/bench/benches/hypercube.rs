@@ -1,0 +1,30 @@
+//! E9 bench — §3.2 hypercube half-split locate instances across cube
+//! dimensions (n = 2^d, m = 2√n for even d).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mm_bench::harness::measure_instance;
+use mm_core::strategies::HypercubeSplit;
+use mm_sim::CostModel;
+use mm_topo::{gen, NodeId};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_hypercube_locate");
+    g.sample_size(10);
+    for d in [4u32, 6, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            b.iter(|| {
+                measure_instance(
+                    gen::hypercube(d),
+                    HypercubeSplit::halves(d),
+                    NodeId::new(0),
+                    NodeId::new((1 << d) - 1),
+                    CostModel::Hops,
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E14 bench — §4 Lighthouse Locate: full locates under the doubling and
+//! ruler schedules.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mm_proto::lighthouse::{ClientSchedule, LighthouseConfig, LighthouseWorld};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e14_lighthouse");
+    g.sample_size(10);
+    g.bench_function("doubling", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut w = LighthouseWorld::new(LighthouseConfig::default(), seed);
+            w.locate(
+                5,
+                5,
+                ClientSchedule::Doubling {
+                    initial_len: 2,
+                    initial_period: 2,
+                    escalate_after: 2,
+                },
+                50_000,
+            )
+        });
+    });
+    g.bench_function("ruler", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut w = LighthouseWorld::new(LighthouseConfig::default(), seed);
+            w.locate(
+                5,
+                5,
+                ClientSchedule::Ruler {
+                    unit_len: 4,
+                    period: 4,
+                },
+                50_000,
+            )
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

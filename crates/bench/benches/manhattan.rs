@@ -1,0 +1,30 @@
+//! E8 bench — §3.1 Manhattan grids: full locate instances measured in
+//! store-and-forward hops, sweeping the grid side.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mm_bench::harness::measure_instance;
+use mm_core::strategies::GridRowColumn;
+use mm_sim::CostModel;
+use mm_topo::{gen, NodeId};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_manhattan_locate_hops");
+    g.sample_size(10);
+    for p in [4usize, 8, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| {
+                measure_instance(
+                    gen::grid(p, p, false),
+                    GridRowColumn::new(p, p),
+                    NodeId::new(0),
+                    NodeId::from(p * p - 1),
+                    CostModel::Hops,
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! E2 bench — §2.2 probabilistic analysis: Monte-Carlo intersection of
+//! random P, Q at the 2√n threshold, across universe sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mm_core::bounds;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_random_intersection");
+    g.sample_size(10);
+    for n in [256usize, 1024, 4096] {
+        let p = (n as f64).sqrt() as usize;
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| bounds::monte_carlo_intersection(n, p, p, 50, &mut rng));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E11 bench — §3.4 projective planes: plane construction and line-based
+//! locate instances for prime orders.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mm_bench::harness::measure_instance;
+use mm_core::strategies::ProjectiveStrategy;
+use mm_sim::CostModel;
+use mm_topo::{NodeId, ProjectivePlane};
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e11_plane_construction");
+    g.sample_size(10);
+    for k in [5u64, 11, 23] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| ProjectivePlane::new(k).unwrap());
+        });
+    }
+    g.finish();
+
+    let mut g2 = c.benchmark_group("e11_plane_locate");
+    g2.sample_size(10);
+    for k in [3u64, 7, 13] {
+        g2.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let plane = Arc::new(ProjectivePlane::new(k).unwrap());
+            b.iter(|| {
+                measure_instance(
+                    plane.incidence_graph(),
+                    ProjectiveStrategy::new(Arc::clone(&plane)),
+                    NodeId::new(0),
+                    NodeId::new(plane.point_count() as u32 - 1),
+                    CostModel::Hops,
+                )
+            });
+        });
+    }
+    g2.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! # mm-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper (see DESIGN.md §4 for
+//! the experiment index E1–E18). Each experiment prints paper-style
+//! tables and returns [`ExperimentRecord`]s comparing the paper's
+//! predicted value with the measured one.
+//!
+//! Run everything: `cargo run -p mm-bench --bin experiments`
+//! Run one:        `cargo run -p mm-bench --bin experiments -- e9`
+
+pub mod harness;
+pub mod protocols;
+pub mod theory;
+pub mod topologies;
+
+pub use harness::{all_experiments, run_by_name, Experiment};
+pub use mm_analysis::ExperimentRecord;

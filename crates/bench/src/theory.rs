@@ -1,0 +1,276 @@
+//! Experiments E1–E6: the theory sections (§2.2–§2.3.4).
+
+use mm_analysis::{ExperimentRecord, Table};
+use mm_core::lift::LiftedStrategy;
+use mm_core::strategies::{Blocks, Broadcast, Centralized, Checkerboard, HypercubeSplit, Sweep};
+use mm_core::{bounds, paper_examples, Strategy};
+use mm_topo::NodeId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// E1 — §2.3.1: print the six example rendezvous matrices (plus the §3.1
+/// Manhattan matrix) and verify their invariants.
+pub fn e1() -> Vec<ExperimentRecord> {
+    let mut records = Vec::new();
+    for (name, matrix, binary) in paper_examples::all_examples() {
+        println!("\n{name}:");
+        print!("{}", matrix.render(binary));
+        assert!(matrix.satisfies_m2(), "{name}: (M2) violated");
+        assert!(matrix.is_optimal(), "{name}: entries must be singletons");
+        let n = matrix.node_count();
+        let k = matrix.multiplicities();
+        let bound = bounds::prop2_lower_bound(&k, n);
+        println!(
+            "   n = {n}, sum k_i = {}, Prop.2 bound m(n) >= {bound:.2}",
+            k.iter().sum::<u64>()
+        );
+        records.push(ExperimentRecord::new(
+            "E1",
+            &format!("{name}: sum of k_i"),
+            (n * n) as f64,
+            k.iter().sum::<u64>() as f64,
+        ));
+    }
+    records
+}
+
+/// E2 — §2.2: Monte-Carlo validation of `E[#(P∩Q)] = pq/n` and the
+/// `p + q = 2√n` success threshold.
+pub fn e2() -> Vec<ExperimentRecord> {
+    let mut rng = StdRng::seed_from_u64(1985);
+    let mut records = Vec::new();
+    let mut t = Table::new(
+        "random P,Q of size sqrt(n): expected intersection (paper: exactly 1)",
+        &["n", "p=q", "E[#] paper", "E[#] measured", "P(success)"],
+    );
+    for n in [64usize, 256, 1024, 4096] {
+        let p = (n as f64).sqrt().round() as usize;
+        let trials = 3000;
+        let measured = bounds::monte_carlo_intersection(n, p, p, trials, &mut rng);
+        let success = bounds::monte_carlo_success(n, p, p, trials, &mut rng);
+        let paper = bounds::expected_intersection(n, p, p);
+        t.row_owned(vec![
+            n.to_string(),
+            p.to_string(),
+            format!("{paper:.3}"),
+            format!("{measured:.3}"),
+            format!("{success:.3}"),
+        ]);
+        records.push(ExperimentRecord::new(
+            "E2",
+            &format!("E[#(P∩Q)] n={n}"),
+            paper,
+            measured,
+        ));
+    }
+    println!("{t}");
+
+    // below the threshold the expectation drops under 1
+    let mut t2 = Table::new(
+        "threshold behaviour at n=1024 (2 sqrt n = 64)",
+        &["p+q", "E[#] paper", "E[#] measured"],
+    );
+    for frac in [0.5f64, 0.75, 1.0, 1.5, 2.0] {
+        let half = ((32.0 * frac) as usize).max(1);
+        let paper = bounds::expected_intersection(1024, half, half);
+        let measured = bounds::monte_carlo_intersection(1024, half, half, 2000, &mut rng);
+        t2.row_owned(vec![
+            (2 * half).to_string(),
+            format!("{paper:.3}"),
+            format!("{measured:.3}"),
+        ]);
+        records.push(ExperimentRecord::new(
+            "E2",
+            &format!("E[#] at p+q={}", 2 * half),
+            paper,
+            measured,
+        ));
+    }
+    println!("{t2}");
+    records
+}
+
+/// E3 — §2.3.2: per-strategy slack against Propositions 1 and 2.
+pub fn e3() -> Vec<ExperimentRecord> {
+    let n = 64usize;
+    let strategies: Vec<Box<dyn Strategy>> = vec![
+        Box::new(Broadcast::new(n)),
+        Box::new(Sweep::new(n)),
+        Box::new(Centralized::new(n, NodeId::new(0))),
+        Box::new(Checkerboard::new(n)),
+        Box::new(Blocks::new(n, 4, 16)),
+        Box::new(HypercubeSplit::halves(6)),
+    ];
+    let mut records = Vec::new();
+    let mut t = Table::new(
+        format!("Prop.1 & Prop.2 at n = {n} (slack = measured / bound)"),
+        &["strategy", "m(n)", "Prop2 bound", "slack", "avg #P#Q", "Prop1 bound"],
+    );
+    for s in &strategies {
+        let m = s.average_cost();
+        let matrix = s.to_matrix();
+        assert!(matrix.satisfies_m2());
+        let k = matrix.multiplicities();
+        let p2 = bounds::prop2_lower_bound(&k, n);
+        let posts: Vec<usize> = (0..n).map(|i| s.post_count(NodeId::from(i))).collect();
+        let queries: Vec<usize> = (0..n).map(|j| s.query_count(NodeId::from(j))).collect();
+        let p1_lhs = bounds::prop1_product_average(&posts, &queries);
+        let p1_rhs = bounds::prop1_lower_bound(&k);
+        assert!(m >= p2 - 1e-9, "{}: Prop 2 violated", s.name());
+        assert!(p1_lhs >= p1_rhs - 1e-9, "{}: Prop 1 violated", s.name());
+        t.row_owned(vec![
+            s.name(),
+            format!("{m:.2}"),
+            format!("{p2:.2}"),
+            format!("{:.2}", m / p2),
+            format!("{p1_lhs:.2}"),
+            format!("{p1_rhs:.2}"),
+        ]);
+        records.push(ExperimentRecord::new("E3", &format!("{} m vs bound", s.name()), p2, m));
+    }
+    println!("{t}");
+    records
+}
+
+/// E4 — §2.3.3 corollaries: the constructions meet their bounds.
+pub fn e4() -> Vec<ExperimentRecord> {
+    let mut records = Vec::new();
+    let mut t = Table::new(
+        "corollaries: truly distributed >= 2 sqrt n, centralized >= 2",
+        &["n", "checkerboard m", "2 sqrt n", "centralized m", "bound 2"],
+    );
+    for n in [16usize, 64, 256, 1024] {
+        let cb = Checkerboard::new(n).average_cost();
+        let ct = Centralized::new(n, NodeId::new(0)).average_cost();
+        let b = bounds::truly_distributed_bound(n);
+        assert!(cb >= b - 1e-9);
+        assert!((ct - 2.0).abs() < 1e-9);
+        t.row_owned(vec![
+            n.to_string(),
+            format!("{cb:.2}"),
+            format!("{b:.2}"),
+            format!("{ct:.2}"),
+            "2.00".into(),
+        ]);
+        records.push(ExperimentRecord::new("E4", &format!("checkerboard m({n})"), b, cb));
+        records.push(ExperimentRecord::new("E4", &format!("centralized m({n})"), 2.0, ct));
+    }
+    println!("{t}");
+    records
+}
+
+/// E5 — Proposition 3: checkerboard stays within rounding of `2√n`
+/// (including non-square `n`), with near-uniform load `k_i ≈ n`.
+pub fn e5() -> Vec<ExperimentRecord> {
+    let mut records = Vec::new();
+    let mut t = Table::new(
+        "Prop.3 checkerboard: m(n) vs 2 sqrt n, load uniformity",
+        &["n", "m(n)", "2 sqrt n", "ratio", "max k_i / n"],
+    );
+    for n in [9usize, 16, 25, 40, 64, 100, 257, 529, 1024, 2047, 4096] {
+        let s = Checkerboard::new(n);
+        let m = s.average_cost();
+        let b = bounds::truly_distributed_bound(n);
+        let k = s.to_matrix().multiplicities();
+        let kmax = *k.iter().max().unwrap() as f64 / n as f64;
+        t.row_owned(vec![
+            n.to_string(),
+            format!("{m:.2}"),
+            format!("{b:.2}"),
+            format!("{:.3}", m / b),
+            format!("{kmax:.2}"),
+        ]);
+        assert!(m <= b + 2.5, "n={n}: checkerboard too expensive");
+        records.push(ExperimentRecord::new("E5", &format!("m({n})"), b, m));
+    }
+    println!("{t}");
+    records
+}
+
+/// E6 — Proposition 4: lifting `n → 4n` doubles `m(n)` exactly and
+/// quadruples the multiplicities.
+pub fn e6() -> Vec<ExperimentRecord> {
+    let mut records = Vec::new();
+    let mut t = Table::new(
+        "Prop.4 lifting from n = 9",
+        &["n", "m(n)", "paper prediction", "max k_i"],
+    );
+    let base = Checkerboard::new(9);
+    let m0 = base.average_cost();
+    let mut prediction = m0;
+    // level 0
+    t.row_owned(vec![
+        "9".into(),
+        format!("{m0:.2}"),
+        format!("{prediction:.2}"),
+        base.to_matrix().multiplicities().iter().max().unwrap().to_string(),
+    ]);
+    let lift1 = LiftedStrategy::new(base);
+    prediction *= 2.0;
+    let m1 = lift1.average_cost();
+    t.row_owned(vec![
+        "36".into(),
+        format!("{m1:.2}"),
+        format!("{prediction:.2}"),
+        lift1.to_matrix().multiplicities().iter().max().unwrap().to_string(),
+    ]);
+    records.push(ExperimentRecord::new("E6", "m(36) after one lift", prediction, m1));
+    let lift2 = LiftedStrategy::new(lift1);
+    prediction *= 2.0;
+    let m2 = lift2.average_cost();
+    t.row_owned(vec![
+        "144".into(),
+        format!("{m2:.2}"),
+        format!("{prediction:.2}"),
+        lift2.to_matrix().multiplicities().iter().max().unwrap().to_string(),
+    ]);
+    records.push(ExperimentRecord::new("E6", "m(144) after two lifts", prediction, m2));
+    lift2.validate().expect("lifted strategy stays valid");
+    println!("{t}");
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_records_match_n_squared() {
+        for r in e1() {
+            assert!(r.within_factor(1.0 + 1e-9), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn e2_monte_carlo_tracks_closed_form() {
+        for r in e2() {
+            // small expectations have high relative variance; absolute check
+            assert!(
+                (r.measured - r.predicted).abs() < 0.25 + 0.15 * r.predicted,
+                "{r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn e3_no_strategy_beats_the_bound() {
+        for r in e3() {
+            assert!(r.measured >= r.predicted - 1e-9, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn e4_and_e5_meet_bounds_within_rounding() {
+        for r in e4().into_iter().chain(e5()) {
+            assert!(r.ratio() >= 1.0 - 1e-9, "{r:?}");
+            assert!(r.ratio() <= 1.5, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn e6_doubling_is_exact() {
+        for r in e6() {
+            assert!(r.within_factor(1.0 + 1e-9), "{r:?}");
+        }
+    }
+}

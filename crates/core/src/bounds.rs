@@ -1,0 +1,309 @@
+//! Lower bounds and the probabilistic analysis (paper §2.2–§2.3).
+//!
+//! * §2.2: with random `P(i)`, `Q(j)` of sizes `p`, `q`, the expected size
+//!   of `P(i) ∩ Q(j)` is `pq/n`; expecting one rendezvous requires
+//!   `p + q ≥ 2√n`.
+//! * Proposition 1: `(1/n²)·Σ_iΣ_j #P(i)·#Q(j) ≥ (1/n²)·(Σ_i √k_i)²`.
+//! * Proposition 2: `m(n) ≥ (2/n)·Σ_i √(k_i) / √n · √n` — concretely
+//!   implemented as `m(n) ≥ (2/n)·Σ_i √k_i`, the closed form consistent
+//!   with both corollaries (truly distributed `k_i = n` ⟹ `m(n) ≥ 2√n`;
+//!   centralized `k_1 = n²` ⟹ `m(n) ≥ 2`).
+//! * (M3′): weighted cost `m(i,j) = #P(i) + α·#Q(j)` when locates are
+//!   `α` times more frequent than posts; the optimal split follows from
+//!   AM–GM on the `pq ≥ n` constraint.
+
+use rand::Rng;
+
+/// §2.2 — expected size of `P ∩ Q` for independently random sets of sizes
+/// `p` and `q` in a universe of `n`: `pq/n`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn expected_intersection(n: usize, p: usize, q: usize) -> f64 {
+    assert!(n > 0, "universe must be non-empty");
+    (p as f64) * (q as f64) / (n as f64)
+}
+
+/// §2.2 — the minimum `p + q` for which the expected intersection reaches
+/// one full node: `2√n` (achieved at `p = q = √n`).
+pub fn min_sum_for_expected_rendezvous(n: usize) -> f64 {
+    2.0 * (n as f64).sqrt()
+}
+
+/// Monte-Carlo estimate of `E[#(P ∩ Q)]` with uniformly random distinct
+/// `P`, `Q` of sizes `p`, `q` out of `n` — used to validate the `pq/n`
+/// closed form experimentally (experiment E2).
+///
+/// # Panics
+///
+/// Panics if `p > n` or `q > n` or `n == 0`.
+pub fn monte_carlo_intersection<R: Rng + ?Sized>(
+    n: usize,
+    p: usize,
+    q: usize,
+    trials: usize,
+    rng: &mut R,
+) -> f64 {
+    assert!(n > 0 && p <= n && q <= n, "sets must fit in the universe");
+    let mut total = 0u64;
+    // membership vectors reused across trials
+    let mut in_p = vec![false; n];
+    for _ in 0..trials {
+        in_p.iter_mut().for_each(|b| *b = false);
+        // partial Fisher-Yates to sample p distinct nodes
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..p {
+            let j = rng.gen_range(i..n);
+            idx.swap(i, j);
+            in_p[idx[i]] = true;
+        }
+        // sample q distinct nodes and count overlaps
+        let mut idx2: Vec<usize> = (0..n).collect();
+        let mut hits = 0u64;
+        for i in 0..q {
+            let j = rng.gen_range(i..n);
+            idx2.swap(i, j);
+            if in_p[idx2[i]] {
+                hits += 1;
+            }
+        }
+        total += hits;
+    }
+    total as f64 / trials as f64
+}
+
+/// Monte-Carlo probability that random `P`, `Q` of sizes `p`, `q`
+/// intersect at all (at least one rendezvous).
+///
+/// # Panics
+///
+/// Panics if `p > n` or `q > n` or `n == 0`.
+pub fn monte_carlo_success<R: Rng + ?Sized>(
+    n: usize,
+    p: usize,
+    q: usize,
+    trials: usize,
+    rng: &mut R,
+) -> f64 {
+    assert!(n > 0 && p <= n && q <= n, "sets must fit in the universe");
+    let mut successes = 0u64;
+    let mut in_p = vec![false; n];
+    for _ in 0..trials {
+        in_p.iter_mut().for_each(|b| *b = false);
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..p {
+            let j = rng.gen_range(i..n);
+            idx.swap(i, j);
+            in_p[idx[i]] = true;
+        }
+        let mut idx2: Vec<usize> = (0..n).collect();
+        'trial: {
+            for i in 0..q {
+                let j = rng.gen_range(i..n);
+                idx2.swap(i, j);
+                if in_p[idx2[i]] {
+                    successes += 1;
+                    break 'trial;
+                }
+            }
+        }
+    }
+    successes as f64 / trials as f64
+}
+
+/// Proposition 1, right-hand side: `(1/n²)·(Σ_i √k_i)²` where `k_i` is the
+/// multiplicity of node `i` in the rendezvous matrix.
+pub fn prop1_lower_bound(k: &[u64]) -> f64 {
+    let n = k.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let s: f64 = k.iter().map(|&ki| (ki as f64).sqrt()).sum();
+    s * s / (n as f64 * n as f64)
+}
+
+/// Proposition 1, left-hand side for a given strategy:
+/// `(1/n²)·Σ_iΣ_j #P(i)·#Q(j) = (1/n²)·(Σ_i #P(i))·(Σ_j #Q(j))`.
+pub fn prop1_product_average(post_sizes: &[usize], query_sizes: &[usize]) -> f64 {
+    let n = post_sizes.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let sp: f64 = post_sizes.iter().map(|&x| x as f64).sum();
+    let sq: f64 = query_sizes.iter().map(|&x| x as f64).sum();
+    sp * sq / (n as f64 * n as f64)
+}
+
+/// Proposition 2: the lower bound on the average number of message passes,
+/// `m(n) ≥ (2/n)·Σ_i √k_i`.
+///
+/// Specializations (the paper's corollaries):
+/// * truly distributed (`k_i = n` for all `i`): bound `= 2√n`;
+/// * centralized (`k_1 = n²`, rest 0): bound `= 2`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` while `k` is non-empty.
+pub fn prop2_lower_bound(k: &[u64], n: usize) -> f64 {
+    if k.is_empty() {
+        return 0.0;
+    }
+    assert!(n > 0, "universe must be non-empty");
+    let s: f64 = k.iter().map(|&ki| (ki as f64).sqrt()).sum();
+    2.0 * s / n as f64
+}
+
+/// The truly-distributed corollary: `m(n) ≥ 2√n`.
+pub fn truly_distributed_bound(n: usize) -> f64 {
+    2.0 * (n as f64).sqrt()
+}
+
+/// The centralized corollary: `m(n) ≥ 2`.
+pub fn centralized_bound(_n: usize) -> f64 {
+    2.0
+}
+
+/// (M3′) — weighted pair cost `#P + α·#Q` where the client-to-server
+/// frequency ratio is `α` (`α > 1` means locates dominate).
+pub fn weighted_pair_cost(post: usize, query: usize, alpha: f64) -> f64 {
+    post as f64 + alpha * query as f64
+}
+
+/// Optimal `(p, q)` minimizing `p + α·q` subject to the rendezvous
+/// constraint `p·q ≥ n`: `p = √(α·n)`, `q = √(n/α)` (AM–GM equality).
+/// Returned unrounded; constructions round up.
+///
+/// # Panics
+///
+/// Panics if `alpha <= 0` or `n == 0`.
+pub fn weighted_optimal_split(n: usize, alpha: f64) -> (f64, f64) {
+    assert!(alpha > 0.0, "alpha must be positive");
+    assert!(n > 0, "universe must be non-empty");
+    ((alpha * n as f64).sqrt(), (n as f64 / alpha).sqrt())
+}
+
+/// The most inefficient strategy (`P(i) = Q(j) = U`) costs `m(n) = 2n`
+/// (§2.3.4) — the ceiling against which everything is measured.
+pub fn worst_case_cost(n: usize) -> f64 {
+    2.0 * n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn expected_intersection_formula() {
+        assert!((expected_intersection(100, 10, 10) - 1.0).abs() < 1e-12);
+        assert!((expected_intersection(64, 8, 8) - 1.0).abs() < 1e-12);
+        assert!((expected_intersection(64, 4, 8) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_is_two_sqrt_n() {
+        assert!((min_sum_for_expected_rendezvous(64) - 16.0).abs() < 1e-12);
+        // at p = q = sqrt(n), expectation is exactly 1
+        assert!((expected_intersection(64, 8, 8) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monte_carlo_matches_closed_form() {
+        let mut rng = StdRng::seed_from_u64(1234);
+        for (n, p, q) in [(50usize, 10usize, 10usize), (100, 5, 40), (64, 8, 8)] {
+            let est = monte_carlo_intersection(n, p, q, 4000, &mut rng);
+            let exact = expected_intersection(n, p, q);
+            assert!(
+                (est - exact).abs() < 0.15 * exact.max(0.5),
+                "n={n},p={p},q={q}: est {est} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn monte_carlo_success_bounds() {
+        let mut rng = StdRng::seed_from_u64(99);
+        // p = q = n: always succeed
+        assert!((monte_carlo_success(20, 20, 20, 200, &mut rng) - 1.0).abs() < 1e-12);
+        // empty query: never
+        assert_eq!(monte_carlo_success(20, 5, 0, 200, &mut rng), 0.0);
+        // p+q = 2 sqrt n: succeed often but not always
+        let s = monte_carlo_success(100, 10, 10, 2000, &mut rng);
+        assert!(s > 0.5 && s < 0.95, "success prob {s}");
+    }
+
+    #[test]
+    fn prop1_uniform_case() {
+        // truly distributed: k_i = n for all i -> bound = n
+        let n = 16usize;
+        let k = vec![n as u64; n];
+        assert!((prop1_lower_bound(&k) - n as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prop1_centralized_case() {
+        // k_1 = n^2 -> bound = 1
+        let n = 9usize;
+        let mut k = vec![0u64; n];
+        k[0] = (n * n) as u64;
+        assert!((prop1_lower_bound(&k) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prop1_product_average_splits() {
+        let posts = vec![3usize; 4];
+        let queries = vec![5usize; 4];
+        assert!((prop1_product_average(&posts, &queries) - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prop2_corollaries() {
+        let n = 25usize;
+        let k_uniform = vec![n as u64; n];
+        assert!((prop2_lower_bound(&k_uniform, n) - 10.0).abs() < 1e-9); // 2 sqrt 25
+        let mut k_central = vec![0u64; n];
+        k_central[7] = (n * n) as u64;
+        assert!((prop2_lower_bound(&k_central, n) - 2.0).abs() < 1e-9);
+        assert!((truly_distributed_bound(25) - 10.0).abs() < 1e-12);
+        assert!((centralized_bound(25) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prop2_worst_case_all_entries_full() {
+        // P = Q = U: every entry is U, k_i = n^2, bound = 2n = the actual cost
+        let n = 8usize;
+        let k = vec![(n * n) as u64; n];
+        assert!((prop2_lower_bound(&k, n) - worst_case_cost(n)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_split_is_optimal() {
+        let n = 100usize;
+        for alpha in [0.25f64, 1.0, 4.0, 16.0] {
+            let (p, q) = weighted_optimal_split(n, alpha);
+            assert!((p * q - n as f64).abs() < 1e-9, "pq = n at the optimum");
+            let opt = p + alpha * q;
+            // perturbations satisfying pq = n cost more
+            for eps in [0.8f64, 0.9, 1.1, 1.25] {
+                let p2 = p * eps;
+                let q2 = n as f64 / p2;
+                assert!(p2 + alpha * q2 >= opt - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_alpha_one_recovers_sqrt_n() {
+        let (p, q) = weighted_optimal_split(49, 1.0);
+        assert!((p - 7.0).abs() < 1e-9);
+        assert!((q - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_k_bounds_are_zero() {
+        assert_eq!(prop1_lower_bound(&[]), 0.0);
+        assert_eq!(prop2_lower_bound(&[], 5), 0.0);
+    }
+}

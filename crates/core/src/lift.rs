@@ -1,0 +1,207 @@
+//! Proposition 4: lifting a strategy from `n` nodes to `4n` nodes.
+//!
+//! *"Replace each entry `r_ij` of `R` by a 2×2 submatrix consisting of 4
+//! copies of `r_ij`. The resulting `2n×2n` matrix is `M`. Let `R_t`
+//! (`t = 1,2,3,4`) be four, pairwise element disjoint, isomorphic copies
+//! of `M`. Consider the `4n×4n` matrix `R' = [[R_1, R_2], [R_3, R_4]]`.
+//! … `k'_i = 4·k_{i mod n}` … the average match-making cost associated
+//! with `R'` is `m'(4n) = 2·m(n)`."*
+//!
+//! [`LiftedStrategy`] realizes the construction at the `P`/`Q` level so
+//! the result is again a [`Strategy`] (and can be lifted repeatedly):
+//!
+//! * universe of the lift: `4n` nodes; node `t·n + v` is copy `t` of base
+//!   node `v` (`t ∈ 0..4`);
+//! * row `u` (server side): block-row `b_r = u / 2n`, base row
+//!   `r = (u mod 2n) / 2`; `P'(u) = { (2b_r + s)·n + v : v ∈ P(r), s ∈ {0,1} }`;
+//! * column `u` (client side): block-column `b_c = u / 2n`, base column
+//!   `c = (u mod 2n) / 2`; `Q'(u) = { (b_c + 2s)·n + v : v ∈ Q(c), s ∈ {0,1} }`.
+//!
+//! For a server in block-row `b_r` and client in block-column `b_c` the
+//! copy indices `{2b_r, 2b_r+1}` and `{b_c, b_c+2}` intersect in exactly
+//! `{2b_r + b_c}` — the block of `R'` the paper's construction assigns —
+//! so `P' ∩ Q' = copy_{2b_r+b_c}(P ∩ Q)`: rendezvous structure, and in
+//! particular matrix optimality, is preserved while both set sizes double.
+
+use crate::strategy::{normalize_set, Strategy};
+use mm_topo::NodeId;
+
+/// A strategy on `4n` nodes obtained from a base strategy on `n` nodes by
+/// the Proposition 4 doubling construction.
+#[derive(Debug, Clone)]
+pub struct LiftedStrategy<S> {
+    base: S,
+    base_n: usize,
+}
+
+impl<S: Strategy> LiftedStrategy<S> {
+    /// Lifts `base` from `n` to `4n` nodes.
+    pub fn new(base: S) -> Self {
+        let base_n = base.node_count();
+        LiftedStrategy { base, base_n }
+    }
+
+    /// The base strategy.
+    pub fn base(&self) -> &S {
+        &self.base
+    }
+
+    /// Decomposes a lifted node id into `(copy, base_node)`.
+    fn split(&self, u: NodeId) -> (usize, usize) {
+        (u.index() / self.base_n, u.index() % self.base_n)
+    }
+
+    /// Composes `(copy, base_node)` into a lifted node id.
+    fn join(&self, copy: usize, v: NodeId) -> NodeId {
+        NodeId::from(copy * self.base_n + v.index())
+    }
+}
+
+impl<S: Strategy> Strategy for LiftedStrategy<S> {
+    fn node_count(&self) -> usize {
+        4 * self.base_n
+    }
+
+    fn post_set(&self, i: NodeId) -> Vec<NodeId> {
+        // u = (b_r, i') with i' in 0..2n; base row = i'/2
+        let u = i.index();
+        let b_r = u / (2 * self.base_n);
+        let i_prime = u % (2 * self.base_n);
+        let r = NodeId::from(i_prime / 2);
+        let mut out = Vec::new();
+        for s in 0..2usize {
+            for &v in &self.base.post_set(r) {
+                out.push(self.join(2 * b_r + s, v));
+            }
+        }
+        normalize_set(&mut out);
+        out
+    }
+
+    fn query_set(&self, j: NodeId) -> Vec<NodeId> {
+        let u = j.index();
+        let b_c = u / (2 * self.base_n);
+        let j_prime = u % (2 * self.base_n);
+        let c = NodeId::from(j_prime / 2);
+        let mut out = Vec::new();
+        for s in 0..2usize {
+            for &v in &self.base.query_set(c) {
+                out.push(self.join(b_c + 2 * s, v));
+            }
+        }
+        normalize_set(&mut out);
+        out
+    }
+
+    fn name(&self) -> String {
+        format!("lift({})", self.base.name())
+    }
+
+    fn post_count(&self, i: NodeId) -> usize {
+        let i_prime = i.index() % (2 * self.base_n);
+        2 * self.base.post_count(NodeId::from(i_prime / 2))
+    }
+
+    fn query_count(&self, j: NodeId) -> usize {
+        let j_prime = j.index() % (2 * self.base_n);
+        2 * self.base.query_count(NodeId::from(j_prime / 2))
+    }
+}
+
+impl<S: Strategy> LiftedStrategy<S> {
+    /// The copy index `2·b_r + b_c` where a server at lifted node `i` and
+    /// client at lifted node `j` rendezvous.
+    pub fn rendezvous_copy(&self, i: NodeId, j: NodeId) -> usize {
+        let b_r = i.index() / (2 * self.base_n);
+        let b_c = j.index() / (2 * self.base_n);
+        2 * b_r + b_c
+    }
+
+    /// Maps a lifted node back to its base node.
+    pub fn base_node(&self, u: NodeId) -> NodeId {
+        NodeId::from(self.split(u).1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategies::{Centralized, Checkerboard};
+
+    #[test]
+    fn lift_quadruples_universe() {
+        let s = LiftedStrategy::new(Checkerboard::new(9));
+        assert_eq!(s.node_count(), 36);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn lift_doubles_average_cost() {
+        for n in [4usize, 9, 16, 25] {
+            let base = Checkerboard::new(n);
+            let m_base = base.average_cost();
+            let lifted = LiftedStrategy::new(base);
+            let m_lift = lifted.average_cost();
+            assert!(
+                (m_lift - 2.0 * m_base).abs() < 1e-9,
+                "n={n}: m'(4n) = {m_lift}, 2 m(n) = {}",
+                2.0 * m_base
+            );
+        }
+    }
+
+    #[test]
+    fn lift_multiplicities_are_four_times_base() {
+        let base = Checkerboard::new(4);
+        let k_base = base.to_matrix().multiplicities();
+        let lifted = LiftedStrategy::new(base);
+        let k_lift = lifted.to_matrix().multiplicities();
+        for (u, &k) in k_lift.iter().enumerate() {
+            assert_eq!(k, 4 * k_base[u % 4], "node {u}");
+        }
+    }
+
+    #[test]
+    fn lift_preserves_optimality() {
+        let base = Checkerboard::new(9);
+        assert!(base.to_matrix().is_optimal());
+        let lifted = LiftedStrategy::new(base);
+        assert!(lifted.to_matrix().is_optimal(), "lift keeps singleton entries");
+    }
+
+    #[test]
+    fn rendezvous_lands_in_expected_copy() {
+        let base = Centralized::new(5, NodeId::new(2));
+        let lifted = LiftedStrategy::new(base);
+        for i in 0..20usize {
+            for j in 0..20usize {
+                let (i, j) = (NodeId::from(i), NodeId::from(j));
+                let rdv = lifted.rendezvous(i, j);
+                assert_eq!(rdv.len(), 1);
+                let copy = rdv[0].index() / 5;
+                assert_eq!(copy, lifted.rendezvous_copy(i, j));
+                assert_eq!(lifted.base_node(rdv[0]), NodeId::new(2));
+            }
+        }
+    }
+
+    #[test]
+    fn double_lift_scales_four_times() {
+        let base = Checkerboard::new(4);
+        let m1 = base.average_cost();
+        let twice = LiftedStrategy::new(LiftedStrategy::new(base));
+        assert_eq!(twice.node_count(), 64);
+        twice.validate().unwrap();
+        assert!((twice.average_cost() - 4.0 * m1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn closed_form_counts_match_sets() {
+        let lifted = LiftedStrategy::new(Checkerboard::new(9));
+        for u in 0..36usize {
+            let u = NodeId::from(u);
+            assert_eq!(lifted.post_count(u), lifted.post_set(u).len());
+            assert_eq!(lifted.query_count(u), lifted.query_set(u).len());
+        }
+    }
+}

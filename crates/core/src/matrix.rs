@@ -1,0 +1,373 @@
+//! The rendezvous matrix `R` (paper §2.3).
+//!
+//! *"The `n×n` matrix `R`, with entries `r_ij` (`1 ≤ i,j ≤ n`) is the
+//! rendez-vous matrix. Each entry `r_ij` … represents the set of
+//! rendez-vous nodes where the client at node `j` can find the location
+//! and port of the server at node `i`."*
+//!
+//! Properties tracked here:
+//!
+//! * **(M1)** `∪_j r_ij ⊆ P(i)` and `∪_i r_ij ⊆ Q(j)` — holds by
+//!   construction when the matrix is derived from a strategy; equality
+//!   ("no waste") is checkable via [`RendezvousMatrix::row_col_waste`].
+//! * **(M2)** `Σ_i k_i ≥ n²` where `k_i` counts the occurrences of node
+//!   `i` over all entries — [`RendezvousMatrix::multiplicities`].
+//! * An *optimal* shotgun method has exactly one element in each `r_ij` —
+//!   [`RendezvousMatrix::is_optimal`].
+
+use mm_topo::NodeId;
+use std::fmt;
+
+/// A fully materialized rendezvous matrix.
+///
+/// Entries are sorted, duplicate-free node sets. Row index = server node,
+/// column index = client node (as in the paper's figures).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RendezvousMatrix {
+    n: usize,
+    entries: Vec<Vec<NodeId>>, // row-major n*n
+}
+
+impl RendezvousMatrix {
+    /// Builds the matrix `r_ij = P(i) ∩ Q(j)` from closures (used by
+    /// `Strategy::to_matrix`; prefer that method).
+    pub fn from_strategy_dyn(
+        post: &dyn Fn(NodeId) -> Vec<NodeId>,
+        query: &dyn Fn(NodeId) -> Vec<NodeId>,
+        n: usize,
+    ) -> Self {
+        let posts: Vec<Vec<NodeId>> = (0..n).map(|i| post(NodeId::from(i))).collect();
+        let queries: Vec<Vec<NodeId>> = (0..n).map(|j| query(NodeId::from(j))).collect();
+        let mut entries = Vec::with_capacity(n * n);
+        for p in &posts {
+            for q in &queries {
+                entries.push(crate::strategy::intersect_sorted(p, q));
+            }
+        }
+        RendezvousMatrix { n, entries }
+    }
+
+    /// Builds a matrix directly from per-entry sets (row-major, length
+    /// `n²`). Used by the paper-example constructors and Prop. 4 lifting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries.len() != n²` or an entry references a node
+    /// `≥ n`.
+    pub fn from_entries(n: usize, entries: Vec<Vec<NodeId>>) -> Self {
+        assert_eq!(entries.len(), n * n, "matrix must have n^2 entries");
+        let mut entries = entries;
+        for e in &mut entries {
+            e.sort_unstable();
+            e.dedup();
+            assert!(
+                e.iter().all(|v| v.index() < n),
+                "entry references node outside universe"
+            );
+        }
+        RendezvousMatrix { n, entries }
+    }
+
+    /// Universe size `n`.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// The entry `r_ij`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range.
+    pub fn entry(&self, i: NodeId, j: NodeId) -> &[NodeId] {
+        &self.entries[i.index() * self.n + j.index()]
+    }
+
+    /// `k_i` for every node: how many of the `n²` entries contain node `i`
+    /// (counting one per entry-membership, as in §2.3.2).
+    pub fn multiplicities(&self) -> Vec<u64> {
+        let mut k = vec![0u64; self.n];
+        for e in &self.entries {
+            for v in e {
+                k[v.index()] += 1;
+            }
+        }
+        k
+    }
+
+    /// Checks (M2): `Σ k_i ≥ n²` — equivalently, no entry is empty
+    /// (each entry contributes ≥ 1 when nonempty).
+    pub fn satisfies_m2(&self) -> bool {
+        self.entries.iter().all(|e| !e.is_empty())
+    }
+
+    /// `true` iff every entry is a singleton — the paper's *optimal*
+    /// shotgun arrangement (no redundant rendezvous work).
+    pub fn is_optimal(&self) -> bool {
+        self.entries.iter().all(|e| e.len() == 1)
+    }
+
+    /// Row sets: `∪_j r_ij` per row `i` (the part of `P(i)` actually used)
+    /// and column sets `∪_i r_ij` per column `j` (the used part of
+    /// `Q(j)`).
+    pub fn row_col_unions(&self) -> (Vec<Vec<NodeId>>, Vec<Vec<NodeId>>) {
+        let mut rows = vec![Vec::new(); self.n];
+        let mut cols = vec![Vec::new(); self.n];
+        for i in 0..self.n {
+            for j in 0..self.n {
+                for &v in &self.entries[i * self.n + j] {
+                    rows[i].push(v);
+                    cols[j].push(v);
+                }
+            }
+        }
+        for r in &mut rows {
+            r.sort_unstable();
+            r.dedup();
+        }
+        for c in &mut cols {
+            c.sort_unstable();
+            c.dedup();
+        }
+        (rows, cols)
+    }
+
+    /// Waste relative to a strategy: how many posted (resp. queried) nodes
+    /// are never used as rendezvous — the slack in the (M1) inclusions.
+    /// Returns `(post_waste, query_waste)` summed over all nodes.
+    pub fn row_col_waste(
+        &self,
+        post: impl Fn(NodeId) -> Vec<NodeId>,
+        query: impl Fn(NodeId) -> Vec<NodeId>,
+    ) -> (usize, usize) {
+        let (rows, cols) = self.row_col_unions();
+        let mut post_waste = 0usize;
+        let mut query_waste = 0usize;
+        for i in 0..self.n {
+            let p = post(NodeId::from(i));
+            post_waste += p.len() - rows[i].len().min(p.len());
+        }
+        for j in 0..self.n {
+            let q = query(NodeId::from(j));
+            query_waste += q.len() - cols[j].len().min(q.len());
+        }
+        (post_waste, query_waste)
+    }
+
+    /// Number of distinct nodes in row `i` (`r_i` in the paper's proof of
+    /// Proposition 1).
+    pub fn distinct_in_row(&self, i: NodeId) -> usize {
+        let mut v: Vec<NodeId> = (0..self.n)
+            .flat_map(|j| self.entries[i.index() * self.n + j].iter().copied())
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v.len()
+    }
+
+    /// Number of distinct nodes in column `j` (`c_j` in the proof).
+    pub fn distinct_in_col(&self, j: NodeId) -> usize {
+        let mut v: Vec<NodeId> = (0..self.n)
+            .flat_map(|i| self.entries[i * self.n + j.index()].iter().copied())
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v.len()
+    }
+
+    /// `R_i` / `C_i` of the Proposition 1 proof: the number of different
+    /// rows (resp. columns) containing node `i`. Returns `(R, C)` indexed
+    /// by node.
+    pub fn row_col_presence(&self) -> (Vec<u64>, Vec<u64>) {
+        let mut in_row = vec![vec![false; self.n]; self.n]; // [node][row]
+        let mut in_col = vec![vec![false; self.n]; self.n];
+        for i in 0..self.n {
+            for j in 0..self.n {
+                for v in &self.entries[i * self.n + j] {
+                    in_row[v.index()][i] = true;
+                    in_col[v.index()][j] = true;
+                }
+            }
+        }
+        let r = in_row
+            .iter()
+            .map(|flags| flags.iter().filter(|&&b| b).count() as u64)
+            .collect();
+        let c = in_col
+            .iter()
+            .map(|flags| flags.iter().filter(|&&b| b).count() as u64)
+            .collect();
+        (r, c)
+    }
+
+    /// Renders the matrix in the paper's figure style: 1-based node
+    /// numbers, singleton entries as bare numbers, larger sets in braces.
+    ///
+    /// `binary_width`: if `Some(w)`, node ids print as `w`-bit binary
+    /// strings (used for the 3-cube example); otherwise decimal 1-based.
+    pub fn render(&self, binary_width: Option<usize>) -> String {
+        let fmt_node = |v: NodeId| -> String {
+            match binary_width {
+                Some(w) => format!("{:0w$b}", v.raw(), w = w),
+                None => (v.raw() + 1).to_string(),
+            }
+        };
+        let cell = |e: &[NodeId]| -> String {
+            match e.len() {
+                0 => "-".to_string(),
+                1 => fmt_node(e[0]),
+                _ => format!(
+                    "{{{}}}",
+                    e.iter().map(|&v| fmt_node(v)).collect::<Vec<_>>().join(",")
+                ),
+            }
+        };
+        let mut cells: Vec<Vec<String>> = Vec::with_capacity(self.n);
+        for i in 0..self.n {
+            cells.push(
+                (0..self.n)
+                    .map(|j| cell(&self.entries[i * self.n + j]))
+                    .collect(),
+            );
+        }
+        let width = cells
+            .iter()
+            .flatten()
+            .map(|s| s.len())
+            .max()
+            .unwrap_or(1)
+            .max(fmt_node(NodeId::from(self.n.saturating_sub(1))).len());
+        let mut out = String::new();
+        // header
+        out.push_str(&" ".repeat(width + 2));
+        for j in 0..self.n {
+            out.push_str(&format!("{:>width$} ", fmt_node(NodeId::from(j))));
+        }
+        out.push('\n');
+        for (i, row) in cells.iter().enumerate() {
+            out.push_str(&format!("{:>width$} |", fmt_node(NodeId::from(i))));
+            for c in row {
+                out.push_str(&format!("{c:>width$} "));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for RendezvousMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render(None))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn centralized(size: usize, center: u32) -> RendezvousMatrix {
+        RendezvousMatrix::from_entries(
+            size,
+            vec![vec![n(center)]; size * size],
+        )
+    }
+
+    #[test]
+    fn from_strategy_intersects() {
+        // P(i) = {i}, Q(j) = {0..n} : broadcast
+        let m = RendezvousMatrix::from_strategy_dyn(
+            &|i| vec![i],
+            &|_| (0..4u32).map(n).collect(),
+            4,
+        );
+        assert_eq!(m.entry(n(2), n(3)), &[n(2)]);
+        assert!(m.is_optimal());
+        assert!(m.satisfies_m2());
+    }
+
+    #[test]
+    fn multiplicities_of_centralized() {
+        let m = centralized(5, 2);
+        let k = m.multiplicities();
+        assert_eq!(k[2], 25);
+        assert_eq!(k.iter().sum::<u64>(), 25);
+        assert!(m.satisfies_m2());
+        assert!(m.is_optimal());
+    }
+
+    #[test]
+    fn m2_fails_with_empty_entry() {
+        let mut entries = vec![vec![n(0)]; 4];
+        entries[3] = vec![];
+        let m = RendezvousMatrix::from_entries(2, entries);
+        assert!(!m.satisfies_m2());
+        assert!(!m.is_optimal());
+    }
+
+    #[test]
+    fn distinct_row_col_counts() {
+        // truly distributed 4-node: blocks of 2
+        // r_ij = band(i)*2 + band(j), bands of size 2
+        let mut entries = Vec::new();
+        for i in 0..4u32 {
+            for j in 0..4u32 {
+                entries.push(vec![n((i / 2) * 2 + (j / 2))]);
+            }
+        }
+        let m = RendezvousMatrix::from_entries(4, entries);
+        assert_eq!(m.distinct_in_row(n(0)), 2); // nodes 0 and 1
+        assert_eq!(m.distinct_in_col(n(0)), 2); // nodes 0 and 2
+        let k = m.multiplicities();
+        assert_eq!(k, vec![4, 4, 4, 4]);
+        let (r, c) = m.row_col_presence();
+        assert_eq!(r, vec![2, 2, 2, 2]);
+        assert_eq!(c, vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn row_col_unions_cover_used_nodes() {
+        let m = centralized(3, 1);
+        let (rows, cols) = m.row_col_unions();
+        for r in rows {
+            assert_eq!(r, vec![n(1)]);
+        }
+        for c in cols {
+            assert_eq!(c, vec![n(1)]);
+        }
+    }
+
+    #[test]
+    fn waste_measures_unused_posts() {
+        let m = centralized(3, 0);
+        // strategy posts at {0,1} but only 0 is ever a rendezvous
+        let (pw, qw) = m.row_col_waste(|_| vec![n(0), n(1)], |_| vec![n(0)]);
+        assert_eq!(pw, 3); // one wasted post per row
+        assert_eq!(qw, 0);
+    }
+
+    #[test]
+    fn render_paper_style() {
+        let m = centralized(3, 2);
+        let s = m.render(None);
+        // all entries show "3" (1-based)
+        assert!(s.contains('3'));
+        assert!(!s.contains('0'), "1-based rendering: {s}");
+        let b = m.render(Some(2));
+        assert!(b.contains("10"), "binary rendering: {b}");
+    }
+
+    #[test]
+    #[should_panic(expected = "n^2 entries")]
+    fn wrong_entry_count_panics() {
+        let _ = RendezvousMatrix::from_entries(2, vec![vec![n(0)]; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn out_of_universe_entry_panics() {
+        let _ = RendezvousMatrix::from_entries(2, vec![vec![n(7)]; 4]);
+    }
+}

@@ -1,0 +1,214 @@
+//! The worked examples of paper §2.3.1 and §3.1, reproduced
+//! entry-for-entry.
+//!
+//! Six rendezvous matrices are printed in §2.3.1 (broadcasting, sweeping,
+//! centralized, truly distributed, hierarchical, binary 3-cube) plus the
+//! 9-node Manhattan matrix of §3.1. The constructors here build them
+//! from the paper's formulas; the test suite cross-checks them against
+//! the corresponding [`strategies`](crate::strategies) so the printed
+//! figures and the executable strategies can never drift apart.
+//!
+//! All matrices use 0-based node ids internally; rendering via
+//! [`RendezvousMatrix::render`] restores the paper's 1-based (or binary)
+//! numbering.
+
+use crate::matrix::RendezvousMatrix;
+use mm_topo::NodeId;
+
+fn matrix_from(n: usize, f: impl Fn(u32, u32) -> u32) -> RendezvousMatrix {
+    let mut entries = Vec::with_capacity(n * n);
+    for i in 0..n as u32 {
+        for j in 0..n as u32 {
+            entries.push(vec![NodeId::new(f(i, j))]);
+        }
+    }
+    RendezvousMatrix::from_entries(n, entries)
+}
+
+/// Example 1 — broadcasting: `r_ij = {i}` ("the server stays put and the
+/// client looks everywhere"). 9 nodes.
+pub fn example_1_broadcasting() -> RendezvousMatrix {
+    matrix_from(9, |i, _j| i)
+}
+
+/// Example 2 — sweeping: `r_ij = {j}` ("the client stays put and the
+/// server looks for work"). 9 nodes.
+pub fn example_2_sweeping() -> RendezvousMatrix {
+    matrix_from(9, |_i, j| j)
+}
+
+/// Example 3 — centralized name server at the paper's node 3 (0-based
+/// node 2): `r_ij = {3}`. 9 nodes.
+pub fn example_3_centralized() -> RendezvousMatrix {
+    matrix_from(9, |_i, _j| 2)
+}
+
+/// Example 4 — truly distributed name server: the checkerboard where
+/// `r_ij` is node `band(i)·3 + band(j)` with bands of 3; every node is
+/// used equally often (`k_i = 9`). 9 nodes.
+pub fn example_4_truly_distributed() -> RendezvousMatrix {
+    matrix_from(9, |i, j| (i / 3) * 3 + j / 3)
+}
+
+/// Example 5 — hierarchically distributed name server with the ordering
+/// `1,2,3 < 7`, `4,5,6 < 8`, `7,8 < 9`: intra-group pairs meet at their
+/// group's parent, everything else at the root 9. 9 nodes.
+pub fn example_5_hierarchical() -> RendezvousMatrix {
+    matrix_from(9, |i, j| {
+        if i < 3 && j < 3 {
+            6 // paper node 7
+        } else if (3..6).contains(&i) && (3..6).contains(&j) {
+            7 // paper node 8
+        } else {
+            8 // paper node 9
+        }
+    })
+}
+
+/// Example 6 — distributed name server for the binary 3-cube:
+/// `P(abc) = {axy}`, `Q(abc) = {xbc}`, so the rendezvous for server `s`
+/// and client `c` is `(s & 100₂) | (c & 011₂)`. 8 nodes; render with
+/// `binary_width = Some(3)`.
+pub fn example_6_binary_3_cube() -> RendezvousMatrix {
+    matrix_from(8, |s, c| (s & 0b100) | (c & 0b011))
+}
+
+/// §3.1 — the 9-node Manhattan network matrix: `r_ij` is the crossing of
+/// server `i`'s row and client `j`'s column in the 3×3 grid.
+pub fn manhattan_9_node() -> RendezvousMatrix {
+    matrix_from(9, |i, j| (i / 3) * 3 + j % 3)
+}
+
+/// All seven worked matrices with their paper names and the binary
+/// rendering width for the cube example.
+pub fn all_examples() -> Vec<(&'static str, RendezvousMatrix, Option<usize>)> {
+    vec![
+        ("Example 1: broadcasting", example_1_broadcasting(), None),
+        ("Example 2: sweeping", example_2_sweeping(), None),
+        ("Example 3: centralized name server", example_3_centralized(), None),
+        (
+            "Example 4: truly distributed name server",
+            example_4_truly_distributed(),
+            None,
+        ),
+        (
+            "Example 5: hierarchically distributed name server",
+            example_5_hierarchical(),
+            None,
+        ),
+        (
+            "Example 6: binary 3-cube name server",
+            example_6_binary_3_cube(),
+            Some(3),
+        ),
+        ("Section 3.1: 9-node Manhattan network", manhattan_9_node(), None),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategies::{
+        Broadcast, Centralized, Checkerboard, GridRowColumn, HypercubeSplit, Sweep,
+    };
+    use crate::Strategy;
+
+    #[test]
+    fn examples_match_strategies() {
+        assert_eq!(example_1_broadcasting(), Broadcast::new(9).to_matrix());
+        assert_eq!(example_2_sweeping(), Sweep::new(9).to_matrix());
+        assert_eq!(
+            example_3_centralized(),
+            Centralized::new(9, NodeId::new(2)).to_matrix()
+        );
+        assert_eq!(
+            example_4_truly_distributed(),
+            Checkerboard::new(9).to_matrix()
+        );
+        assert_eq!(
+            example_6_binary_3_cube(),
+            HypercubeSplit::example_6().to_matrix()
+        );
+        assert_eq!(manhattan_9_node(), GridRowColumn::new(3, 3).to_matrix());
+    }
+
+    #[test]
+    fn example_5_structure() {
+        let m = example_5_hierarchical();
+        assert!(m.is_optimal());
+        // spot-check the three regions against the printed figure
+        assert_eq!(m.entry(NodeId::new(0), NodeId::new(1)), &[NodeId::new(6)]);
+        assert_eq!(m.entry(NodeId::new(4), NodeId::new(5)), &[NodeId::new(7)]);
+        assert_eq!(m.entry(NodeId::new(0), NodeId::new(4)), &[NodeId::new(8)]);
+        assert_eq!(m.entry(NodeId::new(8), NodeId::new(8)), &[NodeId::new(8)]);
+        // only high nodes 7,8,9 are ever rendezvous
+        let k = m.multiplicities();
+        assert_eq!(&k[0..6], &[0, 0, 0, 0, 0, 0]);
+        assert_eq!(k[6], 9); // node 7: 3x3 block
+        assert_eq!(k[7], 9); // node 8
+        assert_eq!(k[8], 63); // node 9: the rest
+        assert_eq!(k.iter().sum::<u64>(), 81);
+    }
+
+    #[test]
+    fn example_multiplicities_match_paper_narrative() {
+        // broadcasting: k_i = 9 each (row i full of i)
+        assert_eq!(example_1_broadcasting().multiplicities(), vec![9; 9]);
+        // centralized: all 81 at node 3
+        let k3 = example_3_centralized().multiplicities();
+        assert_eq!(k3[2], 81);
+        assert_eq!(k3.iter().sum::<u64>(), 81);
+        // truly distributed: k_i = 9 each
+        assert_eq!(example_4_truly_distributed().multiplicities(), vec![9; 9]);
+    }
+
+    #[test]
+    fn example_6_first_row_matches_figure() {
+        let m = example_6_binary_3_cube();
+        // figure row for server 000: 000 001 010 011 000 001 010 011
+        let want = [0u32, 1, 2, 3, 0, 1, 2, 3];
+        for (j, &w) in want.iter().enumerate() {
+            assert_eq!(
+                m.entry(NodeId::new(0), NodeId::from(j)),
+                &[NodeId::new(w)]
+            );
+        }
+        // figure row for server 100: 100 101 110 111 100 101 110 111
+        let want = [4u32, 5, 6, 7, 4, 5, 6, 7];
+        for (j, &w) in want.iter().enumerate() {
+            assert_eq!(
+                m.entry(NodeId::new(4), NodeId::from(j)),
+                &[NodeId::new(w)]
+            );
+        }
+    }
+
+    #[test]
+    fn manhattan_matches_figure() {
+        let m = manhattan_9_node();
+        // figure row for server 4 (0-based 3): 4 5 6 4 5 6 4 5 6
+        let want = [3u32, 4, 5, 3, 4, 5, 3, 4, 5];
+        for (j, &w) in want.iter().enumerate() {
+            assert_eq!(m.entry(NodeId::new(3), NodeId::from(j)), &[NodeId::new(w)]);
+        }
+    }
+
+    #[test]
+    fn all_examples_are_m2_valid() {
+        for (name, m, _) in all_examples() {
+            assert!(m.satisfies_m2(), "{name}");
+            assert!(m.is_optimal(), "{name}");
+            assert_eq!(m.multiplicities().iter().sum::<u64>() as usize,
+                       m.node_count() * m.node_count(), "{name}");
+        }
+    }
+
+    #[test]
+    fn rendering_shows_paper_numbers() {
+        let s = example_3_centralized().render(None);
+        // every row shows nine 3s
+        assert_eq!(s.matches('3').count() >= 81, true);
+        let cube = example_6_binary_3_cube().render(Some(3));
+        assert!(cube.contains("000") && cube.contains("111"));
+    }
+}

@@ -1,0 +1,100 @@
+//! Service ports.
+//!
+//! Paper §1.3: *"A service is identified by its port. A port uniquely
+//! names a service. … Ports give no clue about the physical location of a
+//! server process."* Amoeba ports are large sparse capabilities; [`Port`]
+//! models them as opaque 128-bit values.
+
+use std::fmt;
+
+/// A location-independent service name.
+///
+/// # Example
+///
+/// ```
+/// use mm_core::Port;
+/// let file_service = Port::new(0xCAFE_F00D);
+/// assert_ne!(file_service, Port::new(1));
+/// assert_eq!(file_service.raw(), 0xCAFE_F00D);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct Port(u128);
+
+impl Port {
+    /// Creates a port from a raw value.
+    pub const fn new(v: u128) -> Self {
+        Port(v)
+    }
+
+    /// The raw 128-bit value.
+    pub const fn raw(self) -> u128 {
+        self.0
+    }
+
+    /// Derives a port from a human-readable service name (FNV-1a with a
+    /// finalizer mix, stable across runs — ports must be agreed upon out of
+    /// band, like Amoeba's well-known service capabilities).
+    pub fn from_name(name: &str) -> Self {
+        // 128-bit FNV-1a ...
+        const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+        const PRIME: u128 = 0x0000000001000000000000000000013B;
+        let mut h = OFFSET;
+        for b in name.bytes() {
+            h ^= b as u128;
+            h = h.wrapping_mul(PRIME);
+        }
+        // ... plus a splitmix64 finalizer per half for avalanche (plain
+        // FNV barely disturbs the low bits on short inputs)
+        fn mix(mut z: u64) -> u64 {
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+        let low = mix(h as u64 ^ (h >> 64) as u64);
+        let high = mix(low.wrapping_add(0x9E3779B97F4A7C15));
+        Port(((high as u128) << 64) | low as u128)
+    }
+}
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "port:{:032x}", self.0)
+    }
+}
+
+impl From<u128> for Port {
+    fn from(v: u128) -> Self {
+        Port(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_name_is_stable_and_spread() {
+        let a = Port::from_name("file-service");
+        let b = Port::from_name("file-service");
+        let c = Port::from_name("file-servicf");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        // avalanche sanity: one-char change flips many bits
+        let diff = (a.raw() ^ c.raw()).count_ones();
+        assert!(diff > 20, "only {diff} differing bits");
+    }
+
+    #[test]
+    fn display_is_hex() {
+        let p = Port::new(0xAB);
+        assert_eq!(p.to_string(), format!("port:{:032x}", 0xABu32));
+    }
+
+    #[test]
+    fn conversions() {
+        let p: Port = 42u128.into();
+        assert_eq!(p.raw(), 42);
+    }
+}

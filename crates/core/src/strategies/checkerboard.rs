@@ -1,0 +1,254 @@
+//! The truly distributed checkerboard arrangement (Example 4 and
+//! Proposition 3) and its rectangular generalization.
+//!
+//! Proposition 3: *"Arrange the rendez-vous matrix `R` as a checker board
+//! consisting of (as near as possible) `√n × √n` squares … each square is
+//! filled with about `n` copies of one unique node."* This yields
+//! `#P(i)·#Q(j) ≈ n`, `#P(i) + #Q(j) ≈ 2√n` and `k_i ≈ n` — matching the
+//! truly-distributed lower bound `m(n) ≥ 2√n` up to rounding.
+
+use crate::strategy::{normalize_set, Strategy};
+use mm_topo::NodeId;
+
+/// Rectangular block arrangement: the matrix is tiled into `x` row-bands
+/// by `y` column-bands; the block at band `(r, c)` uses rendezvous node
+/// `(r·y + c) mod n`.
+///
+/// `P(i)` is the `y` nodes of `i`'s row-band, `Q(j)` the `x` nodes of
+/// `j`'s column-band: `#P·#Q = x·y ≥ n` realizes any point on the
+/// trade-off curve of §2.3.2 — including the weighted (M3′) optima
+/// `p = √(αn)`, `q = √(n/α)` (see [`Blocks::for_alpha`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Blocks {
+    n: usize,
+    /// number of row bands (= `#Q`)
+    x: usize,
+    /// number of column bands (= `#P`)
+    y: usize,
+}
+
+impl Blocks {
+    /// Creates a block strategy with `x` row-bands and `y` column-bands.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ x,y ≤ n` and `x·y ≥ n` (the rendezvous
+    /// constraint `p·q ≥ n`).
+    pub fn new(n: usize, x: usize, y: usize) -> Self {
+        assert!(n > 0, "universe must be non-empty");
+        assert!(
+            (1..=n).contains(&x) && (1..=n).contains(&y),
+            "band counts must be in 1..=n"
+        );
+        assert!(x * y >= n, "need x*y >= n for distinct block nodes");
+        Blocks { n, x, y }
+    }
+
+    /// The block strategy minimizing the weighted cost `#P + α·#Q`:
+    /// `#P = ⌈√(αn)⌉`, `#Q = ⌈n / #P⌉` (rounded feasibly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha <= 0` or `n == 0`.
+    pub fn for_alpha(n: usize, alpha: f64) -> Self {
+        let (p, _q) = crate::bounds::weighted_optimal_split(n, alpha);
+        let y = (p.ceil() as usize).clamp(1, n);
+        let x = n.div_ceil(y).clamp(1, n);
+        Blocks::new(n, x, y)
+    }
+
+    /// Row-band of node `i` (bands as equal as possible).
+    fn row_band(&self, i: NodeId) -> usize {
+        i.index() * self.x / self.n
+    }
+
+    /// Column-band of node `j`.
+    fn col_band(&self, j: NodeId) -> usize {
+        j.index() * self.y / self.n
+    }
+
+    /// The rendezvous node of block `(r, c)`.
+    fn block_node(&self, r: usize, c: usize) -> NodeId {
+        NodeId::from((r * self.y + c) % self.n)
+    }
+
+    /// `(x, y)` band counts.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.x, self.y)
+    }
+}
+
+impl Strategy for Blocks {
+    fn node_count(&self) -> usize {
+        self.n
+    }
+
+    fn post_set(&self, i: NodeId) -> Vec<NodeId> {
+        let r = self.row_band(i);
+        let mut out: Vec<NodeId> = (0..self.y).map(|c| self.block_node(r, c)).collect();
+        normalize_set(&mut out);
+        out
+    }
+
+    fn query_set(&self, j: NodeId) -> Vec<NodeId> {
+        let c = self.col_band(j);
+        let mut out: Vec<NodeId> = (0..self.x).map(|r| self.block_node(r, c)).collect();
+        normalize_set(&mut out);
+        out
+    }
+
+    fn name(&self) -> String {
+        format!("blocks({}x{})", self.x, self.y)
+    }
+}
+
+/// The square checkerboard (Example 4 / Proposition 3): `Blocks` with
+/// `x = y = ⌈√n⌉` — the canonical *truly distributed* name server where
+/// every node carries (about) the same rendezvous load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Checkerboard {
+    inner: Blocks,
+}
+
+impl Checkerboard {
+    /// Truly distributed arrangement over `n ≥ 1` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        let b = (n as f64).sqrt().ceil() as usize;
+        Checkerboard {
+            inner: Blocks::new(n, b.max(1), b.max(1)),
+        }
+    }
+
+    /// The band count `⌈√n⌉`.
+    pub fn band_count(&self) -> usize {
+        self.inner.shape().0
+    }
+}
+
+impl Strategy for Checkerboard {
+    fn node_count(&self) -> usize {
+        self.inner.node_count()
+    }
+    fn post_set(&self, i: NodeId) -> Vec<NodeId> {
+        self.inner.post_set(i)
+    }
+    fn query_set(&self, j: NodeId) -> Vec<NodeId> {
+        self.inner.query_set(j)
+    }
+    fn name(&self) -> String {
+        format!("checkerboard({})", self.node_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds;
+
+    #[test]
+    fn perfect_square_matches_example_4() {
+        // paper example 4: n = 9, bands of 3
+        let s = Checkerboard::new(9);
+        s.validate().unwrap();
+        let m = s.to_matrix();
+        assert!(m.is_optimal());
+        // r_ij = band(i)*3 + band(j)
+        for i in 0..9u32 {
+            for j in 0..9u32 {
+                let want = NodeId::new((i / 3) * 3 + j / 3);
+                assert_eq!(m.entry(NodeId::new(i), NodeId::new(j)), &[want]);
+            }
+        }
+        // every node equally loaded: k_i = 9
+        assert_eq!(m.multiplicities(), vec![9u64; 9]);
+        assert!((s.average_cost() - 6.0).abs() < 1e-12); // 2 sqrt 9
+    }
+
+    #[test]
+    fn non_square_sizes_work() {
+        for n in [2usize, 3, 5, 7, 10, 12, 17, 40, 100, 101] {
+            let s = Checkerboard::new(n);
+            s.validate().unwrap();
+            let bound = bounds::truly_distributed_bound(n);
+            let m = s.average_cost();
+            assert!(
+                m <= bound + 2.5,
+                "n={n}: m = {m} should be within rounding of {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn near_uniform_load() {
+        let s = Checkerboard::new(64);
+        let k = s.to_matrix().multiplicities();
+        let max = *k.iter().max().unwrap() as f64;
+        let min = *k.iter().min().unwrap() as f64;
+        // perfect square: exactly uniform
+        assert_eq!(max, min);
+        assert_eq!(max, 64.0);
+    }
+
+    #[test]
+    fn blocks_tradeoff_shapes() {
+        let n = 100usize;
+        for (x, y) in [(10usize, 10usize), (4, 25), (25, 4), (2, 50), (100, 1)] {
+            let s = Blocks::new(n, x, y);
+            s.validate().unwrap();
+            let i = NodeId::new(0);
+            assert!(s.post_count(i) <= y);
+            assert!(s.query_count(i) <= x);
+        }
+    }
+
+    #[test]
+    fn blocks_for_alpha_tracks_optimum() {
+        let n = 400usize;
+        for alpha in [0.25f64, 1.0, 4.0, 25.0] {
+            let s = Blocks::for_alpha(n, alpha);
+            s.validate().unwrap();
+            let (x, y) = s.shape();
+            let (p_opt, q_opt) = bounds::weighted_optimal_split(n, alpha);
+            assert!(
+                (y as f64 - p_opt).abs() <= 2.0,
+                "alpha={alpha}: post size {y} vs optimum {p_opt}"
+            );
+            assert!(
+                (x as f64 - q_opt).abs() <= 2.0 + q_opt * 0.2,
+                "alpha={alpha}: query size {x} vs optimum {q_opt}"
+            );
+        }
+    }
+
+    #[test]
+    fn blocks_invalid_params_panic() {
+        assert!(std::panic::catch_unwind(|| Blocks::new(10, 2, 2)).is_err()); // 4 < 10
+        assert!(std::panic::catch_unwind(|| Blocks::new(10, 0, 10)).is_err());
+        assert!(std::panic::catch_unwind(|| Blocks::new(0, 1, 1)).is_err());
+    }
+
+    #[test]
+    fn singleton_universe() {
+        let s = Checkerboard::new(1);
+        s.validate().unwrap();
+        assert_eq!(s.post_set(NodeId::new(0)), vec![NodeId::new(0)]);
+        assert!((s.average_cost() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prop3_product_stays_near_n() {
+        for n in [16usize, 36, 81, 144] {
+            let s = Checkerboard::new(n);
+            let i = NodeId::new(0);
+            let prod = s.post_count(i) * s.query_count(i);
+            assert!(
+                prod >= n && prod <= n + 3 * (n as f64).sqrt() as usize + 3,
+                "n={n}: #P*#Q = {prod}"
+            );
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! The general-network strategy via √n-decomposition (paper §3).
+//!
+//! *"Server's Algorithm: a server at the node labelled `i` in one of the
+//! subgraphs communicates its (port, address) to all nodes `i` in the
+//! remaining `O(√n)` subgraphs. … Client's Algorithm: a client broadcasts
+//! for a service (along a spanning tree) in the subgraph where it
+//! resides."* Rendezvous: the node carrying the server's label inside the
+//! client's own subgraph. *"Under the practical assumption that clients
+//! need to locate services usually far more frequently than servers need
+//! to post, this scheme is fairly optimal."*
+
+use crate::strategy::{normalize_set, Strategy};
+use mm_topo::{Decomposition, NodeId};
+use std::sync::Arc;
+
+/// Label-based strategy over a graph decomposition: `P(v)` = the nodes
+/// carrying `v`'s label, one per part (`O(√n)` of them); `Q(v)` = every
+/// node of `v`'s own part (`≤ 2√n`).
+#[derive(Debug, Clone)]
+pub struct DecomposedStrategy {
+    d: Arc<Decomposition>,
+    n: usize,
+}
+
+impl DecomposedStrategy {
+    /// Builds the strategy over a decomposition of an `n`-node graph.
+    ///
+    /// `n` is recovered from the decomposition's parts.
+    pub fn new(d: Arc<Decomposition>) -> Self {
+        let n = d.parts().iter().map(|p| p.len()).sum();
+        DecomposedStrategy { d, n }
+    }
+
+    /// The decomposition in use.
+    pub fn decomposition(&self) -> &Decomposition {
+        &self.d
+    }
+}
+
+impl Strategy for DecomposedStrategy {
+    fn node_count(&self) -> usize {
+        self.n
+    }
+
+    fn post_set(&self, i: NodeId) -> Vec<NodeId> {
+        let label = self.d.canonical_label(i);
+        let mut out = self.d.nodes_with_label(label);
+        normalize_set(&mut out);
+        out
+    }
+
+    fn query_set(&self, j: NodeId) -> Vec<NodeId> {
+        self.d.parts()[self.d.part_of(j)].clone()
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "decomposed(n={}, parts={}, t={})",
+            self.n,
+            self.d.part_count(),
+            self.d.t
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_topo::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn strat(g: &mm_topo::Graph) -> DecomposedStrategy {
+        DecomposedStrategy::new(Arc::new(Decomposition::new(g).unwrap()))
+    }
+
+    #[test]
+    fn valid_on_many_topologies() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let graphs = vec![
+            gen::grid(6, 6, false),
+            gen::ring(30),
+            gen::complete(20),
+            gen::star(25),
+            gen::hypercube(5),
+            gen::random_connected(40, 80, &mut rng).unwrap(),
+            gen::uucp_like(60, &mut rng),
+        ];
+        for g in &graphs {
+            let s = strat(g);
+            s.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", g.name()));
+        }
+    }
+
+    #[test]
+    fn post_cost_is_part_count() {
+        let g = gen::grid(8, 8, false);
+        let s = strat(&g);
+        let parts = s.decomposition().part_count();
+        for v in g.nodes() {
+            assert!(s.post_count(v) <= parts);
+            // distinct parts may reuse a node only in tiny parts
+            assert!(s.post_count(v) >= parts / 2);
+        }
+    }
+
+    #[test]
+    fn query_cost_is_own_part_size() {
+        let g = gen::grid(8, 8, false);
+        let s = strat(&g);
+        let d = s.decomposition();
+        for v in g.nodes() {
+            assert_eq!(s.query_count(v), d.parts()[d.part_of(v)].len());
+            assert!(s.query_count(v) <= 2 * d.t);
+        }
+    }
+
+    #[test]
+    fn rendezvous_is_labelled_node_in_client_part() {
+        let g = gen::grid(7, 7, false);
+        let s = strat(&g);
+        let d = s.decomposition();
+        for i in (0..49usize).step_by(5) {
+            for j in (0..49usize).step_by(7) {
+                let (vi, vj) = (NodeId::from(i), NodeId::from(j));
+                let rdv = s.rendezvous(vi, vj);
+                let expected = d.node_with_label(d.part_of(vj), d.canonical_label(vi));
+                assert!(rdv.contains(&expected), "pair ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn total_cost_scales_like_sqrt_n() {
+        // m = #parts + part size ~ O(sqrt n): check the ratio stays bounded
+        for side in [5usize, 8, 12, 16] {
+            let g = gen::grid(side, side, false);
+            let s = strat(&g);
+            let n = (side * side) as f64;
+            let m = s.average_cost();
+            assert!(
+                m <= 5.0 * n.sqrt() + 5.0,
+                "side={side}: m = {m} vs sqrt(n) = {}",
+                n.sqrt()
+            );
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! Manhattan-network strategies (paper §3.1).
+//!
+//! *"Post availability of a service along its row and request a service
+//! along the column the client is on."* — `m(n) = O(p+q)`; for `p = q`,
+//! `m(n) = 2√n` with caches of size `√n`. Wrap-around versions cover
+//! cylindrical and torus networks (Stony Brook). The d-dimensional
+//! generalization takes `m(n) = 2·n^{(d−1)/d}` message passes.
+
+use crate::strategy::{normalize_set, Strategy};
+use mm_topo::gen::grid::{mesh_coords, mesh_index};
+use mm_topo::NodeId;
+
+/// Row/column strategy on a `p × q` grid: node `(r, c)` has index
+/// `r·q + c`; `P` = the whole row, `Q` = the whole column.
+///
+/// The rendezvous of server `(r_s, c_s)` and client `(r_c, c_c)` is the
+/// unique crossing `(r_s, c_c)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridRowColumn {
+    p: usize,
+    q: usize,
+}
+
+impl GridRowColumn {
+    /// Strategy for a `p × q` grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0` or `q == 0`.
+    pub fn new(p: usize, q: usize) -> Self {
+        assert!(p > 0 && q > 0, "grid sides must be positive");
+        GridRowColumn { p, q }
+    }
+
+    /// `(p, q)` dimensions.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.p, self.q)
+    }
+
+    fn row_of(&self, v: NodeId) -> usize {
+        v.index() / self.q
+    }
+
+    fn col_of(&self, v: NodeId) -> usize {
+        v.index() % self.q
+    }
+}
+
+impl Strategy for GridRowColumn {
+    fn node_count(&self) -> usize {
+        self.p * self.q
+    }
+
+    fn post_set(&self, i: NodeId) -> Vec<NodeId> {
+        let r = self.row_of(i);
+        (0..self.q).map(|c| NodeId::from(r * self.q + c)).collect()
+    }
+
+    fn query_set(&self, j: NodeId) -> Vec<NodeId> {
+        let c = self.col_of(j);
+        (0..self.p).map(|r| NodeId::from(r * self.q + c)).collect()
+    }
+
+    fn name(&self) -> String {
+        format!("grid_row_col({}x{})", self.p, self.q)
+    }
+
+    fn post_count(&self, _i: NodeId) -> usize {
+        self.q
+    }
+
+    fn query_count(&self, _j: NodeId) -> usize {
+        self.p
+    }
+}
+
+/// d-dimensional mesh strategy: the dimension set is split into a server
+/// part `A` and its complement. `P(i)` spans all coordinates in `A`
+/// (fixing the rest to `i`'s), `Q(j)` spans the complement (fixing `A` to
+/// `j`'s); the rendezvous is the unique mixed coordinate.
+///
+/// * `A = {0}` on a 2-d mesh reproduces [`GridRowColumn`] (transposed);
+/// * `A = {0, …, d−2}` gives the paper's `m(n) = 2·n^{(d−1)/d}` shape
+///   (server sweeps a hyperplane, client a line);
+/// * a balanced `A` gives `m(n) ≈ 2√n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MeshSplit {
+    sides: Vec<usize>,
+    server_dims: Vec<usize>, // sorted dims spanned by P
+    client_dims: Vec<usize>, // complement, spanned by Q
+}
+
+impl MeshSplit {
+    /// Creates a mesh strategy over `sides` with the server spanning
+    /// `server_dims`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sides` is empty/contains zero, or `server_dims` has
+    /// out-of-range or duplicate entries.
+    pub fn new(sides: &[usize], server_dims: &[usize]) -> Self {
+        assert!(!sides.is_empty() && !sides.contains(&0), "invalid sides");
+        let mut sd = server_dims.to_vec();
+        sd.sort_unstable();
+        sd.dedup();
+        assert_eq!(sd.len(), server_dims.len(), "duplicate server dims");
+        assert!(
+            sd.iter().all(|&d| d < sides.len()),
+            "server dim out of range"
+        );
+        let cd: Vec<usize> = (0..sides.len()).filter(|d| !sd.contains(d)).collect();
+        MeshSplit {
+            sides: sides.to_vec(),
+            server_dims: sd,
+            client_dims: cd,
+        }
+    }
+
+    /// The `m(n) = 2·n^{(d−1)/d}` split: server spans dims `0..d−1`,
+    /// client spans the last dimension.
+    pub fn row_column(sides: &[usize]) -> Self {
+        let d = sides.len();
+        let sd: Vec<usize> = (0..d.saturating_sub(1)).collect();
+        Self::new(sides, &sd)
+    }
+
+    /// A balanced split: greedily assign dimensions (largest side first)
+    /// to whichever part currently spans fewer nodes — `m(n) ≈ 2√n`.
+    pub fn balanced(sides: &[usize]) -> Self {
+        let mut order: Vec<usize> = (0..sides.len()).collect();
+        order.sort_by_key(|&d| std::cmp::Reverse(sides[d]));
+        let (mut sa, mut sb) = (1usize, 1usize);
+        let mut a = Vec::new();
+        for d in order {
+            if sa <= sb {
+                sa *= sides[d];
+                a.push(d);
+            } else {
+                sb *= sides[d];
+            }
+        }
+        Self::new(sides, &a)
+    }
+
+    /// Enumerate all nodes agreeing with `base` outside `dims`, spanning
+    /// `dims`.
+    fn span(&self, base: NodeId, dims: &[usize]) -> Vec<NodeId> {
+        let coords = mesh_coords(base, &self.sides);
+        let mut out = Vec::new();
+        let mut cursor = vec![0usize; dims.len()];
+        loop {
+            let mut c = coords.clone();
+            for (k, &d) in dims.iter().enumerate() {
+                c[d] = cursor[k];
+            }
+            out.push(mesh_index(&c, &self.sides));
+            // odometer increment
+            let mut k = 0;
+            loop {
+                if k == dims.len() {
+                    normalize_set(&mut out);
+                    return out;
+                }
+                cursor[k] += 1;
+                if cursor[k] < self.sides[dims[k]] {
+                    break;
+                }
+                cursor[k] = 0;
+                k += 1;
+            }
+        }
+    }
+
+    /// Sizes `(#P, #Q)` from the side products.
+    pub fn set_sizes(&self) -> (usize, usize) {
+        let p: usize = self.server_dims.iter().map(|&d| self.sides[d]).product();
+        let q: usize = self.client_dims.iter().map(|&d| self.sides[d]).product();
+        (p, q)
+    }
+}
+
+impl Strategy for MeshSplit {
+    fn node_count(&self) -> usize {
+        self.sides.iter().product()
+    }
+
+    fn post_set(&self, i: NodeId) -> Vec<NodeId> {
+        self.span(i, &self.server_dims)
+    }
+
+    fn query_set(&self, j: NodeId) -> Vec<NodeId> {
+        self.span(j, &self.client_dims)
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "mesh_split({:?}; server spans {:?})",
+            self.sides, self.server_dims
+        )
+    }
+
+    fn post_count(&self, _i: NodeId) -> usize {
+        self.set_sizes().0
+    }
+
+    fn query_count(&self, _j: NodeId) -> usize {
+        self.set_sizes().1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_node_grid_matches_paper_section_3_1() {
+        // the paper's 9-node Manhattan network: rows {1,2,3},{4,5,6},{7,8,9}
+        let s = GridRowColumn::new(3, 3);
+        s.validate().unwrap();
+        let m = s.to_matrix();
+        assert!(m.is_optimal());
+        // rendezvous(i,j) = (row of i, column of j)
+        for i in 0..9u32 {
+            for j in 0..9u32 {
+                let want = NodeId::new((i / 3) * 3 + (j % 3));
+                assert_eq!(m.entry(NodeId::new(i), NodeId::new(j)), &[want]);
+            }
+        }
+        assert!((s.average_cost() - 6.0).abs() < 1e-12); // 2 sqrt 9
+    }
+
+    #[test]
+    fn rectangular_grid_cost_p_plus_q() {
+        let s = GridRowColumn::new(4, 7);
+        s.validate().unwrap();
+        assert!((s.average_cost() - 11.0).abs() < 1e-12);
+        assert_eq!(s.cost_extremes(), (11, 11));
+    }
+
+    #[test]
+    fn grid_cache_need_is_column_size() {
+        // k_i for the grid strategy: each node is the rendezvous for
+        // (its row) x (its column) pairs = p*q... per node: row members p?
+        // Verify via matrix that load is uniform = n.
+        let s = GridRowColumn::new(3, 3);
+        let k = s.to_matrix().multiplicities();
+        assert_eq!(k, vec![9u64; 9]);
+    }
+
+    #[test]
+    fn mesh_split_row_column_shape() {
+        let sides = [4usize, 4, 4];
+        let s = MeshSplit::row_column(&sides);
+        s.validate().unwrap();
+        let (p, q) = s.set_sizes();
+        assert_eq!(p, 16); // n^{2/3}
+        assert_eq!(q, 4); // n^{1/3}
+        let m = s.to_matrix();
+        assert!(m.is_optimal());
+    }
+
+    #[test]
+    fn mesh_split_balanced_near_sqrt() {
+        let sides = [4usize, 4, 4, 4];
+        let s = MeshSplit::balanced(&sides);
+        s.validate().unwrap();
+        let (p, q) = s.set_sizes();
+        assert_eq!(p * q, 256);
+        assert_eq!(p, 16);
+        assert_eq!(q, 16);
+    }
+
+    #[test]
+    fn mesh_split_rendezvous_is_unique_mixed_point() {
+        let sides = [3usize, 4];
+        let s = MeshSplit::new(&sides, &[0]);
+        for i in 0..12usize {
+            for j in 0..12usize {
+                let rdv = s.rendezvous(NodeId::from(i), NodeId::from(j));
+                assert_eq!(rdv.len(), 1);
+                let c = mesh_coords(rdv[0], &sides);
+                let ci = mesh_coords(NodeId::from(i), &sides);
+                let cj = mesh_coords(NodeId::from(j), &sides);
+                assert_eq!(c[0], cj[0], "server-spanned dim takes client coord");
+                assert_eq!(c[1], ci[1], "client-spanned dim takes server coord");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_splits() {
+        let sides = [5usize];
+        // server spans everything: sweep-like
+        let s = MeshSplit::new(&sides, &[0]);
+        s.validate().unwrap();
+        assert_eq!(s.set_sizes(), (5, 1));
+        // server spans nothing: broadcast-like
+        let b = MeshSplit::new(&sides, &[]);
+        b.validate().unwrap();
+        assert_eq!(b.set_sizes(), (1, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "grid sides must be positive")]
+    fn zero_grid_rejected() {
+        let _ = GridRowColumn::new(0, 3);
+    }
+}

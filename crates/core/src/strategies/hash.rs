@@ -1,0 +1,223 @@
+//! Hash Locate (paper §5).
+//!
+//! *"In Hash Locate we construct hash functions that map service names
+//! onto network addresses. That is, `P, Q : Π → 2^U` & `P = Q`. This
+//! technique is very efficient … clients and servers need only use one
+//! network node each in every match-making. It suffers from the drawback
+//! that … if all rendez-vous nodes for a particular service crash then
+//! this takes out completely that particular service from the entire
+//! network."*
+//!
+//! Two repairs from the paper are implemented: (1) *"the hash function can
+//! map a service name onto many different network addresses for added
+//! reliability"* — the `replication` parameter; (2) *"when the rendez-vous
+//! node for a particular service is down, rehashing can come up with
+//! another network address to act as a backup rendez-vous node"* —
+//! [`HashLocate::rehash`].
+
+use crate::port::Port;
+use crate::strategy::Strategy;
+use mm_topo::NodeId;
+
+/// Port-indexed rendezvous functions — the general `P, Q : U × Π → 2^U`
+/// framework of §5 of which Shotgun Locate (port-ignoring) and Hash Locate
+/// (node-ignoring) are the two specializations.
+pub trait PortMapped {
+    /// Universe size.
+    fn node_count(&self) -> usize;
+    /// Where a server at `i` posts `port`.
+    fn post_set_for(&self, i: NodeId, port: Port) -> Vec<NodeId>;
+    /// Where a client at `j` queries for `port`.
+    fn query_set_for(&self, j: NodeId, port: Port) -> Vec<NodeId>;
+}
+
+/// Every node-based strategy is trivially port-mapped (it ignores the
+/// port) — Examples 1–3 "may also be viewed as borderline examples of
+/// Hash Locate".
+impl<S: Strategy> PortMapped for S {
+    fn node_count(&self) -> usize {
+        Strategy::node_count(self)
+    }
+    fn post_set_for(&self, i: NodeId, _port: Port) -> Vec<NodeId> {
+        self.post_set(i)
+    }
+    fn query_set_for(&self, j: NodeId, _port: Port) -> Vec<NodeId> {
+        self.query_set(j)
+    }
+}
+
+/// Hash Locate: the port hashes to `replication` distinct rendezvous
+/// nodes; `P = Q` and neither depends on the requester's location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashLocate {
+    n: usize,
+    replication: usize,
+}
+
+impl HashLocate {
+    /// Hash Locate over `n` nodes with `replication` rendezvous nodes per
+    /// port.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ replication ≤ n`.
+    pub fn new(n: usize, replication: usize) -> Self {
+        assert!(
+            replication >= 1 && replication <= n,
+            "replication must be in 1..=n"
+        );
+        HashLocate { n, replication }
+    }
+
+    /// The replication factor `r`.
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// Universe size.
+    pub fn universe(&self) -> usize {
+        self.n
+    }
+
+    fn hash64(port: Port, salt: u64) -> u64 {
+        // splitmix64 over the folded port and salt
+        let mut z = (port.raw() as u64)
+            ^ ((port.raw() >> 64) as u64)
+            ^ salt.wrapping_mul(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// The `replication` distinct rendezvous nodes for `port` (sorted).
+    ///
+    /// Probing continues with increasing salts until enough distinct nodes
+    /// are found, so the result is always exactly `replication` nodes.
+    pub fn rendezvous_nodes(&self, port: Port) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = Vec::with_capacity(self.replication);
+        let mut salt = 0u64;
+        while out.len() < self.replication {
+            let v = NodeId::from((Self::hash64(port, salt) % self.n as u64) as usize);
+            if !out.contains(&v) {
+                out.push(v);
+            }
+            salt += 1;
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Backup rendezvous node after `attempt` failed rehashes: probes past
+    /// the primary replicas, skipping nodes in `exclude` (crashed ones the
+    /// requester knows about).
+    ///
+    /// Returns `None` when every universe node is excluded.
+    pub fn rehash(&self, port: Port, attempt: u32, exclude: &[NodeId]) -> Option<NodeId> {
+        if exclude.len() >= self.n {
+            return None;
+        }
+        let mut salt = self.replication as u64 + attempt as u64 * 0x1000;
+        for _ in 0..10 * self.n + 16 {
+            let v = NodeId::from((Self::hash64(port, salt) % self.n as u64) as usize);
+            if !exclude.contains(&v) {
+                return Some(v);
+            }
+            salt += 1;
+        }
+        // pathological port/exclude combination: fall back to linear scan
+        (0..self.n)
+            .map(NodeId::from)
+            .find(|v| !exclude.contains(v))
+    }
+}
+
+impl PortMapped for HashLocate {
+    fn node_count(&self) -> usize {
+        self.n
+    }
+    fn post_set_for(&self, _i: NodeId, port: Port) -> Vec<NodeId> {
+        self.rendezvous_nodes(port)
+    }
+    fn query_set_for(&self, _j: NodeId, port: Port) -> Vec<NodeId> {
+        self.rendezvous_nodes(port)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p_equals_q_and_costs_2r() {
+        let h = HashLocate::new(100, 3);
+        let port = Port::from_name("file-service");
+        let p = h.post_set_for(NodeId::new(5), port);
+        let q = h.query_set_for(NodeId::new(80), port);
+        assert_eq!(p, q, "P = Q per the paper");
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn replicas_are_distinct_and_deterministic() {
+        let h = HashLocate::new(10, 10);
+        let nodes = h.rendezvous_nodes(Port::new(7));
+        assert_eq!(nodes.len(), 10);
+        let mut sorted = nodes.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10, "all distinct even at r = n");
+        assert_eq!(nodes, h.rendezvous_nodes(Port::new(7)));
+    }
+
+    #[test]
+    fn different_ports_spread_load() {
+        let h = HashLocate::new(64, 1);
+        let mut load = vec![0usize; 64];
+        for p in 0..6400u128 {
+            let nodes = h.rendezvous_nodes(Port::new(p));
+            load[nodes[0].index()] += 1;
+        }
+        let max = *load.iter().max().unwrap();
+        let min = *load.iter().min().unwrap();
+        assert!(max < 3 * (min + 20), "load {min}..{max} too skewed");
+    }
+
+    #[test]
+    fn rehash_avoids_excluded_nodes() {
+        let h = HashLocate::new(20, 2);
+        let port = Port::from_name("db");
+        let primary = h.rendezvous_nodes(port);
+        let backup = h.rehash(port, 0, &primary).unwrap();
+        assert!(!primary.contains(&backup));
+        // different attempts may give different backups but never excluded
+        for attempt in 0..5u32 {
+            let b = h.rehash(port, attempt, &primary).unwrap();
+            assert!(!primary.contains(&b));
+        }
+    }
+
+    #[test]
+    fn rehash_exhausts_gracefully() {
+        let h = HashLocate::new(3, 1);
+        let all: Vec<NodeId> = (0..3u32).map(NodeId::from).collect();
+        assert_eq!(h.rehash(Port::new(1), 0, &all), None);
+        let two = &all[..2];
+        let found = h.rehash(Port::new(1), 0, two).unwrap();
+        assert_eq!(found, NodeId::new(2));
+    }
+
+    #[test]
+    fn strategies_are_port_mapped_with_ignored_port() {
+        use crate::strategies::Broadcast;
+        let b = Broadcast::new(5);
+        let p1 = b.post_set_for(NodeId::new(2), Port::new(1));
+        let p2 = b.post_set_for(NodeId::new(2), Port::new(999));
+        assert_eq!(p1, p2);
+        assert_eq!(p1, vec![NodeId::new(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "replication must be in 1..=n")]
+    fn replication_bounds_checked() {
+        let _ = HashLocate::new(5, 6);
+    }
+}

@@ -1,0 +1,230 @@
+//! Hypercube address-splitting strategies (paper §3.2 and Example 6).
+//!
+//! §3.2: on the d-cube with `n = 2^d` nodes, a server at address
+//! `s = s_1 … s_d` broadcasts into the `d/2`-dimensional subcube spanned
+//! by `{ a_1 … a_{d/2} s_{d/2+1} … s_d }` and a client at `c` into
+//! `{ c_1 … c_{d/2} a_{d/2+1} … a_d }`; they meet at exactly
+//! `c_1 … c_{d/2} s_{d/2+1} … s_d`. `m(n) = 2·√n` for even `d`, caches of
+//! size `√n`. *"Variants of the algorithm are obtained by splitting the
+//! corner address … in pieces of `εd` and `(1−ε)d` bits"* — the `ε`-split
+//! trades post cost against query cost (cf. relative server immobility).
+
+use crate::strategy::Strategy;
+use mm_topo::NodeId;
+
+/// Address-split strategy on the d-cube.
+///
+/// `keep_mask` is the set of bit positions whose values the *server*
+/// keeps from its own address when posting (the post set spans the
+/// complementary bits). The client keeps the complementary bits and spans
+/// `keep_mask`. The rendezvous merges server bits on `keep_mask` with
+/// client bits elsewhere — always exactly one node.
+///
+/// * §3.2's halves: `keep_mask` = low `d/2` bits.
+/// * Example 6 (`d = 3`): `P(abc) = {axy}` keeps the top bit —
+///   `keep_mask = 0b100`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HypercubeSplit {
+    d: u32,
+    keep_mask: u32,
+}
+
+impl HypercubeSplit {
+    /// Split keeping the given bit positions on the server side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0` or `d > 30`, or if `keep_mask` has bits outside
+    /// `0..d`.
+    pub fn new(d: u32, keep_mask: u32) -> Self {
+        assert!(d >= 1 && d <= 30, "cube dimension out of range");
+        assert_eq!(
+            keep_mask & !((1u32 << d) - 1),
+            0,
+            "keep_mask has bits outside the address width"
+        );
+        HypercubeSplit { d, keep_mask }
+    }
+
+    /// The paper's even split: server keeps the low `⌈d/2⌉` bits (so `#P =
+    /// 2^{⌊d/2⌋}`, `#Q = 2^{⌈d/2⌉}`; for even `d` both are `√n`).
+    pub fn halves(d: u32) -> Self {
+        let keep = d.div_ceil(2);
+        Self::new(d, (1u32 << keep) - 1)
+    }
+
+    /// The `ε`-split: server keeps `round(ε·d)` low bits. `ε` close to 1
+    /// suits relatively immobile servers (small post sets are refreshed
+    /// rarely; clients pay more).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eps` is not within `[0, 1]`.
+    pub fn epsilon(d: u32, eps: f64) -> Self {
+        assert!((0.0..=1.0).contains(&eps), "epsilon must be in [0,1]");
+        let keep = ((d as f64) * eps).round() as u32;
+        let keep = keep.min(d);
+        let mask = if keep == 0 { 0 } else { (1u32 << keep) - 1 };
+        Self::new(d, mask)
+    }
+
+    /// Example 6's orientation for `d = 3`: server keeps the top bit.
+    pub fn example_6() -> Self {
+        Self::new(3, 0b100)
+    }
+
+    /// Cube dimension.
+    pub fn dimension(&self) -> u32 {
+        self.d
+    }
+
+    /// Number of bits the server keeps.
+    pub fn kept_bits(&self) -> u32 {
+        self.keep_mask.count_ones()
+    }
+
+    /// Enumerates all addresses agreeing with `base` on `fixed_mask`.
+    fn span(&self, base: u32, fixed_mask: u32) -> Vec<NodeId> {
+        let free_mask = !fixed_mask & ((1u32 << self.d) - 1);
+        // iterate over submasks of free_mask in increasing node order
+        let mut out = Vec::with_capacity(1usize << free_mask.count_ones());
+        let fixed = base & fixed_mask;
+        // standard subset enumeration of free_mask
+        let mut sub = 0u32;
+        loop {
+            out.push(NodeId::new(fixed | sub));
+            if sub == free_mask {
+                break;
+            }
+            sub = (sub.wrapping_sub(free_mask)) & free_mask;
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+impl Strategy for HypercubeSplit {
+    fn node_count(&self) -> usize {
+        1usize << self.d
+    }
+
+    fn post_set(&self, i: NodeId) -> Vec<NodeId> {
+        self.span(i.raw(), self.keep_mask)
+    }
+
+    fn query_set(&self, j: NodeId) -> Vec<NodeId> {
+        let complement = !self.keep_mask & ((1u32 << self.d) - 1);
+        self.span(j.raw(), complement)
+    }
+
+    fn name(&self) -> String {
+        format!("hypercube_split(d={}, keep={:#b})", self.d, self.keep_mask)
+    }
+
+    fn post_count(&self, _i: NodeId) -> usize {
+        1usize << (self.d - self.kept_bits())
+    }
+
+    fn query_count(&self, _j: NodeId) -> usize {
+        1usize << self.kept_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_6_matrix_reproduced() {
+        // P(abc) = {axy | xy in {0,1}^2}, Q(abc) = {xbc | x in {0,1}}
+        let s = HypercubeSplit::example_6();
+        s.validate().unwrap();
+        let m = s.to_matrix();
+        assert!(m.is_optimal());
+        for srv in 0..8u32 {
+            for cli in 0..8u32 {
+                let want = NodeId::new((srv & 0b100) | (cli & 0b011));
+                assert_eq!(
+                    m.entry(NodeId::new(srv), NodeId::new(cli)),
+                    &[want],
+                    "server {srv:03b}, client {cli:03b}"
+                );
+            }
+        }
+        // P = 4 nodes, Q = 2 nodes
+        assert_eq!(s.post_count(NodeId::new(0)), 4);
+        assert_eq!(s.query_count(NodeId::new(0)), 2);
+    }
+
+    #[test]
+    fn even_split_costs_two_sqrt_n() {
+        for d in [2u32, 4, 6, 8, 10] {
+            let s = HypercubeSplit::halves(d);
+            s.validate().unwrap();
+            let n = 1usize << d;
+            let sqrt_n = (n as f64).sqrt();
+            assert!(
+                (s.average_cost() - 2.0 * sqrt_n).abs() < 1e-9,
+                "d={d}: m = {}",
+                s.average_cost()
+            );
+        }
+    }
+
+    #[test]
+    fn odd_split_is_near_optimal() {
+        let s = HypercubeSplit::halves(5);
+        s.validate().unwrap();
+        // #P = 4, #Q = 8: m = 12 vs 2 sqrt 32 ~ 11.3
+        assert!((s.average_cost() - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_cache_load() {
+        let s = HypercubeSplit::halves(6);
+        let k = s.to_matrix().multiplicities();
+        // truly distributed on the cube: every node used equally, k_i = n
+        assert!(k.iter().all(|&ki| ki == 64));
+    }
+
+    #[test]
+    fn epsilon_split_tradeoff() {
+        let d = 8u32;
+        for (eps, p_expect) in [(0.25f64, 1usize << 6), (0.5, 1 << 4), (0.75, 1 << 2)] {
+            let s = HypercubeSplit::epsilon(d, eps);
+            s.validate().unwrap();
+            assert_eq!(s.post_count(NodeId::new(0)), p_expect, "eps={eps}");
+            // product is always n
+            assert_eq!(
+                s.post_count(NodeId::new(0)) * s.query_count(NodeId::new(0)),
+                256
+            );
+        }
+    }
+
+    #[test]
+    fn epsilon_extremes_are_sweep_and_broadcast_like() {
+        let d = 4u32;
+        let all_kept = HypercubeSplit::epsilon(d, 1.0);
+        assert_eq!(all_kept.post_count(NodeId::new(0)), 1); // posts only at itself
+        assert_eq!(all_kept.query_count(NodeId::new(0)), 16); // client broadcasts
+        let none_kept = HypercubeSplit::epsilon(d, 0.0);
+        assert_eq!(none_kept.post_count(NodeId::new(0)), 16); // server sweeps
+        assert_eq!(none_kept.query_count(NodeId::new(0)), 1);
+    }
+
+    #[test]
+    fn rendezvous_merges_addresses() {
+        let s = HypercubeSplit::halves(6); // keep mask = low 3 bits
+        let srv = NodeId::new(0b101_110);
+        let cli = NodeId::new(0b010_011);
+        let rdv = s.rendezvous(srv, cli);
+        assert_eq!(rdv, vec![NodeId::new(0b010_110)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "keep_mask has bits outside")]
+    fn mask_bounds_checked() {
+        let _ = HypercubeSplit::new(3, 0b1000);
+    }
+}

@@ -1,0 +1,209 @@
+//! All match-making strategies named in the paper.
+//!
+//! | Strategy | Paper | `m(n)` (complete net) |
+//! |---|---|---|
+//! | [`Broadcast`] | §1.5, Ex. 1 | `n + 1` |
+//! | [`Sweep`] | §1.5, Ex. 2 | `n + 1` |
+//! | [`Centralized`] | Ex. 3 | `2` |
+//! | [`Checkerboard`] | Ex. 4, Prop. 3 | `≈ 2√n` |
+//! | [`Blocks`] | §2.3.2 (M3′) | `x + y`, `x·y ≥ n` |
+//! | [`GridRowColumn`] | §3.1 | `p + q` |
+//! | [`MeshSplit`] | §3.1 (d-dim) | `2·n^{(d−1)/d}` (row/col split) |
+//! | [`HypercubeSplit`] | §3.2, Ex. 6 | `2√n` (even `d`) |
+//! | [`CccStrategy`] | §3.3 | `O(√(n log n))` |
+//! | [`ProjectiveStrategy`] | §3.4 | `2(k+1) ≈ 2√n` |
+//! | [`HierarchicalStrategy`] | §3.5, Ex. 5 | `O(Σ√n_i)`, opt `O(log n)` |
+//! | [`TreePathToRoot`] | §3.6 | `O(depth)` |
+//! | [`DecomposedStrategy`] | §3 (general nets) | server `O(√n)` posts / client part-broadcast |
+//! | [`HashLocate`] | §5 | `2r` (port-hashed, not a [`crate::Strategy`]) |
+
+mod ccc;
+mod checkerboard;
+mod decomposed;
+mod grid;
+mod hash;
+mod hierarchical;
+mod hypercube;
+mod projective;
+mod tree;
+
+pub use ccc::CccStrategy;
+pub use checkerboard::{Blocks, Checkerboard};
+pub use decomposed::DecomposedStrategy;
+pub use grid::{GridRowColumn, MeshSplit};
+pub use hash::{HashLocate, PortMapped};
+pub use hierarchical::HierarchicalStrategy;
+pub use hypercube::HypercubeSplit;
+pub use projective::ProjectiveStrategy;
+pub use tree::TreePathToRoot;
+
+use crate::strategy::Strategy;
+use mm_topo::NodeId;
+
+/// Broadcasting (paper Example 1): *"the server stays put and the client
+/// looks everywhere"* — `P(i) = {i}`, `Q(j) = U`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Broadcast {
+    n: usize,
+}
+
+impl Broadcast {
+    /// Broadcasting over a universe of `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Broadcast { n }
+    }
+}
+
+impl Strategy for Broadcast {
+    fn node_count(&self) -> usize {
+        self.n
+    }
+    fn post_set(&self, i: NodeId) -> Vec<NodeId> {
+        vec![i]
+    }
+    fn query_set(&self, _j: NodeId) -> Vec<NodeId> {
+        (0..self.n).map(NodeId::from).collect()
+    }
+    fn name(&self) -> String {
+        "broadcast".into()
+    }
+    fn post_count(&self, _i: NodeId) -> usize {
+        1
+    }
+    fn query_count(&self, _j: NodeId) -> usize {
+        self.n
+    }
+}
+
+/// Sweeping (paper Example 2): *"the client stays put and the server looks
+/// for work"* — `P(i) = U`, `Q(j) = {j}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sweep {
+    n: usize,
+}
+
+impl Sweep {
+    /// Sweeping over a universe of `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Sweep { n }
+    }
+}
+
+impl Strategy for Sweep {
+    fn node_count(&self) -> usize {
+        self.n
+    }
+    fn post_set(&self, _i: NodeId) -> Vec<NodeId> {
+        (0..self.n).map(NodeId::from).collect()
+    }
+    fn query_set(&self, j: NodeId) -> Vec<NodeId> {
+        vec![j]
+    }
+    fn name(&self) -> String {
+        "sweep".into()
+    }
+    fn post_count(&self, _i: NodeId) -> usize {
+        self.n
+    }
+    fn query_count(&self, _j: NodeId) -> usize {
+        1
+    }
+}
+
+/// Centralized name server (paper Example 3): all posts and queries go to
+/// one well-known node. `m(n) = 2`, but a single crash kills the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Centralized {
+    n: usize,
+    center: NodeId,
+}
+
+impl Centralized {
+    /// Centralized server at `center` in a universe of `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `center` is outside the universe.
+    pub fn new(n: usize, center: NodeId) -> Self {
+        assert!(center.index() < n, "center must be a universe node");
+        Centralized { n, center }
+    }
+
+    /// The well-known address.
+    pub fn center(&self) -> NodeId {
+        self.center
+    }
+}
+
+impl Strategy for Centralized {
+    fn node_count(&self) -> usize {
+        self.n
+    }
+    fn post_set(&self, _i: NodeId) -> Vec<NodeId> {
+        vec![self.center]
+    }
+    fn query_set(&self, _j: NodeId) -> Vec<NodeId> {
+        vec![self.center]
+    }
+    fn name(&self) -> String {
+        format!("centralized@{}", self.center)
+    }
+    fn post_count(&self, _i: NodeId) -> usize {
+        1
+    }
+    fn query_count(&self, _j: NodeId) -> usize {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_matches_example_1() {
+        let s = Broadcast::new(9);
+        s.validate().unwrap();
+        let m = s.to_matrix();
+        // r_ij = {i} for all j
+        for i in 0..9u32 {
+            for j in 0..9u32 {
+                assert_eq!(m.entry(NodeId::new(i), NodeId::new(j)), &[NodeId::new(i)]);
+            }
+        }
+        assert!((s.average_cost() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_matches_example_2() {
+        let s = Sweep::new(9);
+        s.validate().unwrap();
+        let m = s.to_matrix();
+        for i in 0..9u32 {
+            for j in 0..9u32 {
+                assert_eq!(m.entry(NodeId::new(i), NodeId::new(j)), &[NodeId::new(j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn centralized_matches_example_3() {
+        let s = Centralized::new(9, NodeId::new(2)); // paper's node "3"
+        s.validate().unwrap();
+        let m = s.to_matrix();
+        for i in 0..9u32 {
+            for j in 0..9u32 {
+                assert_eq!(m.entry(NodeId::new(i), NodeId::new(j)), &[NodeId::new(2)]);
+            }
+        }
+        assert!((s.average_cost() - 2.0).abs() < 1e-12);
+        let k = m.multiplicities();
+        assert_eq!(k[2], 81);
+    }
+
+    #[test]
+    #[should_panic(expected = "center must be a universe node")]
+    fn centralized_center_checked() {
+        let _ = Centralized::new(3, NodeId::new(7));
+    }
+}

@@ -1,0 +1,155 @@
+//! Path-to-root strategy on trees (paper §3.6).
+//!
+//! *"The strategy in such trees can be simple: all services advertise at
+//! the path leading to the root of the tree, and similarly the clients
+//! request services on the path to the root of the tree. Then the average
+//! number of message passes used for each match-making instance is
+//! `m(n) ∈ O(l)`"* where `l` is the number of levels. The cache at each
+//! node needs to be of the order of its subtree size.
+
+use crate::strategy::Strategy;
+use mm_topo::gen::TreeInfo;
+use mm_topo::NodeId;
+use std::sync::Arc;
+
+/// `P(v) = Q(v)` = the path from `v` up to the root (inclusive of both).
+///
+/// Any two nodes' paths share at least the root, and rendezvous actually
+/// happens at their lowest common ancestor — exactly the locality §3.5
+/// argues for.
+#[derive(Debug, Clone)]
+pub struct TreePathToRoot {
+    tree: Arc<TreeInfo>,
+}
+
+impl TreePathToRoot {
+    /// Builds the strategy for a tree.
+    pub fn new(tree: Arc<TreeInfo>) -> Self {
+        TreePathToRoot { tree }
+    }
+
+    /// The underlying tree.
+    pub fn tree(&self) -> &TreeInfo {
+        &self.tree
+    }
+
+    /// The lowest common ancestor of `a` and `b` — where the rendezvous
+    /// effectively happens (lowest shared path node).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range.
+    pub fn lca(&self, a: NodeId, b: NodeId) -> NodeId {
+        let (mut x, mut y) = (a, b);
+        let depth = |v: NodeId| self.tree.depth[v.index()];
+        while depth(x) > depth(y) {
+            x = NodeId::new(self.tree.parent[x.index()]);
+        }
+        while depth(y) > depth(x) {
+            y = NodeId::new(self.tree.parent[y.index()]);
+        }
+        while x != y {
+            x = NodeId::new(self.tree.parent[x.index()]);
+            y = NodeId::new(self.tree.parent[y.index()]);
+        }
+        x
+    }
+}
+
+impl Strategy for TreePathToRoot {
+    fn node_count(&self) -> usize {
+        self.tree.graph.node_count()
+    }
+
+    fn post_set(&self, i: NodeId) -> Vec<NodeId> {
+        let mut p = self.tree.path_to_root(i);
+        p.sort_unstable();
+        p
+    }
+
+    fn query_set(&self, j: NodeId) -> Vec<NodeId> {
+        self.post_set(j)
+    }
+
+    fn name(&self) -> String {
+        format!("tree_path_to_root(n={})", self.node_count())
+    }
+
+    fn post_count(&self, i: NodeId) -> usize {
+        self.tree.depth[i.index()] as usize + 1
+    }
+
+    fn query_count(&self, j: NodeId) -> usize {
+        self.post_count(j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_topo::gen::{balanced_tree, profile_tree};
+
+    fn strat(t: TreeInfo) -> TreePathToRoot {
+        TreePathToRoot::new(Arc::new(t))
+    }
+
+    #[test]
+    fn valid_on_balanced_trees() {
+        for (a, l) in [(2usize, 4usize), (3, 3), (5, 2), (1, 1)] {
+            let s = strat(balanced_tree(a, l).unwrap());
+            s.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn cost_is_depth_bounded() {
+        let s = strat(balanced_tree(2, 6).unwrap()); // depth 5
+        let (_min, max) = s.cost_extremes();
+        assert_eq!(max, 12); // two leaf paths of 6 nodes each
+        assert!(s.average_cost() <= 12.0);
+        // O(l), far below 2 sqrt n for deep trees: n = 63, 2 sqrt n ~ 15.9
+        assert!(s.average_cost() < 2.0 * (63f64).sqrt());
+    }
+
+    #[test]
+    fn rendezvous_contains_root_and_lca() {
+        let s = strat(balanced_tree(3, 3).unwrap());
+        let root = NodeId::new(0);
+        for i in 0..13u32 {
+            for j in 0..13u32 {
+                let (a, b) = (NodeId::new(i), NodeId::new(j));
+                let rdv = s.rendezvous(a, b);
+                assert!(rdv.contains(&root), "root is always shared");
+                assert!(rdv.contains(&s.lca(a, b)), "lca must be shared");
+            }
+        }
+    }
+
+    #[test]
+    fn lca_of_siblings_is_parent() {
+        let t = balanced_tree(2, 3).unwrap(); // 0; 1,2; 3,4,5,6
+        let s = strat(t);
+        assert_eq!(s.lca(NodeId::new(3), NodeId::new(4)), NodeId::new(1));
+        assert_eq!(s.lca(NodeId::new(3), NodeId::new(5)), NodeId::new(0));
+        assert_eq!(s.lca(NodeId::new(2), NodeId::new(6)), NodeId::new(2));
+        assert_eq!(s.lca(NodeId::new(4), NodeId::new(4)), NodeId::new(4));
+    }
+
+    #[test]
+    fn root_cache_load_is_heaviest() {
+        // k_i concentrates toward the root: the price of tree strategies
+        let s = strat(profile_tree(&[3, 3]).unwrap());
+        let k = s.to_matrix().multiplicities();
+        let root_load = k[0];
+        assert_eq!(root_load as usize, 13 * 13, "root in every entry");
+        assert!(k.iter().skip(1).all(|&ki| ki < root_load));
+    }
+
+    #[test]
+    fn deep_path_tree_linear_cost() {
+        // path graph as degenerate tree: m(n) = O(n), like the ring bound
+        let s = strat(profile_tree(&vec![1usize; 15]).unwrap());
+        s.validate().unwrap();
+        assert!(s.average_cost() > 15.0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Rendezvous-node caches.
+//!
+//! Paper §2.1 assumption 3: *"all nodes have a cache which is large enough
+//! to store all (port, address) pairs associated with addresses `i` such
+//! that `j ∈ P(i)` … caches are large enough … that they never have to
+//! discard one for a server that is still active."* [`Cache`] defaults to
+//! unbounded accordingly; a capacity can be set to model Lighthouse-style
+//! small caches where *"too-small caches can discard (port, address)
+//! pairs"* — eviction is oldest-stamp-first.
+
+use mm_core::Port;
+use mm_topo::NodeId;
+use std::collections::HashMap;
+
+/// One cached advertisement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheEntry {
+    /// Where the server said it was.
+    pub addr: NodeId,
+    /// When it said so (logical stamp; larger = newer).
+    pub stamp: u64,
+}
+
+/// A `(port → (address, stamp))` cache with optional capacity.
+#[derive(Debug, Clone, Default)]
+pub struct Cache {
+    entries: HashMap<Port, CacheEntry>,
+    capacity: Option<usize>,
+    /// High-water mark of live entries — the cache size the paper's
+    /// per-topology analyses bound (e.g. `√n` for Manhattan grids).
+    peak: usize,
+}
+
+impl Cache {
+    /// Unbounded cache (the Shotgun Locate assumption).
+    pub fn new() -> Self {
+        Cache::default()
+    }
+
+    /// Cache that evicts its oldest entry beyond `capacity` (Lighthouse
+    /// Locate's small caches).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Cache {
+            entries: HashMap::new(),
+            capacity: Some(capacity),
+            peak: 0,
+        }
+    }
+
+    /// Inserts or refreshes an advertisement. Older stamps never overwrite
+    /// newer ones. Reports whether the cache changed.
+    pub fn insert(&mut self, port: Port, addr: NodeId, stamp: u64) -> bool {
+        match self.entries.get(&port) {
+            Some(e) if e.stamp >= stamp => false,
+            _ => {
+                self.entries.insert(port, CacheEntry { addr, stamp });
+                if let Some(cap) = self.capacity {
+                    while self.entries.len() > cap {
+                        let oldest = self
+                            .entries
+                            .iter()
+                            .min_by_key(|(p, e)| (e.stamp, p.raw()))
+                            .map(|(p, _)| *p)
+                            .expect("nonempty while over capacity");
+                        self.entries.remove(&oldest);
+                    }
+                }
+                self.peak = self.peak.max(self.entries.len());
+                true
+            }
+        }
+    }
+
+    /// Removes the entry for `port` if its stamp is `<= stamp` (withdrawal
+    /// must not erase a newer advertisement). Reports whether an entry was
+    /// removed.
+    pub fn remove(&mut self, port: Port, stamp: u64) -> bool {
+        match self.entries.get(&port) {
+            Some(e) if e.stamp <= stamp => {
+                self.entries.remove(&port);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Looks up a port.
+    pub fn lookup(&self, port: Port) -> Option<CacheEntry> {
+        self.entries.get(&port).copied()
+    }
+
+    /// Drops every entry whose stamp is older than `min_stamp` — trail
+    /// expiry for Lighthouse Locate.
+    pub fn expire_older_than(&mut self, min_stamp: u64) {
+        self.entries.retain(|_, e| e.stamp >= min_stamp);
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// High-water mark of live entries over the cache's lifetime.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn port(name: &str) -> Port {
+        Port::from_name(name)
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut c = Cache::new();
+        assert!(c.insert(port("a"), NodeId::new(1), 10));
+        assert_eq!(
+            c.lookup(port("a")),
+            Some(CacheEntry {
+                addr: NodeId::new(1),
+                stamp: 10
+            })
+        );
+        assert_eq!(c.lookup(port("b")), None);
+    }
+
+    #[test]
+    fn newer_stamp_wins_older_ignored() {
+        let mut c = Cache::new();
+        c.insert(port("a"), NodeId::new(1), 10);
+        assert!(!c.insert(port("a"), NodeId::new(2), 5), "stale update ignored");
+        assert_eq!(c.lookup(port("a")).unwrap().addr, NodeId::new(1));
+        assert!(c.insert(port("a"), NodeId::new(3), 20));
+        assert_eq!(c.lookup(port("a")).unwrap().addr, NodeId::new(3));
+    }
+
+    #[test]
+    fn equal_stamp_does_not_flap() {
+        let mut c = Cache::new();
+        c.insert(port("a"), NodeId::new(1), 10);
+        assert!(!c.insert(port("a"), NodeId::new(2), 10));
+        assert_eq!(c.lookup(port("a")).unwrap().addr, NodeId::new(1));
+    }
+
+    #[test]
+    fn remove_respects_stamps() {
+        let mut c = Cache::new();
+        c.insert(port("a"), NodeId::new(1), 10);
+        assert!(!c.remove(port("a"), 5), "old unpost cannot erase newer post");
+        assert!(c.remove(port("a"), 10));
+        assert!(c.is_empty());
+        assert!(!c.remove(port("a"), 99), "nothing left to remove");
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut c = Cache::with_capacity(2);
+        c.insert(port("a"), NodeId::new(1), 1);
+        c.insert(port("b"), NodeId::new(2), 2);
+        c.insert(port("c"), NodeId::new(3), 3);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.lookup(port("a")), None, "oldest evicted");
+        assert!(c.lookup(port("b")).is_some());
+        assert!(c.lookup(port("c")).is_some());
+        assert_eq!(c.peak(), 2);
+    }
+
+    #[test]
+    fn expiry_drops_old_trails() {
+        let mut c = Cache::new();
+        c.insert(port("a"), NodeId::new(1), 5);
+        c.insert(port("b"), NodeId::new(2), 9);
+        c.expire_older_than(6);
+        assert_eq!(c.lookup(port("a")), None);
+        assert!(c.lookup(port("b")).is_some());
+    }
+
+    #[test]
+    fn peak_tracks_high_water() {
+        let mut c = Cache::new();
+        for i in 0..10u64 {
+            c.insert(Port::new(i as u128), NodeId::new(0), i);
+        }
+        c.expire_older_than(100);
+        assert!(c.is_empty());
+        assert_eq!(c.peak(), 10);
+    }
+}

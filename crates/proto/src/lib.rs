@@ -1,0 +1,38 @@
+//! # mm-proto — name-server protocols over the simulator
+//!
+//! The runtime half of the paper: where `mm-core` provides the *functions*
+//! `P` and `Q`, this crate provides the *processes* that use them.
+//!
+//! * [`messages`] — the wire protocol: `Post`, `Query`, `Hit`, `Miss`,
+//!   `Request`, `Reply`, with a compact binary encoding.
+//! * [`cache`] — per-node `(port, address, timestamp)` caches: *"Entries
+//!   are made or updated whenever a message is received from a server
+//!   process with its address. We can timestamp the messages to determine
+//!   which addresses are out of date in case of a conflict."*
+//! * [`shotgun`] — the Shotgun Locate engine: servers post at `P(i)`,
+//!   clients query `Q(j)`, rendezvous nodes answer from their caches.
+//!   Generic over [`mm_core::strategies::PortMapped`], so the same engine
+//!   runs every §2–§3 strategy *and* §5's Hash Locate.
+//! * [`hash_locate`] — Hash Locate operations: rehash-on-crash backup
+//!   rendezvous nodes and server polling (§5's two robustness repairs).
+//! * [`lighthouse`] — §4's probabilistic beam algorithm on the Euclidean
+//!   grid, with the doubling and ruler-sequence client schedules, plus
+//!   [`ruler`], the schedule generator itself.
+//! * [`service`] — the Amoeba-style service model of §1.3: request/reply
+//!   on located addresses, migration with stale-cache recovery.
+//! * [`live`] — a threaded runtime (crossbeam channels) running the same
+//!   locate protocol under real concurrency, validating that nothing
+//!   depends on the simulator's determinism.
+
+pub mod cache;
+pub mod hash_locate;
+pub mod lighthouse;
+pub mod live;
+pub mod messages;
+pub mod ruler;
+pub mod service;
+pub mod shotgun;
+
+pub use cache::Cache;
+pub use messages::ProtoMsg;
+pub use shotgun::{LocateHandle, LocateOutcome, ShotgunEngine};

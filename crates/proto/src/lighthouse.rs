@@ -1,0 +1,366 @@
+//! Lighthouse Locate (paper §4).
+//!
+//! *"We imagine the processors as discrete coordinate points in the
+//! 2-dimensional Euclidean plane grid. … Each server sends out a random
+//! direction beam of length `l` every `δ` time units. Each trail left by
+//! such a beam disappears after `d` time units. … To locate a server, the
+//! client beams a request in a random direction at regular intervals.
+//! After `e` unsuccessful trials, the client increases its effort by
+//! doubling the length of the inquiry beam and the intervals between
+//! them."* The alternative schedule is the ruler sequence ([`crate::ruler`]).
+//!
+//! The plane is modelled as a wrapping `width × height` integer grid
+//! (torus, to avoid boundary artifacts); beams are Bresenham-style walks
+//! in a uniformly random direction. [`network_beam`] is the paper's
+//! mapping of beams onto point-to-point networks: routing tables used
+//! *back-to-front* (reverse path forwarding) to walk "straight lines"
+//! away from the beam's origin.
+
+use mm_topo::{Graph, NodeId, RoutingTable};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Static parameters of a lighthouse world.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LighthouseConfig {
+    /// Grid width (wraps).
+    pub width: u32,
+    /// Grid height (wraps).
+    pub height: u32,
+    /// Number of servers for the port being located (density `s` =
+    /// `server_count / (width·height)`).
+    pub server_count: u32,
+    /// Server beam length `l`.
+    pub server_beam_len: u32,
+    /// Server beaming period `δ`.
+    pub server_period: u64,
+    /// Trail time-to-live `d`.
+    pub trail_ttl: u64,
+}
+
+impl Default for LighthouseConfig {
+    fn default() -> Self {
+        LighthouseConfig {
+            width: 64,
+            height: 64,
+            server_count: 8,
+            server_beam_len: 16,
+            server_period: 8,
+            trail_ttl: 64,
+        }
+    }
+}
+
+/// The client's trial schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClientSchedule {
+    /// Start with beam length `initial_len` and interval `initial_period`;
+    /// after every `escalate_after` failures double both (`l ← 2l`,
+    /// `δ ← 2δ`).
+    Doubling {
+        /// Initial beam length.
+        initial_len: u32,
+        /// Initial inter-trial interval.
+        initial_period: u64,
+        /// Failures per escalation (`e`).
+        escalate_after: u32,
+    },
+    /// Trial `n` uses beam length `ruler(n)·unit_len` at fixed intervals —
+    /// servers drifting nearer are found with less time-loss.
+    Ruler {
+        /// The unit length `l`.
+        unit_len: u32,
+        /// Fixed inter-trial interval.
+        period: u64,
+    },
+}
+
+/// Result of a successful locate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocateStats {
+    /// Trials used (including the successful one).
+    pub trials: u64,
+    /// Simulated time elapsed.
+    pub elapsed: u64,
+    /// Total beamed cells (message passes analogue).
+    pub beam_cells: u64,
+}
+
+/// The simulated plane: servers, trails and a clock.
+#[derive(Debug)]
+pub struct LighthouseWorld {
+    cfg: LighthouseConfig,
+    servers: Vec<(u32, u32)>,
+    /// cell → trail expiry time
+    trails: HashMap<(u32, u32), u64>,
+    now: u64,
+    next_server_beam: u64,
+    rng: StdRng,
+}
+
+impl LighthouseWorld {
+    /// Creates a world with uniformly placed servers; deterministic under
+    /// `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid is empty.
+    pub fn new(cfg: LighthouseConfig, seed: u64) -> Self {
+        assert!(cfg.width > 0 && cfg.height > 0, "grid must be non-empty");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let servers = (0..cfg.server_count)
+            .map(|_| (rng.gen_range(0..cfg.width), rng.gen_range(0..cfg.height)))
+            .collect();
+        LighthouseWorld {
+            cfg,
+            servers,
+            trails: HashMap::new(),
+            now: 0,
+            next_server_beam: 0,
+            rng,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Live trail cells (for inspection/plots).
+    pub fn trail_count(&self) -> usize {
+        self.trails.values().filter(|&&e| e > self.now).count()
+    }
+
+    /// Cells along a beam of `len` from `(x, y)` in a random direction
+    /// (excluding the origin), wrapping at the borders.
+    fn beam_cells(&mut self, x: u32, y: u32, len: u32) -> Vec<(u32, u32)> {
+        let theta = self.rng.gen_range(0.0..std::f64::consts::TAU);
+        let (dx, dy) = (theta.cos(), theta.sin());
+        let mut cells = Vec::with_capacity(len as usize);
+        for t in 1..=len {
+            let cx = (x as f64 + dx * t as f64).round() as i64;
+            let cy = (y as f64 + dy * t as f64).round() as i64;
+            let w = self.cfg.width as i64;
+            let h = self.cfg.height as i64;
+            cells.push((cx.rem_euclid(w) as u32, cy.rem_euclid(h) as u32));
+        }
+        cells.dedup();
+        cells
+    }
+
+    /// Advances time to `t`, letting servers beam on their `δ` schedule.
+    fn advance_to(&mut self, t: u64) {
+        while self.next_server_beam <= t {
+            self.now = self.next_server_beam;
+            let expiry = self.now + self.cfg.trail_ttl;
+            for idx in 0..self.servers.len() {
+                let (sx, sy) = self.servers[idx];
+                let len = self.cfg.server_beam_len;
+                for cell in self.beam_cells(sx, sy, len) {
+                    let e = self.trails.entry(cell).or_insert(0);
+                    *e = (*e).max(expiry);
+                }
+            }
+            self.next_server_beam += self.cfg.server_period;
+        }
+        self.now = t;
+        // garbage-collect dead trails occasionally to bound memory
+        if self.trails.len() > 4 * (self.cfg.width * self.cfg.height) as usize {
+            let now = self.now;
+            self.trails.retain(|_, &mut e| e > now);
+        }
+    }
+
+    /// Runs a client locate from `(cx, cy)` under `schedule`, up to
+    /// `max_trials`. Returns `None` if unsuccessful within the budget.
+    pub fn locate(
+        &mut self,
+        cx: u32,
+        cy: u32,
+        schedule: ClientSchedule,
+        max_trials: u64,
+    ) -> Option<LocateStats> {
+        let start = self.now;
+        let mut beam_cells_total = 0u64;
+        let mut len;
+        let mut period;
+        let mut failures_at_level = 0u32;
+        for trial in 1..=max_trials {
+            match schedule {
+                ClientSchedule::Doubling {
+                    initial_len,
+                    initial_period,
+                    escalate_after,
+                } => {
+                    let level = failures_at_level / escalate_after.max(1);
+                    len = initial_len.saturating_mul(1 << level.min(16));
+                    period = initial_period.saturating_mul(1 << level.min(16));
+                }
+                ClientSchedule::Ruler { unit_len, period: p } => {
+                    len = crate::ruler::ruler(trial) * unit_len;
+                    period = p;
+                }
+            }
+            self.advance_to(self.now + period);
+            let cells = self.beam_cells(cx, cy, len);
+            beam_cells_total += cells.len() as u64;
+            let hit = cells
+                .iter()
+                .any(|c| self.trails.get(c).is_some_and(|&e| e > self.now));
+            if hit {
+                return Some(LocateStats {
+                    trials: trial,
+                    elapsed: self.now - start,
+                    beam_cells: beam_cells_total,
+                });
+            }
+            failures_at_level += 1;
+        }
+        None
+    }
+}
+
+/// A beam of length `len` on a point-to-point network, simulated with
+/// routing tables used back-to-front (reverse path forwarding, §4): each
+/// step moves to a neighbor whose route to `origin` passes through the
+/// current node — i.e. strictly *away* from the origin. Returns the nodes
+/// visited (excluding `origin`); stops early at local maxima.
+pub fn network_beam<R: Rng + ?Sized>(
+    g: &Graph,
+    rt: &RoutingTable,
+    origin: NodeId,
+    len: u32,
+    rng: &mut R,
+) -> Vec<NodeId> {
+    let mut path = Vec::with_capacity(len as usize);
+    let mut cur = origin;
+    for _ in 0..len {
+        let away = rt.reverse_next_hops(g, origin, cur);
+        if away.is_empty() {
+            break;
+        }
+        cur = away[rng.gen_range(0..away.len())];
+        path.push(cur);
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_topo::gen;
+
+    fn cfg() -> LighthouseConfig {
+        LighthouseConfig::default()
+    }
+
+    #[test]
+    fn locate_succeeds_with_reasonable_density() {
+        let mut world = LighthouseWorld::new(cfg(), 42);
+        let stats = world
+            .locate(
+                5,
+                5,
+                ClientSchedule::Doubling {
+                    initial_len: 4,
+                    initial_period: 4,
+                    escalate_after: 2,
+                },
+                10_000,
+            )
+            .expect("dense world must be locatable");
+        assert!(stats.trials >= 1);
+        assert!(stats.beam_cells > 0);
+    }
+
+    #[test]
+    fn ruler_schedule_succeeds_too() {
+        let mut world = LighthouseWorld::new(cfg(), 7);
+        let stats = world
+            .locate(
+                30,
+                30,
+                ClientSchedule::Ruler {
+                    unit_len: 4,
+                    period: 4,
+                },
+                10_000,
+            )
+            .expect("ruler schedule must locate");
+        assert!(stats.trials >= 1);
+    }
+
+    #[test]
+    fn empty_world_never_succeeds() {
+        let mut c = cfg();
+        c.server_count = 0;
+        let mut world = LighthouseWorld::new(c, 1);
+        assert_eq!(
+            world.locate(
+                0,
+                0,
+                ClientSchedule::Ruler {
+                    unit_len: 2,
+                    period: 2
+                },
+                200
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn trails_expire() {
+        let mut c = cfg();
+        c.trail_ttl = 1;
+        c.server_period = 1_000_000; // servers beam once, then never again
+        let mut world = LighthouseWorld::new(c, 3);
+        world.advance_to(10);
+        assert_eq!(world.trail_count(), 0, "all trails must have expired");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = |seed| {
+            let mut w = LighthouseWorld::new(cfg(), seed);
+            w.locate(
+                10,
+                20,
+                ClientSchedule::Doubling {
+                    initial_len: 2,
+                    initial_period: 2,
+                    escalate_after: 3,
+                },
+                5_000,
+            )
+        };
+        assert_eq!(run(11), run(11));
+    }
+
+    #[test]
+    fn network_beam_moves_away_from_origin() {
+        let g = gen::grid(9, 9, false);
+        let rt = RoutingTable::new(&g);
+        let origin = NodeId::new(40); // center
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let beam = network_beam(&g, &rt, origin, 6, &mut rng);
+            let mut last = 0;
+            for v in &beam {
+                let d = rt.distance(origin, *v).unwrap();
+                assert_eq!(d, last + 1, "each step adds one to the distance");
+                last = d;
+            }
+        }
+    }
+
+    #[test]
+    fn network_beam_stops_at_periphery() {
+        let g = gen::path(5);
+        let rt = RoutingTable::new(&g);
+        let mut rng = StdRng::seed_from_u64(1);
+        let beam = network_beam(&g, &rt, NodeId::new(0), 100, &mut rng);
+        assert_eq!(beam.len(), 4, "path graph beam ends at the far end");
+    }
+}

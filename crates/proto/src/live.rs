@@ -1,0 +1,349 @@
+//! A live, threaded runtime for the locate protocol.
+//!
+//! Every node is an OS thread with a crossbeam channel mailbox; messages
+//! between distinct nodes count as one message pass each (the paper's
+//! complete-network model). This exists to demonstrate that the protocol
+//! logic carries over unchanged from the deterministic simulator to real
+//! concurrency — the integration suite cross-checks the two runtimes
+//! against each other (same strategy, same placement, same answer, same
+//! message count).
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use mm_core::Port;
+use mm_topo::NodeId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Messages of the live protocol (a trimmed [`crate::ProtoMsg`]).
+#[derive(Debug, Clone)]
+enum LiveMsg {
+    Post {
+        port: Port,
+        addr: NodeId,
+        stamp: u64,
+    },
+    Query {
+        port: Port,
+        reply_to: usize,
+        locate_id: u64,
+    },
+    Hit {
+        addr: NodeId,
+        stamp: u64,
+        locate_id: u64,
+    },
+    Miss {
+        locate_id: u64,
+    },
+    DoPost {
+        port: Port,
+        addr: NodeId,
+        stamp: u64,
+        targets: Vec<NodeId>,
+    },
+    DoLocate {
+        port: Port,
+        locate_id: u64,
+        targets: Vec<NodeId>,
+        done: Sender<Option<(NodeId, u64)>>,
+    },
+    Shutdown,
+}
+
+struct NodeThread {
+    me: usize,
+    rx: Receiver<LiveMsg>,
+    peers: Vec<Sender<LiveMsg>>,
+    passes: Arc<AtomicU64>,
+    cache: HashMap<Port, (NodeId, u64)>,
+    pending: HashMap<u64, PendingLive>,
+}
+
+struct PendingLive {
+    expected: usize,
+    hits: usize,
+    misses: usize,
+    best: Option<(NodeId, u64)>,
+    done: Sender<Option<(NodeId, u64)>>,
+}
+
+impl NodeThread {
+    fn send(&self, to: usize, msg: LiveMsg) {
+        if to != self.me {
+            self.passes.fetch_add(1, Ordering::Relaxed);
+        }
+        // a dropped peer just loses the message, like a crashed node
+        let _ = self.peers[to].send(msg);
+    }
+
+    fn run(mut self) {
+        while let Ok(msg) = self.rx.recv() {
+            match msg {
+                LiveMsg::Shutdown => break,
+                LiveMsg::DoPost {
+                    port,
+                    addr,
+                    stamp,
+                    targets,
+                } => {
+                    for t in targets {
+                        self.send(t.index(), LiveMsg::Post { port, addr, stamp });
+                    }
+                }
+                LiveMsg::DoLocate {
+                    port,
+                    locate_id,
+                    targets,
+                    done,
+                } => {
+                    self.pending.insert(
+                        locate_id,
+                        PendingLive {
+                            expected: targets.len(),
+                            hits: 0,
+                            misses: 0,
+                            best: None,
+                            done,
+                        },
+                    );
+                    if targets.is_empty() {
+                        if let Some(p) = self.pending.remove(&locate_id) {
+                            let _ = p.done.send(None);
+                        }
+                        continue;
+                    }
+                    for t in targets {
+                        self.send(
+                            t.index(),
+                            LiveMsg::Query {
+                                port,
+                                reply_to: self.me,
+                                locate_id,
+                            },
+                        );
+                    }
+                }
+                LiveMsg::Post { port, addr, stamp } => {
+                    let e = self.cache.entry(port).or_insert((addr, 0));
+                    if stamp > e.1 {
+                        *e = (addr, stamp);
+                    }
+                }
+                LiveMsg::Query {
+                    port,
+                    reply_to,
+                    locate_id,
+                } => match self.cache.get(&port) {
+                    Some(&(addr, stamp)) => self.send(
+                        reply_to,
+                        LiveMsg::Hit {
+                            addr,
+                            stamp,
+                            locate_id,
+                        },
+                    ),
+                    None => self.send(reply_to, LiveMsg::Miss { locate_id }),
+                },
+                LiveMsg::Hit {
+                    addr,
+                    stamp,
+                    locate_id,
+                } => {
+                    if let Some(p) = self.pending.get_mut(&locate_id) {
+                        p.hits += 1;
+                        if p.best.is_none() || stamp > p.best.unwrap().1 {
+                            p.best = Some((addr, stamp));
+                        }
+                        Self::maybe_finish(&mut self.pending, locate_id);
+                    }
+                }
+                LiveMsg::Miss { locate_id } => {
+                    if let Some(p) = self.pending.get_mut(&locate_id) {
+                        p.misses += 1;
+                        Self::maybe_finish(&mut self.pending, locate_id);
+                    }
+                }
+            }
+        }
+    }
+
+    fn maybe_finish(pending: &mut HashMap<u64, PendingLive>, id: u64) {
+        let finished = pending
+            .get(&id)
+            .is_some_and(|p| p.hits + p.misses == p.expected);
+        if finished {
+            let p = pending.remove(&id).expect("just observed");
+            let _ = p.done.send(p.best);
+        }
+    }
+}
+
+/// A live network of `n` node threads exchanging locate traffic.
+pub struct LiveNet {
+    senders: Vec<Sender<LiveMsg>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    passes: Arc<AtomicU64>,
+    clock: AtomicU64,
+    next_locate: AtomicU64,
+}
+
+impl LiveNet {
+    /// Spawns `n` node threads.
+    pub fn new(n: usize) -> Self {
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let passes = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::with_capacity(n);
+        for (me, rx) in receivers.into_iter().enumerate() {
+            let node = NodeThread {
+                me,
+                rx,
+                peers: senders.clone(),
+                passes: Arc::clone(&passes),
+                cache: HashMap::new(),
+                pending: HashMap::new(),
+            };
+            handles.push(std::thread::spawn(move || node.run()));
+        }
+        LiveNet {
+            senders,
+            handles: Mutex::new(handles),
+            passes,
+            clock: AtomicU64::new(0),
+            next_locate: AtomicU64::new(0),
+        }
+    }
+
+    /// Total inter-node messages so far.
+    pub fn message_passes(&self) -> u64 {
+        self.passes.load(Ordering::Relaxed)
+    }
+
+    /// Posts `(port, at)` at `targets` and waits until the posts are
+    /// observable (the targets' mailboxes have processed them).
+    pub fn register_server(&self, at: NodeId, port: Port, targets: Vec<NodeId>) {
+        let stamp = self.clock.fetch_add(1, Ordering::SeqCst) + 1;
+        let _ = self.senders[at.index()].send(LiveMsg::DoPost {
+            port,
+            addr: at,
+            stamp,
+            targets: targets.clone(),
+        });
+        // barrier: a no-op locate at each target forces mailbox drains in
+        // FIFO order, making the registration visible before we return
+        for t in targets {
+            let _ = self.locate_raw(t, Port::new(u128::MAX), vec![t]);
+        }
+    }
+
+    /// Locates `port` from `client` by querying `targets`; blocks up to
+    /// two seconds for the answers.
+    pub fn locate(&self, client: NodeId, port: Port, targets: Vec<NodeId>) -> Option<NodeId> {
+        self.locate_raw(client, port, targets).map(|(a, _)| a)
+    }
+
+    fn locate_raw(
+        &self,
+        client: NodeId,
+        port: Port,
+        targets: Vec<NodeId>,
+    ) -> Option<(NodeId, u64)> {
+        let id = self.next_locate.fetch_add(1, Ordering::SeqCst);
+        let (done_tx, done_rx) = bounded(1);
+        let _ = self.senders[client.index()].send(LiveMsg::DoLocate {
+            port,
+            locate_id: id,
+            targets,
+            done: done_tx,
+        });
+        done_rx.recv_timeout(Duration::from_secs(2)).ok().flatten()
+    }
+
+    /// Shuts all node threads down and joins them.
+    pub fn shutdown(&self) {
+        for s in &self.senders {
+            let _ = s.send(LiveMsg::Shutdown);
+        }
+        let mut handles = self.handles.lock();
+        for h in handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for LiveNet {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_core::strategies::Checkerboard;
+    use mm_core::Strategy;
+
+    #[test]
+    fn live_locate_finds_server() {
+        let n = 16;
+        let strat = Checkerboard::new(n);
+        let net = LiveNet::new(n);
+        let port = Port::from_name("file");
+        let server = NodeId::new(3);
+        net.register_server(server, port, strat.post_set(server));
+        let client = NodeId::new(12);
+        let found = net.locate(client, port, strat.query_set(client));
+        assert_eq!(found, Some(server));
+        net.shutdown();
+    }
+
+    #[test]
+    fn live_locate_unknown_port_is_none() {
+        let n = 9;
+        let strat = Checkerboard::new(n);
+        let net = LiveNet::new(n);
+        let found = net.locate(NodeId::new(0), Port::from_name("ghost"), strat.query_set(NodeId::new(0)));
+        assert_eq!(found, None);
+    }
+
+    #[test]
+    fn live_newest_stamp_wins_after_remigration() {
+        let n = 25;
+        let strat = Checkerboard::new(n);
+        let net = LiveNet::new(n);
+        let port = Port::from_name("db");
+        net.register_server(NodeId::new(2), port, strat.post_set(NodeId::new(2)));
+        net.register_server(NodeId::new(17), port, strat.post_set(NodeId::new(17)));
+        let found = net.locate(NodeId::new(20), port, strat.query_set(NodeId::new(20)));
+        assert_eq!(found, Some(NodeId::new(17)), "later registration wins");
+    }
+
+    #[test]
+    fn live_message_count_matches_model() {
+        // #P posts + #Q queries + #Q replies (barrier locates add 0 passes
+        // because they query the node itself)
+        let n = 16;
+        let strat = Checkerboard::new(n);
+        let net = LiveNet::new(n);
+        let port = Port::from_name("svc");
+        let server = NodeId::new(5);
+        net.register_server(server, port, strat.post_set(server));
+        let before = net.message_passes();
+        let client = NodeId::new(9);
+        let _ = net.locate(client, port, strat.query_set(client));
+        let after = net.message_passes();
+        let q = strat.query_count(client) as u64;
+        // queries to self are free, replies from self too
+        let self_in_q = strat.query_set(client).contains(&client) as u64;
+        assert_eq!(after - before, 2 * (q - self_in_q));
+    }
+}

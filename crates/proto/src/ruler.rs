@@ -1,0 +1,89 @@
+//! The ruler sequence governing Lighthouse Locate beam lengths (paper §4).
+//!
+//! *"Another possibility is to govern the length of the locate beam (and
+//! its duration) by the sequence 12131214121312151213121412131216… Here
+//! the length of the locate beam is `i·l` once in each interval of `2^i`
+//! trials. (This sequence is sequence 51 in Sloane's catalogue.) The
+//! schedule can conveniently be maintained by a binary counter: the
+//! position `i` of the most significant bit changed by the current unit
+//! increment indicates the current beam length `i·l`."*
+
+/// The ruler value for trial `n ≥ 1`: the 1-based position of the most
+/// significant bit changed when incrementing a binary counter from `n−1`
+/// to `n` — equivalently `ν₂(n) + 1` where `ν₂` is the 2-adic valuation.
+///
+/// # Panics
+///
+/// Panics if `n == 0` (trials are numbered from 1).
+///
+/// # Example
+///
+/// ```
+/// use mm_proto::ruler::ruler;
+/// let first: Vec<u32> = (1..=16).map(ruler).collect();
+/// assert_eq!(first, [1,2,1,3,1,2,1,4,1,2,1,3,1,2,1,5]);
+/// ```
+pub fn ruler(n: u64) -> u32 {
+    assert!(n > 0, "trials are numbered from 1");
+    n.trailing_zeros() + 1
+}
+
+/// Iterator over the ruler sequence starting at trial 1.
+#[derive(Debug, Clone, Default)]
+pub struct RulerSequence {
+    n: u64,
+}
+
+impl RulerSequence {
+    /// A fresh schedule at trial 1.
+    pub fn new() -> Self {
+        RulerSequence { n: 0 }
+    }
+}
+
+impl Iterator for RulerSequence {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        self.n += 1;
+        Some(ruler(self.n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_prefix() {
+        // paper: 1213121412131215 1213121412131216 ...
+        let want: Vec<u32> = "1213121412131215".chars()
+            .map(|c| c.to_digit(10).unwrap())
+            .collect();
+        let got: Vec<u32> = RulerSequence::new().take(16).collect();
+        assert_eq!(got, want);
+        // the 32nd trial reaches length 6
+        assert_eq!(ruler(32), 6);
+    }
+
+    #[test]
+    fn frequency_property() {
+        // "in a sequence of 2^k trials there are 2^{k-i} length i*l trials"
+        let k = 10u32;
+        let total = 1u64 << k;
+        let mut counts = vec![0u64; (k + 2) as usize];
+        for n in 1..=total {
+            counts[ruler(n) as usize] += 1;
+        }
+        for i in 1..=k {
+            assert_eq!(counts[i as usize], 1 << (k - i), "value {i}");
+        }
+        assert_eq!(counts[(k + 1) as usize], 1, "one maximal trial");
+    }
+
+    #[test]
+    #[should_panic(expected = "numbered from 1")]
+    fn zero_trial_panics() {
+        let _ = ruler(0);
+    }
+}

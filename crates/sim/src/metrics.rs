@@ -1,0 +1,93 @@
+//! Simulation metrics: exact message-pass counts and load distribution.
+
+/// Counters accumulated by a [`Sim`](crate::Sim) run.
+///
+/// `message_passes` is the paper's complexity measure: one per edge
+/// traversal (hop). `sends`/`delivered`/`dropped` count whole messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct Metrics {
+    /// Total edge traversals — the paper's `m` numerator.
+    pub message_passes: u64,
+    /// Messages handed to the network (excluding free local deliveries).
+    pub sends: u64,
+    /// Messages delivered to a live destination handler.
+    pub delivered: u64,
+    /// Messages that died (crashed destination or severed path).
+    pub dropped: u64,
+    /// Number of crash events injected.
+    pub crashes: u64,
+    /// Deliveries per node — cache pressure / rendezvous load.
+    pub node_load: Vec<u64>,
+}
+
+impl Metrics {
+    /// Fresh counters for an `n`-node simulation.
+    pub fn new(n: usize) -> Self {
+        Metrics {
+            message_passes: 0,
+            sends: 0,
+            delivered: 0,
+            dropped: 0,
+            crashes: 0,
+            node_load: vec![0; n],
+        }
+    }
+
+    /// Resets all counters (e.g. after a warm-up phase) while keeping the
+    /// node count.
+    pub fn reset(&mut self) {
+        let n = self.node_load.len();
+        *self = Metrics::new(n);
+    }
+
+    /// The most-loaded node and its delivery count, if any deliveries
+    /// happened.
+    pub fn hottest_node(&self) -> Option<(usize, u64)> {
+        self.node_load
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by_key(|&(_, l)| l)
+            .filter(|&(_, l)| l > 0)
+    }
+
+    /// Mean deliveries per node.
+    pub fn mean_load(&self) -> f64 {
+        if self.node_load.is_empty() {
+            return 0.0;
+        }
+        self.node_load.iter().sum::<u64>() as f64 / self.node_load.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_zeroed() {
+        let m = Metrics::new(3);
+        assert_eq!(m.message_passes, 0);
+        assert_eq!(m.node_load, vec![0, 0, 0]);
+        assert_eq!(m.hottest_node(), None);
+        assert_eq!(m.mean_load(), 0.0);
+    }
+
+    #[test]
+    fn hottest_and_mean() {
+        let mut m = Metrics::new(4);
+        m.node_load = vec![1, 5, 0, 2];
+        assert_eq!(m.hottest_node(), Some((1, 5)));
+        assert_eq!(m.mean_load(), 2.0);
+    }
+
+    #[test]
+    fn reset_keeps_size() {
+        let mut m = Metrics::new(2);
+        m.message_passes = 10;
+        m.node_load[1] = 4;
+        m.reset();
+        assert_eq!(m, Metrics::new(2));
+    }
+}

@@ -1,0 +1,189 @@
+//! Arithmetic in the prime field `GF(p)`.
+//!
+//! Backing for the projective-plane generator ([`crate::gen::projective`]):
+//! `PG(2,k)` is built from homogeneous coordinates over `GF(k)`, which this
+//! module provides for prime `k`. The paper's §3.4 only requires that the
+//! plane exist for the orders used in experiments; prime orders cover a
+//! dense set (2, 3, 5, 7, 11, ..., 31, ...) which is plenty for the sweeps.
+
+use crate::graph::TopoError;
+
+/// Deterministic primality check for `u64` (trial division; inputs here are
+/// small plane orders, so simplicity beats Miller–Rabin).
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    if n % 2 == 0 {
+        return n == 2;
+    }
+    let mut d = 3u64;
+    while d.saturating_mul(d) <= n {
+        if n % d == 0 {
+            return false;
+        }
+        d += 2;
+    }
+    true
+}
+
+/// The prime field `GF(p)`, holding the modulus.
+///
+/// Elements are represented as `u64` values in `0..p`. All operations
+/// reduce modulo `p`.
+///
+/// # Example
+///
+/// ```
+/// use mm_topo::gf::Gf;
+/// let f = Gf::new(7).unwrap();
+/// assert_eq!(f.mul(3, 5), 1);       // 15 mod 7
+/// assert_eq!(f.inv(3).unwrap(), 5); // 3*5 = 1 (mod 7)
+/// assert_eq!(f.add(6, 6), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Gf {
+    p: u64,
+}
+
+impl Gf {
+    /// Creates the field of prime order `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopoError::InvalidParameter`] if `p` is not prime.
+    pub fn new(p: u64) -> Result<Self, TopoError> {
+        if is_prime(p) {
+            Ok(Gf { p })
+        } else {
+            Err(TopoError::InvalidParameter {
+                reason: format!("GF({p}): order must be prime"),
+            })
+        }
+    }
+
+    /// The field order.
+    pub fn order(self) -> u64 {
+        self.p
+    }
+
+    /// Reduces an arbitrary value into the field.
+    pub fn reduce(self, a: u64) -> u64 {
+        a % self.p
+    }
+
+    /// Addition in `GF(p)`.
+    pub fn add(self, a: u64, b: u64) -> u64 {
+        (a % self.p + b % self.p) % self.p
+    }
+
+    /// Subtraction in `GF(p)`.
+    pub fn sub(self, a: u64, b: u64) -> u64 {
+        (a % self.p + self.p - b % self.p) % self.p
+    }
+
+    /// Negation in `GF(p)`.
+    pub fn neg(self, a: u64) -> u64 {
+        (self.p - a % self.p) % self.p
+    }
+
+    /// Multiplication in `GF(p)` (via `u128` to avoid overflow).
+    pub fn mul(self, a: u64, b: u64) -> u64 {
+        ((a as u128 % self.p as u128) * (b as u128 % self.p as u128) % self.p as u128) as u64
+    }
+
+    /// Exponentiation by squaring.
+    pub fn pow(self, mut base: u64, mut exp: u64) -> u64 {
+        base %= self.p;
+        let mut acc = 1u64;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = self.mul(acc, base);
+            }
+            base = self.mul(base, base);
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Multiplicative inverse by Fermat's little theorem.
+    ///
+    /// Returns `None` for `a ≡ 0`.
+    pub fn inv(self, a: u64) -> Option<u64> {
+        let a = a % self.p;
+        (a != 0).then(|| self.pow(a, self.p - 2))
+    }
+
+    /// Division `a / b`.
+    ///
+    /// Returns `None` if `b ≡ 0`.
+    pub fn div(self, a: u64, b: u64) -> Option<u64> {
+        self.inv(b).map(|bi| self.mul(a, bi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primality() {
+        let primes = [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 101];
+        for p in primes {
+            assert!(is_prime(p), "{p} is prime");
+        }
+        for c in [0u64, 1, 4, 6, 9, 15, 21, 25, 49, 100] {
+            assert!(!is_prime(c), "{c} is composite");
+        }
+    }
+
+    #[test]
+    fn non_prime_order_rejected() {
+        assert!(Gf::new(6).is_err());
+        assert!(Gf::new(1).is_err());
+        assert!(Gf::new(7).is_ok());
+    }
+
+    #[test]
+    fn field_axioms_small() {
+        for p in [2u64, 3, 5, 7, 11] {
+            let f = Gf::new(p).unwrap();
+            for a in 0..p {
+                // additive inverse
+                assert_eq!(f.add(a, f.neg(a)), 0);
+                if a != 0 {
+                    // multiplicative inverse
+                    let ai = f.inv(a).unwrap();
+                    assert_eq!(f.mul(a, ai), 1);
+                }
+                for b in 0..p {
+                    assert_eq!(f.add(a, b), f.add(b, a));
+                    assert_eq!(f.mul(a, b), f.mul(b, a));
+                    assert_eq!(f.sub(f.add(a, b), b), a);
+                    for c in 0..p {
+                        // distributivity
+                        assert_eq!(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let f = Gf::new(13).unwrap();
+        let mut acc = 1;
+        for e in 0..20u64 {
+            assert_eq!(f.pow(6, e), acc);
+            acc = f.mul(acc, 6);
+        }
+    }
+
+    #[test]
+    fn inv_of_zero_is_none() {
+        let f = Gf::new(5).unwrap();
+        assert_eq!(f.inv(0), None);
+        assert_eq!(f.div(3, 0), None);
+        assert_eq!(f.div(0, 3), Some(0));
+    }
+}

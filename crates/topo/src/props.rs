@@ -1,0 +1,140 @@
+//! Structural graph properties: connectivity, components, degree
+//! statistics. Used for validating generators and for reproducing the
+//! UUCPnet degree table of paper §3.6.
+
+use crate::graph::{Graph, NodeId};
+use crate::routing::bfs;
+
+/// Returns `true` if the graph is connected (vacuously true for `n <= 1`).
+pub fn is_connected(g: &Graph) -> bool {
+    match g.node_count() {
+        0 | 1 => true,
+        n => bfs(g, NodeId::new(0)).order.len() == n,
+    }
+}
+
+/// Connected components as node lists, each sorted ascending; components
+/// ordered by their smallest node.
+pub fn components(g: &Graph) -> Vec<Vec<NodeId>> {
+    let n = g.node_count();
+    let mut seen = vec![false; n];
+    let mut out = Vec::new();
+    for s in 0..n {
+        if seen[s] {
+            continue;
+        }
+        let b = bfs(g, NodeId::new(s as u32));
+        let mut comp: Vec<NodeId> = b.order;
+        for v in &comp {
+            seen[v.index()] = true;
+        }
+        comp.sort_unstable();
+        out.push(comp);
+    }
+    out
+}
+
+/// Degree histogram: `hist[d]` = number of nodes of degree `d`.
+///
+/// The vector has length `max_degree + 1` (empty for an empty graph). This
+/// regenerates the *shape* of the UUCPnet table of §3.6.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let mut hist = Vec::new();
+    for v in g.nodes() {
+        let d = g.degree(v);
+        if hist.len() <= d {
+            hist.resize(d + 1, 0);
+        }
+        hist[d] += 1;
+    }
+    hist
+}
+
+/// Summary degree statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree `2m/n`.
+    pub mean: f64,
+}
+
+/// Computes min/max/mean degree. Returns `None` for an empty graph.
+pub fn degree_stats(g: &Graph) -> Option<DegreeStats> {
+    if g.is_empty() {
+        return None;
+    }
+    let mut min = usize::MAX;
+    let mut max = 0;
+    for v in g.nodes() {
+        let d = g.degree(v);
+        min = min.min(d);
+        max = max.max(d);
+    }
+    Some(DegreeStats {
+        min,
+        max,
+        mean: 2.0 * g.edge_count() as f64 / g.node_count() as f64,
+    })
+}
+
+/// Returns `true` if the graph is a tree (connected, `m = n - 1`).
+pub fn is_tree(g: &Graph) -> bool {
+    g.node_count() > 0 && g.edge_count() == g.node_count() - 1 && is_connected(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn connectivity() {
+        assert!(is_connected(&gen::ring(5)));
+        assert!(is_connected(&Graph::new(1)));
+        assert!(is_connected(&Graph::new(0)));
+        assert!(!is_connected(&Graph::new(2)));
+        assert!(!is_connected(
+            &Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap()
+        ));
+    }
+
+    #[test]
+    fn component_listing() {
+        let g = Graph::from_edges(5, [(0, 1), (3, 4)]).unwrap();
+        let comps = components(&g);
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0], vec![NodeId::new(0), NodeId::new(1)]);
+        assert_eq!(comps[1], vec![NodeId::new(2)]);
+        assert_eq!(comps[2], vec![NodeId::new(3), NodeId::new(4)]);
+    }
+
+    #[test]
+    fn degree_histogram_of_star() {
+        let g = gen::star(5); // center 0, leaves 1..5
+        let hist = degree_histogram(&g);
+        assert_eq!(hist[1], 5);
+        assert_eq!(hist[5], 1);
+        assert_eq!(hist.iter().sum::<usize>(), 6);
+    }
+
+    #[test]
+    fn degree_stats_of_complete() {
+        let g = gen::complete(5);
+        let s = degree_stats(&g).unwrap();
+        assert_eq!(s.min, 4);
+        assert_eq!(s.max, 4);
+        assert!((s.mean - 4.0).abs() < 1e-12);
+        assert_eq!(degree_stats(&Graph::new(0)), None);
+    }
+
+    #[test]
+    fn tree_detection() {
+        assert!(is_tree(&gen::path(5)));
+        assert!(is_tree(&gen::star(4)));
+        assert!(!is_tree(&gen::ring(5)));
+        assert!(!is_tree(&Graph::new(2)));
+    }
+}

@@ -1,0 +1,248 @@
+//! Spanning-tree broadcast and multicast cost accounting.
+//!
+//! The paper's complexity unit is the *message pass* (one hop). For a
+//! complete network, posting at `P(i)` costs `#P(i)` passes. In a
+//! store-and-forward network (§2.3.5):
+//!
+//! * if the subgraph induced by the addressed set (plus the sender) is
+//!   connected, broadcasting over a spanning tree of it costs exactly
+//!   `#addressed nodes` passes (one per tree edge reaching a new node);
+//! * otherwise there is a routing *overhead*
+//!   `m(i,j) − #P(i) − #Q(j) > 0`.
+//!
+//! [`multicast_cost`] computes the exact number of message passes needed to
+//! deliver one message from a source to every node of a target set, using a
+//! shortest-path Steiner-tree approximation (union of greedily-chosen
+//! shortest paths): this is what a reasonable implementation would achieve
+//! with per-node routing tables, and it degrades gracefully to the
+//! spanning-tree number when the target set is locally connected.
+
+use crate::graph::{Graph, NodeId};
+use crate::routing::{bfs, RoutingTable};
+
+/// A rooted spanning tree of (the reachable part of) a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanningTree {
+    /// The root the tree was grown from.
+    pub root: NodeId,
+    /// `parent[v]` is `v`'s tree parent, `u32::MAX` for the root and for
+    /// nodes unreachable from it.
+    pub parent: Vec<u32>,
+    /// Nodes reachable from the root, in BFS order (root first).
+    pub order: Vec<NodeId>,
+}
+
+impl SpanningTree {
+    /// Grows a BFS spanning tree of `g` from `root`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is out of range.
+    pub fn bfs(g: &Graph, root: NodeId) -> Self {
+        let b = bfs(g, root);
+        SpanningTree {
+            root,
+            parent: b.parent,
+            order: b.order,
+        }
+    }
+
+    /// Number of nodes the tree spans (reachable from the root).
+    pub fn spanned(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Message passes to broadcast from the root to every spanned node:
+    /// one per tree edge, i.e. `spanned() - 1`.
+    pub fn broadcast_cost(&self) -> u64 {
+        self.spanned().saturating_sub(1) as u64
+    }
+
+    /// The children lists of the tree (index = node).
+    pub fn children(&self) -> Vec<Vec<NodeId>> {
+        let mut ch = vec![Vec::new(); self.parent.len()];
+        for &v in &self.order {
+            let p = self.parent[v.index()];
+            if p != u32::MAX {
+                ch[p as usize].push(v);
+            }
+        }
+        ch
+    }
+}
+
+/// Message passes to deliver one message from `src` to every node in
+/// `targets`, multicasting over a tree of shortest paths.
+///
+/// Builds a Steiner-tree approximation: starting from `{src}`, repeatedly
+/// connect the closest not-yet-connected target through a shortest path to
+/// the partial tree, and count each newly used edge as one message pass.
+/// Duplicate targets and `src` itself are ignored.
+///
+/// Returns `None` if some target is unreachable from `src`.
+///
+/// # Panics
+///
+/// Panics if `src` or any target is out of range.
+///
+/// # Example
+///
+/// ```
+/// use mm_topo::{gen, spanning::multicast_cost, RoutingTable, NodeId};
+///
+/// let g = gen::path(5); // 0-1-2-3-4
+/// let rt = RoutingTable::new(&g);
+/// // reaching nodes 2 and 4 from 0 shares the prefix 0-1-2: 4 passes total
+/// let cost = multicast_cost(&g, &rt, NodeId::new(0),
+///                           &[NodeId::new(2), NodeId::new(4)]).unwrap();
+/// assert_eq!(cost, 4);
+/// ```
+pub fn multicast_cost(
+    g: &Graph,
+    rt: &RoutingTable,
+    src: NodeId,
+    targets: &[NodeId],
+) -> Option<u64> {
+    let n = g.node_count();
+    let mut in_tree = vec![false; n];
+    in_tree[src.index()] = true;
+    let mut remaining: Vec<NodeId> = targets
+        .iter()
+        .copied()
+        .filter(|&t| t != src)
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let mut cost = 0u64;
+
+    while !remaining.is_empty() {
+        // Closest remaining target to the current tree. With all-pairs
+        // distances this is exact: min over (tree node, target) pairs would
+        // be O(|tree|·|targets|); we keep it near-linear by running a BFS
+        // from the tree frontier instead when the tree grows large.
+        let mut best: Option<(u32, usize, NodeId)> = None; // (dist, idx, attach)
+        for (idx, &t) in remaining.iter().enumerate() {
+            // distance from t to nearest tree node, via routing table rows
+            let mut local_best: Option<(u32, NodeId)> = None;
+            for v in 0..n {
+                if !in_tree[v] {
+                    continue;
+                }
+                if let Some(d) = rt.distance(NodeId::new(v as u32), t) {
+                    if local_best.is_none_or(|(bd, _)| d < bd) {
+                        local_best = Some((d, NodeId::new(v as u32)));
+                    }
+                }
+            }
+            let (d, attach) = local_best?;
+            if best.is_none_or(|(bd, _, _)| d < bd) {
+                best = Some((d, idx, attach));
+            }
+        }
+        let (_, idx, attach) = best?;
+        let t = remaining.swap_remove(idx);
+        let path = rt.path(attach, t)?;
+        for w in path.windows(2) {
+            // each newly traversed edge is one message pass; nodes joining
+            // the tree stop needing re-delivery
+            if !in_tree[w[1].index()] {
+                in_tree[w[1].index()] = true;
+                cost += 1;
+            }
+        }
+    }
+    Some(cost)
+}
+
+/// Message passes for a point-to-point send: the hop distance.
+///
+/// Returns `None` if `dst` is unreachable from `src`.
+///
+/// # Panics
+///
+/// Panics if `src` or `dst` is out of range.
+pub fn unicast_cost(rt: &RoutingTable, src: NodeId, dst: NodeId) -> Option<u64> {
+    rt.distance(src, dst).map(u64::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn spanning_tree_of_ring() {
+        let g = gen::ring(6);
+        let t = SpanningTree::bfs(&g, n(0));
+        assert_eq!(t.spanned(), 6);
+        assert_eq!(t.broadcast_cost(), 5);
+        let ch = t.children();
+        assert_eq!(ch[0].len(), 2); // ring root has two subtrees
+    }
+
+    #[test]
+    fn spanning_tree_of_disconnected_graph_spans_component() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2)]).unwrap();
+        let t = SpanningTree::bfs(&g, n(0));
+        assert_eq!(t.spanned(), 3);
+        assert_eq!(t.broadcast_cost(), 2);
+    }
+
+    #[test]
+    fn multicast_to_connected_neighborhood_is_set_size() {
+        // In a complete graph every target is one hop: cost = #targets.
+        let g = gen::complete(6);
+        let rt = RoutingTable::new(&g);
+        let targets: Vec<NodeId> = (1..5).map(n).collect();
+        assert_eq!(multicast_cost(&g, &rt, n(0), &targets), Some(4));
+    }
+
+    #[test]
+    fn multicast_shares_path_prefixes() {
+        let g = gen::path(7);
+        let rt = RoutingTable::new(&g);
+        // targets 3 and 6 share prefix 0-1-2-3: total = 6 edges not 9
+        assert_eq!(multicast_cost(&g, &rt, n(0), &[n(3), n(6)]), Some(6));
+    }
+
+    #[test]
+    fn multicast_ignores_duplicates_and_source() {
+        let g = gen::path(4);
+        let rt = RoutingTable::new(&g);
+        assert_eq!(
+            multicast_cost(&g, &rt, n(0), &[n(0), n(2), n(2)]),
+            Some(2)
+        );
+        assert_eq!(multicast_cost(&g, &rt, n(0), &[]), Some(0));
+    }
+
+    #[test]
+    fn multicast_unreachable_target_is_none() {
+        let g = Graph::from_edges(4, [(0, 1)]).unwrap();
+        let rt = RoutingTable::new(&g);
+        assert_eq!(multicast_cost(&g, &rt, n(0), &[n(3)]), None);
+    }
+
+    #[test]
+    fn unicast_is_distance() {
+        let g = gen::ring(10);
+        let rt = RoutingTable::new(&g);
+        assert_eq!(unicast_cost(&rt, n(0), n(5)), Some(5));
+        assert_eq!(unicast_cost(&rt, n(0), n(9)), Some(1));
+    }
+
+    #[test]
+    fn grid_multicast_row_costs_row_length_minus_one() {
+        // In a p×q grid, posting along the whole row from a row member is a
+        // connected sweep: q-1 passes. This is the Manhattan server cost.
+        let g = gen::grid(4, 6, false);
+        let rt = RoutingTable::new(&g);
+        // row 2 = nodes 12..18
+        let row: Vec<NodeId> = (12..18).map(n).collect();
+        assert_eq!(multicast_cost(&g, &rt, n(14), &row), Some(5));
+    }
+}

@@ -1,0 +1,64 @@
+//! The Amoeba service model (paper §1.3): a hierarchy of services where
+//! servers are clients of other services, processes migrate, and crashes
+//! are survived by relocating.
+//!
+//! Scenario (from the paper's worked example): a *command interpreter*
+//! calls a *query server*, which calls a *database server*. The database
+//! server crashes; the query layer detects the failure, a replacement
+//! database comes up elsewhere, and the hierarchy heals — "the human
+//! client at the top of the hierarchy gets to cope only with irrecoverable
+//! errors".
+//!
+//! Run with: `cargo run --example amoeba_services`
+
+use match_making::prelude::*;
+
+fn main() {
+    let n = 36;
+    let mut net = ServiceNet::new(gen::complete(n), Checkerboard::new(n), CostModel::Uniform);
+
+    // the service hierarchy
+    let db_home = NodeId::new(7);
+    let query_home = NodeId::new(20);
+    net.start_service(db_home, "database-server");
+    net.start_service(query_home, "query-server");
+
+    // the query server is itself a *client* of the database service
+    let cmd_interpreter = NodeId::new(1);
+
+    // a "query": the interpreter asks the query server, the query server
+    // consults the database
+    let run_query = |net: &mut ServiceNet<Checkerboard>, payload: u64| -> Result<u64, ServiceError> {
+        // command interpreter -> query server
+        let q = net.call(cmd_interpreter, "query-server", payload)?;
+        // query server -> database server (its own locate + request)
+        let query_home = net.locate(cmd_interpreter, "query-server")?;
+        net.call(query_home, "database-server", q)
+    };
+
+    println!("initial query: {:?}", run_query(&mut net, 10));
+
+    // the database host crashes
+    net.engine_mut().crash(db_home);
+    let failed = run_query(&mut net, 10);
+    println!("after database crash: {failed:?} (query layer sees the failure)");
+
+    // recovery: a replacement database server starts on a fresh node and
+    // advertises; the stale cache entries are outstamped
+    let db_new = NodeId::new(30);
+    net.start_service(db_new, "database-server");
+    let healed = run_query(&mut net, 10);
+    println!("after recovery at node {db_new}: {healed:?}");
+    assert!(healed.is_ok(), "the hierarchy must heal");
+
+    // the query server migrates too — nobody above it notices
+    net.migrate_service("query-server", query_home, NodeId::new(33));
+    let after_migration = run_query(&mut net, 20);
+    println!("after query-server migration: {after_migration:?}");
+    assert!(after_migration.is_ok());
+
+    println!(
+        "message passes total: {}",
+        net.engine().metrics().message_passes
+    );
+}

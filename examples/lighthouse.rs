@@ -1,0 +1,84 @@
+//! Lighthouse Locate (paper §4): servers sweep random beams that leave
+//! expiring trails; clients beam with escalating effort until they cross
+//! a fresh trail.
+//!
+//! Compares the two client schedules from the paper — exponential
+//! doubling and the ruler sequence — and shows the reverse-path beam
+//! mapping onto a point-to-point network.
+//!
+//! Run with: `cargo run --example lighthouse`
+
+use match_making::proto::lighthouse::{
+    network_beam, ClientSchedule, LighthouseConfig, LighthouseWorld,
+};
+use match_making::proto::ruler::RulerSequence;
+use match_making::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // the ruler sequence itself, as printed in the paper
+    let prefix: Vec<String> = RulerSequence::new()
+        .take(32)
+        .map(|v| v.to_string())
+        .collect();
+    println!("ruler sequence (paper: 1213121412131215...):");
+    println!("  {}", prefix.join(""));
+
+    let cfg = LighthouseConfig {
+        width: 96,
+        height: 96,
+        server_count: 6,
+        server_beam_len: 24,
+        server_period: 8,
+        trail_ttl: 96,
+    };
+
+    for (name, schedule) in [
+        (
+            "doubling",
+            ClientSchedule::Doubling {
+                initial_len: 2,
+                initial_period: 2,
+                escalate_after: 2,
+            },
+        ),
+        (
+            "ruler",
+            ClientSchedule::Ruler {
+                unit_len: 4,
+                period: 4,
+            },
+        ),
+    ] {
+        let mut trials_sum = 0u64;
+        let mut cells_sum = 0u64;
+        let runs = 40;
+        let mut successes = 0u64;
+        for seed in 0..runs {
+            let mut world = LighthouseWorld::new(cfg, seed);
+            if let Some(stats) = world.locate(48, 48, schedule, 50_000) {
+                trials_sum += stats.trials;
+                cells_sum += stats.beam_cells;
+                successes += 1;
+            }
+        }
+        println!(
+            "{name:>9} schedule: {successes}/{runs} located, avg {:.1} trials, avg {:.0} beamed cells",
+            trials_sum as f64 / successes.max(1) as f64,
+            cells_sum as f64 / successes.max(1) as f64,
+        );
+    }
+
+    // beams on a point-to-point network: routing tables back-to-front
+    println!("\nreverse-path beams on a 9x9 grid network (origin = center):");
+    let g = gen::grid(9, 9, false);
+    let rt = RoutingTable::new(&g);
+    let origin = NodeId::new(40);
+    let mut rng = StdRng::seed_from_u64(4);
+    for i in 0..4 {
+        let beam = network_beam(&g, &rt, origin, 5, &mut rng);
+        let cells: Vec<String> = beam.iter().map(|v| v.to_string()).collect();
+        println!("  beam {i}: {} (each hop moves away from {origin})", cells.join(" -> "));
+    }
+}

@@ -1,0 +1,92 @@
+//! Name service on an organically grown network (paper §3.6): a synthetic
+//! UUCPnet-style graph (tree with a backbone core plus local extra edges)
+//! running the path-to-root strategy, plus the published 1984 degree
+//! table.
+//!
+//! Run with: `cargo run --example uucp_name_server`
+
+use match_making::prelude::*;
+use match_making::topo::gen::{uucp_like, UUCP_DEGREE_TABLE};
+use match_making::topo::props::{degree_histogram, degree_stats};
+use match_making::topo::routing::bfs;
+use mm_topo::gen::TreeInfo;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn main() {
+    // the published table's heavy hitters
+    let top: Vec<String> = UUCP_DEGREE_TABLE
+        .iter()
+        .rev()
+        .take(4)
+        .map(|b| format!("degree {} x{}", b.degree, b.sites))
+        .collect();
+    println!("UUCPnet Aug'84 backbone (paper): {}", top.join(", "));
+    println!("(641 is ihnp4 — AT&T Naperville; 840 sites have degree 1)");
+
+    // generate a UUCP-like network and check its character
+    let mut rng = StdRng::seed_from_u64(1984);
+    let n = 500;
+    let g = uucp_like(n, &mut rng);
+    let stats = degree_stats(&g).unwrap();
+    let hist = degree_histogram(&g);
+    println!(
+        "\nsynthetic uucp_like({n}): {} edges, degrees {}..{} (mean {:.1}), {} terminal sites",
+        g.edge_count(),
+        stats.min,
+        stats.max,
+        stats.mean,
+        hist.get(1).copied().unwrap_or(0),
+    );
+
+    // build the path-to-root strategy over the BFS tree rooted at the
+    // highest-degree node (the "core" the paper describes)
+    let core = g
+        .nodes()
+        .max_by_key(|&v| g.degree(v))
+        .expect("non-empty graph");
+    let b = bfs(&g, core);
+    // reroot: TreeInfo with parent/depth from the BFS tree, but node 0 is
+    // not the root here, so build the strategy directly from parents
+    let tree = TreeInfo {
+        graph: g.clone(),
+        parent: {
+            let mut p = b.parent.clone();
+            p[core.index()] = u32::MAX;
+            p
+        },
+        depth: b.dist.clone(),
+        levels: (b.dist.iter().filter(|&&d| d != u32::MAX).max().unwrap_or(&0) + 1) as usize,
+    };
+    println!(
+        "core = node {core} (degree {}), tree depth {} (paper: m(n) = O(depth))",
+        g.degree(core),
+        tree.levels - 1
+    );
+
+    let strategy = TreePathToRoot::new(Arc::new(tree));
+    strategy.validate().expect("path-to-root always intersects at the core");
+    println!("average m(n) on this network: {:.1} vs 2*sqrt(n) = {:.1}",
+        Strategy::average_cost(&strategy), 2.0 * (n as f64).sqrt());
+
+    // run an actual locate over the real store-and-forward topology
+    let mut eng = ShotgunEngine::new(g, strategy, CostModel::Hops);
+    let port = Port::from_name("netnews");
+    let server = NodeId::new(42);
+    eng.register_server(server, port);
+    eng.run();
+    let post_hops = eng.metrics().message_passes;
+    let client = NodeId::from(n - 1);
+    let h = eng.locate(client, port);
+    eng.run();
+    match eng.outcome(h) {
+        LocateOutcome::Found { addr, .. } => {
+            println!(
+                "client@{client} located 'netnews'@{addr}: post {post_hops} hops, locate {} hops",
+                eng.metrics().message_passes - post_hops
+            );
+        }
+        other => println!("locate failed: {other:?}"),
+    }
+}

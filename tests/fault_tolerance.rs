@@ -1,0 +1,141 @@
+//! Integration: migration, crashes, f+1 redundancy and Hash Locate
+//! recovery across the whole stack.
+
+use match_making::core::robust::Replicated;
+use match_making::prelude::*;
+use match_making::proto::hash_locate::HashLocateRuntime;
+use match_making::proto::service::ServiceError;
+
+#[test]
+fn repeated_migration_always_resolves_to_newest() {
+    let n = 36;
+    let mut net = ServiceNet::new(gen::complete(n), Checkerboard::new(n), CostModel::Uniform);
+    net.start_service(NodeId::new(0), "walker");
+    let stops = [5u32, 11, 17, 23, 29, 35];
+    let mut prev = NodeId::new(0);
+    for &stop in &stops {
+        net.migrate_service("walker", prev, NodeId::new(stop));
+        prev = NodeId::new(stop);
+        for client in [1u32, 13, 34] {
+            assert_eq!(
+                net.locate(NodeId::new(client), "walker").unwrap(),
+                NodeId::new(stop),
+                "client {client} must see the latest stop {stop}"
+            );
+        }
+    }
+}
+
+#[test]
+fn replicated_strategy_survives_adversarial_rendezvous_crash() {
+    let n = 36;
+    let f = 2;
+    let base = Checkerboard::new(n);
+    let strat = Replicated::new(base, f + 1);
+    let mut eng = ShotgunEngine::new(gen::complete(n), strat, CostModel::Uniform);
+    let port = Port::from_name("robust-svc");
+    let server = NodeId::new(7);
+    eng.register_server(server, port);
+    eng.run();
+    // adversary crashes f of the pair's rendezvous nodes
+    let client = NodeId::new(30);
+    let rdv = Strategy::rendezvous(eng.resolver(), server, client);
+    assert!(rdv.len() >= f + 1, "replication must give f+1 rendezvous");
+    for dead in rdv.iter().take(f) {
+        eng.crash(*dead);
+    }
+    let h = eng.locate(client, port);
+    eng.run();
+    // outcome may be Unresolved (crashed nodes never answer) but the
+    // surviving rendezvous must deliver the right address
+    let addr = match eng.outcome(h) {
+        LocateOutcome::Found { addr, .. } => Some(addr),
+        LocateOutcome::Unresolved { best, .. } => best.map(|(a, _)| a),
+        LocateOutcome::NotFound { .. } => None,
+    };
+    assert_eq!(addr, Some(server), "f crashes must not sever the pair");
+}
+
+#[test]
+fn unreplicated_checkerboard_is_severed_by_its_single_rendezvous() {
+    let n = 36;
+    let strat = Checkerboard::new(n);
+    let server = NodeId::new(7);
+    let client = NodeId::new(30);
+    let rdv = Strategy::rendezvous(&strat, server, client);
+    assert_eq!(rdv.len(), 1, "optimal checkerboard has singleton rendezvous");
+    let mut eng = ShotgunEngine::new(gen::complete(n), strat, CostModel::Uniform);
+    let port = Port::from_name("fragile-svc");
+    eng.register_server(server, port);
+    eng.run();
+    eng.crash(rdv[0]);
+    let h = eng.locate(client, port);
+    eng.run();
+    let found = matches!(eng.outcome(h), LocateOutcome::Found { .. });
+    assert!(!found, "singleton rendezvous crash must sever the pair");
+}
+
+#[test]
+fn crashed_node_restore_and_cache_clear() {
+    let n = 16;
+    let mut net = ServiceNet::new(gen::complete(n), Checkerboard::new(n), CostModel::Uniform);
+    net.start_service(NodeId::new(5), "svc");
+    // crash a rendezvous node, locate degrades for some clients
+    let victim = NodeId::new(6);
+    net.engine_mut().crash(victim);
+    // restore with lost memory: caches cleared
+    net.engine_mut().restore(victim);
+    net.engine_mut().clear_cache(victim);
+    // a re-post (server refresh) heals the restored node
+    net.start_service(NodeId::new(5), "svc");
+    for client in 0..n as u32 {
+        assert!(
+            net.locate(NodeId::new(client), "svc").is_ok(),
+            "client {client} after restore"
+        );
+    }
+}
+
+#[test]
+fn hash_locate_end_to_end_recovery() {
+    let n = 48;
+    let mut rt = HashLocateRuntime::new(gen::complete(n), 2, CostModel::Uniform);
+    let port = Port::from_name("payments");
+    rt.register_server(NodeId::new(3), port);
+
+    // both replicas crash: the service is unreachable (paper's fragility)
+    let replicas = mm_core::strategies::HashLocate::new(n, 2).rendezvous_nodes(port);
+    for r in &replicas {
+        rt.engine_mut().crash(*r);
+    }
+    let broken = rt.locate_with_rehash(NodeId::new(40), port, 2);
+    assert!(!matches!(broken.outcome, LocateOutcome::Found { .. }));
+
+    // polling servers repair onto rehash backups; clients recover
+    let repairs = rt.poll_and_repair();
+    assert!(repairs > 0);
+    let healed = rt.locate_with_rehash(NodeId::new(40), port, 4);
+    assert!(
+        matches!(healed.outcome, LocateOutcome::Found { addr, .. } if addr == NodeId::new(3)),
+        "rehash + repair must recover: {healed:?}"
+    );
+}
+
+#[test]
+fn stale_address_recovery_through_service_layer() {
+    let n = 25;
+    let mut net = ServiceNet::new(gen::complete(n), Checkerboard::new(n), CostModel::Uniform);
+    net.start_service(NodeId::new(2), "mobile");
+    assert_eq!(net.call(NodeId::new(20), "mobile", 1), Ok(2));
+    // rapid double migration: some caches hold intermediate addresses
+    net.migrate_service("mobile", NodeId::new(2), NodeId::new(9));
+    net.migrate_service("mobile", NodeId::new(9), NodeId::new(14));
+    assert_eq!(
+        net.call(NodeId::new(20), "mobile", 5),
+        Ok(6),
+        "stale-retry path must converge on the live server"
+    );
+    // a direct request to the stale node reports NotHere, never hangs
+    let err = net.call(NodeId::new(20), "absent", 0);
+    assert_eq!(err, Err(ServiceError::NotLocated));
+}

@@ -1,0 +1,86 @@
+//! Integration: the threaded live runtime (crossbeam channels) and the
+//! deterministic simulator agree — same strategy, same placements, same
+//! located addresses, same message counts.
+
+use match_making::prelude::*;
+use match_making::proto::live::LiveNet;
+
+#[test]
+fn live_and_sim_agree_on_address_and_cost() {
+    let n = 25;
+    let strat = Checkerboard::new(n);
+    let port = Port::from_name("cross-check");
+    let server = NodeId::new(4);
+    let client = NodeId::new(19);
+
+    // simulator run
+    let mut eng = ShotgunEngine::new(gen::complete(n), strat, CostModel::Uniform);
+    eng.register_server(server, port);
+    eng.run();
+    let sim_before = eng.metrics().message_passes;
+    let h = eng.locate(client, port);
+    eng.run();
+    let sim_locate_cost = eng.metrics().message_passes - sim_before;
+    let sim_addr = match eng.outcome(h) {
+        LocateOutcome::Found { addr, .. } => addr,
+        other => panic!("sim failed: {other:?}"),
+    };
+
+    // live threaded run
+    let live = LiveNet::new(n);
+    live.register_server(server, port, Strategy::post_set(&strat, server));
+    let live_before = live.message_passes();
+    let live_addr = live
+        .locate(client, port, Strategy::query_set(&strat, client))
+        .expect("live locate must succeed");
+    let live_locate_cost = live.message_passes() - live_before;
+    live.shutdown();
+
+    assert_eq!(sim_addr, live_addr, "both runtimes find the same server");
+    assert_eq!(sim_addr, server);
+    // both count queries + replies, with self-messages free
+    assert_eq!(
+        sim_locate_cost, live_locate_cost,
+        "hop accounting must agree between runtimes"
+    );
+}
+
+#[test]
+fn live_concurrent_locates_all_succeed() {
+    let n = 36;
+    let strat = Checkerboard::new(n);
+    let port = Port::from_name("parallel");
+    let server = NodeId::new(11);
+    let live = LiveNet::new(n);
+    live.register_server(server, port, Strategy::post_set(&strat, server));
+
+    // fire locates from every node concurrently (the LiveNet API blocks
+    // per call; thread them)
+    let live = std::sync::Arc::new(live);
+    let mut joins = Vec::new();
+    for c in 0..n as u32 {
+        let live = std::sync::Arc::clone(&live);
+        let q = Strategy::query_set(&strat, NodeId::new(c));
+        joins.push(std::thread::spawn(move || {
+            live.locate(NodeId::new(c), port, q)
+        }));
+    }
+    for j in joins {
+        assert_eq!(j.join().unwrap(), Some(server));
+    }
+    live.shutdown();
+}
+
+#[test]
+fn live_missing_service_times_out_to_none() {
+    let n = 9;
+    let strat = Checkerboard::new(n);
+    let live = LiveNet::new(n);
+    let found = live.locate(
+        NodeId::new(0),
+        Port::from_name("never-registered"),
+        Strategy::query_set(&strat, NodeId::new(0)),
+    );
+    assert_eq!(found, None);
+    live.shutdown();
+}

@@ -1,0 +1,134 @@
+//! Integration: the full locate protocol succeeds for every strategy on
+//! its natural topology, and the measured message cost tracks the
+//! strategy's model cost.
+
+use match_making::prelude::*;
+use mm_topo::gen::{hierarchy_graph, Hierarchy};
+use mm_topo::ProjectivePlane;
+use std::sync::Arc;
+
+/// Registers a server, locates it from several clients, asserts success.
+fn locate_everywhere<S: Strategy + PortMapped>(graph: Graph, strat: S, label: &str) {
+    let n = graph.node_count();
+    strat
+        .validate()
+        .unwrap_or_else(|e| panic!("{label}: invalid strategy: {e}"));
+    let mut eng = ShotgunEngine::new(graph, strat, CostModel::Hops);
+    let port = Port::from_name(label);
+    let server = NodeId::new(1.min(n as u32 - 1));
+    eng.register_server(server, port);
+    eng.run();
+    for frac in [0usize, 1, 2, 3] {
+        let client = NodeId::from(frac * (n - 1) / 3);
+        let h = eng.locate(client, port);
+        eng.run();
+        match eng.outcome(h) {
+            LocateOutcome::Found { addr, .. } => {
+                assert_eq!(addr, server, "{label}: client {client} got wrong address")
+            }
+            other => panic!("{label}: client {client} failed: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn locate_on_complete_graph_strategies() {
+    let n = 49;
+    locate_everywhere(gen::complete(n), Checkerboard::new(n), "cb-complete");
+    locate_everywhere(gen::complete(n), Broadcast::new(n), "bc-complete");
+    locate_everywhere(gen::complete(n), Sweep::new(n), "sw-complete");
+    locate_everywhere(
+        gen::complete(n),
+        Centralized::new(n, NodeId::new(24)),
+        "ct-complete",
+    );
+    locate_everywhere(gen::complete(n), Blocks::new(n, 7, 7), "blocks-complete");
+}
+
+#[test]
+fn locate_on_grids_and_tori() {
+    locate_everywhere(gen::grid(6, 8, false), GridRowColumn::new(6, 8), "grid-6x8");
+    locate_everywhere(gen::grid(7, 7, true), GridRowColumn::new(7, 7), "torus-7x7");
+    let sides = [4usize, 4, 4];
+    locate_everywhere(
+        mm_topo::gen::mesh(&sides, false).unwrap(),
+        MeshSplit::balanced(&sides),
+        "mesh-4x4x4",
+    );
+}
+
+#[test]
+fn locate_on_hypercube_and_ccc() {
+    locate_everywhere(gen::hypercube(6), HypercubeSplit::halves(6), "cube-6");
+    locate_everywhere(
+        gen::hypercube(5),
+        HypercubeSplit::epsilon(5, 0.4),
+        "cube-5-eps",
+    );
+    locate_everywhere(
+        gen::cube_connected_cycles(4).unwrap(),
+        CccStrategy::new(4),
+        "ccc-4",
+    );
+}
+
+#[test]
+fn locate_on_projective_plane() {
+    let plane = Arc::new(ProjectivePlane::new(5).unwrap());
+    locate_everywhere(
+        plane.incidence_graph(),
+        ProjectiveStrategy::new(plane),
+        "pg-2-5",
+    );
+}
+
+#[test]
+fn locate_on_hierarchy_and_trees() {
+    let h = Hierarchy::uniform(4, 3).unwrap();
+    locate_everywhere(
+        hierarchy_graph(&h),
+        HierarchicalStrategy::new(h),
+        "hier-4-3",
+    );
+    let tree = gen::balanced_tree(3, 4).unwrap();
+    let g = tree.graph.clone();
+    locate_everywhere(g, TreePathToRoot::new(Arc::new(tree)), "tree-3-4");
+}
+
+#[test]
+fn locate_on_decomposed_random_graphs() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(99);
+    for n in [30usize, 70, 120] {
+        let g = gen::random_connected(n, 3 * n, &mut rng).unwrap();
+        let d = Arc::new(Decomposition::new(&g).unwrap());
+        locate_everywhere(g, DecomposedStrategy::new(d), "decomposed-random");
+    }
+    // and the paper's organically grown networks
+    let g = gen::uucp_like(80, &mut rng);
+    let d = Arc::new(Decomposition::new(&g).unwrap());
+    locate_everywhere(g, DecomposedStrategy::new(d), "decomposed-uucp");
+}
+
+#[test]
+fn uniform_cost_tracks_model_on_complete_graphs() {
+    // measured (posts + queries + replies) vs model (#P + #Q):
+    // replies double the query half; self-deliveries subtract a little
+    let n = 64;
+    let strat = Checkerboard::new(n);
+    let model = Strategy::average_cost(&strat);
+    let mut eng = ShotgunEngine::new(gen::complete(n), strat, CostModel::Uniform);
+    let port = Port::from_name("cost-check");
+    eng.register_server(NodeId::new(9), port);
+    eng.run();
+    let h = eng.locate(NodeId::new(33), port);
+    eng.run();
+    assert!(matches!(eng.outcome(h), LocateOutcome::Found { .. }));
+    let measured = eng.metrics().message_passes as f64;
+    let expected_ceiling = model + 8.0 + 1.0; // + one query-band of replies
+    assert!(
+        measured <= expected_ceiling && measured >= model - 2.0,
+        "measured {measured} vs model {model}"
+    );
+}
