@@ -66,7 +66,9 @@ mod tests {
 
     #[test]
     fn recovers_linear_exponent() {
-        let pts: Vec<(f64, f64)> = (1..10).map(|k| (k as f64 * 10.0, k as f64 * 30.0)).collect();
+        let pts: Vec<(f64, f64)> = (1..10)
+            .map(|k| (k as f64 * 10.0, k as f64 * 30.0))
+            .collect();
         let s = log_log_slope(&pts).unwrap();
         assert!((s - 1.0).abs() < 1e-9);
     }

@@ -52,7 +52,8 @@ impl ExperimentRecord {
 
 /// Renders records as a markdown table body for EXPERIMENTS.md.
 pub fn to_markdown(records: &[ExperimentRecord]) -> String {
-    let mut out = String::from("| id | quantity | paper | measured | ratio |\n|---|---|---|---|---|\n");
+    let mut out =
+        String::from("| id | quantity | paper | measured | ratio |\n|---|---|---|---|---|\n");
     for r in records {
         out.push_str(&format!(
             "| {} | {} | {:.3} | {:.3} | {:.2} |\n",

@@ -1,8 +1,7 @@
 //! Summary statistics over experiment samples.
 
 /// Mean / variance / percentiles of a sample set.
-#[derive(Debug, Clone, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Summary {
     /// Number of samples.
     pub count: usize,

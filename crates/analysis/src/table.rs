@@ -34,7 +34,8 @@ impl Table {
 
     /// Appends a row; missing cells render empty, extras are kept.
     pub fn row(&mut self, cells: &[&str]) -> &mut Self {
-        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
         self
     }
 
@@ -73,10 +74,10 @@ impl fmt::Display for Table {
         writeln!(f, "## {}", self.title)?;
         let fmt_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
             write!(f, "|")?;
-            for i in 0..cols {
+            for (i, &width) in widths.iter().enumerate() {
                 let empty = String::new();
                 let c = cells.get(i).unwrap_or(&empty);
-                write!(f, " {:>width$} |", c, width = widths[i])?;
+                write!(f, " {c:>width$} |")?;
             }
             writeln!(f)
         };

@@ -14,8 +14,7 @@ fn bench(c: &mut Criterion) {
     for n in [64usize, 256, 1024] {
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             b.iter(|| {
-                let mut rt =
-                    HashLocateRuntime::new(gen::complete(n), 2, CostModel::Uniform);
+                let mut rt = HashLocateRuntime::new(gen::complete(n), 2, CostModel::Uniform);
                 let p = Port::from_name("bench");
                 rt.register_server(NodeId::new(1), p);
                 rt.locate_with_rehash(NodeId::new(2), p, 2)

@@ -12,20 +12,24 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e12_hierarchy_locate");
     g.sample_size(10);
     for levels in [2usize, 3, 4] {
-        g.bench_with_input(BenchmarkId::from_parameter(levels), &levels, |b, &levels| {
-            let h = Hierarchy::uniform(4, levels).unwrap();
-            let graph = hierarchy_graph(&h);
-            let n = h.node_count();
-            b.iter(|| {
-                measure_instance(
-                    graph.clone(),
-                    HierarchicalStrategy::new(h.clone()),
-                    NodeId::new(1),
-                    NodeId::from(n - 1),
-                    CostModel::Hops,
-                )
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(levels),
+            &levels,
+            |b, &levels| {
+                let h = Hierarchy::uniform(4, levels).unwrap();
+                let graph = hierarchy_graph(&h);
+                let n = h.node_count();
+                b.iter(|| {
+                    measure_instance(
+                        graph.clone(),
+                        HierarchicalStrategy::new(h.clone()),
+                        NodeId::new(1),
+                        NodeId::from(n - 1),
+                        CostModel::Hops,
+                    )
+                });
+            },
+        );
     }
     g.finish();
 }

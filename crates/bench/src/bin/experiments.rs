@@ -15,11 +15,17 @@ fn main() {
             println!("{}", to_markdown(&records));
             let bad: Vec<_> = records.iter().filter(|r| !r.within_factor(6.0)).collect();
             if bad.is_empty() {
-                println!("all {} records within expected factors of the paper's predictions", records.len());
+                println!(
+                    "all {} records within expected factors of the paper's predictions",
+                    records.len()
+                );
             } else {
                 println!("records outside tolerance:");
                 for r in &bad {
-                    println!("  {} {} predicted {:.2} measured {:.2}", r.id, r.quantity, r.predicted, r.measured);
+                    println!(
+                        "  {} {} predicted {:.2} measured {:.2}",
+                        r.id, r.quantity, r.predicted, r.measured
+                    );
                 }
                 std::process::exit(1);
             }

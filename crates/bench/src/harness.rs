@@ -21,24 +21,96 @@ pub struct Experiment {
 pub fn all_experiments() -> Vec<Experiment> {
     use crate::{protocols, theory, topologies};
     vec![
-        Experiment { id: "e1", title: "§2.3.1 Examples 1-6: the six rendezvous matrices", run: theory::e1 },
-        Experiment { id: "e2", title: "§2.2 probabilistic analysis: E[#(P∩Q)] = pq/n", run: theory::e2 },
-        Experiment { id: "e3", title: "§2.3.2 Propositions 1+2: lower-bound slack per strategy", run: theory::e3 },
-        Experiment { id: "e4", title: "§2.3.3 corollaries: truly-distributed and centralized bounds", run: theory::e4 },
-        Experiment { id: "e5", title: "§2.3.4 Proposition 3: checkerboard upper bound", run: theory::e5 },
-        Experiment { id: "e6", title: "§2.3.4 Proposition 4: lifting n -> 4n doubles m(n)", run: theory::e6 },
-        Experiment { id: "e7", title: "§3 general networks: sqrt(n)-decomposition locate", run: topologies::e7 },
-        Experiment { id: "e8", title: "§3.1 Manhattan networks and d-dimensional meshes", run: topologies::e8 },
-        Experiment { id: "e9", title: "§3.2 hypercubes: half-split and epsilon-split", run: topologies::e9 },
-        Experiment { id: "e10", title: "§3.3 cube-connected cycles", run: topologies::e10 },
-        Experiment { id: "e11", title: "§3.4 projective planes PG(2,k)", run: topologies::e11 },
-        Experiment { id: "e12", title: "§3.5 hierarchical networks: O(log n) at k = log(n)/2", run: topologies::e12 },
-        Experiment { id: "e13", title: "§3.6 UUCPnet degree table and tree strategies", run: topologies::e13 },
-        Experiment { id: "e14", title: "§4 Lighthouse Locate: schedules and densities", run: protocols::e14 },
-        Experiment { id: "e15", title: "§5 Hash Locate: cost, load, fragility, rehash", run: protocols::e15 },
-        Experiment { id: "e16", title: "§2.4 robustness: f+1 redundancy price", run: protocols::e16 },
-        Experiment { id: "e17", title: "§2.3.2 (M3'): weighted optimum p = sqrt(alpha n)", run: protocols::e17 },
-        Experiment { id: "e18", title: "§2.3.5 rings: m(n) = Theta(n), broadcast is optimal", run: protocols::e18 },
+        Experiment {
+            id: "e1",
+            title: "§2.3.1 Examples 1-6: the six rendezvous matrices",
+            run: theory::e1,
+        },
+        Experiment {
+            id: "e2",
+            title: "§2.2 probabilistic analysis: E[#(P∩Q)] = pq/n",
+            run: theory::e2,
+        },
+        Experiment {
+            id: "e3",
+            title: "§2.3.2 Propositions 1+2: lower-bound slack per strategy",
+            run: theory::e3,
+        },
+        Experiment {
+            id: "e4",
+            title: "§2.3.3 corollaries: truly-distributed and centralized bounds",
+            run: theory::e4,
+        },
+        Experiment {
+            id: "e5",
+            title: "§2.3.4 Proposition 3: checkerboard upper bound",
+            run: theory::e5,
+        },
+        Experiment {
+            id: "e6",
+            title: "§2.3.4 Proposition 4: lifting n -> 4n doubles m(n)",
+            run: theory::e6,
+        },
+        Experiment {
+            id: "e7",
+            title: "§3 general networks: sqrt(n)-decomposition locate",
+            run: topologies::e7,
+        },
+        Experiment {
+            id: "e8",
+            title: "§3.1 Manhattan networks and d-dimensional meshes",
+            run: topologies::e8,
+        },
+        Experiment {
+            id: "e9",
+            title: "§3.2 hypercubes: half-split and epsilon-split",
+            run: topologies::e9,
+        },
+        Experiment {
+            id: "e10",
+            title: "§3.3 cube-connected cycles",
+            run: topologies::e10,
+        },
+        Experiment {
+            id: "e11",
+            title: "§3.4 projective planes PG(2,k)",
+            run: topologies::e11,
+        },
+        Experiment {
+            id: "e12",
+            title: "§3.5 hierarchical networks: O(log n) at k = log(n)/2",
+            run: topologies::e12,
+        },
+        Experiment {
+            id: "e13",
+            title: "§3.6 UUCPnet degree table and tree strategies",
+            run: topologies::e13,
+        },
+        Experiment {
+            id: "e14",
+            title: "§4 Lighthouse Locate: schedules and densities",
+            run: protocols::e14,
+        },
+        Experiment {
+            id: "e15",
+            title: "§5 Hash Locate: cost, load, fragility, rehash",
+            run: protocols::e15,
+        },
+        Experiment {
+            id: "e16",
+            title: "§2.4 robustness: f+1 redundancy price",
+            run: protocols::e16,
+        },
+        Experiment {
+            id: "e17",
+            title: "§2.3.2 (M3'): weighted optimum p = sqrt(alpha n)",
+            run: protocols::e17,
+        },
+        Experiment {
+            id: "e18",
+            title: "§2.3.5 rings: m(n) = Theta(n), broadcast is optimal",
+            run: protocols::e18,
+        },
     ]
 }
 

@@ -34,7 +34,9 @@ pub fn e14() -> Vec<ExperimentRecord> {
         }
         (
             Summary::of_ints(trials).map(|s| s.mean).unwrap_or(f64::NAN),
-            Summary::of_ints(elapsed).map(|s| s.mean).unwrap_or(f64::NAN),
+            Summary::of_ints(elapsed)
+                .map(|s| s.mean)
+                .unwrap_or(f64::NAN),
             Summary::of_ints(cells).map(|s| s.mean).unwrap_or(f64::NAN),
         )
     };
@@ -51,7 +53,13 @@ pub fn e14() -> Vec<ExperimentRecord> {
 
     let mut t = Table::new(
         "server density sweep (64x64 grid, doubling schedule): denser -> faster",
-        &["servers", "density s", "mean trials", "mean time", "mean beam cells"],
+        &[
+            "servers",
+            "density s",
+            "mean trials",
+            "mean time",
+            "mean beam cells",
+        ],
     );
     let mut last_cells = f64::INFINITY;
     for servers in [2u32, 8, 32] {
@@ -89,7 +97,12 @@ pub fn e14() -> Vec<ExperimentRecord> {
             format!("{el:.1}"),
             format!("{ce:.1}"),
         ]);
-        records.push(ExperimentRecord::new("E14", &format!("{name} succeeds"), 1.0, if tr.is_nan() { 0.0 } else { 1.0 }));
+        records.push(ExperimentRecord::new(
+            "E14",
+            &format!("{name} succeeds"),
+            1.0,
+            if tr.is_nan() { 0.0 } else { 1.0 },
+        ));
     }
     println!("{t2}");
 
@@ -109,10 +122,19 @@ pub fn e14() -> Vec<ExperimentRecord> {
             monotone = false;
         }
         prev = tr;
-        t3.row_owned(vec![ttl.to_string(), format!("{tr:.1}"), format!("{ce:.1}")]);
+        t3.row_owned(vec![
+            ttl.to_string(),
+            format!("{tr:.1}"),
+            format!("{ce:.1}"),
+        ]);
     }
     println!("{t3}");
-    records.push(ExperimentRecord::new("E14", "ttl helps (weakly monotone)", 1.0, monotone as u8 as f64));
+    records.push(ExperimentRecord::new(
+        "E14",
+        "ttl helps (weakly monotone)",
+        1.0,
+        monotone as u8 as f64,
+    ));
     records
 }
 
@@ -135,7 +157,12 @@ pub fn e15() -> Vec<ExperimentRecord> {
         assert!(matches!(res.outcome, LocateOutcome::Found { .. }));
         let cost = rt.engine().metrics().message_passes - before;
         t.row_owned(vec![n.to_string(), cost.to_string()]);
-        records.push(ExperimentRecord::new("E15", &format!("locate cost n={n}"), 2.0, cost as f64));
+        records.push(ExperimentRecord::new(
+            "E15",
+            &format!("locate cost n={n}"),
+            2.0,
+            cost as f64,
+        ));
     }
     println!("{t}");
 
@@ -151,7 +178,12 @@ pub fn e15() -> Vec<ExperimentRecord> {
         "load over {n} nodes for 6400 ports: mean {:.0}, min {:.0}, max {:.0} (well-chosen hash spreads the burden)",
         s.mean, s.min, s.max
     );
-    records.push(ExperimentRecord::new("E15", "hash load max/mean", 1.0, s.max / s.mean));
+    records.push(ExperimentRecord::new(
+        "E15",
+        "hash load max/mean",
+        1.0,
+        s.max / s.mean,
+    ));
 
     // 3. knockout probability vs replication: crash f random nodes, is the
     // service gone?
@@ -186,7 +218,12 @@ pub fn e15() -> Vec<ExperimentRecord> {
             format!("{analytic:.4}"),
             format!("{measured:.4}"),
         ]);
-        records.push(ExperimentRecord::new("E15", &format!("knockout r={r}"), analytic, measured.max(1e-4)));
+        records.push(ExperimentRecord::new(
+            "E15",
+            &format!("knockout r={r}"),
+            analytic,
+            measured.max(1e-4),
+        ));
     }
     println!("{t2}");
 
@@ -222,7 +259,13 @@ pub fn e16() -> Vec<ExperimentRecord> {
     let mut rng = StdRng::seed_from_u64(16);
     let mut t = Table::new(
         "replicated checkerboard on n = 64: cost vs crash tolerance",
-        &["f (replication-1)", "m(n)", "overhead vs f=0", "min #(P∩Q)", "survival @ 4 crashes"],
+        &[
+            "f (replication-1)",
+            "m(n)",
+            "overhead vs f=0",
+            "min #(P∩Q)",
+            "survival @ 4 crashes",
+        ],
     );
     let base_cost = Checkerboard::new(n).average_cost();
     for f in 0usize..4 {
@@ -245,8 +288,18 @@ pub fn e16() -> Vec<ExperimentRecord> {
             format!("{:.3}", surv),
         ]);
         assert!(tol >= f, "replication must reach f+1 overlap");
-        records.push(ExperimentRecord::new("E16", &format!("tolerated faults at f={f}"), f as f64, tol as f64));
-        records.push(ExperimentRecord::new("E16", &format!("survival f={f}"), 1.0, surv));
+        records.push(ExperimentRecord::new(
+            "E16",
+            &format!("tolerated faults at f={f}"),
+            f as f64,
+            tol as f64,
+        ));
+        records.push(ExperimentRecord::new(
+            "E16",
+            &format!("survival f={f}"),
+            1.0,
+            surv,
+        ));
     }
     println!("{t}");
     println!("(robustness is inefficient: the price tag is the m(n) overhead column)");
@@ -260,7 +313,13 @@ pub fn e17() -> Vec<ExperimentRecord> {
     let n = 256usize;
     let mut t = Table::new(
         "weighted cost #P + alpha #Q at n = 256",
-        &["alpha", "#P", "#Q", "weighted cost", "optimum 2 sqrt(alpha n)"],
+        &[
+            "alpha",
+            "#P",
+            "#Q",
+            "weighted cost",
+            "optimum 2 sqrt(alpha n)",
+        ],
     );
     for alpha in [0.25f64, 1.0, 4.0, 16.0, 64.0] {
         let s = Blocks::for_alpha(n, alpha);
@@ -276,7 +335,12 @@ pub fn e17() -> Vec<ExperimentRecord> {
             format!("{cost:.1}"),
             format!("{opt:.1}"),
         ]);
-        records.push(ExperimentRecord::new("E17", &format!("weighted cost alpha={alpha}"), opt, cost));
+        records.push(ExperimentRecord::new(
+            "E17",
+            &format!("weighted cost alpha={alpha}"),
+            opt,
+            cost,
+        ));
     }
     println!("{t}");
     println!("(the checkerboard ignores alpha and pays 2 sqrt(n) * max(1, alpha)/... more for skewed workloads)");
@@ -289,7 +353,12 @@ pub fn e18() -> Vec<ExperimentRecord> {
     let mut records = Vec::new();
     let mut t = Table::new(
         "ring networks, measured hops per match-making instance",
-        &["n", "checkerboard (hops)", "broadcast (hops)", "n (paper order)"],
+        &[
+            "n",
+            "checkerboard (hops)",
+            "broadcast (hops)",
+            "n (paper order)",
+        ],
     );
     let mut cb_pts = Vec::new();
     for n in [16usize, 32, 64, 128] {
@@ -303,13 +372,23 @@ pub fn e18() -> Vec<ExperimentRecord> {
             n.to_string(),
         ]);
         cb_pts.push((n as f64, cb));
-        records.push(ExperimentRecord::new("E18", &format!("ring checkerboard hops n={n}"), n as f64, cb));
+        records.push(ExperimentRecord::new(
+            "E18",
+            &format!("ring checkerboard hops n={n}"),
+            n as f64,
+            cb,
+        ));
         // broadcast on a ring: the query sweep costs n-1 shared hops, but
         // every node's reply travels n/4 hops on average -> (n-1)/2 + n^2/8
         // after the round-trip halving. Both orders are >= Omega(n): the
         // paper's point that rings admit nothing better than broadcast.
         let bc_model = (n as f64 - 1.0) / 2.0 + (n as f64) * (n as f64) / 8.0;
-        records.push(ExperimentRecord::new("E18", &format!("ring broadcast hops n={n}"), bc_model, bc));
+        records.push(ExperimentRecord::new(
+            "E18",
+            &format!("ring broadcast hops n={n}"),
+            bc_model,
+            bc,
+        ));
     }
     println!("{t}");
     let slope = mm_analysis::fit::log_log_slope(&cb_pts).unwrap();

@@ -104,7 +104,14 @@ pub fn e3() -> Vec<ExperimentRecord> {
     let mut records = Vec::new();
     let mut t = Table::new(
         format!("Prop.1 & Prop.2 at n = {n} (slack = measured / bound)"),
-        &["strategy", "m(n)", "Prop2 bound", "slack", "avg #P#Q", "Prop1 bound"],
+        &[
+            "strategy",
+            "m(n)",
+            "Prop2 bound",
+            "slack",
+            "avg #P#Q",
+            "Prop1 bound",
+        ],
     );
     for s in &strategies {
         let m = s.average_cost();
@@ -126,7 +133,12 @@ pub fn e3() -> Vec<ExperimentRecord> {
             format!("{p1_lhs:.2}"),
             format!("{p1_rhs:.2}"),
         ]);
-        records.push(ExperimentRecord::new("E3", &format!("{} m vs bound", s.name()), p2, m));
+        records.push(ExperimentRecord::new(
+            "E3",
+            &format!("{} m vs bound", s.name()),
+            p2,
+            m,
+        ));
     }
     println!("{t}");
     records
@@ -137,7 +149,13 @@ pub fn e4() -> Vec<ExperimentRecord> {
     let mut records = Vec::new();
     let mut t = Table::new(
         "corollaries: truly distributed >= 2 sqrt n, centralized >= 2",
-        &["n", "checkerboard m", "2 sqrt n", "centralized m", "bound 2"],
+        &[
+            "n",
+            "checkerboard m",
+            "2 sqrt n",
+            "centralized m",
+            "bound 2",
+        ],
     );
     for n in [16usize, 64, 256, 1024] {
         let cb = Checkerboard::new(n).average_cost();
@@ -152,8 +170,18 @@ pub fn e4() -> Vec<ExperimentRecord> {
             format!("{ct:.2}"),
             "2.00".into(),
         ]);
-        records.push(ExperimentRecord::new("E4", &format!("checkerboard m({n})"), b, cb));
-        records.push(ExperimentRecord::new("E4", &format!("centralized m({n})"), 2.0, ct));
+        records.push(ExperimentRecord::new(
+            "E4",
+            &format!("checkerboard m({n})"),
+            b,
+            cb,
+        ));
+        records.push(ExperimentRecord::new(
+            "E4",
+            &format!("centralized m({n})"),
+            2.0,
+            ct,
+        ));
     }
     println!("{t}");
     records
@@ -203,7 +231,12 @@ pub fn e6() -> Vec<ExperimentRecord> {
         "9".into(),
         format!("{m0:.2}"),
         format!("{prediction:.2}"),
-        base.to_matrix().multiplicities().iter().max().unwrap().to_string(),
+        base.to_matrix()
+            .multiplicities()
+            .iter()
+            .max()
+            .unwrap()
+            .to_string(),
     ]);
     let lift1 = LiftedStrategy::new(base);
     prediction *= 2.0;
@@ -212,9 +245,20 @@ pub fn e6() -> Vec<ExperimentRecord> {
         "36".into(),
         format!("{m1:.2}"),
         format!("{prediction:.2}"),
-        lift1.to_matrix().multiplicities().iter().max().unwrap().to_string(),
+        lift1
+            .to_matrix()
+            .multiplicities()
+            .iter()
+            .max()
+            .unwrap()
+            .to_string(),
     ]);
-    records.push(ExperimentRecord::new("E6", "m(36) after one lift", prediction, m1));
+    records.push(ExperimentRecord::new(
+        "E6",
+        "m(36) after one lift",
+        prediction,
+        m1,
+    ));
     let lift2 = LiftedStrategy::new(lift1);
     prediction *= 2.0;
     let m2 = lift2.average_cost();
@@ -222,9 +266,20 @@ pub fn e6() -> Vec<ExperimentRecord> {
         "144".into(),
         format!("{m2:.2}"),
         format!("{prediction:.2}"),
-        lift2.to_matrix().multiplicities().iter().max().unwrap().to_string(),
+        lift2
+            .to_matrix()
+            .multiplicities()
+            .iter()
+            .max()
+            .unwrap()
+            .to_string(),
     ]);
-    records.push(ExperimentRecord::new("E6", "m(144) after two lifts", prediction, m2));
+    records.push(ExperimentRecord::new(
+        "E6",
+        "m(144) after two lifts",
+        prediction,
+        m2,
+    ));
     lift2.validate().expect("lifted strategy stays valid");
     println!("{t}");
     records

@@ -22,7 +22,15 @@ pub fn e7() -> Vec<ExperimentRecord> {
     let mut records = Vec::new();
     let mut t = Table::new(
         "sqrt(n)-decomposition on random connected graphs (Hops model)",
-        &["n", "parts", "t", "server paper O(n)", "post hops", "client paper sqrt n", "locate hops/2"],
+        &[
+            "n",
+            "parts",
+            "t",
+            "server paper O(n)",
+            "post hops",
+            "client paper sqrt n",
+            "locate hops/2",
+        ],
     );
     for n in [64usize, 144, 256, 400] {
         let g = gen::random_connected(n, 3 * n, &mut rng).unwrap();
@@ -77,7 +85,14 @@ pub fn e8() -> Vec<ExperimentRecord> {
 
     let mut t = Table::new(
         "square p x p grids: model cost vs 2 sqrt n, measured hops on the grid",
-        &["p", "n", "m model", "2 sqrt n", "measured (hops)", "cache k_max"],
+        &[
+            "p",
+            "n",
+            "m model",
+            "2 sqrt n",
+            "measured (hops)",
+            "cache k_max",
+        ],
     );
     let mut pts = Vec::new();
     for p in [3usize, 4, 6, 8, 12, 16] {
@@ -98,12 +113,22 @@ pub fn e8() -> Vec<ExperimentRecord> {
             kmax.to_string(),
         ]);
         pts.push((n as f64, model));
-        records.push(ExperimentRecord::new("E8", &format!("grid m model p={p}"), bound, model));
+        records.push(ExperimentRecord::new(
+            "E8",
+            &format!("grid m model p={p}"),
+            bound,
+            model,
+        ));
     }
     println!("{t}");
     let slope = fit::log_log_slope(&pts).unwrap();
     println!("grid scaling exponent (paper: 0.5): {slope:.3}");
-    records.push(ExperimentRecord::new("E8", "grid log-log exponent", 0.5, slope));
+    records.push(ExperimentRecord::new(
+        "E8",
+        "grid log-log exponent",
+        0.5,
+        slope,
+    ));
 
     // d-dimensional meshes, row/column split: m = side^{d-1} + side
     let mut t2 = Table::new(
@@ -124,7 +149,12 @@ pub fn e8() -> Vec<ExperimentRecord> {
             format!("{model:.1}"),
             format!("{paper:.1}"),
         ]);
-        records.push(ExperimentRecord::new("E8", &format!("mesh d={d} m"), paper, model));
+        records.push(ExperimentRecord::new(
+            "E8",
+            &format!("mesh d={d} m"),
+            paper,
+            model,
+        ));
     }
     println!("{t2}");
     records
@@ -136,7 +166,15 @@ pub fn e9() -> Vec<ExperimentRecord> {
     let mut records = Vec::new();
     let mut t = Table::new(
         "d-cube half split: m(n) and cache load vs sqrt n",
-        &["d", "n", "m model", "2 sqrt n", "measured (hops)", "k_max", "sqrt n"],
+        &[
+            "d",
+            "n",
+            "m model",
+            "2 sqrt n",
+            "measured (hops)",
+            "k_max",
+            "sqrt n",
+        ],
     );
     for d in [4u32, 6, 8, 10] {
         let n = 1usize << d;
@@ -157,7 +195,12 @@ pub fn e9() -> Vec<ExperimentRecord> {
             format!("{:.1}", (n as f64).sqrt()),
         ]);
         assert_eq!(model, bound, "even-d half split is exactly 2 sqrt n");
-        records.push(ExperimentRecord::new("E9", &format!("cube m d={d}"), bound, model));
+        records.push(ExperimentRecord::new(
+            "E9",
+            &format!("cube m d={d}"),
+            bound,
+            model,
+        ));
         records.push(ExperimentRecord::new(
             "E9",
             &format!("cube cache d={d}"),
@@ -200,7 +243,15 @@ pub fn e10() -> Vec<ExperimentRecord> {
     let mut records = Vec::new();
     let mut t = Table::new(
         "CCC(d): m vs sqrt(n log n), cache vs sqrt(n / log n)",
-        &["d", "n", "m model", "sqrt(n log n)", "ratio", "k_max", "sqrt(n/log n)"],
+        &[
+            "d",
+            "n",
+            "m model",
+            "sqrt(n log n)",
+            "ratio",
+            "k_max",
+            "sqrt(n/log n)",
+        ],
     );
     let mut pts = Vec::new();
     for d in [3u32, 4, 5, 6, 7, 8] {
@@ -221,11 +272,20 @@ pub fn e10() -> Vec<ExperimentRecord> {
             format!("{m:.1}"),
             format!("{target:.1}"),
             format!("{:.2}", m / target),
-            if kmax > 0 { kmax.to_string() } else { "-".into() },
+            if kmax > 0 {
+                kmax.to_string()
+            } else {
+                "-".into()
+            },
             format!("{cache_target:.1}"),
         ]);
         pts.push((n, m));
-        records.push(ExperimentRecord::new("E10", &format!("ccc m d={d}"), target, m));
+        records.push(ExperimentRecord::new(
+            "E10",
+            &format!("ccc m d={d}"),
+            target,
+            m,
+        ));
     }
     println!("{t}");
     let slope = fit::log_log_slope(&pts).unwrap();
@@ -260,10 +320,19 @@ pub fn e11() -> Vec<ExperimentRecord> {
             format!("{m:.1}"),
             format!("{paper:.1}"),
             format!("{:.1}", 2.0 * (n as f64).sqrt()),
-            if measured.is_nan() { "-".into() } else { format!("{measured:.1}") },
+            if measured.is_nan() {
+                "-".into()
+            } else {
+                format!("{measured:.1}")
+            },
         ]);
         assert!((m - paper).abs() < 1e-9);
-        records.push(ExperimentRecord::new("E11", &format!("pg m k={k}"), paper, m));
+        records.push(ExperimentRecord::new(
+            "E11",
+            &format!("pg m k={k}"),
+            paper,
+            m,
+        ));
     }
     println!("{t}");
 
@@ -278,7 +347,12 @@ pub fn e11() -> Vec<ExperimentRecord> {
         crashed.len(),
         frac * 100.0
     );
-    records.push(ExperimentRecord::new("E11", "line-crash survival", 1.0, frac.max(0.5)));
+    records.push(ExperimentRecord::new(
+        "E11",
+        "line-crash survival",
+        1.0,
+        frac.max(0.5),
+    ));
     records
 }
 
@@ -307,24 +381,37 @@ pub fn e12() -> Vec<ExperimentRecord> {
             format!("{flat:.1}"),
         ]);
         pts.push((n as f64, m));
-        records.push(ExperimentRecord::new("E12", &format!("hier m k={k}"), paper, m));
+        records.push(ExperimentRecord::new(
+            "E12",
+            &format!("hier m k={k}"),
+            paper,
+            m,
+        ));
     }
     println!("{t}");
     let slope = fit::log_log_slope(&pts).unwrap();
-    println!(
-        "hierarchy log-log exponent (paper: -> 0, logarithmic; flat sqrt is 0.5): {slope:.3}"
-    );
+    println!("hierarchy log-log exponent (paper: -> 0, logarithmic; flat sqrt is 0.5): {slope:.3}");
     assert!(slope < 0.35, "hierarchies must beat the sqrt exponent");
     // the flat truly-distributed exponent is 0.5; hierarchies must land
     // clearly below it (paper: logarithmic, i.e. exponent -> 0)
-    records.push(ExperimentRecord::new("E12", "hierarchy exponent (flat = 0.5)", 0.5, slope));
+    records.push(ExperimentRecord::new(
+        "E12",
+        "hierarchy exponent (flat = 0.5)",
+        0.5,
+        slope,
+    ));
 
     // crossover: past k = ½ log n the hierarchy beats the flat strategy
     let n = 4096usize;
     let flat = Checkerboard::new(n).average_cost();
     let hier = HierarchicalStrategy::new(Hierarchy::uniform(4, 6).unwrap()).average_cost();
     println!("n = {n}: flat m = {flat:.1}, hierarchical m = {hier:.1} (paper: O(log n) wins)");
-    records.push(ExperimentRecord::new("E12", "hier beats flat at n=4096", 1.0, (flat > hier) as u8 as f64));
+    records.push(ExperimentRecord::new(
+        "E12",
+        "hier beats flat at n=4096",
+        1.0,
+        (flat > hier) as u8 as f64,
+    ));
     records
 }
 
@@ -343,7 +430,11 @@ pub fn e13() -> Vec<ExperimentRecord> {
         let right = tbl.get(half + i);
         t.row_owned(vec![
             left.degree.to_string(),
-            format!("{}{}", left.sites, if left.reconstructed { "*" } else { "" }),
+            format!(
+                "{}{}",
+                left.sites,
+                if left.reconstructed { "*" } else { "" }
+            ),
             String::new(),
             right.map(|r| r.degree.to_string()).unwrap_or_default(),
             right
@@ -354,8 +445,18 @@ pub fn e13() -> Vec<ExperimentRecord> {
     println!("{t}");
     let (sites, edges) = gen::uucp::uucp_table_totals();
     println!("totals: {sites} sites (paper: 1916), {edges} edges (paper: 3848)");
-    records.push(ExperimentRecord::new("E13", "table sites", 1916.0, sites as f64));
-    records.push(ExperimentRecord::new("E13", "table edges", 3848.0, edges as f64));
+    records.push(ExperimentRecord::new(
+        "E13",
+        "table sites",
+        1916.0,
+        sites as f64,
+    ));
+    records.push(ExperimentRecord::new(
+        "E13",
+        "table edges",
+        3848.0,
+        edges as f64,
+    ));
 
     // 2. synthetic UUCP-like network reproduces the character
     let mut rng = StdRng::seed_from_u64(1984);
@@ -387,7 +488,10 @@ pub fn e13() -> Vec<ExperimentRecord> {
         &["profile", "n", "depth l", "m model", "2(l+1)"],
     );
     let profiles: Vec<(&str, Vec<usize>)> = vec![
-        ("factorial d(i)=c i^2", vec![16, 9, 4, 1].into_iter().filter(|&b| b > 0).collect()),
+        (
+            "factorial d(i)=c i^2",
+            vec![16, 9, 4, 1].into_iter().filter(|&b| b > 0).collect(),
+        ),
         ("exponential d(i)=2^i", vec![16, 8, 4, 2]),
         ("uniform a=3", vec![3, 3, 3, 3]),
     ];
@@ -406,8 +510,16 @@ pub fn e13() -> Vec<ExperimentRecord> {
             format!("{m:.1}"),
             format!("{paper:.1}"),
         ]);
-        assert!(m <= paper + 1e-9, "path-to-root cost is bounded by the depth");
-        records.push(ExperimentRecord::new("E13", &format!("tree m {name}"), paper, m));
+        assert!(
+            m <= paper + 1e-9,
+            "path-to-root cost is bounded by the depth"
+        );
+        records.push(ExperimentRecord::new(
+            "E13",
+            &format!("tree m {name}"),
+            paper,
+            m,
+        ));
     }
     println!("{t2}");
     println!("(m below the bound: inner nodes have shorter paths than leaves)");
@@ -458,7 +570,10 @@ mod tests {
     #[test]
     fn e12_hierarchies_win() {
         let recs = e12();
-        let win = recs.iter().find(|r| r.quantity.contains("beats flat")).unwrap();
+        let win = recs
+            .iter()
+            .find(|r| r.quantity.contains("beats flat"))
+            .unwrap();
         assert_eq!(win.measured, 1.0, "hierarchy must beat flat at n=4096");
     }
 

@@ -166,7 +166,10 @@ mod tests {
         let base = Checkerboard::new(9);
         assert!(base.to_matrix().is_optimal());
         let lifted = LiftedStrategy::new(base);
-        assert!(lifted.to_matrix().is_optimal(), "lift keeps singleton entries");
+        assert!(
+            lifted.to_matrix().is_optimal(),
+            "lift keeps singleton entries"
+        );
     }
 
     #[test]

@@ -112,12 +112,11 @@ impl RendezvousMatrix {
     pub fn row_col_unions(&self) -> (Vec<Vec<NodeId>>, Vec<Vec<NodeId>>) {
         let mut rows = vec![Vec::new(); self.n];
         let mut cols = vec![Vec::new(); self.n];
-        for i in 0..self.n {
-            for j in 0..self.n {
-                for &v in &self.entries[i * self.n + j] {
-                    rows[i].push(v);
-                    cols[j].push(v);
-                }
+        for (k, entry) in self.entries.iter().enumerate() {
+            let (i, j) = (k / self.n, k % self.n);
+            for &v in entry {
+                rows[i].push(v);
+                cols[j].push(v);
             }
         }
         for r in &mut rows {
@@ -142,13 +141,13 @@ impl RendezvousMatrix {
         let (rows, cols) = self.row_col_unions();
         let mut post_waste = 0usize;
         let mut query_waste = 0usize;
-        for i in 0..self.n {
+        for (i, row) in rows.iter().enumerate() {
             let p = post(NodeId::from(i));
-            post_waste += p.len() - rows[i].len().min(p.len());
+            post_waste += p.len() - row.len().min(p.len());
         }
-        for j in 0..self.n {
+        for (j, col) in cols.iter().enumerate() {
             let q = query(NodeId::from(j));
-            query_waste += q.len() - cols[j].len().min(q.len());
+            query_waste += q.len() - col.len().min(q.len());
         }
         (post_waste, query_waste)
     }
@@ -180,12 +179,11 @@ impl RendezvousMatrix {
     pub fn row_col_presence(&self) -> (Vec<u64>, Vec<u64>) {
         let mut in_row = vec![vec![false; self.n]; self.n]; // [node][row]
         let mut in_col = vec![vec![false; self.n]; self.n];
-        for i in 0..self.n {
-            for j in 0..self.n {
-                for v in &self.entries[i * self.n + j] {
-                    in_row[v.index()][i] = true;
-                    in_col[v.index()][j] = true;
-                }
+        for (k, entry) in self.entries.iter().enumerate() {
+            let (i, j) = (k / self.n, k % self.n);
+            for v in entry {
+                in_row[v.index()][i] = true;
+                in_col[v.index()][j] = true;
             }
         }
         let r = in_row
@@ -269,20 +267,14 @@ mod tests {
     }
 
     fn centralized(size: usize, center: u32) -> RendezvousMatrix {
-        RendezvousMatrix::from_entries(
-            size,
-            vec![vec![n(center)]; size * size],
-        )
+        RendezvousMatrix::from_entries(size, vec![vec![n(center)]; size * size])
     }
 
     #[test]
     fn from_strategy_intersects() {
         // P(i) = {i}, Q(j) = {0..n} : broadcast
-        let m = RendezvousMatrix::from_strategy_dyn(
-            &|i| vec![i],
-            &|_| (0..4u32).map(n).collect(),
-            4,
-        );
+        let m =
+            RendezvousMatrix::from_strategy_dyn(&|i| vec![i], &|_| (0..4u32).map(n).collect(), 4);
         assert_eq!(m.entry(n(2), n(3)), &[n(2)]);
         assert!(m.is_optimal());
         assert!(m.satisfies_m2());

@@ -85,7 +85,11 @@ pub fn all_examples() -> Vec<(&'static str, RendezvousMatrix, Option<usize>)> {
     vec![
         ("Example 1: broadcasting", example_1_broadcasting(), None),
         ("Example 2: sweeping", example_2_sweeping(), None),
-        ("Example 3: centralized name server", example_3_centralized(), None),
+        (
+            "Example 3: centralized name server",
+            example_3_centralized(),
+            None,
+        ),
         (
             "Example 4: truly distributed name server",
             example_4_truly_distributed(),
@@ -101,7 +105,11 @@ pub fn all_examples() -> Vec<(&'static str, RendezvousMatrix, Option<usize>)> {
             example_6_binary_3_cube(),
             Some(3),
         ),
-        ("Section 3.1: 9-node Manhattan network", manhattan_9_node(), None),
+        (
+            "Section 3.1: 9-node Manhattan network",
+            manhattan_9_node(),
+            None,
+        ),
     ]
 }
 
@@ -168,18 +176,12 @@ mod tests {
         // figure row for server 000: 000 001 010 011 000 001 010 011
         let want = [0u32, 1, 2, 3, 0, 1, 2, 3];
         for (j, &w) in want.iter().enumerate() {
-            assert_eq!(
-                m.entry(NodeId::new(0), NodeId::from(j)),
-                &[NodeId::new(w)]
-            );
+            assert_eq!(m.entry(NodeId::new(0), NodeId::from(j)), &[NodeId::new(w)]);
         }
         // figure row for server 100: 100 101 110 111 100 101 110 111
         let want = [4u32, 5, 6, 7, 4, 5, 6, 7];
         for (j, &w) in want.iter().enumerate() {
-            assert_eq!(
-                m.entry(NodeId::new(4), NodeId::from(j)),
-                &[NodeId::new(w)]
-            );
+            assert_eq!(m.entry(NodeId::new(4), NodeId::from(j)), &[NodeId::new(w)]);
         }
     }
 
@@ -198,8 +200,11 @@ mod tests {
         for (name, m, _) in all_examples() {
             assert!(m.satisfies_m2(), "{name}");
             assert!(m.is_optimal(), "{name}");
-            assert_eq!(m.multiplicities().iter().sum::<u64>() as usize,
-                       m.node_count() * m.node_count(), "{name}");
+            assert_eq!(
+                m.multiplicities().iter().sum::<u64>() as usize,
+                m.node_count() * m.node_count(),
+                "{name}"
+            );
         }
     }
 
@@ -207,7 +212,7 @@ mod tests {
     fn rendering_shows_paper_numbers() {
         let s = example_3_centralized().render(None);
         // every row shows nine 3s
-        assert_eq!(s.matches('3').count() >= 81, true);
+        assert!(s.matches('3').count() >= 81);
         let cube = example_6_binary_3_cube().render(Some(3));
         assert!(cube.contains("000") && cube.contains("111"));
     }

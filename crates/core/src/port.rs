@@ -17,8 +17,9 @@ use std::fmt;
 /// assert_ne!(file_service, Port::new(1));
 /// assert_eq!(file_service.raw(), 0xCAFE_F00D);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 #[serde(transparent)]
 pub struct Port(u128);
 

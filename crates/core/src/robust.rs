@@ -107,9 +107,7 @@ impl<S: Strategy> Strategy for Replicated<S> {
 /// in `crashed` are down? (`i`/`j` themselves are assumed alive; a crashed
 /// rendezvous node keeps no cache.)
 pub fn survives(s: &impl Strategy, i: NodeId, j: NodeId, crashed: &[NodeId]) -> bool {
-    s.rendezvous(i, j)
-        .iter()
-        .any(|r| !crashed.contains(r))
+    s.rendezvous(i, j).iter().any(|r| !crashed.contains(r))
 }
 
 /// The redundancy level of a strategy: `min_{i,j} #(P(i) ∩ Q(j)) − 1`,
@@ -183,7 +181,12 @@ mod tests {
     fn centralized_fails_any_crash_of_center() {
         let s = Centralized::new(9, NodeId::new(4));
         assert_eq!(max_tolerated_faults(&s), 0);
-        assert!(!survives(&s, NodeId::new(0), NodeId::new(1), &[NodeId::new(4)]));
+        assert!(!survives(
+            &s,
+            NodeId::new(0),
+            NodeId::new(1),
+            &[NodeId::new(4)]
+        ));
         let frac = survival_fraction(&s, &[NodeId::new(4)]);
         assert_eq!(frac, 0.0, "losing the center severs everyone");
     }

@@ -73,7 +73,7 @@ impl Strategy for CccStrategy {
 
     fn post_set(&self, i: NodeId) -> Vec<NodeId> {
         let node = CccNode::from_index(i, self.d);
-        let low = node.corner & ((1u32 << self.h) - 1).min(u32::MAX);
+        let low = node.corner & ((1u32 << self.h) - 1);
         let low = if self.h == 0 { 0 } else { low };
         let mut out: Vec<NodeId> = (0..(1u32 << (self.d - self.h)))
             .map(|a| {

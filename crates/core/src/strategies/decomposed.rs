@@ -88,8 +88,7 @@ mod tests {
         ];
         for g in &graphs {
             let s = strat(g);
-            s.validate()
-                .unwrap_or_else(|e| panic!("{}: {e}", g.name()));
+            s.validate().unwrap_or_else(|e| panic!("{}: {e}", g.name()));
         }
     }
 

@@ -116,18 +116,15 @@ impl HashLocate {
         if exclude.len() >= self.n {
             return None;
         }
-        let mut salt = self.replication as u64 + attempt as u64 * 0x1000;
-        for _ in 0..10 * self.n + 16 {
+        let base = self.replication as u64 + attempt as u64 * 0x1000;
+        for salt in base..base + (10 * self.n + 16) as u64 {
             let v = NodeId::from((Self::hash64(port, salt) % self.n as u64) as usize);
             if !exclude.contains(&v) {
                 return Some(v);
             }
-            salt += 1;
         }
         // pathological port/exclude combination: fall back to linear scan
-        (0..self.n)
-            .map(NodeId::from)
-            .find(|v| !exclude.contains(v))
+        (0..self.n).map(NodeId::from).find(|v| !exclude.contains(v))
     }
 }
 

@@ -192,9 +192,7 @@ mod tests {
         let (a, b) = (NodeId::new(1), NodeId::new(2));
         let rdv = s.rendezvous(a, b);
         let group = h.group_of(a, 1);
-        assert!(rdv
-            .iter()
-            .any(|r| h.group_of(*r, 1) == group));
+        assert!(rdv.iter().any(|r| h.group_of(*r, 1) == group));
     }
 
     #[test]

@@ -37,7 +37,7 @@ impl HypercubeSplit {
     /// Panics if `d == 0` or `d > 30`, or if `keep_mask` has bits outside
     /// `0..d`.
     pub fn new(d: u32, keep_mask: u32) -> Self {
-        assert!(d >= 1 && d <= 30, "cube dimension out of range");
+        assert!((1..=30).contains(&d), "cube dimension out of range");
         assert_eq!(
             keep_mask & !((1u32 << d) - 1),
             0,

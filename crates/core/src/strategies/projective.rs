@@ -39,7 +39,11 @@ impl ProjectiveStrategy {
     /// Selects which incident line (index modulo `k+1`) servers and
     /// clients use — different indices exercise different rendezvous
     /// points, the basis of the line-failure resistance experiment.
-    pub fn with_line_choice(plane: Arc<ProjectivePlane>, server_line: usize, client_line: usize) -> Self {
+    pub fn with_line_choice(
+        plane: Arc<ProjectivePlane>,
+        server_line: usize,
+        client_line: usize,
+    ) -> Self {
         ProjectiveStrategy {
             plane,
             server_line,

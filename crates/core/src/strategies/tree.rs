@@ -148,7 +148,7 @@ mod tests {
     #[test]
     fn deep_path_tree_linear_cost() {
         // path graph as degenerate tree: m(n) = O(n), like the ring bound
-        let s = strat(profile_tree(&vec![1usize; 15]).unwrap());
+        let s = strat(profile_tree(&[1usize; 15]).unwrap());
         s.validate().unwrap();
         assert!(s.average_cost() > 15.0);
     }

@@ -114,8 +114,12 @@ pub trait Strategy {
         if n == 0 {
             return 0.0;
         }
-        let post: u64 = (0..n).map(|i| self.post_count(NodeId::from(i)) as u64).sum();
-        let query: u64 = (0..n).map(|j| self.query_count(NodeId::from(j)) as u64).sum();
+        let post: u64 = (0..n)
+            .map(|i| self.post_count(NodeId::from(i)) as u64)
+            .sum();
+        let query: u64 = (0..n)
+            .map(|j| self.query_count(NodeId::from(j)) as u64)
+            .sum();
         (post + query) as f64 / n as f64
     }
 
@@ -137,7 +141,11 @@ pub trait Strategy {
     /// Materializes the full rendezvous matrix (`O(n²·set size)`; intended
     /// for analysis at moderate `n`).
     fn to_matrix(&self) -> RendezvousMatrix {
-        RendezvousMatrix::from_strategy_dyn(&|i| self.post_set(i), &|j| self.query_set(j), self.node_count())
+        RendezvousMatrix::from_strategy_dyn(
+            &|i| self.post_set(i),
+            &|j| self.query_set(j),
+            self.node_count(),
+        )
     }
 
     /// Checks that every pair can rendezvous and all sets stay in range.
@@ -157,7 +165,10 @@ pub trait Strategy {
                     node_count: n,
                 });
             }
-            debug_assert!(p.windows(2).all(|w| w[0] < w[1]), "P({i}) must be sorted+deduped");
+            debug_assert!(
+                p.windows(2).all(|w| w[0] < w[1]),
+                "P({i}) must be sorted+deduped"
+            );
         }
         for (j, q) in queries.iter().enumerate() {
             if let Some(&m) = q.iter().find(|m| m.index() >= n) {
@@ -167,7 +178,10 @@ pub trait Strategy {
                     node_count: n,
                 });
             }
-            debug_assert!(q.windows(2).all(|w| w[0] < w[1]), "Q({j}) must be sorted+deduped");
+            debug_assert!(
+                q.windows(2).all(|w| w[0] < w[1]),
+                "Q({j}) must be sorted+deduped"
+            );
         }
         for (i, p) in posts.iter().enumerate() {
             for (j, q) in queries.iter().enumerate() {
@@ -321,7 +335,10 @@ mod tests {
     fn intersect_sorted_basics() {
         let a: Vec<NodeId> = [1u32, 3, 5, 7].iter().map(|&x| NodeId::new(x)).collect();
         let b: Vec<NodeId> = [2u32, 3, 4, 7, 9].iter().map(|&x| NodeId::new(x)).collect();
-        assert_eq!(intersect_sorted(&a, &b), vec![NodeId::new(3), NodeId::new(7)]);
+        assert_eq!(
+            intersect_sorted(&a, &b),
+            vec![NodeId::new(3), NodeId::new(7)]
+        );
         assert!(intersect_sorted(&a, &[]).is_empty());
     }
 

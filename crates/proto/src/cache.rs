@@ -137,7 +137,10 @@ mod tests {
     fn newer_stamp_wins_older_ignored() {
         let mut c = Cache::new();
         c.insert(port("a"), NodeId::new(1), 10);
-        assert!(!c.insert(port("a"), NodeId::new(2), 5), "stale update ignored");
+        assert!(
+            !c.insert(port("a"), NodeId::new(2), 5),
+            "stale update ignored"
+        );
         assert_eq!(c.lookup(port("a")).unwrap().addr, NodeId::new(1));
         assert!(c.insert(port("a"), NodeId::new(3), 20));
         assert_eq!(c.lookup(port("a")).unwrap().addr, NodeId::new(3));
@@ -155,7 +158,10 @@ mod tests {
     fn remove_respects_stamps() {
         let mut c = Cache::new();
         c.insert(port("a"), NodeId::new(1), 10);
-        assert!(!c.remove(port("a"), 5), "old unpost cannot erase newer post");
+        assert!(
+            !c.remove(port("a"), 5),
+            "old unpost cannot erase newer post"
+        );
         assert!(c.remove(port("a"), 10));
         assert!(c.is_empty());
         assert!(!c.remove(port("a"), 99), "nothing left to remove");

@@ -185,7 +185,6 @@ impl LighthouseWorld {
         let mut beam_cells_total = 0u64;
         let mut len;
         let mut period;
-        let mut failures_at_level = 0u32;
         for trial in 1..=max_trials {
             match schedule {
                 ClientSchedule::Doubling {
@@ -193,11 +192,15 @@ impl LighthouseWorld {
                     initial_period,
                     escalate_after,
                 } => {
-                    let level = failures_at_level / escalate_after.max(1);
+                    // every earlier trial failed, so trial - 1 counts the failures
+                    let level = ((trial - 1) / escalate_after.max(1) as u64) as u32;
                     len = initial_len.saturating_mul(1 << level.min(16));
                     period = initial_period.saturating_mul(1 << level.min(16));
                 }
-                ClientSchedule::Ruler { unit_len, period: p } => {
+                ClientSchedule::Ruler {
+                    unit_len,
+                    period: p,
+                } => {
                     len = crate::ruler::ruler(trial) * unit_len;
                     period = p;
                 }
@@ -215,7 +218,6 @@ impl LighthouseWorld {
                     beam_cells: beam_cells_total,
                 });
             }
-            failures_at_level += 1;
         }
         None
     }

@@ -311,7 +311,11 @@ mod tests {
         let n = 9;
         let strat = Checkerboard::new(n);
         let net = LiveNet::new(n);
-        let found = net.locate(NodeId::new(0), Port::from_name("ghost"), strat.query_set(NodeId::new(0)));
+        let found = net.locate(
+            NodeId::new(0),
+            Port::from_name("ghost"),
+            strat.query_set(NodeId::new(0)),
+        );
         assert_eq!(found, None);
     }
 

@@ -57,7 +57,8 @@ mod tests {
     #[test]
     fn matches_paper_prefix() {
         // paper: 1213121412131215 1213121412131216 ...
-        let want: Vec<u32> = "1213121412131215".chars()
+        let want: Vec<u32> = "1213121412131215"
+            .chars()
             .map(|c| c.to_digit(10).unwrap())
             .collect();
         let got: Vec<u32> = RulerSequence::new().take(16).collect();

@@ -88,8 +88,7 @@ impl<PM: PortMapped> ServiceNet<PM> {
     /// Migrates the named service. Old cache entries become stale; the
     /// fresh posting carries a newer timestamp.
     pub fn migrate_service(&mut self, name: &str, from: NodeId, to: NodeId) {
-        self.engine
-            .migrate_server(Port::from_name(name), from, to);
+        self.engine.migrate_server(Port::from_name(name), from, to);
         self.engine.run();
     }
 
@@ -176,10 +175,7 @@ mod tests {
             6,
             "call after migration must succeed via fresh postings"
         );
-        assert_eq!(
-            net.locate(NodeId::new(20), "db").unwrap(),
-            NodeId::new(17)
-        );
+        assert_eq!(net.locate(NodeId::new(20), "db").unwrap(), NodeId::new(17));
     }
 
     #[test]

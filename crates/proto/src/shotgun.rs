@@ -439,6 +439,19 @@ impl<PM: PortMapped> ShotgunEngine<PM> {
         self.sim.metrics()
     }
 
+    /// Runs the simulation up to (and including) `deadline`, advancing
+    /// the clock through idle gaps — the open-loop driver used by
+    /// workload generators that interleave injections with simulated
+    /// time. Returns the new simulated time.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        self.sim.run_until(deadline)
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
     /// The current state of a locate operation.
     ///
     /// # Panics
@@ -446,10 +459,7 @@ impl<PM: PortMapped> ShotgunEngine<PM> {
     /// Panics if the handle was never issued by this engine.
     pub fn outcome(&self, h: LocateHandle) -> LocateOutcome {
         let node = self.sim.node(h.client);
-        let p = node
-            .pending
-            .get(&h.id)
-            .expect("unknown locate handle");
+        let p = node.pending.get(&h.id).expect("unknown locate handle");
         match p.completed_at {
             Some(done) => match p.best {
                 Some((addr, stamp)) => LocateOutcome::Found {
@@ -608,7 +618,10 @@ mod tests {
         eng.run();
         assert_eq!(
             eng.request_outcome(NodeId::new(1), id),
-            Some(RequestOutcome::Replied { body: 42, elapsed: 2 })
+            Some(RequestOutcome::Replied {
+                body: 42,
+                elapsed: 2
+            })
         );
     }
 

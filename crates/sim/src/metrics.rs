@@ -4,8 +4,7 @@
 ///
 /// `message_passes` is the paper's complexity measure: one per edge
 /// traversal (hop). `sends`/`delivered`/`dropped` count whole messages.
-#[derive(Debug, Clone, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct Metrics {
     /// Total edge traversals — the paper's `m` numerator.
     pub message_passes: u64,

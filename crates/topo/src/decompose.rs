@@ -130,11 +130,8 @@ impl Decomposition {
             // otherwise keep it as an (undersized) part of its own.
             let merged = parts.iter_mut().find(|p| {
                 p.len() + root_pending.len() < 2 * t
-                    && p.iter().any(|&u| {
-                        root_pending
-                            .iter()
-                            .any(|&w| g.has_edge(u, w))
-                    })
+                    && p.iter()
+                        .any(|&u| root_pending.iter().any(|&w| g.has_edge(u, w)))
             });
             match merged {
                 Some(part) => part.extend(root_pending.iter().copied()),
@@ -363,7 +360,11 @@ mod tests {
             // between n/(2t) and n/t parts plus slack for undersized ones
             let t = d.t;
             assert!(d.part_count() >= n / (2 * t));
-            assert!(d.part_count() <= n / t * 2 + 2, "too many parts: {}", d.part_count());
+            assert!(
+                d.part_count() <= n / t * 2 + 2,
+                "too many parts: {}",
+                d.part_count()
+            );
         }
     }
 }

@@ -30,7 +30,8 @@ pub fn grid(p: usize, q: usize, wrap: bool) -> Graph {
                 g.add_edge(id(r, c), id(r, c + 1)).expect("grid row edge");
             }
             if r + 1 < p {
-                g.add_edge(id(r, c), id(r + 1, c)).expect("grid column edge");
+                g.add_edge(id(r, c), id(r + 1, c))
+                    .expect("grid column edge");
             }
         }
     }
@@ -42,7 +43,8 @@ pub fn grid(p: usize, q: usize, wrap: bool) -> Graph {
         }
         if p >= 3 {
             for c in 0..q {
-                g.add_edge(id(p - 1, c), id(0, c)).expect("torus column wrap");
+                g.add_edge(id(p - 1, c), id(0, c))
+                    .expect("torus column wrap");
             }
         }
     }

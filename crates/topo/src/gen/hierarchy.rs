@@ -47,13 +47,11 @@ impl Hierarchy {
         let mut stride = Vec::with_capacity(branching.len() + 1);
         stride.push(1usize);
         for &b in branching {
-            let next = stride
-                .last()
-                .unwrap()
-                .checked_mul(b)
-                .ok_or_else(|| TopoError::InvalidParameter {
+            let next = stride.last().unwrap().checked_mul(b).ok_or_else(|| {
+                TopoError::InvalidParameter {
                     reason: "hierarchy too large".into(),
-                })?;
+                }
+            })?;
             stride.push(next);
         }
         let n = *stride.last().unwrap();
@@ -255,10 +253,10 @@ mod tests {
                     let _gw = h.gateway(level, group, c);
                 }
             }
-            for v in 0..h.node_count() {
+            for (v, s) in seen.iter_mut().enumerate() {
                 let g = h.group_of(NodeId::from(v), level);
                 assert!(g < h.group_count(level));
-                seen[v] += 1;
+                *s += 1;
             }
             assert!(seen.iter().all(|&s| s == 1));
         }

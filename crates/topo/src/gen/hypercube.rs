@@ -67,7 +67,7 @@ impl CccNode {
 ///
 /// Returns [`TopoError::InvalidParameter`] for `d < 1` or `d > 24`.
 pub fn cube_connected_cycles(d: u32) -> Result<Graph, TopoError> {
-    if d < 1 || d > 24 {
+    if !(1..=24).contains(&d) {
         return Err(TopoError::InvalidParameter {
             reason: format!("CCC dimension {d} out of supported range 1..=24"),
         });

@@ -61,7 +61,10 @@ impl ProjectivePlane {
         let mut through = vec![Vec::new(); n];
         for (li, l) in coords.iter().enumerate() {
             for (pi, p) in coords.iter().enumerate() {
-                let dot = f.add(f.add(f.mul(p[0], l[0]), f.mul(p[1], l[1])), f.mul(p[2], l[2]));
+                let dot = f.add(
+                    f.add(f.mul(p[0], l[0]), f.mul(p[1], l[1])),
+                    f.mul(p[2], l[2]),
+                );
                 if dot == 0 {
                     lines[li].push(pi as u32);
                     through[pi].push(li as u32);
@@ -137,7 +140,10 @@ impl ProjectivePlane {
     /// Panics if `a` or `b` is out of range.
     pub fn line_intersection(&self, a: usize, b: usize) -> Vec<u32> {
         let (la, lb) = (&self.lines[a], &self.lines[b]);
-        la.iter().copied().filter(|p| lb.binary_search(p).is_ok()).collect()
+        la.iter()
+            .copied()
+            .filter(|p| lb.binary_search(p).is_ok())
+            .collect()
     }
 
     /// A deterministic "home line" for a node hosting a server or client:
@@ -234,8 +240,9 @@ mod tests {
     fn duality_point_line_counts_match() {
         let pg = ProjectivePlane::new(11).unwrap();
         let incidences_by_lines: usize = (0..pg.point_count()).map(|l| pg.line(l).len()).sum();
-        let incidences_by_points: usize =
-            (0..pg.point_count()).map(|p| pg.lines_through(p).len()).sum();
+        let incidences_by_points: usize = (0..pg.point_count())
+            .map(|p| pg.lines_through(p).len())
+            .sum();
         assert_eq!(incidences_by_lines, incidences_by_points);
     }
 }

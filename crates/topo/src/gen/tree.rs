@@ -77,16 +77,24 @@ pub fn balanced_tree(arity: usize, levels: usize) -> Result<TreeInfo, TopoError>
     let mut sz = 1usize;
     for _ in 0..levels {
         level_sizes.push(sz);
-        sz = sz.checked_mul(arity).ok_or_else(|| TopoError::InvalidParameter {
-            reason: "balanced tree too large".into(),
-        })?;
+        sz = sz
+            .checked_mul(arity)
+            .ok_or_else(|| TopoError::InvalidParameter {
+                reason: "balanced tree too large".into(),
+            })?;
     }
-    profile_tree(&level_sizes.iter().skip(1).map(|_| arity).collect::<Vec<_>>())
-        .map(|mut t| {
-            t.graph
-                .set_name(format!("balanced_tree(a={arity},l={levels})"));
-            t
-        })
+    profile_tree(
+        &level_sizes
+            .iter()
+            .skip(1)
+            .map(|_| arity)
+            .collect::<Vec<_>>(),
+    )
+    .map(|mut t| {
+        t.graph
+            .set_name(format!("balanced_tree(a={arity},l={levels})"));
+        t
+    })
 }
 
 /// Tree from a *branching profile*: `branching[i]` children for every node
@@ -111,12 +119,16 @@ pub fn profile_tree(branching: &[usize]) -> Result<TreeInfo, TopoError> {
     let mut n: usize = 1;
     let mut level = 1usize;
     for &b in branching {
-        level = level.checked_mul(b).ok_or_else(|| TopoError::InvalidParameter {
-            reason: "profile tree too large".into(),
-        })?;
-        n = n.checked_add(level).ok_or_else(|| TopoError::InvalidParameter {
-            reason: "profile tree too large".into(),
-        })?;
+        level = level
+            .checked_mul(b)
+            .ok_or_else(|| TopoError::InvalidParameter {
+                reason: "profile tree too large".into(),
+            })?;
+        n = n
+            .checked_add(level)
+            .ok_or_else(|| TopoError::InvalidParameter {
+                reason: "profile tree too large".into(),
+            })?;
     }
     if n > (1 << 31) {
         return Err(TopoError::InvalidParameter {

@@ -10,8 +10,7 @@ use rand::Rng;
 
 /// One row of the paper's UUCPnet degree table: `sites` nodes of degree
 /// `degree`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct DegreeBucket {
     /// Node degree.
     pub degree: u32,

@@ -21,8 +21,19 @@ use std::fmt;
 /// assert_eq!(a.index(), 7);
 /// assert_eq!(NodeId::from(7u32), a);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
+)]
 #[serde(transparent)]
 pub struct NodeId(u32);
 
@@ -107,7 +118,10 @@ impl fmt::Display for TopoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TopoError::NodeOutOfRange { node, node_count } => {
-                write!(f, "node index {node} out of range for graph with {node_count} nodes")
+                write!(
+                    f,
+                    "node index {node} out of range for graph with {node_count} nodes"
+                )
             }
             TopoError::SelfLoop { node } => write!(f, "self-loop at node {node} rejected"),
             TopoError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
@@ -136,8 +150,7 @@ impl std::error::Error for TopoError {}
 /// assert!(g.has_edge(NodeId::new(0), NodeId::new(1)));
 /// assert!(!g.has_edge(NodeId::new(0), NodeId::new(2)));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct Graph {
     adj: Vec<Vec<u32>>,
     edge_count: usize,
@@ -419,10 +432,7 @@ mod tests {
     #[test]
     fn rejects_self_loop() {
         let mut g = Graph::new(2);
-        assert_eq!(
-            g.add_edge(n(1), n(1)),
-            Err(TopoError::SelfLoop { node: 1 })
-        );
+        assert_eq!(g.add_edge(n(1), n(1)), Err(TopoError::SelfLoop { node: 1 }));
     }
 
     #[test]

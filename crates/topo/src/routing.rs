@@ -48,7 +48,11 @@ pub fn bfs(g: &Graph, src: NodeId) -> Bfs {
             }
         }
     }
-    Bfs { dist, parent, order }
+    Bfs {
+        dist,
+        parent,
+        order,
+    }
 }
 
 /// All-pairs hop distances and next-hop table over a fixed graph.

@@ -124,8 +124,8 @@ pub fn multicast_cost(
         for (idx, &t) in remaining.iter().enumerate() {
             // distance from t to nearest tree node, via routing table rows
             let mut local_best: Option<(u32, NodeId)> = None;
-            for v in 0..n {
-                if !in_tree[v] {
+            for (v, &in_t) in in_tree.iter().enumerate() {
+                if !in_t {
                     continue;
                 }
                 if let Some(d) = rt.distance(NodeId::new(v as u32), t) {
@@ -213,10 +213,7 @@ mod tests {
     fn multicast_ignores_duplicates_and_source() {
         let g = gen::path(4);
         let rt = RoutingTable::new(&g);
-        assert_eq!(
-            multicast_cost(&g, &rt, n(0), &[n(0), n(2), n(2)]),
-            Some(2)
-        );
+        assert_eq!(multicast_cost(&g, &rt, n(0), &[n(0), n(2), n(2)]), Some(2));
         assert_eq!(multicast_cost(&g, &rt, n(0), &[]), Some(0));
     }
 

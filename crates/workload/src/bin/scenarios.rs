@@ -1,0 +1,180 @@
+//! Scenario sweep driver: runs library workloads against a chosen
+//! `topology × strategy × cost model` and dumps JSON metrics.
+//!
+//! ```text
+//! cargo run --release -p mm-workload --bin scenarios -- --n 1024 --seed 7
+//! cargo run --release -p mm-workload --bin scenarios -- \
+//!     --n 256 --scenario rolling-churn --strategy hash --topology grid --cost hops
+//! cargo run --release -p mm-workload --bin scenarios -- --sweep 64,256,1024
+//! ```
+//!
+//! Re-running with identical arguments reproduces byte-identical output
+//! (modulo the `--pretty` flag, which only reformats).
+
+use mm_core::strategies::{Broadcast, Checkerboard, HashLocate, PortMapped};
+use mm_sim::CostModel;
+use mm_topo::{gen, Graph};
+use mm_workload::{scenarios, ScenarioReport, ScenarioRunner};
+
+struct Args {
+    ns: Vec<usize>,
+    seed: u64,
+    scenario: String,
+    strategy: String,
+    topology: String,
+    cost: CostModel,
+    pretty: bool,
+    records: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: scenarios [--n N | --sweep N1,N2,..] [--seed S] \
+         [--scenario NAME|all] [--strategy checkerboard|hash|broadcast] \
+         [--topology complete|grid|ring|hypercube] [--cost uniform|hops] \
+         [--pretty] [--records]\n\nscenarios: {}",
+        scenarios::ALL.join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        ns: vec![1024],
+        seed: 7,
+        scenario: "all".into(),
+        strategy: "checkerboard".into(),
+        topology: "complete".into(),
+        cost: CostModel::Uniform,
+        pretty: false,
+        records: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |argv: &[String], i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--n" => {
+                args.ns = vec![value(&argv, &mut i).parse().unwrap_or_else(|_| usage())];
+            }
+            "--sweep" => {
+                args.ns = value(&argv, &mut i)
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+            }
+            "--seed" => args.seed = value(&argv, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--scenario" => args.scenario = value(&argv, &mut i),
+            "--strategy" => args.strategy = value(&argv, &mut i),
+            "--topology" => args.topology = value(&argv, &mut i),
+            "--cost" => {
+                args.cost = match value(&argv, &mut i).as_str() {
+                    "uniform" => CostModel::Uniform,
+                    "hops" => CostModel::Hops,
+                    _ => usage(),
+                }
+            }
+            "--pretty" => args.pretty = true,
+            "--records" => args.records = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if args.ns.is_empty() || args.ns.contains(&0) {
+        usage();
+    }
+    args
+}
+
+fn build_graph(topology: &str, n: usize) -> Graph {
+    match topology {
+        "complete" => gen::complete(n),
+        "ring" => gen::ring(n),
+        "grid" => {
+            // the closest p x q >= n rectangle
+            let p = (n as f64).sqrt().ceil() as usize;
+            let q = n.div_ceil(p);
+            let mut g = gen::grid(p, q, false);
+            if p * q != n {
+                eprintln!("note: grid topology rounded n from {n} to {}", p * q);
+            }
+            g.set_name(format!("grid({p}x{q})"));
+            g
+        }
+        "hypercube" => {
+            let d = (n as f64).log2().round() as u32;
+            if 1usize << d != n {
+                eprintln!("error: --topology hypercube needs --n to be a power of two (got {n})");
+                std::process::exit(2);
+            }
+            gen::hypercube(d)
+        }
+        _ => usage(),
+    }
+}
+
+fn run_one(args: &Args, name: &str, n: usize) -> ScenarioReport {
+    let graph = build_graph(&args.topology, n);
+    // the grid topology may round n up; size the workload (churn widths
+    // etc.) from the node count actually run, not the requested one
+    let n = graph.node_count();
+    let spec = scenarios::by_name(name, n, args.seed).unwrap_or_else(|| usage());
+    match args.strategy.as_str() {
+        "checkerboard" => run_spec(spec, graph, Checkerboard::new(n), args, "checkerboard"),
+        "broadcast" => run_spec(spec, graph, Broadcast::new(n), args, "broadcast"),
+        "hash" => {
+            let replication = 3.min(n);
+            run_spec(spec, graph, HashLocate::new(n, replication), args, "hash")
+        }
+        _ => usage(),
+    }
+}
+
+fn run_spec<PM: PortMapped>(
+    spec: mm_workload::Workload,
+    graph: Graph,
+    resolver: PM,
+    args: &Args,
+    label: &str,
+) -> ScenarioReport {
+    ScenarioRunner::new(spec, graph, resolver, args.cost, label).run()
+}
+
+fn main() {
+    let args = parse_args();
+    let names: Vec<&str> = if args.scenario == "all" {
+        scenarios::ALL.to_vec()
+    } else {
+        if !scenarios::ALL.contains(&args.scenario.as_str()) {
+            usage();
+        }
+        vec![args.scenario.as_str()]
+    };
+
+    let mut reports = Vec::new();
+    for &n in &args.ns {
+        for name in &names {
+            eprintln!("running {name} at n={n} (seed {}) ...", args.seed);
+            reports.push(run_one(&args, name, n));
+        }
+    }
+
+    if args.records {
+        // mm-analysis theory-vs-measured records as a markdown table
+        let records: Vec<_> = reports.iter().flat_map(ScenarioReport::records).collect();
+        println!("{}", mm_analysis::record::to_markdown(&records));
+        return;
+    }
+
+    let json = if args.pretty {
+        serde_json::to_string_pretty(&reports)
+    } else {
+        serde_json::to_string(&reports)
+    }
+    .expect("reports always serialize");
+    println!("{json}");
+}

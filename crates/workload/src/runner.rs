@@ -1,0 +1,934 @@
+//! The scenario runner: compiles a [`Workload`] into simulator injections
+//! and drives a [`ServiceNet`]/[`ShotgunEngine`] open-loop to the horizon.
+//!
+//! The runner is the missing layer between the protocols and the
+//! benchmarks: the paper (and the E1–E18 harness) measures one locate at a
+//! time on an otherwise silent network, while [`ScenarioRunner`] sustains
+//! concurrent load — arrivals do not wait for earlier operations, churn
+//! fires on schedule, and servers refresh their postings while clients
+//! keep querying. Per-[`Phase`] metrics come out as [`PhaseReport`]s
+//! (throughput, passes per locate, hit rate, node-load percentiles,
+//! staleness recoveries), byte-identically reproducible for equal seeds.
+
+use crate::spec::{ChurnAction, Workload};
+use crate::traffic::{arrival_times, pick, PopularitySampler};
+use mm_analysis::stats::percentile_sorted;
+use mm_analysis::ExperimentRecord;
+use mm_core::strategies::PortMapped;
+use mm_core::Port;
+use mm_proto::service::ServiceNet;
+use mm_proto::shotgun::RequestOutcome;
+use mm_proto::{LocateHandle, LocateOutcome, ShotgunEngine};
+use mm_sim::{CostModel, Metrics, SimTime};
+use mm_topo::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Per-phase measurements (all counters are deltas within the phase).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseReport {
+    /// Phase name from the spec.
+    pub name: String,
+    /// Phase start tick (relative to scenario start).
+    pub start: u64,
+    /// Phase end tick (relative to scenario start).
+    pub end: u64,
+    /// Locate operations injected during the phase.
+    pub locates_issued: u64,
+    /// Locate operations that reached a verdict during the phase.
+    pub locates_completed: u64,
+    /// Completed locates that returned an address.
+    pub hits: u64,
+    /// Completed locates where every rendezvous answered "unknown".
+    pub misses: u64,
+    /// Locates abandoned after the client timeout (unanswered queries).
+    pub unresolved: u64,
+    /// Hits whose address no longer matched the server's true location.
+    pub stale_results: u64,
+    /// Application requests bounced by a stale address ("not here").
+    pub stale_requests: u64,
+    /// Stale addresses healed by the re-locate retry finding the current
+    /// address (§1.3's recovery loop, measured under load).
+    pub staleness_recoveries: u64,
+    /// Application requests answered by the server.
+    pub requests_ok: u64,
+    /// Application requests that timed out (crashed server).
+    pub request_timeouts: u64,
+    /// Message passes spent during the phase (the paper's `m` numerator).
+    pub message_passes: u64,
+    /// Messages handed to the network during the phase.
+    pub sends: u64,
+    /// Messages delivered during the phase.
+    pub delivered: u64,
+    /// Messages dropped during the phase (crashed nodes / severed paths).
+    pub dropped: u64,
+    /// Crash events injected during the phase.
+    pub crashes: u64,
+    /// `message_passes / locates_completed` (0 when nothing completed).
+    pub passes_per_locate: f64,
+    /// Completed locates per 1000 ticks of the observation window
+    /// (the final phase's window includes the post-horizon drain grace).
+    pub throughput_per_kilotick: f64,
+    /// `hits / locates_completed` (0 when nothing completed).
+    pub hit_rate: f64,
+    /// Median per-node deliveries during the phase.
+    pub load_p50: f64,
+    /// 99th-percentile per-node deliveries during the phase.
+    pub load_p99: f64,
+    /// Hottest node's deliveries during the phase.
+    pub load_max: u64,
+    /// Mean per-node deliveries during the phase.
+    pub load_mean: f64,
+}
+
+/// A whole scenario run: configuration echo plus per-phase reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioReport {
+    /// Scenario (workload) name.
+    pub scenario: String,
+    /// Strategy label (e.g. `checkerboard`).
+    pub strategy: String,
+    /// Cost model label (`uniform` / `hops`).
+    pub cost_model: String,
+    /// Topology label.
+    pub topology: String,
+    /// Node count.
+    pub n: u64,
+    /// Master seed.
+    pub seed: u64,
+    /// Number of service ports.
+    pub ports: u64,
+    /// Scenario horizon in ticks.
+    pub horizon: u64,
+    /// Predicted steady-state passes per locate (`2·|Q|`, the query +
+    /// reply cost against warm caches), for theory-vs-measured records.
+    pub predicted_passes_per_locate: f64,
+    /// Per-phase measurements.
+    pub phases: Vec<PhaseReport>,
+}
+
+impl ScenarioReport {
+    /// Sum of a per-phase counter.
+    fn total(&self, f: impl Fn(&PhaseReport) -> u64) -> u64 {
+        self.phases.iter().map(f).sum()
+    }
+
+    /// Total completed locates.
+    pub fn locates_completed(&self) -> u64 {
+        self.total(|p| p.locates_completed)
+    }
+
+    /// Overall hit rate.
+    pub fn hit_rate(&self) -> f64 {
+        let done = self.locates_completed();
+        if done == 0 {
+            0.0
+        } else {
+            self.total(|p| p.hits) as f64 / done as f64
+        }
+    }
+
+    /// Overall passes per completed locate.
+    pub fn passes_per_locate(&self) -> f64 {
+        let done = self.locates_completed();
+        if done == 0 {
+            0.0
+        } else {
+            self.total(|p| p.message_passes) as f64 / done as f64
+        }
+    }
+
+    /// Converts the run into `mm-analysis` theory-vs-measured records:
+    /// one per phase with completed locates, comparing measured passes
+    /// per locate against the strategy's `2·|Q|` steady-state prediction.
+    pub fn records(&self) -> Vec<ExperimentRecord> {
+        self.phases
+            .iter()
+            .filter(|p| p.locates_completed > 0)
+            .map(|p| {
+                ExperimentRecord::new(
+                    &format!("{}/{}", self.scenario, p.name),
+                    "passes-per-locate",
+                    self.predicted_passes_per_locate,
+                    p.passes_per_locate,
+                )
+            })
+            .collect()
+    }
+}
+
+/// An in-flight client operation awaiting its verdict.
+#[derive(Debug)]
+enum Op {
+    Locate {
+        handle: LocateHandle,
+        port_idx: usize,
+        issued_at: SimTime,
+        /// This locate is the retry after a stale request bounce.
+        retry: bool,
+    },
+    Request {
+        client: NodeId,
+        request_id: u64,
+        port_idx: usize,
+        issued_at: SimTime,
+        /// This request follows a stale-retry locate; don't retry again.
+        after_retry: bool,
+    },
+}
+
+/// Per-phase counter accumulator.
+#[derive(Debug, Default, Clone)]
+struct Acc {
+    issued: u64,
+    completed: u64,
+    hits: u64,
+    misses: u64,
+    unresolved: u64,
+    stale_results: u64,
+    stale_requests: u64,
+    recoveries: u64,
+    requests_ok: u64,
+    request_timeouts: u64,
+}
+
+/// Runner events in time order; the discriminant doubles as the same-tick
+/// priority (churn reshapes the world before traffic observes it).
+#[derive(Debug, Clone, PartialEq)]
+enum Event {
+    Churn(ChurnAction),
+    Refresh,
+    Arrival,
+}
+
+fn event_priority(e: &Event) -> u8 {
+    match e {
+        Event::Churn(_) => 0,
+        Event::Refresh => 1,
+        Event::Arrival => 2,
+    }
+}
+
+/// Drives one [`Workload`] against one `topology × strategy × cost model`
+/// instance and produces a [`ScenarioReport`].
+#[derive(Debug)]
+pub struct ScenarioRunner<PM: PortMapped> {
+    net: ServiceNet<PM>,
+    spec: Workload,
+    rng: StdRng,
+    sampler: PopularitySampler,
+    /// Port handles, index-aligned with the spec's port space.
+    ports: Vec<Port>,
+    /// Current true server address per port.
+    homes: Vec<NodeId>,
+    /// Runner-side crash view (mirrors the simulator).
+    crashed: Vec<bool>,
+    /// Currently-live nodes, ascending — kept incrementally in sync with
+    /// `crashed` so the per-arrival client draw is O(log n), not O(n).
+    live: Vec<NodeId>,
+    in_flight: Vec<Op>,
+    acc: Acc,
+    /// Offset between spec-relative time and simulator time (setup
+    /// posting settles during the offset window).
+    t0: SimTime,
+    /// Client timeout actually used: the spec's `op_timeout` under the
+    /// uniform cost model, stretched to cover a store-and-forward
+    /// round trip (≈ 2·diameter) under [`CostModel::Hops`] — otherwise
+    /// healthy slow answers on sparse topologies would be misreported
+    /// as unresolved.
+    op_timeout: SimTime,
+    strategy: String,
+    topology: String,
+    cost_label: String,
+}
+
+impl<PM: PortMapped> ScenarioRunner<PM> {
+    /// Builds a runner for `spec` over `graph` with `resolver` as the
+    /// match-making strategy. `strategy` is the label echoed in reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`Workload::validate`] or the resolver
+    /// universe differs from the graph size.
+    pub fn new(
+        spec: Workload,
+        graph: Graph,
+        resolver: PM,
+        cost_model: CostModel,
+        strategy: &str,
+    ) -> Self {
+        if let Err(e) = spec.validate() {
+            panic!("invalid workload {:?}: {e}", spec.name);
+        }
+        let n = graph.node_count();
+        assert!(n > 0, "empty graph");
+        let topology = graph.name().to_string();
+        let sampler = PopularitySampler::new(spec.ports, spec.popularity);
+        let net = ServiceNet::new(graph, resolver, cost_model);
+        let op_timeout = match net.engine().sim().routing() {
+            // double-sweep BFS estimate of the diameter via the routing
+            // table: eccentricity of node 0, then of the farthest node
+            Some(rt) => {
+                let ecc = |from: NodeId| -> (NodeId, u32) {
+                    (0..n)
+                        .map(NodeId::from)
+                        .map(|v| (v, rt.distance(from, v).unwrap_or(0)))
+                        .max_by_key(|&(_, d)| d)
+                        .expect("nonempty graph")
+                };
+                let (far, _) = ecc(NodeId::new(0));
+                let (_, diameter) = ecc(far);
+                // 2·diameter covers query + reply; the spec's timeout is
+                // kept as slack for the double-sweep underestimate
+                spec.op_timeout
+                    .max(2 * diameter as SimTime + spec.op_timeout)
+            }
+            None => spec.op_timeout,
+        };
+        ScenarioRunner {
+            rng: StdRng::seed_from_u64(spec.seed),
+            sampler,
+            ports: (0..spec.ports)
+                .map(|i| Port::from_name(&format!("svc-{i}")))
+                .collect(),
+            homes: Vec::new(),
+            crashed: vec![false; n],
+            live: (0..n).map(NodeId::from).collect(),
+            in_flight: Vec::new(),
+            acc: Acc::default(),
+            t0: op_timeout,
+            op_timeout,
+            strategy: strategy.to_string(),
+            topology,
+            cost_label: match cost_model {
+                CostModel::Uniform => "uniform".to_string(),
+                CostModel::Hops => "hops".to_string(),
+            },
+            spec,
+            net,
+        }
+    }
+
+    fn eng(&mut self) -> &mut ShotgunEngine<PM> {
+        self.net.engine_mut()
+    }
+
+    fn n(&self) -> usize {
+        self.crashed.len()
+    }
+
+    fn crash_node(&mut self, v: NodeId) {
+        debug_assert!(!self.crashed[v.index()]);
+        self.crashed[v.index()] = true;
+        if let Ok(pos) = self.live.binary_search(&v) {
+            self.live.remove(pos);
+        }
+        self.eng().crash(v);
+    }
+
+    fn restore_node(&mut self, v: NodeId, clear_cache: bool) {
+        debug_assert!(self.crashed[v.index()]);
+        self.crashed[v.index()] = false;
+        if let Err(pos) = self.live.binary_search(&v) {
+            self.live.insert(pos, v);
+        }
+        self.eng().restore(v);
+        if clear_cache {
+            self.eng().clear_cache(v);
+        }
+    }
+
+    /// Mean `2·|Q|` over a deterministic sample of (client, port) pairs —
+    /// the steady-state warm-cache locate cost prediction.
+    fn predict_passes_per_locate(&self) -> f64 {
+        let n = self.n();
+        let samples = 32.min(n * self.ports.len()).max(1);
+        let mut total = 0usize;
+        for k in 0..samples {
+            let client = NodeId::from((k * 7919) % n);
+            let port = self.ports[k % self.ports.len()];
+            total += self
+                .net
+                .engine()
+                .resolver()
+                .query_set_for(client, port)
+                .len();
+        }
+        2.0 * total as f64 / samples as f64
+    }
+
+    /// Runs the scenario to its horizon and reports.
+    pub fn run(mut self) -> ScenarioReport {
+        let predicted = self.predict_passes_per_locate();
+
+        // --- setup: place one server per port, let postings settle ---
+        for i in 0..self.spec.ports {
+            let home = NodeId::from(self.rng.gen_range(0..self.n()));
+            self.homes.push(home);
+            let port = self.ports[i];
+            self.eng().register_server(home, port);
+        }
+        let t0 = self.t0;
+        self.eng().run_until(t0);
+
+        // --- compile the spec into a merged, sorted event timeline ---
+        // Arrival draws happen in phase order before the run so the RNG
+        // consumption order is part of the spec's deterministic contract.
+        let mut timeline: Vec<(SimTime, Event)> = Vec::new();
+        let mut phase_bounds: Vec<(SimTime, SimTime, String)> = Vec::new();
+        let mut cursor: SimTime = 0;
+        let phases = self.spec.phases.clone();
+        for phase in &phases {
+            let (start, end) = (cursor, cursor + phase.duration);
+            for t in arrival_times(phase.arrivals, start, end, &mut self.rng) {
+                timeline.push((t, Event::Arrival));
+            }
+            phase_bounds.push((start, end, phase.name.clone()));
+            cursor = end;
+        }
+        let horizon = cursor;
+        for ev in self.spec.churn.clone() {
+            timeline.push((ev.at, Event::Churn(ev.action)));
+        }
+        if let Some(r) = self.spec.refresh_interval {
+            let mut t = r;
+            while t < horizon {
+                timeline.push((t, Event::Refresh));
+                t += r;
+            }
+        }
+        timeline.sort_by_key(|e| (e.0, event_priority(&e.1)));
+
+        // --- drive the engine phase by phase ---
+        let mut reports = Vec::with_capacity(phase_bounds.len());
+        let mut next = 0usize;
+        let last = phase_bounds.len() - 1;
+        for (pi, (start, end, name)) in phase_bounds.iter().enumerate() {
+            let before = self.net.engine().metrics().clone();
+            self.acc = Acc::default();
+            while next < timeline.len() && timeline[next].0 < *end {
+                let (t, ev) = timeline[next].clone();
+                next += 1;
+                self.eng().run_until(t0 + t);
+                self.drain(t0 + t, false);
+                self.apply(ev);
+            }
+            // close the phase; the final phase also absorbs the drain
+            // window so straggling operations get their verdict
+            let close = if pi == last {
+                t0 + end + self.op_timeout
+            } else {
+                t0 + end
+            };
+            self.eng().run_until(close);
+            self.drain(close, pi == last);
+            let after = self.net.engine().metrics().clone();
+            // rate denominators use the observation window actually
+            // measured, which for the final phase includes the drain grace
+            let window_end = close - t0;
+            reports.push(self.phase_report(name, *start, *end, window_end, &before, &after));
+        }
+
+        ScenarioReport {
+            scenario: self.spec.name.clone(),
+            strategy: self.strategy.clone(),
+            cost_model: self.cost_label.clone(),
+            topology: self.topology.clone(),
+            n: self.n() as u64,
+            seed: self.spec.seed,
+            ports: self.spec.ports as u64,
+            horizon,
+            predicted_passes_per_locate: predicted,
+            phases: reports,
+        }
+    }
+
+    /// Applies one timeline event at the current simulated time.
+    fn apply(&mut self, ev: Event) {
+        match ev {
+            Event::Arrival => {
+                if self.live.is_empty() {
+                    return; // total outage: the open-loop client is dead too
+                }
+                let client = pick(&self.live, &mut self.rng);
+                let port_idx = self.sampler.sample(&mut self.rng);
+                let port = self.ports[port_idx];
+                let issued_at = self.net.engine().now();
+                let handle = self.eng().locate(client, port);
+                self.in_flight.push(Op::Locate {
+                    handle,
+                    port_idx,
+                    issued_at,
+                    retry: false,
+                });
+                self.acc.issued += 1;
+            }
+            Event::Refresh => self.refresh_all(),
+            Event::Churn(action) => self.apply_churn(action),
+        }
+    }
+
+    fn refresh_all(&mut self) {
+        for i in 0..self.homes.len() {
+            let home = self.homes[i];
+            if !self.crashed[home.index()] {
+                let port = self.ports[i];
+                self.eng().register_server(home, port);
+            }
+        }
+    }
+
+    fn apply_churn(&mut self, action: ChurnAction) {
+        match action {
+            ChurnAction::CrashRandom {
+                count,
+                spare_servers,
+            } => {
+                let mut pool: Vec<NodeId> = self
+                    .live
+                    .iter()
+                    .copied()
+                    .filter(|v| !spare_servers || !self.homes.contains(v))
+                    .collect();
+                for _ in 0..count.min(pool.len()) {
+                    let k = self.rng.gen_range(0..pool.len());
+                    let v = pool.swap_remove(k);
+                    self.crash_node(v);
+                }
+            }
+            ChurnAction::CrashServer { port_index } => {
+                let v = self.homes[port_index];
+                if !self.crashed[v.index()] {
+                    self.crash_node(v);
+                }
+            }
+            ChurnAction::RestoreAll { clear_caches } => {
+                for vi in 0..self.n() {
+                    if self.crashed[vi] {
+                        self.restore_node(NodeId::from(vi), clear_caches);
+                    }
+                }
+            }
+            ChurnAction::MigrateRandom { port_index } => {
+                let from = self.homes[port_index];
+                let pool: Vec<NodeId> = self.live.iter().copied().filter(|&v| v != from).collect();
+                if pool.is_empty() {
+                    return;
+                }
+                let to = pick(&pool, &mut self.rng);
+                let port = self.ports[port_index];
+                self.eng().migrate_server(port, from, to);
+                self.homes[port_index] = to;
+            }
+            ChurnAction::ClearAllCaches => {
+                for vi in 0..self.n() {
+                    self.eng().clear_cache(NodeId::from(vi));
+                }
+            }
+            ChurnAction::RefreshAll => self.refresh_all(),
+        }
+    }
+
+    /// Classifies finished in-flight operations; `force` settles
+    /// everything still pending (end of scenario).
+    fn drain(&mut self, now: SimTime, force: bool) {
+        /// A request to issue once the classification pass is done (the
+        /// pass holds the engine immutably; issuing needs it mutably).
+        struct Followup {
+            client: NodeId,
+            addr: NodeId,
+            port_idx: usize,
+            after_retry: bool,
+        }
+        let mut requests: Vec<Followup> = Vec::new();
+        let mut relocates: Vec<(NodeId, usize)> = Vec::new();
+        let ops = std::mem::take(&mut self.in_flight);
+        let mut keep = Vec::with_capacity(ops.len());
+        for op in ops {
+            match op {
+                Op::Locate {
+                    handle,
+                    port_idx,
+                    issued_at,
+                    retry,
+                } => match self.net.engine().outcome(handle) {
+                    LocateOutcome::Found { addr, .. } => {
+                        self.acc.completed += 1;
+                        self.acc.hits += 1;
+                        let fresh = addr == self.homes[port_idx];
+                        if !fresh {
+                            self.acc.stale_results += 1;
+                        }
+                        if retry && fresh {
+                            self.acc.recoveries += 1;
+                        }
+                        if self.spec.request_after_locate {
+                            requests.push(Followup {
+                                client: handle.client,
+                                addr,
+                                port_idx,
+                                after_retry: retry,
+                            });
+                        }
+                    }
+                    LocateOutcome::NotFound { .. } => {
+                        self.acc.completed += 1;
+                        self.acc.misses += 1;
+                    }
+                    LocateOutcome::Unresolved { .. } => {
+                        if force || now.saturating_sub(issued_at) >= self.op_timeout {
+                            self.acc.completed += 1;
+                            self.acc.unresolved += 1;
+                        } else {
+                            keep.push(Op::Locate {
+                                handle,
+                                port_idx,
+                                issued_at,
+                                retry,
+                            });
+                        }
+                    }
+                },
+                Op::Request {
+                    client,
+                    request_id,
+                    port_idx,
+                    issued_at,
+                    after_retry,
+                } => match self.net.engine().request_outcome(client, request_id) {
+                    Some(RequestOutcome::Replied { .. }) => {
+                        self.acc.requests_ok += 1;
+                    }
+                    Some(RequestOutcome::StaleAddress) => {
+                        self.acc.stale_requests += 1;
+                        if !after_retry {
+                            // §1.3 recovery: re-locate and try again
+                            relocates.push((client, port_idx));
+                        }
+                    }
+                    None => {
+                        if force || now.saturating_sub(issued_at) >= self.op_timeout {
+                            self.acc.request_timeouts += 1;
+                        } else {
+                            keep.push(Op::Request {
+                                client,
+                                request_id,
+                                port_idx,
+                                issued_at,
+                                after_retry,
+                            });
+                        }
+                    }
+                },
+            }
+        }
+        // After the final forced drain the engine never steps again, so a
+        // follow-up issued here could neither run nor be classified —
+        // skip issuance rather than let tail operations vanish from the
+        // accounting.
+        if !force {
+            for f in requests {
+                let port = self.ports[f.port_idx];
+                let issued = self.net.engine().now();
+                let id = self.eng().request(f.client, f.addr, port, 1);
+                keep.push(Op::Request {
+                    client: f.client,
+                    request_id: id,
+                    port_idx: f.port_idx,
+                    issued_at: issued,
+                    after_retry: f.after_retry,
+                });
+            }
+            for (client, port_idx) in relocates {
+                let port = self.ports[port_idx];
+                let issued = self.net.engine().now();
+                let handle = self.eng().locate(client, port);
+                // retries are locate operations too: count them as issued
+                // so completed can never exceed issued within a phase
+                self.acc.issued += 1;
+                keep.push(Op::Locate {
+                    handle,
+                    port_idx,
+                    issued_at: issued,
+                    retry: true,
+                });
+            }
+        }
+        self.in_flight = keep;
+    }
+
+    fn phase_report(
+        &self,
+        name: &str,
+        start: SimTime,
+        end: SimTime,
+        window_end: SimTime,
+        before: &Metrics,
+        after: &Metrics,
+    ) -> PhaseReport {
+        let completed = self.acc.completed;
+        let passes = after.message_passes - before.message_passes;
+        let deltas: Vec<u64> = after
+            .node_load
+            .iter()
+            .zip(&before.node_load)
+            .map(|(a, b)| a - b)
+            .collect();
+        let load_max = deltas.iter().copied().max().unwrap_or(0);
+        let mut loads: Vec<f64> = deltas.iter().map(|&d| d as f64).collect();
+        loads.sort_by(|a, b| a.partial_cmp(b).expect("loads are finite"));
+        let window = (window_end - start).max(1);
+        PhaseReport {
+            name: name.to_string(),
+            start,
+            end,
+            locates_issued: self.acc.issued,
+            locates_completed: completed,
+            hits: self.acc.hits,
+            misses: self.acc.misses,
+            unresolved: self.acc.unresolved,
+            stale_results: self.acc.stale_results,
+            stale_requests: self.acc.stale_requests,
+            staleness_recoveries: self.acc.recoveries,
+            requests_ok: self.acc.requests_ok,
+            request_timeouts: self.acc.request_timeouts,
+            message_passes: passes,
+            sends: after.sends - before.sends,
+            delivered: after.delivered - before.delivered,
+            dropped: after.dropped - before.dropped,
+            crashes: after.crashes - before.crashes,
+            passes_per_locate: if completed == 0 {
+                0.0
+            } else {
+                passes as f64 / completed as f64
+            },
+            throughput_per_kilotick: completed as f64 * 1000.0 / window as f64,
+            hit_rate: if completed == 0 {
+                0.0
+            } else {
+                self.acc.hits as f64 / completed as f64
+            },
+            load_p50: percentile_sorted(&loads, 0.5),
+            load_p99: percentile_sorted(&loads, 0.99),
+            load_max,
+            load_mean: loads.iter().sum::<f64>() / loads.len() as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios;
+    use mm_core::strategies::{Checkerboard, HashLocate};
+    use mm_topo::gen;
+
+    fn run_scenario(name: &str, n: usize, seed: u64) -> ScenarioReport {
+        let spec = scenarios::by_name(name, n, seed).expect("library scenario");
+        ScenarioRunner::new(
+            spec,
+            gen::complete(n),
+            Checkerboard::new(n),
+            CostModel::Uniform,
+            "checkerboard",
+        )
+        .run()
+    }
+
+    #[test]
+    fn steady_state_matches_theory_under_load() {
+        let r = run_scenario("steady-state", 64, 7);
+        assert_eq!(r.phases.len(), 3);
+        assert!(r.hit_rate() > 0.99, "steady state hits: {}", r.hit_rate());
+        // 2·sqrt(64) = 16 passes per warm locate; sustained load should
+        // stay within a few percent of the single-shot theory
+        assert!((r.predicted_passes_per_locate - 16.0).abs() < 1e-9);
+        let measured = r.passes_per_locate();
+        assert!(
+            (measured / 16.0 - 1.0).abs() < 0.25,
+            "passes per locate {measured} strays from prediction 16"
+        );
+        let recs = r.records();
+        assert_eq!(recs.len(), 3, "one record per completed phase");
+        assert!(recs.iter().all(|rec| rec.within_factor(1.5)));
+    }
+
+    /// Satellite requirement: two identical seeded workload runs produce
+    /// byte-identical metrics (full JSON report equality).
+    #[test]
+    fn identical_seeds_are_byte_identical() {
+        let a = run_scenario("rolling-churn", 64, 42);
+        let b = run_scenario("rolling-churn", 64, 42);
+        let ja = serde_json::to_string(&a).unwrap();
+        let jb = serde_json::to_string(&b).unwrap();
+        assert_eq!(ja, jb, "same seed must reproduce byte-identical JSON");
+        let c = run_scenario("rolling-churn", 64, 43);
+        let jc = serde_json::to_string(&c).unwrap();
+        assert_ne!(ja, jc, "a different seed must actually change the run");
+    }
+
+    #[test]
+    fn report_roundtrips_through_the_value_model() {
+        let r = run_scenario("steady-state", 16, 3);
+        let v = serde::Serialize::to_value(&r);
+        let back: ScenarioReport = serde::Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn rolling_churn_degrades_then_recovers() {
+        let r = run_scenario("rolling-churn", 64, 7);
+        let by_name = |n: &str| {
+            r.phases
+                .iter()
+                .find(|p| p.name == n)
+                .unwrap_or_else(|| panic!("phase {n}"))
+        };
+        let churning = by_name("churning");
+        let recovered = by_name("recovered");
+        assert!(churning.crashes > 0, "churn must crash nodes");
+        assert!(
+            churning.unresolved > 0,
+            "crashed rendezvous must leave timeouts"
+        );
+        assert!(churning.dropped > 0, "messages must die at crashed nodes");
+        assert!(churning.hit_rate < 0.95);
+        assert!(
+            recovered.hit_rate > 0.99,
+            "refresh must heal the caches: {}",
+            recovered.hit_rate
+        );
+    }
+
+    #[test]
+    fn migration_under_load_heals_stale_addresses() {
+        let r = run_scenario("migrate-under-load", 64, 7);
+        let total_stale: u64 = r.phases.iter().map(|p| p.stale_requests).sum();
+        let total_recovered: u64 = r.phases.iter().map(|p| p.staleness_recoveries).sum();
+        let total_ok: u64 = r.phases.iter().map(|p| p.requests_ok).sum();
+        assert!(
+            total_stale > 0,
+            "migrating under load must bounce some requests"
+        );
+        assert!(
+            total_recovered > 0 && total_recovered <= total_stale,
+            "recoveries ({total_recovered}) heal bounces ({total_stale})"
+        );
+        assert!(total_ok > 1000, "throughput is sustained through migration");
+        assert_eq!(
+            r.phases.iter().map(|p| p.request_timeouts).sum::<u64>(),
+            0,
+            "no server ever crashes in this scenario"
+        );
+    }
+
+    #[test]
+    fn cold_cache_misses_until_refresh_reposts() {
+        let r = run_scenario("cold-vs-warm-cache", 64, 7);
+        let warm = &r.phases[0];
+        let cold = &r.phases[1];
+        let rewarmed = &r.phases[2];
+        assert!(warm.hit_rate > 0.99);
+        assert!(
+            cold.hit_rate < 0.2,
+            "wiped caches must miss: {}",
+            cold.hit_rate
+        );
+        assert!(cold.misses > 0);
+        assert!(rewarmed.hit_rate > 0.99, "refresh re-posts everything");
+    }
+
+    #[test]
+    fn flash_crowd_concentrates_rendezvous_load() {
+        let r = run_scenario("flash-crowd", 64, 7);
+        let calm = &r.phases[0];
+        let spike = &r.phases[1];
+        assert!(
+            spike.throughput_per_kilotick > 4.0 * calm.throughput_per_kilotick,
+            "the spike multiplies throughput"
+        );
+        assert!(
+            spike.load_p99 > 2.0 * calm.load_p99,
+            "hot-port rendezvous nodes absorb the crowd: calm p99 {} spike p99 {}",
+            calm.load_p99,
+            spike.load_p99
+        );
+        assert!(r.hit_rate() > 0.99);
+    }
+
+    #[test]
+    fn hash_locate_runs_the_same_workload() {
+        let n = 64;
+        let spec = scenarios::steady_state(11);
+        let r = ScenarioRunner::new(
+            spec,
+            gen::complete(n),
+            HashLocate::new(n, 3),
+            CostModel::Uniform,
+            "hash",
+        )
+        .run();
+        assert!(r.hit_rate() > 0.99);
+        // Hash Locate queries r = 3 nodes: 2·3 = 6 passes per locate
+        assert!((r.predicted_passes_per_locate - 6.0).abs() < 1e-9);
+        assert!(r.passes_per_locate() < 16.0, "far cheaper than 2·sqrt(n)");
+    }
+
+    #[test]
+    fn hops_cost_model_runs_on_sparse_topologies() {
+        let n = 36;
+        let spec = scenarios::steady_state(5);
+        let r = ScenarioRunner::new(
+            spec,
+            gen::grid(6, 6, false),
+            Checkerboard::new(n),
+            CostModel::Hops,
+            "checkerboard",
+        )
+        .run();
+        assert_eq!(r.cost_model, "hops");
+        assert!(r.hit_rate() > 0.9, "hit rate {}", r.hit_rate());
+        // store-and-forward costs more than one pass per query
+        assert!(r.passes_per_locate() > r.predicted_passes_per_locate);
+    }
+
+    #[test]
+    fn quiet_phases_advance_the_clock() {
+        use crate::spec::{ArrivalProcess, Phase, PortPopularity, Workload};
+        let spec = Workload {
+            name: "idle-gap".into(),
+            seed: 1,
+            ports: 1,
+            popularity: PortPopularity::Uniform,
+            phases: vec![
+                Phase::new("busy", 100, ArrivalProcess::FixedRate { interval: 10 }),
+                Phase::new("silent", 10_000, ArrivalProcess::Idle),
+                Phase::new(
+                    "busy-again",
+                    100,
+                    ArrivalProcess::FixedRate { interval: 10 },
+                ),
+            ],
+            churn: vec![],
+            refresh_interval: None,
+            request_after_locate: false,
+            op_timeout: 32,
+        };
+        let r = ScenarioRunner::new(
+            spec,
+            gen::complete(9),
+            Checkerboard::new(9),
+            CostModel::Uniform,
+            "checkerboard",
+        )
+        .run();
+        assert_eq!(r.horizon, 10_200);
+        assert_eq!(r.phases[1].locates_issued, 0);
+        assert_eq!(
+            r.phases[2].locates_issued, 10,
+            "the run must get through the silent phase and keep going"
+        );
+        assert!(r.phases[2].hit_rate > 0.99);
+    }
+}

@@ -1,0 +1,210 @@
+//! The built-in scenario library.
+//!
+//! Five production-shaped workloads, each parameterized by node count and
+//! seed. Durations scale with nothing — a scenario is the same length at
+//! `n = 64` and `n = 65536`; what changes is the per-node pressure, which
+//! is exactly what the phase reports measure.
+//!
+//! | scenario | stresses |
+//! |---|---|
+//! | [`steady_state`] | baseline throughput and cost under constant load |
+//! | [`flash_crowd`] | Zipf-skewed demand spiking onto one hot service |
+//! | [`rolling_churn`] | locates under waves of crash/restore (cache loss) |
+//! | [`migrate_under_load`] | stale-address recovery while servers move |
+//! | [`cold_vs_warm_cache`] | miss behaviour after a total cache wipe |
+
+use crate::spec::{ArrivalProcess, ChurnAction, ChurnEvent, Phase, PortPopularity, Workload};
+
+/// Default client timeout used by the library scenarios. This is the
+/// uniform-cost-model budget; under [`mm_sim::CostModel::Hops`] the
+/// runner stretches it to cover a store-and-forward round trip
+/// (≈ 2·diameter) on the actual topology, so sparse networks don't
+/// misreport slow-but-healthy answers as unresolved.
+pub const OP_TIMEOUT: u64 = 64;
+
+/// Names of all library scenarios, in canonical order.
+pub const ALL: [&str; 5] = [
+    "steady-state",
+    "flash-crowd",
+    "rolling-churn",
+    "migrate-under-load",
+    "cold-vs-warm-cache",
+];
+
+/// Builds a library scenario by name.
+///
+/// `n` is only used to scale churn widths (a fraction of the network);
+/// the arrival rates are per-tick and topology-independent.
+///
+/// Returns `None` for unknown names.
+pub fn by_name(name: &str, n: usize, seed: u64) -> Option<Workload> {
+    match name {
+        "steady-state" => Some(steady_state(seed)),
+        "flash-crowd" => Some(flash_crowd(seed)),
+        "rolling-churn" => Some(rolling_churn(n, seed)),
+        "migrate-under-load" => Some(migrate_under_load(seed)),
+        "cold-vs-warm-cache" => Some(cold_vs_warm_cache(seed)),
+        _ => None,
+    }
+}
+
+/// Constant moderate load, no disturbance: the baseline every other
+/// scenario is compared against.
+pub fn steady_state(seed: u64) -> Workload {
+    Workload {
+        name: "steady-state".into(),
+        seed,
+        ports: 8,
+        popularity: PortPopularity::Uniform,
+        phases: vec![
+            Phase::new("warmup", 400, ArrivalProcess::FixedRate { interval: 4 }),
+            Phase::new("steady", 2000, ArrivalProcess::Poisson { rate: 0.5 }),
+            Phase::new("cooldown", 400, ArrivalProcess::FixedRate { interval: 8 }),
+        ],
+        churn: vec![],
+        refresh_interval: Some(500),
+        request_after_locate: false,
+        op_timeout: OP_TIMEOUT,
+    }
+}
+
+/// Zipf-skewed demand with a 10× arrival spike in the middle: the hot
+/// port's rendezvous nodes absorb the crowd (watch `load_p99`).
+pub fn flash_crowd(seed: u64) -> Workload {
+    Workload {
+        name: "flash-crowd".into(),
+        seed,
+        ports: 16,
+        popularity: PortPopularity::Zipf { exponent: 1.2 },
+        phases: vec![
+            Phase::new("calm", 800, ArrivalProcess::Poisson { rate: 0.2 }),
+            Phase::new("spike", 600, ArrivalProcess::Poisson { rate: 2.0 }),
+            Phase::new("decay", 800, ArrivalProcess::Poisson { rate: 0.2 }),
+        ],
+        churn: vec![],
+        refresh_interval: Some(500),
+        request_after_locate: false,
+        op_timeout: OP_TIMEOUT,
+    }
+}
+
+/// Waves of infrastructure churn under sustained load: a slice of the
+/// network crashes, lives through a degraded window, restores with cold
+/// caches, and the periodic refresh heals the posts — three times over.
+pub fn rolling_churn(n: usize, seed: u64) -> Workload {
+    let wave = (n / 8).max(1);
+    let mut churn = Vec::new();
+    for k in 0..3u64 {
+        let base = 500 + k * 800;
+        churn.push(ChurnEvent {
+            at: base,
+            action: ChurnAction::CrashRandom {
+                count: wave,
+                spare_servers: true,
+            },
+        });
+        churn.push(ChurnEvent {
+            at: base + 400,
+            action: ChurnAction::RestoreAll { clear_caches: true },
+        });
+    }
+    Workload {
+        name: "rolling-churn".into(),
+        seed,
+        ports: 8,
+        popularity: PortPopularity::Uniform,
+        phases: vec![
+            Phase::new("warmup", 400, ArrivalProcess::FixedRate { interval: 4 }),
+            Phase::new("churning", 2400, ArrivalProcess::Poisson { rate: 0.5 }),
+            Phase::new("recovered", 500, ArrivalProcess::Poisson { rate: 0.5 }),
+        ],
+        churn,
+        refresh_interval: Some(200),
+        request_after_locate: false,
+        op_timeout: OP_TIMEOUT,
+    }
+}
+
+/// Services migrate every 120 ticks while clients locate *and call* them:
+/// measures the §1.3 stale-address recovery loop under load
+/// (`stale_requests` bounced, `staleness_recoveries` healed).
+pub fn migrate_under_load(seed: u64) -> Workload {
+    let mut churn = Vec::new();
+    for k in 0..14u64 {
+        churn.push(ChurnEvent {
+            at: 400 + k * 120,
+            action: ChurnAction::MigrateRandom {
+                port_index: (k % 4) as usize,
+            },
+        });
+    }
+    Workload {
+        name: "migrate-under-load".into(),
+        seed,
+        ports: 4,
+        popularity: PortPopularity::Zipf { exponent: 0.8 },
+        phases: vec![
+            Phase::new("warmup", 400, ArrivalProcess::FixedRate { interval: 4 }),
+            Phase::new("migrating", 1700, ArrivalProcess::Poisson { rate: 1.0 }),
+            Phase::new("settled", 400, ArrivalProcess::Poisson { rate: 1.0 }),
+        ],
+        churn,
+        refresh_interval: Some(400),
+        request_after_locate: true,
+        op_timeout: OP_TIMEOUT,
+    }
+}
+
+/// Identical load before and after a total rendezvous-cache wipe, with a
+/// slow refresh cadence: the cold phase shows misses/unresolved piling up
+/// until the next refresh re-posts everything.
+pub fn cold_vs_warm_cache(seed: u64) -> Workload {
+    Workload {
+        name: "cold-vs-warm-cache".into(),
+        seed,
+        ports: 8,
+        popularity: PortPopularity::Uniform,
+        phases: vec![
+            Phase::new("warm", 1000, ArrivalProcess::Poisson { rate: 0.5 }),
+            Phase::new("cold", 300, ArrivalProcess::Poisson { rate: 0.5 }),
+            Phase::new("re-warmed", 700, ArrivalProcess::Poisson { rate: 0.5 }),
+        ],
+        // the wipe lands exactly at the warm/cold boundary; the refresh
+        // cadence (tick 1300 = warm duration + cold duration) re-posts at
+        // the cold/re-warmed boundary
+        churn: vec![ChurnEvent {
+            at: 1000,
+            action: ChurnAction::ClearAllCaches,
+        }],
+        refresh_interval: Some(1300),
+        request_after_locate: false,
+        op_timeout: OP_TIMEOUT,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_library_scenario_validates() {
+        for name in ALL {
+            let w = by_name(name, 64, 7).expect("known scenario");
+            w.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(w.name, name);
+        }
+        assert!(by_name("nope", 64, 7).is_none());
+    }
+
+    #[test]
+    fn churn_widths_scale_with_n() {
+        let small = rolling_churn(8, 1);
+        let big = rolling_churn(1024, 1);
+        let width = |w: &Workload| match w.churn[0].action {
+            ChurnAction::CrashRandom { count, .. } => count,
+            _ => unreachable!(),
+        };
+        assert_eq!(width(&small), 1);
+        assert_eq!(width(&big), 128);
+    }
+}

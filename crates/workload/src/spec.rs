@@ -1,0 +1,275 @@
+//! Workload specifications: *what* load to offer, independent of the
+//! topology, strategy and cost model it runs against.
+//!
+//! A [`Workload`] is a declarative description of production-shaped
+//! traffic: how many services exist, how popular each one is
+//! ([`PortPopularity`]), how locate operations arrive over time (open-loop
+//! [`ArrivalProcess`] per [`Phase`]), how servers refresh their postings,
+//! and a timed [`ChurnEvent`] schedule (crashes, restores, migrations,
+//! cache wipes). The [`crate::runner::ScenarioRunner`] compiles a spec
+//! into simulator injections against any `topology × strategy × protocol`
+//! combination.
+//!
+//! Everything is deterministic: the spec carries a seed, and every random
+//! decision (port choice, client choice, arrival spacing, churn targets)
+//! is drawn from one generator in a fixed order.
+
+use mm_sim::SimTime;
+
+/// How locate demand is spread over the port space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PortPopularity {
+    /// Every port equally likely.
+    Uniform,
+    /// Zipf-distributed popularity: port `i` (0-based rank) is requested
+    /// with probability proportional to `1 / (i + 1)^exponent`. Skewed
+    /// demand is what separates rendezvous structures in practice — a hot
+    /// port concentrates load on its rendezvous nodes.
+    Zipf {
+        /// The skew exponent `s > 0`; `s ≈ 1` is classic web-like skew.
+        exponent: f64,
+    },
+}
+
+/// Open-loop arrival process for locate operations within one phase.
+///
+/// Open-loop means arrivals do not wait for earlier operations to finish —
+/// the paper's single-locate experiments are the opposite regime, and
+/// sustained load is exactly what they do not measure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Poisson arrivals with the given expected rate (operations per
+    /// simulated tick). Inter-arrival gaps are exponential.
+    Poisson {
+        /// Expected arrivals per tick (> 0).
+        rate: f64,
+    },
+    /// One arrival every `interval` ticks, exactly.
+    FixedRate {
+        /// Ticks between consecutive arrivals (> 0).
+        interval: SimTime,
+    },
+    /// No arrivals (quiet period — exercises idle-gap clock handling).
+    Idle,
+}
+
+/// One contiguous traffic phase. Phases run back to back; the runner
+/// reports metrics per phase, so before/after comparisons (cold vs. warm,
+/// calm vs. flash crowd) fall out of the phase structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase {
+    /// Phase name, echoed in reports.
+    pub name: String,
+    /// Phase length in ticks.
+    pub duration: SimTime,
+    /// The arrival process during this phase.
+    pub arrivals: ArrivalProcess,
+}
+
+impl Phase {
+    /// Builds a phase.
+    pub fn new(name: &str, duration: SimTime, arrivals: ArrivalProcess) -> Self {
+        Phase {
+            name: name.to_string(),
+            duration,
+            arrivals,
+        }
+    }
+}
+
+/// A scheduled disturbance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnEvent {
+    /// Absolute tick (from scenario start) at which the action fires.
+    pub at: SimTime,
+    /// What happens.
+    pub action: ChurnAction,
+}
+
+/// The kinds of churn a workload can inject.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChurnAction {
+    /// Crashes `count` random currently-live nodes. With `spare_servers`,
+    /// nodes currently hosting a service are exempt (pure infrastructure
+    /// churn); without it servers can die too.
+    CrashRandom {
+        /// How many nodes to take down.
+        count: usize,
+        /// Keep service hosts alive.
+        spare_servers: bool,
+    },
+    /// Crashes the server currently hosting port `port_index`.
+    CrashServer {
+        /// Index into the workload's port space.
+        port_index: usize,
+    },
+    /// Restores every crashed node. With `clear_caches`, restored nodes
+    /// lose their rendezvous cache (volatile memory), so they answer
+    /// misses until servers re-post.
+    RestoreAll {
+        /// Model lost volatile state on restore.
+        clear_caches: bool,
+    },
+    /// Migrates the service on port `port_index` to a random live node
+    /// (the paper's mobile-process scenario, under load).
+    MigrateRandom {
+        /// Index into the workload's port space.
+        port_index: usize,
+    },
+    /// Empties every node's rendezvous cache (cold-cache experiments).
+    ClearAllCaches,
+    /// Immediately re-posts every service at its current address
+    /// (operator-triggered refresh, complementing the periodic cadence).
+    RefreshAll,
+}
+
+/// A complete seeded scenario description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// Scenario name, echoed in reports.
+    pub name: String,
+    /// Master seed; equal seeds produce byte-identical runs.
+    pub seed: u64,
+    /// Number of distinct service ports.
+    pub ports: usize,
+    /// Demand skew across ports.
+    pub popularity: PortPopularity,
+    /// Traffic phases, run back to back.
+    pub phases: Vec<Phase>,
+    /// Scheduled disturbances (absolute ticks).
+    pub churn: Vec<ChurnEvent>,
+    /// Servers re-post their address every `refresh_interval` ticks
+    /// (`None` = post once at startup only). Refreshing is what heals
+    /// caches after crashes and keeps migrations converging.
+    pub refresh_interval: Option<SimTime>,
+    /// After a successful locate, send an application request to the
+    /// located address (exercises the stale-address recovery loop of
+    /// §1.3 — necessary for measuring staleness recoveries).
+    pub request_after_locate: bool,
+    /// Ticks a client waits for outstanding answers before declaring an
+    /// operation unresolved (crashed rendezvous never answer).
+    pub op_timeout: SimTime,
+}
+
+impl Workload {
+    /// Total scheduled horizon: the sum of phase durations.
+    pub fn horizon(&self) -> SimTime {
+        self.phases.iter().map(|p| p.duration).sum()
+    }
+
+    /// Sanity-checks the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.ports == 0 {
+            return Err("workload needs at least one port".into());
+        }
+        if self.phases.is_empty() {
+            return Err("workload needs at least one phase".into());
+        }
+        for p in &self.phases {
+            match p.arrivals {
+                // NaN rates must fail too, hence the negated comparison
+                ArrivalProcess::Poisson { rate }
+                    if rate.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) =>
+                {
+                    return Err(format!("phase {:?}: Poisson rate must be > 0", p.name));
+                }
+                ArrivalProcess::FixedRate { interval: 0 } => {
+                    return Err(format!("phase {:?}: interval must be > 0", p.name));
+                }
+                _ => {}
+            }
+            if p.duration == 0 {
+                return Err(format!("phase {:?}: duration must be > 0", p.name));
+            }
+        }
+        if let PortPopularity::Zipf { exponent } = self.popularity {
+            // NaN exponents must fail too
+            if exponent.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+                return Err("Zipf exponent must be > 0".into());
+            }
+        }
+        let horizon = self.horizon();
+        for e in &self.churn {
+            if e.at >= horizon {
+                return Err(format!(
+                    "churn event at t={} is past the horizon {horizon}",
+                    e.at
+                ));
+            }
+            if let ChurnAction::CrashServer { port_index }
+            | ChurnAction::MigrateRandom { port_index } = e.action
+            {
+                if port_index >= self.ports {
+                    return Err(format!(
+                        "churn references port {port_index} of {}",
+                        self.ports
+                    ));
+                }
+            }
+        }
+        if self.op_timeout == 0 {
+            return Err("op_timeout must be > 0".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal() -> Workload {
+        Workload {
+            name: "t".into(),
+            seed: 1,
+            ports: 2,
+            popularity: PortPopularity::Uniform,
+            phases: vec![Phase::new(
+                "p",
+                100,
+                ArrivalProcess::FixedRate { interval: 5 },
+            )],
+            churn: vec![],
+            refresh_interval: None,
+            request_after_locate: false,
+            op_timeout: 32,
+        }
+    }
+
+    #[test]
+    fn horizon_sums_phases() {
+        let mut w = minimal();
+        w.phases.push(Phase::new("q", 50, ArrivalProcess::Idle));
+        assert_eq!(w.horizon(), 150);
+        assert!(w.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_specs() {
+        let mut w = minimal();
+        w.ports = 0;
+        assert!(w.validate().is_err());
+
+        let mut w = minimal();
+        w.phases[0].arrivals = ArrivalProcess::Poisson { rate: 0.0 };
+        assert!(w.validate().is_err());
+
+        let mut w = minimal();
+        w.churn.push(ChurnEvent {
+            at: 1_000,
+            action: ChurnAction::ClearAllCaches,
+        });
+        assert!(w.validate().is_err(), "churn past horizon");
+
+        let mut w = minimal();
+        w.churn.push(ChurnEvent {
+            at: 10,
+            action: ChurnAction::MigrateRandom { port_index: 7 },
+        });
+        assert!(w.validate().is_err(), "port index out of range");
+    }
+}

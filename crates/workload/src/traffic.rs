@@ -1,0 +1,174 @@
+//! Seeded traffic generation: popularity sampling and arrival timelines.
+
+use crate::spec::{ArrivalProcess, PortPopularity};
+use mm_sim::SimTime;
+use rand::distributions::unit_f64;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Samples port indices according to a [`PortPopularity`] law.
+///
+/// For Zipf the cumulative distribution is precomputed once; sampling is a
+/// binary search, so even million-operation workloads stay cheap.
+#[derive(Debug, Clone)]
+pub struct PopularitySampler {
+    /// `cdf[i]` = P(port ≤ i); strictly increasing to 1.0.
+    cdf: Vec<f64>,
+}
+
+impl PopularitySampler {
+    /// Builds a sampler over `ports` ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports == 0` or a Zipf exponent is not positive.
+    pub fn new(ports: usize, popularity: PortPopularity) -> Self {
+        assert!(ports > 0, "need at least one port");
+        let weights: Vec<f64> = match popularity {
+            PortPopularity::Uniform => vec![1.0; ports],
+            PortPopularity::Zipf { exponent } => {
+                assert!(exponent > 0.0, "Zipf exponent must be > 0");
+                (0..ports)
+                    .map(|i| 1.0 / ((i + 1) as f64).powf(exponent))
+                    .collect()
+            }
+        };
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cdf = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        PopularitySampler { cdf }
+    }
+
+    /// Draws one port index.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u = unit_f64(rng);
+        // first index whose cdf exceeds u
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Number of ports.
+    pub fn ports(&self) -> usize {
+        self.cdf.len()
+    }
+}
+
+/// Generates the arrival ticks of one phase, `[start, end)`, open-loop.
+///
+/// Poisson phases draw exponential inter-arrival gaps; fixed-rate phases
+/// tick like a metronome. Multiple arrivals can share a tick (the
+/// simulator orders same-tick events by insertion).
+pub fn arrival_times(
+    process: ArrivalProcess,
+    start: SimTime,
+    end: SimTime,
+    rng: &mut StdRng,
+) -> Vec<SimTime> {
+    let mut out = Vec::new();
+    match process {
+        ArrivalProcess::Idle => {}
+        ArrivalProcess::FixedRate { interval } => {
+            assert!(interval > 0, "interval must be > 0");
+            let mut t = start;
+            while t < end {
+                out.push(t);
+                t += interval;
+            }
+        }
+        ArrivalProcess::Poisson { rate } => {
+            assert!(rate > 0.0, "rate must be > 0");
+            let mut t = start as f64;
+            loop {
+                let u = unit_f64(rng);
+                t += -(1.0 - u).ln() / rate;
+                if t >= end as f64 {
+                    break;
+                }
+                out.push(t as SimTime);
+            }
+        }
+    }
+    out
+}
+
+/// Draws a uniformly random element of `pool`.
+///
+/// # Panics
+///
+/// Panics if `pool` is empty.
+pub fn pick<T: Copy>(pool: &[T], rng: &mut StdRng) -> T {
+    assert!(!pool.is_empty(), "cannot pick from an empty pool");
+    pool[rng.gen_range(0..pool.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_covers_all_ports() {
+        let s = PopularitySampler::new(8, PortPopularity::Uniform);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [0u32; 8];
+        for _ in 0..4000 {
+            seen[s.sample(&mut rng)] += 1;
+        }
+        assert!(seen.iter().all(|&c| c > 300), "roughly even: {seen:?}");
+    }
+
+    #[test]
+    fn zipf_is_head_heavy() {
+        let s = PopularitySampler::new(16, PortPopularity::Zipf { exponent: 1.2 });
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut seen = [0u32; 16];
+        for _ in 0..8000 {
+            seen[s.sample(&mut rng)] += 1;
+        }
+        assert!(
+            seen[0] > 4 * seen[8].max(1),
+            "rank 0 must dominate rank 8: {seen:?}"
+        );
+        assert!(seen[0] > seen[1], "monotone head: {seen:?}");
+    }
+
+    #[test]
+    fn fixed_rate_metronome() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = arrival_times(
+            ArrivalProcess::FixedRate { interval: 10 },
+            100,
+            150,
+            &mut rng,
+        );
+        assert_eq!(t, vec![100, 110, 120, 130, 140]);
+    }
+
+    #[test]
+    fn poisson_rate_is_roughly_right_and_seeded() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let t = arrival_times(ArrivalProcess::Poisson { rate: 0.5 }, 0, 10_000, &mut rng);
+        assert!((4_000..6_000).contains(&t.len()), "got {}", t.len());
+        assert!(t.windows(2).all(|w| w[0] <= w[1]), "sorted");
+        let mut rng2 = StdRng::seed_from_u64(6);
+        let t2 = arrival_times(ArrivalProcess::Poisson { rate: 0.5 }, 0, 10_000, &mut rng2);
+        assert_eq!(t, t2, "same seed, same timeline");
+    }
+
+    #[test]
+    fn idle_is_empty() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(arrival_times(ArrivalProcess::Idle, 0, 1_000, &mut rng).is_empty());
+    }
+}

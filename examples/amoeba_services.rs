@@ -28,13 +28,14 @@ fn main() {
 
     // a "query": the interpreter asks the query server, the query server
     // consults the database
-    let run_query = |net: &mut ServiceNet<Checkerboard>, payload: u64| -> Result<u64, ServiceError> {
-        // command interpreter -> query server
-        let q = net.call(cmd_interpreter, "query-server", payload)?;
-        // query server -> database server (its own locate + request)
-        let query_home = net.locate(cmd_interpreter, "query-server")?;
-        net.call(query_home, "database-server", q)
-    };
+    let run_query =
+        |net: &mut ServiceNet<Checkerboard>, payload: u64| -> Result<u64, ServiceError> {
+            // command interpreter -> query server
+            let q = net.call(cmd_interpreter, "query-server", payload)?;
+            // query server -> database server (its own locate + request)
+            let query_home = net.locate(cmd_interpreter, "query-server")?;
+            net.call(query_home, "database-server", q)
+        };
 
     println!("initial query: {:?}", run_query(&mut net, 10));
 

@@ -8,11 +8,11 @@
 //!
 //! Run with: `cargo run --example lighthouse`
 
+use match_making::prelude::*;
 use match_making::proto::lighthouse::{
     network_beam, ClientSchedule, LighthouseConfig, LighthouseWorld,
 };
 use match_making::proto::ruler::RulerSequence;
-use match_making::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -79,6 +79,9 @@ fn main() {
     for i in 0..4 {
         let beam = network_beam(&g, &rt, origin, 5, &mut rng);
         let cells: Vec<String> = beam.iter().map(|v| v.to_string()).collect();
-        println!("  beam {i}: {} (each hop moves away from {origin})", cells.join(" -> "));
+        println!(
+            "  beam {i}: {} (each hop moves away from {origin})",
+            cells.join(" -> ")
+        );
     }
 }

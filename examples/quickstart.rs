@@ -16,7 +16,9 @@ fn main() {
     // checkerboard, clients query their column-band; any row crosses any
     // column, so every pair rendezvous at exactly one node.
     let strategy = Checkerboard::new(n);
-    strategy.validate().expect("every client can find every server");
+    strategy
+        .validate()
+        .expect("every client can find every server");
 
     println!("strategy: {}", Strategy::name(&strategy));
     println!("average message passes m(n): {}", strategy.average_cost());

@@ -14,7 +14,12 @@ use rand::SeedableRng;
 use std::sync::Arc;
 
 /// Measures one full match-making instance (post + locate) in hops.
-fn measure<S: Strategy + PortMapped>(graph: Graph, strat: S, server: NodeId, client: NodeId) -> (f64, u64) {
+fn measure<S: Strategy + PortMapped>(
+    graph: Graph,
+    strat: S,
+    server: NodeId,
+    client: NodeId,
+) -> (f64, u64) {
     let model = Strategy::average_cost(&strat);
     let mut eng = ShotgunEngine::new(graph, strat, CostModel::Hops);
     let port = Port::from_name("tour");
@@ -47,19 +52,39 @@ fn main() {
     };
 
     // Manhattan grid and torus
-    let (m, h) = measure(gen::grid(8, 8, false), GridRowColumn::new(8, 8), NodeId::new(0), NodeId::new(63));
+    let (m, h) = measure(
+        gen::grid(8, 8, false),
+        GridRowColumn::new(8, 8),
+        NodeId::new(0),
+        NodeId::new(63),
+    );
     add("grid 8x8", 64, "row/column".into(), m, h);
-    let (m, h) = measure(gen::grid(8, 8, true), GridRowColumn::new(8, 8), NodeId::new(0), NodeId::new(63));
+    let (m, h) = measure(
+        gen::grid(8, 8, true),
+        GridRowColumn::new(8, 8),
+        NodeId::new(0),
+        NodeId::new(63),
+    );
     add("torus 8x8 (Stony Brook)", 64, "row/column".into(), m, h);
 
     // hypercube
-    let (m, h) = measure(gen::hypercube(6), HypercubeSplit::halves(6), NodeId::new(0), NodeId::new(63));
+    let (m, h) = measure(
+        gen::hypercube(6),
+        HypercubeSplit::halves(6),
+        NodeId::new(0),
+        NodeId::new(63),
+    );
     add("hypercube d=6", 64, "half split".into(), m, h);
 
     // cube-connected cycles
     let ccc = gen::cube_connected_cycles(4).unwrap();
     let n_ccc = ccc.node_count();
-    let (m, h) = measure(ccc, CccStrategy::new(4), NodeId::new(0), NodeId::from(n_ccc - 1));
+    let (m, h) = measure(
+        ccc,
+        CccStrategy::new(4),
+        NodeId::new(0),
+        NodeId::from(n_ccc - 1),
+    );
     add("CCC d=4", n_ccc, "tuned split".into(), m, h);
 
     // projective plane
@@ -76,7 +101,12 @@ fn main() {
     // hierarchy
     let hier = Hierarchy::uniform(4, 3).unwrap();
     let hier_graph = hierarchy_graph(&hier);
-    let (m, h) = measure(hier_graph, HierarchicalStrategy::new(hier), NodeId::new(1), NodeId::new(62));
+    let (m, h) = measure(
+        hier_graph,
+        HierarchicalStrategy::new(hier),
+        NodeId::new(1),
+        NodeId::new(62),
+    );
     add("hierarchy 4^3", 64, "per-level gateways".into(), m, h);
 
     // organically grown tree network (UUCP-like path to root)
@@ -94,13 +124,34 @@ fn main() {
     // general random graph via decomposition
     let g = gen::random_connected(64, 160, &mut rng).unwrap();
     let d = Arc::new(Decomposition::new(&g).unwrap());
-    let (m, h) = measure(g, DecomposedStrategy::new(d), NodeId::new(1), NodeId::new(60));
-    add("random graph (decomposed)", 64, "sqrt(n) parts".into(), m, h);
+    let (m, h) = measure(
+        g,
+        DecomposedStrategy::new(d),
+        NodeId::new(1),
+        NodeId::new(60),
+    );
+    add(
+        "random graph (decomposed)",
+        64,
+        "sqrt(n) parts".into(),
+        m,
+        h,
+    );
 
     // ring: the paper's lower-bound example — nothing beats broadcast
-    let (m, h) = measure(gen::ring(64), Broadcast::new(64), NodeId::new(0), NodeId::new(32));
+    let (m, h) = measure(
+        gen::ring(64),
+        Broadcast::new(64),
+        NodeId::new(0),
+        NodeId::new(32),
+    );
     add("ring (broadcast)", 64, "broadcast".into(), m, h);
-    let (m, h) = measure(gen::ring(64), Checkerboard::new(64), NodeId::new(0), NodeId::new(32));
+    let (m, h) = measure(
+        gen::ring(64),
+        Checkerboard::new(64),
+        NodeId::new(0),
+        NodeId::new(32),
+    );
     add("ring (checkerboard)", 64, "checkerboard".into(), m, h);
 
     println!("{t}");

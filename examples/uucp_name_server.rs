@@ -57,7 +57,13 @@ fn main() {
             p
         },
         depth: b.dist.clone(),
-        levels: (b.dist.iter().filter(|&&d| d != u32::MAX).max().unwrap_or(&0) + 1) as usize,
+        levels: (b
+            .dist
+            .iter()
+            .filter(|&&d| d != u32::MAX)
+            .max()
+            .unwrap_or(&0)
+            + 1) as usize,
     };
     println!(
         "core = node {core} (degree {}), tree depth {} (paper: m(n) = O(depth))",
@@ -66,9 +72,14 @@ fn main() {
     );
 
     let strategy = TreePathToRoot::new(Arc::new(tree));
-    strategy.validate().expect("path-to-root always intersects at the core");
-    println!("average m(n) on this network: {:.1} vs 2*sqrt(n) = {:.1}",
-        Strategy::average_cost(&strategy), 2.0 * (n as f64).sqrt());
+    strategy
+        .validate()
+        .expect("path-to-root always intersects at the core");
+    println!(
+        "average m(n) on this network: {:.1} vs 2*sqrt(n) = {:.1}",
+        Strategy::average_cost(&strategy),
+        2.0 * (n as f64).sqrt()
+    );
 
     // run an actual locate over the real store-and-forward topology
     let mut eng = ShotgunEngine::new(g, strategy, CostModel::Hops);

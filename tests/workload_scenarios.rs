@@ -1,0 +1,78 @@
+//! Integration: the workload engine drives the full stack (facade crate →
+//! ServiceNet → ShotgunEngine → Sim) across strategies, deterministically.
+
+use match_making::prelude::*;
+use mm_workload::{scenarios, ScenarioRunner};
+
+fn run<PM: match_making::core::strategies::PortMapped>(
+    scenario: &str,
+    n: usize,
+    seed: u64,
+    resolver: PM,
+    label: &str,
+) -> mm_workload::ScenarioReport {
+    let spec = scenarios::by_name(scenario, n, seed).expect("library scenario");
+    ScenarioRunner::new(spec, gen::complete(n), resolver, CostModel::Uniform, label).run()
+}
+
+#[test]
+fn every_library_scenario_completes_on_every_strategy() {
+    let n = 36;
+    for scenario in scenarios::ALL {
+        let cb = run(scenario, n, 9, Checkerboard::new(n), "checkerboard");
+        let bc = run(scenario, n, 9, Broadcast::new(n), "broadcast");
+        let hl = run(scenario, n, 9, HashLocate::new(n, 2), "hash");
+        for r in [&cb, &bc, &hl] {
+            assert_eq!(r.scenario, scenario);
+            assert_eq!(r.n, n as u64);
+            assert!(
+                r.locates_completed() > 0,
+                "{scenario}/{}: no completed locates",
+                r.strategy
+            );
+        }
+        // broadcast queries everyone; checkerboard 2·sqrt(n); hash 2r —
+        // the cost ordering of §2 must survive sustained load
+        assert!(
+            bc.passes_per_locate() > cb.passes_per_locate(),
+            "{scenario}: broadcast ({}) must cost more than checkerboard ({})",
+            bc.passes_per_locate(),
+            cb.passes_per_locate()
+        );
+        assert!(
+            cb.passes_per_locate() > hl.passes_per_locate(),
+            "{scenario}: checkerboard ({}) must cost more than hash r=2 ({})",
+            cb.passes_per_locate(),
+            hl.passes_per_locate()
+        );
+    }
+}
+
+#[test]
+fn scenario_sweep_is_deterministic_across_n() {
+    for n in [16usize, 64] {
+        let a = run("migrate-under-load", n, 1234, Checkerboard::new(n), "cb");
+        let b = run("migrate-under-load", n, 1234, Checkerboard::new(n), "cb");
+        assert_eq!(a, b, "equal seeds must reproduce the full report at n={n}");
+    }
+}
+
+#[test]
+fn workload_reports_serialize_for_the_analysis_pipeline() {
+    let n = 25;
+    let report = run("steady-state", n, 3, Checkerboard::new(n), "checkerboard");
+    // records feed the same ExperimentRecord pipeline as E1-E18
+    let records = report.records();
+    assert!(!records.is_empty());
+    for rec in &records {
+        assert!(
+            rec.within_factor(2.0),
+            "{}: measured {} vs predicted {}",
+            rec.id,
+            rec.measured,
+            rec.predicted
+        );
+    }
+    let md = match_making::analysis::record::to_markdown(&records);
+    assert!(md.contains("steady-state/steady"));
+}

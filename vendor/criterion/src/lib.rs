@@ -1,0 +1,196 @@
+//! Vendored, offline subset of the `criterion` API.
+//!
+//! Implements `Criterion`, benchmark groups, `BenchmarkId`, `Bencher` and
+//! the `criterion_group!`/`criterion_main!` macros with a simple
+//! wall-clock measurement loop (warm-up + timed samples, median reported).
+//! No statistics engine, plots or baselines — just enough to keep
+//! `cargo bench` runnable and honest about relative magnitudes offline.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark case within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter, like upstream's `new`.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Identifies a case by its parameter only.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Passed to benchmark closures; runs the measured routine.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    median_ns: u128,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping the median of several samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // one warm-up call, then timed samples
+        black_box(routine());
+        let mut times: Vec<u128> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            times.push(t0.elapsed().as_nanos());
+        }
+        times.sort_unstable();
+        self.median_ns = times[times.len() / 2];
+    }
+}
+
+/// A named group of benchmark cases.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-case sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.samples,
+            median_ns: 0,
+        };
+        f(&mut b);
+        report(&self.name, &id.to_string(), b.median_ns);
+        self
+    }
+
+    /// Benchmarks `f` under `id` with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.samples,
+            median_ns: 0,
+        };
+        f(&mut b, input);
+        report(&self.name, &id.to_string(), b.median_ns);
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; the shim prints
+    /// eagerly, so this is a no-op kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn report(group: &str, case: &str, median_ns: u128) {
+    let pretty = Duration::from_nanos(median_ns.min(u64::MAX as u128) as u64);
+    println!("bench {group}/{case}: median {pretty:?} over samples");
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group(name.to_string())
+            .bench_function("base", f);
+        self
+    }
+}
+
+/// Declares a benchmark group function, like upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, like upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &x| {
+            b.iter(|| (0..x).sum::<u64>())
+        });
+        g.finish();
+        c.bench_function("standalone", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default();
+        demo(&mut c);
+    }
+
+    #[test]
+    fn id_formatting() {
+        assert_eq!(BenchmarkId::new("f", 9).to_string(), "f/9");
+        assert_eq!(BenchmarkId::from_parameter(9).to_string(), "9");
+    }
+}

@@ -1,0 +1,40 @@
+//! Vendored, offline subset of `parking_lot`: a [`Mutex`] whose `lock()`
+//! returns the guard directly (no poisoning `Result`), backed by
+//! `std::sync::Mutex`. Poisoned locks are recovered into the inner guard,
+//! matching parking_lot's no-poisoning semantics.
+
+use std::sync::{Mutex as StdMutex, MutexGuard, PoisonError};
+
+/// A mutual-exclusion lock without lock poisoning.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(StdMutex<T>);
+
+impl<T> Mutex<T> {
+    /// Wraps `value`.
+    pub fn new(value: T) -> Self {
+        Mutex(StdMutex::new(value))
+    }
+
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_and_mutate() {
+        let m = Mutex::new(vec![1, 2]);
+        m.lock().push(3);
+        assert_eq!(*m.lock(), [1, 2, 3]);
+        assert_eq!(m.into_inner(), [1, 2, 3]);
+    }
+}

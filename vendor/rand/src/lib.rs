@@ -1,0 +1,349 @@
+//! Vendored, offline subset of the `rand` 0.8 API.
+//!
+//! The build environment has no access to crates.io, so this shim provides
+//! exactly the surface the workspace uses: the [`Rng`]/[`RngCore`] traits
+//! (`gen_range`, `gen`), [`SeedableRng::seed_from_u64`], a deterministic
+//! [`rngs::StdRng`], and [`seq::SliceRandom`] (`choose`, `shuffle`).
+//!
+//! The generator is xoshiro256** seeded through splitmix64 — statistically
+//! solid and, above all, *deterministic across runs and platforms*, which
+//! is what the seeded experiments and workload scenarios rely on. It does
+//! not reproduce the upstream `StdRng` stream (upstream explicitly does not
+//! guarantee stream stability across versions either).
+
+/// Low-level generator interface: a source of random 64-bit words.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let w = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&w[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// A uniformly random value of `T` (the `Standard` distribution).
+    fn gen<T>(&mut self) -> T
+    where
+        T: distributions::Standard,
+    {
+        T::sample_standard(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        distributions::unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of generators from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling machinery behind [`Rng::gen_range`] / [`Rng::gen`].
+pub mod distributions {
+    use super::RngCore;
+
+    /// Ranges that can produce a uniform sample of `T`.
+    pub trait SampleRange<T> {
+        /// Draws one sample using `rng`.
+        fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    /// Types with a natural "any value" distribution (`Rng::gen`).
+    pub trait Standard: Sized {
+        /// Draws one uniform value.
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    }
+
+    /// Uniform f64 in `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    // Lemire-style unbiased bounded sampling would be overkill here; plain
+    // modulo bias is < 2^-32 for every span the workspace draws and the
+    // shim favours simplicity. Spans are computed in u128 so u64/usize
+    // ranges cannot overflow.
+    fn bounded_u128<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
+        debug_assert!(span > 0);
+        let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+        wide % span
+    }
+
+    macro_rules! impl_int_ranges {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for core::ops::Range<$t> {
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end as u128).wrapping_sub(self.start as u128);
+                    self.start.wrapping_add(bounded_u128(rng, span) as $t)
+                }
+            }
+            impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "cannot sample empty range");
+                    let span = (hi as u128).wrapping_sub(lo as u128).wrapping_add(1);
+                    if span == 0 {
+                        // full u128 domain
+                        return bounded_u128(rng, u128::MAX) as $t;
+                    }
+                    lo.wrapping_add(bounded_u128(rng, span) as $t)
+                }
+            }
+            impl Standard for $t {
+                fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                    let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                    wide as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_ranges!(u8, u16, u32, u64, usize, u128);
+
+    macro_rules! impl_signed_ranges {
+        ($($t:ty => $u:ty),*) => {$(
+            impl SampleRange<$t> for core::ops::Range<$t> {
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end as $u).wrapping_sub(self.start as $u) as u128;
+                    self.start.wrapping_add(bounded_u128(rng, span) as $t)
+                }
+            }
+            impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "cannot sample empty range");
+                    let span = ((hi as $u).wrapping_sub(lo as $u) as u128).wrapping_add(1);
+                    lo.wrapping_add(bounded_u128(rng, span) as $t)
+                }
+            }
+            impl Standard for $t {
+                fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_signed_ranges!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+    impl SampleRange<f64> for core::ops::Range<f64> {
+        fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            assert!(self.start < self.end, "cannot sample empty range");
+            self.start + (self.end - self.start) * unit_f64(rng)
+        }
+    }
+
+    impl Standard for f64 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            unit_f64(rng)
+        }
+    }
+
+    impl Standard for bool {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256** with a splitmix64
+    /// seed expander. Deterministic for a given seed, forever.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for w in &mut s {
+                *w = splitmix64(&mut sm);
+            }
+            // xoshiro must not start in the all-zero state
+            if s == [0; 4] {
+                s[0] = 0x9E3779B97F4A7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence helpers (`choose`, `shuffle`).
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Random selection from slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// A uniformly random element, or `None` if the slice is empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[(rng.next_u64() % self.len() as u64) as usize])
+            }
+        }
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+
+    fn _object_safety_check(r: &mut dyn RngCore) -> u64 {
+        r.next_u64()
+    }
+}
+
+pub use distributions::Standard as StandardDist;
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let va: Vec<u64> = (0..32).map(|_| a.gen_range(0u64..1_000_000)).collect();
+        let vb: Vec<u64> = (0..32).map(|_| b.gen_range(0u64..1_000_000)).collect();
+        assert_eq!(va, vb);
+        let mut c = StdRng::seed_from_u64(8);
+        let vc: Vec<u64> = (0..32).map(|_| c.gen_range(0u64..1_000_000)).collect();
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..2000 {
+            let x = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(2i32..=3);
+            assert!((2..=3).contains(&y));
+            let f = rng.gen_range(0.0f64..2.5);
+            assert!((0.0..2.5).contains(&f));
+            let p: u128 = rng.gen();
+            let _ = p;
+        }
+    }
+
+    #[test]
+    fn inclusive_hits_both_ends() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 2];
+        for _ in 0..200 {
+            seen[(rng.gen_range(2i32..=3) - 2) as usize] = true;
+        }
+        assert_eq!(seen, [true, true]);
+    }
+
+    #[test]
+    fn unsized_rng_works() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> usize {
+            rng.gen_range(0..10)
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(draw(&mut rng) < 10);
+    }
+
+    #[test]
+    fn choose_and_shuffle() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let items = [10, 20, 30];
+        assert!(items.contains(items.as_slice().choose(&mut rng).unwrap()));
+        let empty: [u8; 0] = [];
+        assert!(empty.as_slice().choose(&mut rng).is_none());
+        let mut v: Vec<u32> = (0..50).collect();
+        let orig = v.clone();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, orig, "shuffle is a permutation");
+    }
+}

@@ -1,0 +1,346 @@
+//! Vendored, offline subset of the `serde` API.
+//!
+//! crates.io is unreachable in this build environment, so this shim keeps
+//! the workspace's `#[derive(serde::Serialize, serde::Deserialize)]`
+//! annotations compiling and gives them real behaviour through a small
+//! self-describing value model ([`Value`]) instead of upstream serde's
+//! visitor machinery. `serde_json` (also vendored) renders that model as
+//! JSON with deterministic field order — insertion order, which for the
+//! derive is declaration order.
+//!
+//! Attribute compatibility: `#[serde(...)]` attributes are accepted and
+//! ignored; the derive's newtype behaviour already matches
+//! `#[serde(transparent)]` (the only attribute the workspace uses).
+
+// lets the derive's `::serde::...` paths resolve inside this crate too
+extern crate self as serde;
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value (the shim's data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer (also carries `u128` losslessly).
+    U128(u128),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Seq(Vec<Value>),
+    /// Ordered key–value map (insertion order preserved).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Map lookup by key; `None` for missing keys or non-map values.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization/deserialization errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// A custom error.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+
+    /// A missing-field error.
+    pub fn missing(field: &str) -> Self {
+        Error {
+            msg: format!("missing field `{field}`"),
+        }
+    }
+
+    /// A type-mismatch error.
+    pub fn mismatch(expected: &str, got: &Value) -> Self {
+        Error {
+            msg: format!("expected {expected}, got {got:?}"),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be rendered into the [`Value`] model.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from the [`Value`] model.
+///
+/// The lifetime parameter exists only for signature compatibility with
+/// upstream serde bounds like `for<'de> Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {
+    /// Rebuilds `Self` from a [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] on shape or type mismatches.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U128(*self as u128) }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::U128(x) => <$t>::try_from(*x)
+                        .map_err(|_| Error::custom("integer out of range")),
+                    Value::I64(x) => <$t>::try_from(*x)
+                        .map_err(|_| Error::custom("integer out of range")),
+                    other => Err(Error::mismatch("unsigned integer", other)),
+                }
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize, u128);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::I64(*self as i64) }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::I64(x) => <$t>::try_from(*x)
+                        .map_err(|_| Error::custom("integer out of range")),
+                    Value::U128(x) => i64::try_from(*x)
+                        .ok()
+                        .and_then(|x| <$t>::try_from(x).ok())
+                        .ok_or_else(|| Error::custom("integer out of range")),
+                    other => Err(Error::mismatch("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::F64(x) => Ok(*x),
+            Value::I64(x) => Ok(*x as f64),
+            Value::U128(x) => Ok(*x as f64),
+            other => Err(Error::mismatch("float", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::mismatch("bool", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::mismatch("string", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::mismatch("sequence", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<K: fmt::Display, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Demo {
+        a: u64,
+        b: f64,
+        name: String,
+        tags: Vec<u32>,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    #[serde(transparent)]
+    struct Wrapper(u128);
+
+    #[test]
+    fn derive_roundtrips_named_struct() {
+        let d = Demo {
+            a: 7,
+            b: 1.5,
+            name: "x".into(),
+            tags: vec![1, 2],
+        };
+        let v = d.to_value();
+        assert_eq!(v.get("a"), Some(&Value::U128(7)));
+        let back = Demo::from_value(&v).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn derive_newtype_is_transparent() {
+        let w = Wrapper(400);
+        assert_eq!(w.to_value(), Value::U128(400));
+        assert_eq!(Wrapper::from_value(&Value::U128(400)).unwrap(), w);
+    }
+
+    #[test]
+    fn missing_field_errors() {
+        let v = Value::Map(vec![("a".into(), Value::U128(1))]);
+        assert!(Demo::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn map_preserves_insertion_order() {
+        let d = Demo {
+            a: 1,
+            b: 0.0,
+            name: String::new(),
+            tags: vec![],
+        };
+        if let Value::Map(entries) = d.to_value() {
+            let keys: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
+            assert_eq!(keys, ["a", "b", "name", "tags"]);
+        } else {
+            panic!("expected a map");
+        }
+    }
+}

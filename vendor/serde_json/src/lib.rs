@@ -1,0 +1,159 @@
+//! JSON rendering for the vendored serde shim.
+//!
+//! Serializes the shim's [`serde::Value`] model to JSON text. Output is
+//! fully deterministic: maps render in insertion order (the derive inserts
+//! in field declaration order) and floats use Rust's shortest round-trip
+//! formatting, so two runs producing equal values produce byte-identical
+//! JSON — the property the workload determinism tests assert.
+
+pub use serde::{Error, Value};
+
+/// Serializes `value` as compact JSON.
+///
+/// # Errors
+///
+/// Infallible for the shim's value model; the `Result` mirrors the
+/// upstream signature.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as human-readable, two-space-indented JSON.
+///
+/// # Errors
+///
+/// Infallible for the shim's value model; the `Result` mirrors the
+/// upstream signature.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, Some("  "), 0);
+    Ok(out)
+}
+
+fn write_value(v: &Value, out: &mut String, indent: Option<&str>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(x) => out.push_str(&x.to_string()),
+        Value::U128(x) => out.push_str(&x.to_string()),
+        Value::F64(x) => {
+            if x.is_finite() {
+                // {:?} is the shortest representation that round-trips
+                out.push_str(&format!("{x:?}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(s, out),
+        Value::Seq(items) => {
+            write_bracketed(out, indent, depth, '[', ']', items.len(), |out, i| {
+                write_value(&items[i], out, indent, depth + 1);
+            })
+        }
+        Value::Map(entries) => {
+            write_bracketed(out, indent, depth, '{', '}', entries.len(), |out, i| {
+                let (k, val) = &entries[i];
+                write_string(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(val, out, indent, depth + 1);
+            });
+        }
+    }
+}
+
+fn write_bracketed(
+    out: &mut String,
+    indent: Option<&str>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(pad) = indent {
+            out.push('\n');
+            for _ in 0..=depth {
+                out.push_str(pad);
+            }
+        }
+        item(out, i);
+    }
+    if let Some(pad) = indent {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str(pad);
+        }
+    }
+    out.push(close);
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars_and_containers() {
+        let v = Value::Map(vec![
+            ("n".into(), Value::U128(1024)),
+            ("rate".into(), Value::F64(0.5)),
+            ("name".into(), Value::Str("steady \"state\"".into())),
+            ("xs".into(), Value::Seq(vec![Value::I64(-1), Value::Null])),
+            ("empty".into(), Value::Seq(vec![])),
+        ]);
+        assert_eq!(
+            to_string(&Wrap(v)).unwrap(),
+            r#"{"n":1024,"rate":0.5,"name":"steady \"state\"","xs":[-1,null],"empty":[]}"#
+        );
+    }
+
+    struct Wrap(Value);
+    impl serde::Serialize for Wrap {
+        fn to_value(&self) -> Value {
+            self.0.clone()
+        }
+    }
+
+    #[test]
+    fn pretty_indents() {
+        let v = Value::Map(vec![("a".into(), Value::Seq(vec![Value::U128(1)]))]);
+        let s = to_string_pretty(&Wrap(v)).unwrap();
+        assert_eq!(s, "{\n  \"a\": [\n    1\n  ]\n}");
+    }
+
+    #[test]
+    fn floats_round_trip_shortest() {
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&0.1f64).unwrap(), "0.1");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+}
