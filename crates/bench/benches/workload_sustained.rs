@@ -1,0 +1,62 @@
+//! Sustained-load workload benches (ROADMAP "Workload-driven benches").
+//!
+//! Earlier benches measured one locate at a time on a silent network;
+//! these drive whole `mm-workload` library scenarios — thousands of
+//! concurrent operations, churn, migration — so perf PRs are judged on
+//! steady-state event throughput, not single-shot latency.
+//!
+//! Every scenario runs through the production calendar event queue and
+//! through the `BTreeMap` reference queue (the pre-calendar event core)
+//! at the same node count, making queue-isolated regressions visible.
+//! The full before/after story (the seed's BTreeMap core also paid a
+//! per-event ops `Vec`, per-multicast target-set clones + sort, and O(n²)
+//! complete-graph materialization) is recorded in the README's
+//! Performance section.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mm_core::strategies::Checkerboard;
+use mm_sim::{CostModel, QueueKind};
+use mm_topo::gen;
+use mm_workload::{scenarios, ScenarioRunner};
+
+fn run_scenario(name: &str, n: usize, queue: QueueKind) -> u64 {
+    let spec = scenarios::by_name(name, n, 7).expect("library scenario");
+    let report = ScenarioRunner::with_queue(
+        spec,
+        // under the uniform cost model edges are never consulted, so the
+        // edgeless complete-network stand-in is behaviorally identical
+        gen::complete_shell(n),
+        Checkerboard::new(n),
+        CostModel::Uniform,
+        "checkerboard",
+        queue,
+    )
+    .run();
+    report.events_executed()
+}
+
+fn sustained_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_sustained");
+    group.sample_size(5);
+    // three library scenarios spanning the stress axes: baseline load,
+    // Zipf spike, and crash/restore churn
+    let cases = ["steady-state", "flash-crowd", "rolling-churn"];
+    for n in [16_384usize, 65_536] {
+        for name in cases {
+            for (queue, label) in [
+                (QueueKind::Calendar, "calendar"),
+                (QueueKind::BTree, "btree-baseline"),
+            ] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{name}/{label}"), n),
+                    &n,
+                    |b, &n| b.iter(|| run_scenario(name, n, queue)),
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sustained_load);
+criterion_main!(benches);

@@ -26,6 +26,7 @@
 
 pub mod cache;
 pub mod hash_locate;
+pub mod intern;
 pub mod lighthouse;
 pub mod live;
 pub mod messages;
@@ -34,5 +35,6 @@ pub mod service;
 pub mod shotgun;
 
 pub use cache::Cache;
+pub use intern::TargetInterner;
 pub use messages::ProtoMsg;
 pub use shotgun::{LocateHandle, LocateOutcome, ShotgunEngine};

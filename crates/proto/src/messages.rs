@@ -9,6 +9,7 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use mm_core::Port;
+use mm_sim::TargetSet;
 use mm_topo::NodeId;
 
 /// All messages exchanged by the name-server protocol.
@@ -23,8 +24,8 @@ pub enum ProtoMsg {
         addr: NodeId,
         /// Logical timestamp for staleness resolution.
         stamp: u64,
-        /// The posting set.
-        targets: Vec<NodeId>,
+        /// The posting set (interned: clones are refcount bumps).
+        targets: TargetSet,
     },
     /// Driver command: remove `(port, addr)` from `targets` (graceful
     /// shutdown or migration).
@@ -35,8 +36,8 @@ pub enum ProtoMsg {
         addr: NodeId,
         /// Timestamp; only entries at least this old are withdrawn.
         stamp: u64,
-        /// The set posted to previously.
-        targets: Vec<NodeId>,
+        /// The set posted to previously (interned).
+        targets: TargetSet,
     },
     /// Driver command: query each node in `targets` (the client's `Q(j)`)
     /// for `port`.
@@ -45,8 +46,8 @@ pub enum ProtoMsg {
         port: Port,
         /// Locate-operation id (unique per engine).
         locate_id: u64,
-        /// The query set.
-        targets: Vec<NodeId>,
+        /// The query set (interned).
+        targets: TargetSet,
     },
     /// Driver command: send an application request from this node to a
     /// located server address (charging the route's message passes).
@@ -173,7 +174,7 @@ impl ProtoMsg {
                 b.put_u32(addr.raw());
                 b.put_u64(*stamp);
                 b.put_u32(targets.len() as u32);
-                for t in targets {
+                for t in targets.iter() {
                     b.put_u32(t.raw());
                 }
             }
@@ -185,7 +186,7 @@ impl ProtoMsg {
                 b.put_u128(port.raw());
                 b.put_u64(*locate_id);
                 b.put_u32(targets.len() as u32);
-                for t in targets {
+                for t in targets.iter() {
                     b.put_u32(t.raw());
                 }
             }
@@ -278,7 +279,8 @@ impl ProtoMsg {
                 if !need(&buf, len * 4) {
                     return None;
                 }
-                let targets = (0..len).map(|_| NodeId::new(buf.get_u32())).collect();
+                let targets =
+                    TargetSet::from_vec((0..len).map(|_| NodeId::new(buf.get_u32())).collect());
                 Some(if tag == 0 {
                     ProtoMsg::DoPost {
                         port,
@@ -305,7 +307,8 @@ impl ProtoMsg {
                 if !need(&buf, len * 4) {
                     return None;
                 }
-                let targets = (0..len).map(|_| NodeId::new(buf.get_u32())).collect();
+                let targets =
+                    TargetSet::from_vec((0..len).map(|_| NodeId::new(buf.get_u32())).collect());
                 Some(ProtoMsg::DoLocate {
                     port,
                     locate_id,
@@ -418,18 +421,18 @@ mod tests {
             port,
             addr: NodeId::new(3),
             stamp: 7,
-            targets: vec![NodeId::new(1), NodeId::new(2)],
+            targets: TargetSet::new(&[NodeId::new(1), NodeId::new(2)]),
         });
         roundtrip(ProtoMsg::DoUnpost {
             port,
             addr: NodeId::new(3),
             stamp: 7,
-            targets: vec![],
+            targets: TargetSet::empty(),
         });
         roundtrip(ProtoMsg::DoLocate {
             port,
             locate_id: 42,
-            targets: vec![NodeId::new(9)],
+            targets: TargetSet::new(&[NodeId::new(9)]),
         });
         roundtrip(ProtoMsg::Post {
             port,

@@ -14,7 +14,7 @@
 use crate::shotgun::{LocateOutcome, RequestOutcome, ShotgunEngine};
 use mm_core::strategies::PortMapped;
 use mm_core::Port;
-use mm_sim::CostModel;
+use mm_sim::{CostModel, QueueKind};
 use mm_topo::{Graph, NodeId};
 use std::fmt;
 
@@ -58,6 +58,18 @@ impl<PM: PortMapped> ServiceNet<PM> {
     pub fn new(graph: Graph, resolver: PM, cost_model: CostModel) -> Self {
         ServiceNet {
             engine: ShotgunEngine::new(graph, resolver, cost_model),
+        }
+    }
+
+    /// Builds a service network with an explicit simulator event-queue
+    /// implementation (determinism cross-checks and queue benchmarks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resolver universe differs from the graph size.
+    pub fn with_queue(graph: Graph, resolver: PM, cost_model: CostModel, kind: QueueKind) -> Self {
+        ServiceNet {
+            engine: ShotgunEngine::with_queue(graph, resolver, cost_model, kind),
         }
     }
 

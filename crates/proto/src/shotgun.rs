@@ -20,10 +20,11 @@
 //! fresh posting necessarily intersects the client's query set).
 
 use crate::cache::Cache;
+use crate::intern::TargetInterner;
 use crate::messages::ProtoMsg;
 use mm_core::strategies::PortMapped;
 use mm_core::Port;
-use mm_sim::{CostModel, Envelope, Metrics, Node, NodeApi, Sim, SimTime};
+use mm_sim::{CostModel, Envelope, Metrics, Node, NodeApi, QueueKind, Sim, SimTime, TargetSet};
 use mm_topo::{Graph, NodeId};
 use std::collections::{BTreeSet, HashMap};
 
@@ -129,7 +130,7 @@ impl Node<ProtoMsg> for NsNode {
                 stamp,
                 targets,
             } => {
-                api.multicast(&targets, ProtoMsg::Post { port, addr, stamp });
+                api.multicast_set(targets, ProtoMsg::Post { port, addr, stamp });
             }
             ProtoMsg::DoUnpost {
                 port,
@@ -137,7 +138,7 @@ impl Node<ProtoMsg> for NsNode {
                 stamp,
                 targets,
             } => {
-                api.multicast(&targets, ProtoMsg::Unpost { port, addr, stamp });
+                api.multicast_set(targets, ProtoMsg::Unpost { port, addr, stamp });
             }
             ProtoMsg::DoLocate {
                 port,
@@ -152,8 +153,8 @@ impl Node<ProtoMsg> for NsNode {
                         ..Pending::default()
                     },
                 );
-                api.multicast(
-                    &targets,
+                api.multicast_set(
+                    targets,
                     ProtoMsg::Query {
                         port,
                         reply_to: api.me(),
@@ -268,6 +269,9 @@ impl Node<ProtoMsg> for NsNode {
 pub struct ShotgunEngine<PM> {
     sim: Sim<ProtoMsg, NsNode>,
     resolver: PM,
+    /// Memoized `P`/`Q` sets: operations reuse shared target sets
+    /// instead of cloning fresh `Vec`s out of the resolver.
+    interner: TargetInterner,
     next_locate: u64,
     next_request: u64,
     clock: u64,
@@ -280,6 +284,17 @@ impl<PM: PortMapped> ShotgunEngine<PM> {
     ///
     /// Panics if the resolver's universe size differs from the graph's.
     pub fn new(graph: Graph, resolver: PM, cost_model: CostModel) -> Self {
+        Self::with_queue(graph, resolver, cost_model, QueueKind::Calendar)
+    }
+
+    /// Builds an engine with an explicit simulator event-queue
+    /// implementation (see [`QueueKind`]); used by the determinism suite
+    /// to cross-check the calendar queue against the `BTreeMap` oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resolver's universe size differs from the graph's.
+    pub fn with_queue(graph: Graph, resolver: PM, cost_model: CostModel, kind: QueueKind) -> Self {
         assert_eq!(
             graph.node_count(),
             resolver.node_count(),
@@ -288,8 +303,9 @@ impl<PM: PortMapped> ShotgunEngine<PM> {
         let n = graph.node_count();
         let nodes = (0..n).map(|_| NsNode::default()).collect();
         ShotgunEngine {
-            sim: Sim::new(graph, nodes, cost_model),
+            sim: Sim::with_queue(graph, nodes, cost_model, kind),
             resolver,
+            interner: TargetInterner::default(),
             next_locate: 0,
             next_request: 0,
             clock: 0,
@@ -321,7 +337,7 @@ impl<PM: PortMapped> ShotgunEngine<PM> {
     pub fn register_server(&mut self, at: NodeId, port: Port) -> u64 {
         let stamp = self.next_stamp();
         self.sim.node_mut(at).served.insert(port);
-        let targets = self.resolver.post_set_for(at, port);
+        let targets = self.interner.post_set(&self.resolver, at, port);
         self.sim.inject(
             at,
             at,
@@ -338,6 +354,7 @@ impl<PM: PortMapped> ShotgunEngine<PM> {
     /// Posts `(port, at)` at an explicit target set (Hash Locate repair
     /// posting to rehash backups). Returns the posting timestamp.
     pub fn post_at(&mut self, at: NodeId, port: Port, targets: Vec<NodeId>) -> u64 {
+        let targets = TargetSet::from_vec(targets);
         let stamp = self.next_stamp();
         self.sim.inject(
             at,
@@ -356,7 +373,7 @@ impl<PM: PortMapped> ShotgunEngine<PM> {
     pub fn deregister_server(&mut self, at: NodeId, port: Port) {
         let stamp = self.next_stamp();
         self.sim.node_mut(at).served.remove(&port);
-        let targets = self.resolver.post_set_for(at, port);
+        let targets = self.interner.post_set(&self.resolver, at, port);
         self.sim.inject(
             at,
             at,
@@ -382,7 +399,7 @@ impl<PM: PortMapped> ShotgunEngine<PM> {
     pub fn locate(&mut self, client: NodeId, port: Port) -> LocateHandle {
         let id = self.next_locate;
         self.next_locate += 1;
-        let targets = self.resolver.query_set_for(client, port);
+        let targets = self.interner.query_set(&self.resolver, client, port);
         self.sim.inject(
             client,
             client,
@@ -398,6 +415,7 @@ impl<PM: PortMapped> ShotgunEngine<PM> {
     /// Issues a locate querying an explicit target set (used by Hash
     /// Locate's rehash retries).
     pub fn locate_at(&mut self, client: NodeId, port: Port, targets: Vec<NodeId>) -> LocateHandle {
+        let targets = TargetSet::from_vec(targets);
         let id = self.next_locate;
         self.next_locate += 1;
         self.sim.inject(

@@ -49,12 +49,16 @@
 //! ```
 
 pub mod metrics;
+pub mod queue;
+pub mod targets;
 
 pub use metrics::Metrics;
+pub use queue::QueueKind;
+pub use targets::TargetSet;
 
 use mm_topo::spanning::multicast_cost;
 use mm_topo::{Graph, NodeId, RoutingTable};
-use std::collections::BTreeMap;
+use queue::EventQueue;
 
 /// Simulated time in abstract ticks (one tick = one hop of latency).
 pub type SimTime = u64;
@@ -101,7 +105,7 @@ pub trait Node<M> {
 #[derive(Debug)]
 enum Op<M> {
     Send { to: NodeId, msg: M },
-    Multicast { to: Vec<NodeId>, msg: M },
+    Multicast { to: TargetSet, msg: M },
     Timer { delay: SimTime, tag: u64 },
 }
 
@@ -127,9 +131,20 @@ impl<M> NodeApi<'_, M> {
         M: Clone,
     {
         self.ops.push(Op::Multicast {
-            to: to.to_vec(),
+            to: TargetSet::new(to),
             msg,
         });
+    }
+
+    /// Sends `msg` to an interned target set without copying it — the
+    /// zero-allocation path for resolvers that reuse `P`/`Q` sets across
+    /// operations. The sender itself (if a member) is delivered locally
+    /// for free.
+    pub fn multicast_set(&mut self, to: TargetSet, msg: M)
+    where
+        M: Clone,
+    {
+        self.ops.push(Op::Multicast { to, msg });
     }
 
     /// Schedules [`Node::on_timer`] with `tag` after `delay` ticks.
@@ -163,20 +178,33 @@ pub struct Sim<M, N> {
     routing: Option<RoutingTable>,
     nodes: Vec<N>,
     crashed: Vec<bool>,
-    queue: BTreeMap<(SimTime, u64), Event<M>>,
-    seq: u64,
+    queue: EventQueue<Event<M>>,
     now: SimTime,
     cost_model: CostModel,
     metrics: Metrics,
+    /// Handler-op buffer reused across `step` calls (no per-event `Vec`).
+    scratch: Vec<Op<M>>,
 }
 
 impl<M: Clone, N: Node<M>> Sim<M, N> {
-    /// Creates a simulator over `graph` with one handler per node.
+    /// Creates a simulator over `graph` with one handler per node, using
+    /// the production calendar event queue.
     ///
     /// # Panics
     ///
     /// Panics if `nodes.len() != graph.node_count()`.
     pub fn new(graph: Graph, nodes: Vec<N>, cost_model: CostModel) -> Self {
+        Self::with_queue(graph, nodes, cost_model, QueueKind::Calendar)
+    }
+
+    /// Creates a simulator with an explicit event-queue implementation.
+    /// [`QueueKind::BTree`] is the pre-calendar reference core, kept for
+    /// determinism cross-checks and queue-isolated benchmarks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len() != graph.node_count()`.
+    pub fn with_queue(graph: Graph, nodes: Vec<N>, cost_model: CostModel, kind: QueueKind) -> Self {
         assert_eq!(
             nodes.len(),
             graph.node_count(),
@@ -192,11 +220,11 @@ impl<M: Clone, N: Node<M>> Sim<M, N> {
             routing,
             nodes,
             crashed: vec![false; n],
-            queue: BTreeMap::new(),
-            seq: 0,
+            queue: EventQueue::new(kind),
             now: 0,
             cost_model,
             metrics: Metrics::new(n),
+            scratch: Vec::new(),
         }
     }
 
@@ -288,8 +316,11 @@ impl<M: Clone, N: Node<M>> Sim<M, N> {
     }
 
     fn push(&mut self, at: SimTime, ev: Event<M>) {
-        self.queue.insert((at, self.seq), ev);
-        self.seq += 1;
+        self.queue.push(at, ev);
+        let depth = self.queue.len() as u64;
+        if depth > self.metrics.peak_queue_depth {
+            self.metrics.peak_queue_depth = depth;
+        }
     }
 
     /// Runs until the event queue drains; returns the final time.
@@ -304,60 +335,65 @@ impl<M: Clone, N: Node<M>> Sim<M, N> {
     /// moves backwards: a `deadline` already in the past only drains
     /// events due now.
     pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
-        while let Some((&(t, _), _)) = self.queue.iter().next() {
-            if t > deadline {
-                break;
-            }
-            self.step();
-        }
+        while self.step_until(deadline) {}
         self.now = self.now.max(deadline);
         self.now
     }
 
     /// Executes the next event. Returns `false` when idle.
     pub fn step(&mut self) -> bool {
-        let Some((&key, _)) = self.queue.iter().next() else {
+        self.step_until(SimTime::MAX)
+    }
+
+    /// Executes the next event if it is due at or before `deadline`.
+    fn step_until(&mut self, deadline: SimTime) -> bool {
+        let Some((t, ev)) = self.queue.pop_next_until(deadline) else {
             return false;
         };
-        let ev = self.queue.remove(&key).expect("key just observed");
-        self.now = key.0;
+        self.now = t;
+        self.metrics.events_executed += 1;
+        // reuse one ops buffer across events instead of allocating per
+        // handler invocation; apply_ops drains it back to empty
+        let mut ops = std::mem::take(&mut self.scratch);
+        debug_assert!(ops.is_empty());
         match ev {
             Event::Deliver(env) => {
                 let at = env.to;
                 if self.crashed[at.index()] {
                     self.metrics.dropped += 1;
+                    self.scratch = ops;
                     return true;
                 }
                 self.metrics.delivered += 1;
                 self.metrics.node_load[at.index()] += 1;
-                let mut ops = Vec::new();
                 let mut api = NodeApi {
                     ops: &mut ops,
                     now: self.now,
                     me: at,
                 };
                 self.nodes[at.index()].on_message(env, &mut api);
-                self.apply_ops(at, ops);
+                self.apply_ops(at, &mut ops);
             }
             Event::Timer { at, tag } => {
                 if self.crashed[at.index()] {
+                    self.scratch = ops;
                     return true;
                 }
-                let mut ops = Vec::new();
                 let mut api = NodeApi {
                     ops: &mut ops,
                     now: self.now,
                     me: at,
                 };
                 self.nodes[at.index()].on_timer(tag, &mut api);
-                self.apply_ops(at, ops);
+                self.apply_ops(at, &mut ops);
             }
         }
+        self.scratch = ops;
         true
     }
 
-    fn apply_ops(&mut self, from: NodeId, ops: Vec<Op<M>>) {
-        for op in ops {
+    fn apply_ops(&mut self, from: NodeId, ops: &mut Vec<Op<M>>) {
+        for op in ops.drain(..) {
             match op {
                 Op::Send { to, msg } => self.route(from, to, msg),
                 Op::Multicast { to, msg } => self.route_multicast(from, &to, msg),
@@ -395,23 +431,27 @@ impl<M: Clone, N: Node<M>> Sim<M, N> {
             }
             CostModel::Hops => {
                 let routing = self.routing.as_ref().expect("Hops model builds routing");
-                let Some(path) = routing.path(from, to) else {
+                if routing.distance(from, to).is_none() {
                     self.metrics.dropped += 1;
                     return;
-                };
-                // walk the path; die at the first crashed intermediate
+                }
+                // walk the next-hop entries directly (no path `Vec`);
+                // die at the first crashed intermediate
                 let mut travelled = 0u64;
-                for w in path.windows(2) {
+                let mut blocked = false;
+                for hop in routing.hops(from, to) {
                     travelled += 1;
-                    let hop = w[1];
                     if self.crashed[hop.index()] {
-                        // passes spent up to (and into) the crash point
-                        self.metrics.message_passes += travelled;
-                        self.metrics.dropped += 1;
-                        return;
+                        blocked = true;
+                        break;
                     }
                 }
+                // passes spent up to (and into) a crash point stay spent
                 self.metrics.message_passes += travelled;
+                if blocked {
+                    self.metrics.dropped += 1;
+                    return;
+                }
                 let env = Envelope {
                     from,
                     to,
@@ -424,13 +464,14 @@ impl<M: Clone, N: Node<M>> Sim<M, N> {
     }
 
     /// Multicast with shared-prefix (spanning/Steiner tree) accounting.
-    fn route_multicast(&mut self, from: NodeId, targets: &[NodeId], msg: M) {
-        let mut unique: Vec<NodeId> = targets.to_vec();
-        unique.sort_unstable();
-        unique.dedup();
+    ///
+    /// `targets` is already sorted and duplicate-free ([`TargetSet`]'s
+    /// construction invariant), so no per-operation sort/dedup happens
+    /// here.
+    fn route_multicast(&mut self, from: NodeId, targets: &TargetSet, msg: M) {
         match self.cost_model {
             CostModel::Uniform => {
-                for &t in &unique {
+                for t in targets.iter() {
                     if t == from {
                         let env = Envelope {
                             from,
@@ -454,18 +495,27 @@ impl<M: Clone, N: Node<M>> Sim<M, N> {
             }
             CostModel::Hops => {
                 // charge the Steiner-tree cost once; deliver along
-                // shortest paths, truncated at crashed nodes
+                // shortest paths, truncated at crashed nodes. The remote
+                // slice is the target set itself unless the sender is a
+                // member (the only case that still copies).
                 let routing = self.routing.as_ref().expect("Hops model builds routing");
-                let remote: Vec<NodeId> = unique.iter().copied().filter(|&t| t != from).collect();
-                if let Some(cost) = multicast_cost(&self.graph, routing, from, &remote) {
+                let self_in_set = targets.contains(from);
+                let filtered: Vec<NodeId>;
+                let remote: &[NodeId] = if self_in_set {
+                    filtered = targets.iter().filter(|&t| t != from).collect();
+                    &filtered
+                } else {
+                    targets.as_slice()
+                };
+                if let Some(cost) = multicast_cost(&self.graph, routing, from, remote) {
                     self.metrics.message_passes += cost;
                 } else {
                     // unreachable targets: fall back to per-target routing
-                    for &t in &remote {
+                    for &t in remote {
                         self.route(from, t, msg.clone());
                     }
                     // plus local copy if requested
-                    if unique.contains(&from) {
+                    if self_in_set {
                         let env = Envelope {
                             from,
                             to: from,
@@ -477,7 +527,7 @@ impl<M: Clone, N: Node<M>> Sim<M, N> {
                     return;
                 }
                 self.metrics.sends += remote.len() as u64;
-                for &t in &unique {
+                for t in targets.iter() {
                     if t == from {
                         let env = Envelope {
                             from,
@@ -488,18 +538,22 @@ impl<M: Clone, N: Node<M>> Sim<M, N> {
                         self.push(self.now, Event::Deliver(env));
                         continue;
                     }
-                    let path = self
-                        .routing
-                        .as_ref()
-                        .expect("Hops model builds routing")
-                        .path(from, t)
-                        .expect("multicast_cost verified reachability");
-                    let blocked = path[1..].iter().any(|v| self.crashed[v.index()]);
+                    // walk next-hop entries: hop count plus
+                    // first-crashed-intermediate check, no path `Vec`
+                    let routing = self.routing.as_ref().expect("Hops model builds routing");
+                    let mut d = 0u64;
+                    let mut blocked = false;
+                    for hop in routing.hops(from, t) {
+                        d += 1;
+                        if self.crashed[hop.index()] {
+                            blocked = true;
+                            break;
+                        }
+                    }
                     if blocked {
                         self.metrics.dropped += 1;
                         continue;
                     }
-                    let d = (path.len() - 1) as u64;
                     let env = Envelope {
                         from,
                         to: t,

@@ -16,6 +16,12 @@ pub struct Metrics {
     pub dropped: u64,
     /// Number of crash events injected.
     pub crashes: u64,
+    /// Events executed by the simulator loop (deliveries, timer firings
+    /// and drops at crashed nodes) — the denominator for events/sec.
+    pub events_executed: u64,
+    /// Highest number of simultaneously queued events observed — the
+    /// event core's working-set size.
+    pub peak_queue_depth: u64,
     /// Deliveries per node — cache pressure / rendezvous load.
     pub node_load: Vec<u64>,
 }
@@ -29,6 +35,8 @@ impl Metrics {
             delivered: 0,
             dropped: 0,
             crashes: 0,
+            events_executed: 0,
+            peak_queue_depth: 0,
             node_load: vec![0; n],
         }
     }

@@ -41,6 +41,18 @@ pub fn complete(n: usize) -> Graph {
     g
 }
 
+/// An edgeless stand-in for [`complete`]: same node count and name, no
+/// adjacency. O(n) to build instead of O(n²), which is what makes
+/// 64k-node complete-network sweeps possible at all.
+///
+/// Only valid where edges are never consulted — e.g. simulations under
+/// `mm_sim::CostModel::Uniform`, which charge one pass per destination
+/// and never route. Anything that routes, measures degrees, or walks
+/// neighbors must use [`complete`].
+pub fn complete_shell(n: usize) -> Graph {
+    Graph::with_name(n, format!("complete({n})"))
+}
+
 /// Cycle `C_n` (ring). Paper §2.3.5: on a ring no match-making algorithm
 /// does significantly better than broadcasting, `m(n) = Ω(n)`.
 ///

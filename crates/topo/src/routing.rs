@@ -139,6 +139,11 @@ impl RoutingTable {
     /// Returns `None` if `b` is unreachable from `a`. For `a == b` the path
     /// is the single node `[a]`.
     ///
+    /// Allocates the whole path; hot paths that only need to *visit* the
+    /// hops (hop counting, crash checks) should use [`RoutingTable::hops`]
+    /// instead, which walks the same next-hop entries without materializing
+    /// a `Vec`.
+    ///
     /// # Panics
     ///
     /// Panics if `a` or `b` is out of range.
@@ -148,14 +153,27 @@ impl RoutingTable {
         }
         self.distance(a, b)?;
         let mut path = vec![a];
-        let mut cur = a;
-        while cur != b {
-            cur = self
-                .next_hop(cur, b)
-                .expect("next hop must exist on a reachable path");
-            path.push(cur);
-        }
+        path.extend(self.hops(a, b));
         Some(path)
+    }
+
+    /// Walks the shortest path from `a` to `b` hop by hop, yielding each
+    /// node *after* `a` (so the final item is `b`). Allocation-free: each
+    /// step is one next-hop table lookup.
+    ///
+    /// The walk is empty when `a == b` and also when `b` is unreachable
+    /// from `a` — callers that need to distinguish the two should check
+    /// [`RoutingTable::distance`] first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range (on the first `next` call).
+    pub fn hops(&self, a: NodeId, b: NodeId) -> HopWalk<'_> {
+        HopWalk {
+            table: self,
+            cur: a,
+            dest: b,
+        }
     }
 
     /// The neighbors of `v` that route *toward* `v` from some other node,
@@ -197,6 +215,33 @@ impl RoutingTable {
             .map(|v| self.eccentricity(NodeId::new(v as u32)))
             .max()
             .unwrap_or(0)
+    }
+}
+
+/// Allocation-free shortest-path walk produced by [`RoutingTable::hops`].
+#[derive(Debug, Clone)]
+pub struct HopWalk<'a> {
+    table: &'a RoutingTable,
+    cur: NodeId,
+    dest: NodeId,
+}
+
+impl Iterator for HopWalk<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        if self.cur == self.dest {
+            return None;
+        }
+        self.cur = self.table.next_hop(self.cur, self.dest)?;
+        Some(self.cur)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self.table.distance(self.cur, self.dest) {
+            Some(d) => (d as usize, Some(d as usize)),
+            None => (0, Some(0)),
+        }
     }
 }
 
@@ -258,6 +303,29 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn hops_walk_matches_materialized_path() {
+        let g = gen::grid(4, 5, false);
+        let rt = RoutingTable::new(&g);
+        for a in g.nodes() {
+            for b in g.nodes() {
+                let walked: Vec<NodeId> = rt.hops(a, b).collect();
+                let path = rt.path(a, b).unwrap();
+                assert_eq!(path[0], a);
+                assert_eq!(&path[1..], &walked[..], "walk is the path minus its start");
+                assert_eq!(rt.hops(a, b).size_hint().0 as u32, walked.len() as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn hops_walk_is_empty_for_self_and_unreachable() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let rt = RoutingTable::new(&g);
+        assert_eq!(rt.hops(n(1), n(1)).count(), 0);
+        assert_eq!(rt.hops(n(0), n(2)).count(), 0, "unreachable walk ends");
     }
 
     #[test]

@@ -141,12 +141,12 @@ pub fn multicast_cost(
         }
         let (_, idx, attach) = best?;
         let t = remaining.swap_remove(idx);
-        let path = rt.path(attach, t)?;
-        for w in path.windows(2) {
+        // walk the shortest path without materializing it
+        for hop in rt.hops(attach, t) {
             // each newly traversed edge is one message pass; nodes joining
             // the tree stop needing re-delivery
-            if !in_tree[w[1].index()] {
-                in_tree[w[1].index()] = true;
+            if !in_tree[hop.index()] {
+                in_tree[hop.index()] = true;
                 cost += 1;
             }
         }

@@ -12,9 +12,16 @@
 //! (modulo the `--pretty` flag, which only reformats).
 
 use mm_core::strategies::{Broadcast, Checkerboard, HashLocate, PortMapped};
-use mm_sim::CostModel;
+use mm_sim::{CostModel, QueueKind};
 use mm_topo::{gen, Graph};
 use mm_workload::{scenarios, ScenarioReport, ScenarioRunner};
+use std::time::Instant;
+
+/// Above this size a literal complete graph (O(n²) adjacency) stops being
+/// buildable; under the uniform cost model edges are never consulted, so
+/// the sweep substitutes an edgeless graph with the same name and runs to
+/// 64k+ nodes unchanged.
+const COMPLETE_MATERIALIZE_LIMIT: usize = 4096;
 
 struct Args {
     ns: Vec<usize>,
@@ -23,6 +30,7 @@ struct Args {
     strategy: String,
     topology: String,
     cost: CostModel,
+    queue: QueueKind,
     pretty: bool,
     records: bool,
 }
@@ -32,7 +40,7 @@ fn usage() -> ! {
         "usage: scenarios [--n N | --sweep N1,N2,..] [--seed S] \
          [--scenario NAME|all] [--strategy checkerboard|hash|broadcast] \
          [--topology complete|grid|ring|hypercube] [--cost uniform|hops] \
-         [--pretty] [--records]\n\nscenarios: {}",
+         [--queue calendar|btree] [--pretty] [--records]\n\nscenarios: {}",
         scenarios::ALL.join(", ")
     );
     std::process::exit(2);
@@ -46,6 +54,7 @@ fn parse_args() -> Args {
         strategy: "checkerboard".into(),
         topology: "complete".into(),
         cost: CostModel::Uniform,
+        queue: QueueKind::Calendar,
         pretty: false,
         records: false,
     };
@@ -77,6 +86,13 @@ fn parse_args() -> Args {
                     _ => usage(),
                 }
             }
+            "--queue" => {
+                args.queue = match value(&argv, &mut i).as_str() {
+                    "calendar" => QueueKind::Calendar,
+                    "btree" => QueueKind::BTree,
+                    _ => usage(),
+                }
+            }
             "--pretty" => args.pretty = true,
             "--records" => args.records = true,
             "--help" | "-h" => usage(),
@@ -90,9 +106,21 @@ fn parse_args() -> Args {
     args
 }
 
-fn build_graph(topology: &str, n: usize) -> Graph {
+fn build_graph(topology: &str, n: usize, cost: CostModel) -> Graph {
     match topology {
-        "complete" => gen::complete(n),
+        "complete" => match cost {
+            // uniform never routes: an edgeless stand-in is behaviorally
+            // identical and O(n) instead of O(n²) to build
+            CostModel::Uniform => gen::complete_shell(n),
+            CostModel::Hops if n <= COMPLETE_MATERIALIZE_LIMIT => gen::complete(n),
+            CostModel::Hops => {
+                eprintln!(
+                    "error: --cost hops with --topology complete materializes O(n^2) \
+                     edges; use --n <= {COMPLETE_MATERIALIZE_LIMIT} or a sparse topology"
+                );
+                std::process::exit(2);
+            }
+        },
         "ring" => gen::ring(n),
         "grid" => {
             // the closest p x q >= n rectangle
@@ -118,7 +146,7 @@ fn build_graph(topology: &str, n: usize) -> Graph {
 }
 
 fn run_one(args: &Args, name: &str, n: usize) -> ScenarioReport {
-    let graph = build_graph(&args.topology, n);
+    let graph = build_graph(&args.topology, n, args.cost);
     // the grid topology may round n up; size the workload (churn widths
     // etc.) from the node count actually run, not the requested one
     let n = graph.node_count();
@@ -141,7 +169,7 @@ fn run_spec<PM: PortMapped>(
     args: &Args,
     label: &str,
 ) -> ScenarioReport {
-    ScenarioRunner::new(spec, graph, resolver, args.cost, label).run()
+    ScenarioRunner::with_queue(spec, graph, resolver, args.cost, label, args.queue).run()
 }
 
 fn main() {
@@ -159,7 +187,18 @@ fn main() {
     for &n in &args.ns {
         for name in &names {
             eprintln!("running {name} at n={n} (seed {}) ...", args.seed);
-            reports.push(run_one(&args, name, n));
+            let t0 = Instant::now();
+            let report = run_one(&args, name, n);
+            let wall = t0.elapsed().as_secs_f64();
+            // wall-clock throughput goes to stderr only: stdout JSON must
+            // stay byte-identical across equal-seed runs
+            let events = report.events_executed();
+            eprintln!(
+                "  {events} events in {wall:.3}s ({:.0} events/sec), peak queue depth {}",
+                events as f64 / wall.max(1e-9),
+                report.peak_queue_depth(),
+            );
+            reports.push(report);
         }
     }
 

@@ -19,7 +19,7 @@ use mm_core::Port;
 use mm_proto::service::ServiceNet;
 use mm_proto::shotgun::RequestOutcome;
 use mm_proto::{LocateHandle, LocateOutcome, ShotgunEngine};
-use mm_sim::{CostModel, Metrics, SimTime};
+use mm_sim::{CostModel, Metrics, QueueKind, SimTime};
 use mm_topo::{Graph, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -65,6 +65,12 @@ pub struct PhaseReport {
     pub dropped: u64,
     /// Crash events injected during the phase.
     pub crashes: u64,
+    /// Simulator events executed during the phase (deliveries, timers,
+    /// drops) — the numerator for wall-clock events/sec.
+    pub events_executed: u64,
+    /// Peak simultaneous event-queue depth observed up to the end of the
+    /// phase (cumulative high-water mark; deterministic).
+    pub peak_queue_depth: u64,
     /// `message_passes / locates_completed` (0 when nothing completed).
     pub passes_per_locate: f64,
     /// Completed locates per 1000 ticks of the observation window
@@ -117,6 +123,20 @@ impl ScenarioReport {
     /// Total completed locates.
     pub fn locates_completed(&self) -> u64 {
         self.total(|p| p.locates_completed)
+    }
+
+    /// Total simulator events executed across all phases.
+    pub fn events_executed(&self) -> u64 {
+        self.total(|p| p.events_executed)
+    }
+
+    /// Peak event-queue depth over the whole run.
+    pub fn peak_queue_depth(&self) -> u64 {
+        self.phases
+            .iter()
+            .map(|p| p.peak_queue_depth)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Overall hit rate.
@@ -258,6 +278,33 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
         cost_model: CostModel,
         strategy: &str,
     ) -> Self {
+        Self::with_queue(
+            spec,
+            graph,
+            resolver,
+            cost_model,
+            strategy,
+            QueueKind::Calendar,
+        )
+    }
+
+    /// Like [`ScenarioRunner::new`] with an explicit simulator event-queue
+    /// implementation — the determinism suite runs the same scenario
+    /// through the calendar queue and the `BTreeMap` reference and
+    /// asserts byte-identical reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`Workload::validate`] or the resolver
+    /// universe differs from the graph size.
+    pub fn with_queue(
+        spec: Workload,
+        graph: Graph,
+        resolver: PM,
+        cost_model: CostModel,
+        strategy: &str,
+        queue: QueueKind,
+    ) -> Self {
         if let Err(e) = spec.validate() {
             panic!("invalid workload {:?}: {e}", spec.name);
         }
@@ -265,7 +312,7 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
         assert!(n > 0, "empty graph");
         let topology = graph.name().to_string();
         let sampler = PopularitySampler::new(spec.ports, spec.popularity);
-        let net = ServiceNet::new(graph, resolver, cost_model);
+        let net = ServiceNet::with_queue(graph, resolver, cost_model, queue);
         let op_timeout = match net.engine().sim().routing() {
             // double-sweep BFS estimate of the diameter via the routing
             // table: eccentricity of node 0, then of the farthest node
@@ -698,6 +745,8 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
             delivered: after.delivered - before.delivered,
             dropped: after.dropped - before.dropped,
             crashes: after.crashes - before.crashes,
+            events_executed: after.events_executed - before.events_executed,
+            peak_queue_depth: after.peak_queue_depth,
             passes_per_locate: if completed == 0 {
                 0.0
             } else {
