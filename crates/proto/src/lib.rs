@@ -20,9 +20,11 @@
 //!   [`ruler`], the schedule generator itself.
 //! * [`service`] — the Amoeba-style service model of §1.3: request/reply
 //!   on located addresses, migration with stale-cache recovery.
-//! * [`live`] — a threaded runtime (crossbeam channels) running the same
-//!   locate protocol under real concurrency, validating that nothing
-//!   depends on the simulator's determinism.
+//! * [`live`] — a threaded runtime (channel mailboxes, one OS thread per
+//!   node) running the same protocols — posting, deregistration, churn,
+//!   application request/reply — under real concurrency, with
+//!   simulator-compatible metrics so whole workloads can be
+//!   differential-tested against [`shotgun`].
 
 pub mod cache;
 pub mod hash_locate;
@@ -36,5 +38,6 @@ pub mod shotgun;
 
 pub use cache::Cache;
 pub use intern::TargetInterner;
+pub use live::{LiveLocateOutcome, LiveNet, LiveRequestOutcome};
 pub use messages::ProtoMsg;
 pub use shotgun::{LocateHandle, LocateOutcome, ShotgunEngine};

@@ -1,29 +1,133 @@
-//! A live, threaded runtime for the locate protocol.
+//! A live, threaded runtime for the match-making protocols.
 //!
-//! Every node is an OS thread with a crossbeam channel mailbox; messages
-//! between distinct nodes count as one message pass each (the paper's
-//! complete-network model). This exists to demonstrate that the protocol
-//! logic carries over unchanged from the deterministic simulator to real
-//! concurrency — the integration suite cross-checks the two runtimes
-//! against each other (same strategy, same placement, same answer, same
-//! message count).
+//! Every node is an OS thread with a channel mailbox; messages between
+//! distinct nodes count as one message pass each (the paper's
+//! complete-network model, [`mm_sim::CostModel::Uniform`]). The protocol
+//! logic — posting, querying, timestamped caches, application
+//! request/reply — is the same as the simulator's [`crate::shotgun`]
+//! engine, re-hosted on real concurrency: the paper's m(P,Q) ≥ 1
+//! rendezvous invariant is a property of the post/query sets, not of the
+//! scheduler, and the conformance suite (`tests/live_workload_equivalence`)
+//! differential-tests the two runtimes against each other under full
+//! workload load.
+//!
+//! # Accounting parity
+//!
+//! [`LiveNet`] mirrors the simulator's [`Metrics`] semantics exactly so
+//! that reports from both runtimes are comparable field by field:
+//!
+//! * a point-to-point send counts one `send`, plus one `message_pass`
+//!   when source ≠ destination (self-messages are free);
+//! * a multicast counts one `send` + one pass per *remote* member — a
+//!   sender that is a member of its own target set delivers locally for
+//!   free;
+//! * driver commands ([`LiveMsg::DoPost`] & friends) model the
+//!   simulator's free `inject` — no pass, but the delivery at the
+//!   executing node counts toward `delivered`/`node_load`/events;
+//! * a message arriving at a crashed node counts `dropped` (the passes
+//!   spent getting there stay spent), exactly like [`mm_sim::Sim`];
+//! * control-plane traffic (crash/restore/barriers/shutdown) is the live
+//!   analogue of the simulator's external state changes and is never
+//!   counted.
+//!
+//! # Determinism under churn
+//!
+//! Real threads cannot replay the simulator's tick ordering, so the
+//! driver API is *synchronous*: each operation returns only when its
+//! outcome is decided. For operations whose target set intersects the
+//! crashed set the outcome "unresolved" is forced deterministically — the
+//! driver quiesces the in-flight fan-out with mailbox barriers (FIFO
+//! channels make a barrier ack prove everything enqueued earlier was
+//! processed) and then tells the client to give up, playing the role of
+//! the simulator's client timeout without wall-clock flakiness.
 
+use crate::cache::Cache;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use mm_core::Port;
+use mm_sim::{Metrics, TargetSet};
 use mm_topo::NodeId;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// Messages of the live protocol (a trimmed [`crate::ProtoMsg`]).
+/// How long a blocking driver call waits before declaring the runtime
+/// wedged. Every wait in the lock-step protocol is guaranteed to finish
+/// (live nodes always answer, dead ones are never waited on), so this
+/// bound only trips on a genuine deadlock bug — and then we want a loud
+/// panic, not a silent divergence from the simulator.
+const WEDGE_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// While blocked on an operation that looked all-live at issue time, the
+/// driver periodically re-checks the crash set: a *concurrent* crash (from
+/// another driver thread) can silence a target after the check, and the
+/// operation must then be force-classified instead of waiting forever.
+const RACE_RECHECK: Duration = Duration::from_millis(50);
+
+/// The verdict of one live locate — mirrors [`crate::LocateOutcome`]
+/// without the simulated-time fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LiveLocateOutcome {
+    /// Every queried node answered and at least one had the port cached.
+    Found {
+        /// The located server address (newest stamp wins).
+        addr: NodeId,
+        /// The winning advertisement's timestamp.
+        stamp: u64,
+    },
+    /// Every queried node answered and none knew the port.
+    NotFound,
+    /// Some queried nodes never answered (crashed rendezvous).
+    Unresolved {
+        /// Hits received before the driver gave up.
+        hits: usize,
+        /// Misses received before the driver gave up.
+        misses: usize,
+        /// Queries that never got an answer.
+        missing: usize,
+        /// Best address seen so far, if any hit arrived.
+        best: Option<(NodeId, u64)>,
+    },
+}
+
+impl LiveLocateOutcome {
+    /// Convenience: the located address if the outcome is `Found`.
+    pub fn addr(&self) -> Option<NodeId> {
+        match self {
+            LiveLocateOutcome::Found { addr, .. } => Some(*addr),
+            _ => None,
+        }
+    }
+}
+
+/// The outcome of a live application request — mirrors
+/// [`crate::shotgun::RequestOutcome`]; `None` from
+/// [`LiveNet::request`] means the server never answered (crashed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LiveRequestOutcome {
+    /// The server answered.
+    Replied {
+        /// Response body.
+        body: u64,
+    },
+    /// The addressed node does not serve the port (stale cache).
+    StaleAddress,
+}
+
+/// Messages of the live protocol — the threaded analogue of
+/// [`crate::ProtoMsg`] plus the control plane.
 #[derive(Debug, Clone)]
 enum LiveMsg {
+    // --- protocol messages (counted like simulator traffic) ---
     Post {
         port: Port,
         addr: NodeId,
+        stamp: u64,
+    },
+    Unpost {
+        port: Port,
         stamp: u64,
     },
     Query {
@@ -39,28 +143,100 @@ enum LiveMsg {
     Miss {
         locate_id: u64,
     },
+    Request {
+        port: Port,
+        reply_to: usize,
+        body: u64,
+        request_id: u64,
+    },
+    Reply {
+        body: u64,
+        request_id: u64,
+    },
+    NotHere {
+        request_id: u64,
+    },
+    // --- driver commands (free injections, like `Sim::inject`) ---
     DoPost {
         port: Port,
         addr: NodeId,
         stamp: u64,
-        targets: Vec<NodeId>,
+        targets: TargetSet,
+        done: Sender<()>,
+    },
+    DoUnpost {
+        port: Port,
+        stamp: u64,
+        targets: TargetSet,
+        done: Sender<()>,
     },
     DoLocate {
         port: Port,
         locate_id: u64,
-        targets: Vec<NodeId>,
-        done: Sender<Option<(NodeId, u64)>>,
+        targets: TargetSet,
+        done: Sender<LiveLocateOutcome>,
+    },
+    DoRequest {
+        port: Port,
+        addr: NodeId,
+        body: u64,
+        request_id: u64,
+        done: Sender<Option<LiveRequestOutcome>>,
+    },
+    // --- control plane (never counted; works on crashed nodes too) ---
+    Serve {
+        port: Port,
+        on: bool,
+        ack: Sender<()>,
+    },
+    Crash {
+        ack: Sender<()>,
+    },
+    Restore {
+        ack: Sender<()>,
+    },
+    ClearCache {
+        ack: Sender<()>,
+    },
+    Barrier {
+        ack: Sender<()>,
+    },
+    /// Force-completes a pending locate with its partial state — the
+    /// driver-side stand-in for the simulator's client timeout.
+    FinishLocate {
+        locate_id: u64,
+    },
+    /// Force-completes a pending request with `None` (no reply).
+    FinishRequest {
+        request_id: u64,
     },
     Shutdown,
 }
 
-struct NodeThread {
-    me: usize,
-    rx: Receiver<LiveMsg>,
-    peers: Vec<Sender<LiveMsg>>,
-    passes: Arc<AtomicU64>,
-    cache: HashMap<Port, (NodeId, u64)>,
-    pending: HashMap<u64, PendingLive>,
+/// Shared counters, snapshotted into an [`mm_sim::Metrics`].
+#[derive(Debug)]
+struct LiveCounters {
+    passes: AtomicU64,
+    sends: AtomicU64,
+    delivered: AtomicU64,
+    dropped: AtomicU64,
+    crashes: AtomicU64,
+    events: AtomicU64,
+    node_load: Box<[AtomicU64]>,
+}
+
+impl LiveCounters {
+    fn new(n: usize) -> Self {
+        LiveCounters {
+            passes: AtomicU64::new(0),
+            sends: AtomicU64::new(0),
+            delivered: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            crashes: AtomicU64::new(0),
+            events: AtomicU64::new(0),
+            node_load: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
 }
 
 struct PendingLive {
@@ -68,127 +244,311 @@ struct PendingLive {
     hits: usize,
     misses: usize,
     best: Option<(NodeId, u64)>,
-    done: Sender<Option<(NodeId, u64)>>,
+    done: Sender<LiveLocateOutcome>,
+}
+
+struct NodeThread {
+    me: usize,
+    rx: Receiver<LiveMsg>,
+    peers: Vec<Sender<LiveMsg>>,
+    counters: Arc<LiveCounters>,
+    crashed: bool,
+    cache: Cache,
+    served: BTreeSet<Port>,
+    pending: HashMap<u64, PendingLive>,
+    requests: HashMap<u64, Sender<Option<LiveRequestOutcome>>>,
 }
 
 impl NodeThread {
+    /// Point-to-point send: one `send`, one pass unless to self — the
+    /// accounting of [`mm_sim::Sim`]'s `route` under the uniform model.
     fn send(&self, to: usize, msg: LiveMsg) {
+        self.counters.sends.fetch_add(1, Ordering::Relaxed);
         if to != self.me {
-            self.passes.fetch_add(1, Ordering::Relaxed);
+            self.counters.passes.fetch_add(1, Ordering::Relaxed);
         }
         // a dropped peer just loses the message, like a crashed node
         let _ = self.peers[to].send(msg);
     }
 
+    /// Multicast fan-out: remote members cost a send + a pass each, a
+    /// sender that is its own target delivers locally for free — the
+    /// accounting of the simulator's `route_multicast` under uniform cost.
+    fn mcast_send(&self, targets: &TargetSet, msg: &LiveMsg) {
+        for t in targets.iter() {
+            if t.index() != self.me {
+                self.counters.sends.fetch_add(1, Ordering::Relaxed);
+                self.counters.passes.fetch_add(1, Ordering::Relaxed);
+            }
+            let _ = self.peers[t.index()].send(msg.clone());
+        }
+    }
+
     fn run(mut self) {
         while let Ok(msg) = self.rx.recv() {
+            // the control plane mirrors the simulator's external state
+            // changes: free, and effective even on a crashed node
             match msg {
                 LiveMsg::Shutdown => break,
-                LiveMsg::DoPost {
-                    port,
-                    addr,
-                    stamp,
-                    targets,
-                } => {
-                    for t in targets {
-                        self.send(t.index(), LiveMsg::Post { port, addr, stamp });
+                LiveMsg::Serve { port, on, ack } => {
+                    if on {
+                        self.served.insert(port);
+                    } else {
+                        self.served.remove(&port);
                     }
+                    let _ = ack.send(());
+                    continue;
                 }
-                LiveMsg::DoLocate {
-                    port,
-                    locate_id,
-                    targets,
-                    done,
-                } => {
-                    self.pending.insert(
-                        locate_id,
-                        PendingLive {
-                            expected: targets.len(),
-                            hits: 0,
-                            misses: 0,
-                            best: None,
-                            done,
-                        },
-                    );
-                    if targets.is_empty() {
-                        if let Some(p) = self.pending.remove(&locate_id) {
-                            let _ = p.done.send(None);
-                        }
-                        continue;
-                    }
-                    for t in targets {
-                        self.send(
-                            t.index(),
-                            LiveMsg::Query {
-                                port,
-                                reply_to: self.me,
-                                locate_id,
-                            },
-                        );
-                    }
+                LiveMsg::Crash { ack } => {
+                    self.crashed = true;
+                    let _ = ack.send(());
+                    continue;
                 }
-                LiveMsg::Post { port, addr, stamp } => {
-                    let e = self.cache.entry(port).or_insert((addr, 0));
-                    if stamp > e.1 {
-                        *e = (addr, stamp);
-                    }
+                LiveMsg::Restore { ack } => {
+                    self.crashed = false;
+                    let _ = ack.send(());
+                    continue;
                 }
-                LiveMsg::Query {
-                    port,
-                    reply_to,
-                    locate_id,
-                } => match self.cache.get(&port) {
-                    Some(&(addr, stamp)) => self.send(
-                        reply_to,
-                        LiveMsg::Hit {
-                            addr,
-                            stamp,
-                            locate_id,
-                        },
-                    ),
-                    None => self.send(reply_to, LiveMsg::Miss { locate_id }),
-                },
-                LiveMsg::Hit {
-                    addr,
-                    stamp,
-                    locate_id,
-                } => {
-                    if let Some(p) = self.pending.get_mut(&locate_id) {
-                        p.hits += 1;
-                        if p.best.is_none() || stamp > p.best.unwrap().1 {
-                            p.best = Some((addr, stamp));
-                        }
-                        Self::maybe_finish(&mut self.pending, locate_id);
-                    }
+                LiveMsg::ClearCache { ack } => {
+                    self.cache = Cache::new();
+                    let _ = ack.send(());
+                    continue;
                 }
-                LiveMsg::Miss { locate_id } => {
-                    if let Some(p) = self.pending.get_mut(&locate_id) {
-                        p.misses += 1;
-                        Self::maybe_finish(&mut self.pending, locate_id);
-                    }
+                LiveMsg::Barrier { ack } => {
+                    let _ = ack.send(());
+                    continue;
                 }
+                LiveMsg::FinishLocate { locate_id } => {
+                    if let Some(p) = self.pending.remove(&locate_id) {
+                        let _ = p.done.send(LiveLocateOutcome::Unresolved {
+                            hits: p.hits,
+                            misses: p.misses,
+                            missing: p.expected - p.hits - p.misses,
+                            best: p.best,
+                        });
+                    }
+                    continue;
+                }
+                LiveMsg::FinishRequest { request_id } => {
+                    if let Some(done) = self.requests.remove(&request_id) {
+                        let _ = done.send(None);
+                    }
+                    continue;
+                }
+                other => self.on_message(other),
             }
         }
     }
 
-    fn maybe_finish(pending: &mut HashMap<u64, PendingLive>, id: u64) {
-        let finished = pending
+    fn on_message(&mut self, msg: LiveMsg) {
+        self.counters.events.fetch_add(1, Ordering::Relaxed);
+        if self.crashed {
+            // like the simulator: the message dies here, but the driver
+            // must never block on a dead node's answer
+            self.counters.dropped.fetch_add(1, Ordering::Relaxed);
+            match msg {
+                LiveMsg::DoPost { done, .. } | LiveMsg::DoUnpost { done, .. } => {
+                    let _ = done.send(());
+                }
+                LiveMsg::DoLocate { targets, done, .. } => {
+                    let _ = done.send(LiveLocateOutcome::Unresolved {
+                        hits: 0,
+                        misses: 0,
+                        missing: targets.len(),
+                        best: None,
+                    });
+                }
+                LiveMsg::DoRequest { done, .. } => {
+                    let _ = done.send(None);
+                }
+                _ => {}
+            }
+            return;
+        }
+        self.counters.delivered.fetch_add(1, Ordering::Relaxed);
+        self.counters.node_load[self.me].fetch_add(1, Ordering::Relaxed);
+        match msg {
+            LiveMsg::DoPost {
+                port,
+                addr,
+                stamp,
+                targets,
+                done,
+            } => {
+                self.mcast_send(&targets, &LiveMsg::Post { port, addr, stamp });
+                // acked only after the fan-out is enqueued: a barrier on
+                // the targets afterwards proves the posts were processed
+                let _ = done.send(());
+            }
+            LiveMsg::DoUnpost {
+                port,
+                stamp,
+                targets,
+                done,
+            } => {
+                self.mcast_send(&targets, &LiveMsg::Unpost { port, stamp });
+                let _ = done.send(());
+            }
+            LiveMsg::DoLocate {
+                port,
+                locate_id,
+                targets,
+                done,
+            } => {
+                if targets.is_empty() {
+                    let _ = done.send(LiveLocateOutcome::NotFound);
+                    return;
+                }
+                self.pending.insert(
+                    locate_id,
+                    PendingLive {
+                        expected: targets.len(),
+                        hits: 0,
+                        misses: 0,
+                        best: None,
+                        done,
+                    },
+                );
+                self.mcast_send(
+                    &targets,
+                    &LiveMsg::Query {
+                        port,
+                        reply_to: self.me,
+                        locate_id,
+                    },
+                );
+            }
+            LiveMsg::DoRequest {
+                port,
+                addr,
+                body,
+                request_id,
+                done,
+            } => {
+                self.requests.insert(request_id, done);
+                self.send(
+                    addr.index(),
+                    LiveMsg::Request {
+                        port,
+                        reply_to: self.me,
+                        body,
+                        request_id,
+                    },
+                );
+            }
+            LiveMsg::Post { port, addr, stamp } => {
+                self.cache.insert(port, addr, stamp);
+            }
+            LiveMsg::Unpost { port, stamp } => {
+                self.cache.remove(port, stamp);
+            }
+            LiveMsg::Query {
+                port,
+                reply_to,
+                locate_id,
+            } => match self.cache.lookup(port) {
+                Some(e) => self.send(
+                    reply_to,
+                    LiveMsg::Hit {
+                        addr: e.addr,
+                        stamp: e.stamp,
+                        locate_id,
+                    },
+                ),
+                None => self.send(reply_to, LiveMsg::Miss { locate_id }),
+            },
+            LiveMsg::Hit {
+                addr,
+                stamp,
+                locate_id,
+            } => {
+                if let Some(p) = self.pending.get_mut(&locate_id) {
+                    p.hits += 1;
+                    if p.best.is_none_or(|(_, s)| stamp > s) {
+                        p.best = Some((addr, stamp));
+                    }
+                    self.maybe_finish(locate_id);
+                }
+            }
+            LiveMsg::Miss { locate_id } => {
+                if let Some(p) = self.pending.get_mut(&locate_id) {
+                    p.misses += 1;
+                    self.maybe_finish(locate_id);
+                }
+            }
+            LiveMsg::Request {
+                port,
+                reply_to,
+                body,
+                request_id,
+            } => {
+                if self.served.contains(&port) {
+                    self.send(
+                        reply_to,
+                        LiveMsg::Reply {
+                            // the same trivially checkable toy service as
+                            // the simulator: echo body + 1
+                            body: body.wrapping_add(1),
+                            request_id,
+                        },
+                    );
+                } else {
+                    self.send(reply_to, LiveMsg::NotHere { request_id });
+                }
+            }
+            LiveMsg::Reply { body, request_id } => {
+                if let Some(done) = self.requests.remove(&request_id) {
+                    let _ = done.send(Some(LiveRequestOutcome::Replied { body }));
+                }
+            }
+            LiveMsg::NotHere { request_id } => {
+                if let Some(done) = self.requests.remove(&request_id) {
+                    let _ = done.send(Some(LiveRequestOutcome::StaleAddress));
+                }
+            }
+            // control handled in `run`
+            LiveMsg::Serve { .. }
+            | LiveMsg::Crash { .. }
+            | LiveMsg::Restore { .. }
+            | LiveMsg::ClearCache { .. }
+            | LiveMsg::Barrier { .. }
+            | LiveMsg::FinishLocate { .. }
+            | LiveMsg::FinishRequest { .. }
+            | LiveMsg::Shutdown => unreachable!("control messages are handled in run()"),
+        }
+    }
+
+    fn maybe_finish(&mut self, id: u64) {
+        let finished = self
+            .pending
             .get(&id)
             .is_some_and(|p| p.hits + p.misses == p.expected);
         if finished {
-            let p = pending.remove(&id).expect("just observed");
-            let _ = p.done.send(p.best);
+            let p = self.pending.remove(&id).expect("just observed");
+            let outcome = match p.best {
+                Some((addr, stamp)) => LiveLocateOutcome::Found { addr, stamp },
+                None => LiveLocateOutcome::NotFound,
+            };
+            let _ = p.done.send(outcome);
         }
     }
 }
 
-/// A live network of `n` node threads exchanging locate traffic.
+/// A live network of `n` node threads exchanging match-making traffic.
+///
+/// The driver API is synchronous and crash-aware: operations whose target
+/// set is entirely live block until their true verdict; operations that
+/// would wait on a crashed node forever are quiesced with barriers and
+/// force-classified — the deterministic analogue of a client timeout.
 pub struct LiveNet {
     senders: Vec<Sender<LiveMsg>>,
     handles: Mutex<Vec<JoinHandle<()>>>,
-    passes: Arc<AtomicU64>,
+    counters: Arc<LiveCounters>,
+    /// Driver-side crash view — who would never answer a query right now.
+    crashed: Mutex<Vec<bool>>,
     clock: AtomicU64,
     next_locate: AtomicU64,
+    next_request: AtomicU64,
 }
 
 impl LiveNet {
@@ -201,71 +561,310 @@ impl LiveNet {
             senders.push(tx);
             receivers.push(rx);
         }
-        let passes = Arc::new(AtomicU64::new(0));
+        let counters = Arc::new(LiveCounters::new(n));
         let mut handles = Vec::with_capacity(n);
         for (me, rx) in receivers.into_iter().enumerate() {
             let node = NodeThread {
                 me,
                 rx,
                 peers: senders.clone(),
-                passes: Arc::clone(&passes),
-                cache: HashMap::new(),
+                counters: Arc::clone(&counters),
+                crashed: false,
+                cache: Cache::new(),
+                served: BTreeSet::new(),
                 pending: HashMap::new(),
+                requests: HashMap::new(),
             };
             handles.push(std::thread::spawn(move || node.run()));
         }
         LiveNet {
             senders,
             handles: Mutex::new(handles),
-            passes,
+            counters,
+            crashed: Mutex::new(vec![false; n]),
             clock: AtomicU64::new(0),
             next_locate: AtomicU64::new(0),
+            next_request: AtomicU64::new(0),
         }
     }
 
-    /// Total inter-node messages so far.
-    pub fn message_passes(&self) -> u64 {
-        self.passes.load(Ordering::Relaxed)
+    /// Number of node threads.
+    pub fn node_count(&self) -> usize {
+        self.senders.len()
     }
 
-    /// Posts `(port, at)` at `targets` and waits until the posts are
-    /// observable (the targets' mailboxes have processed them).
-    pub fn register_server(&self, at: NodeId, port: Port, targets: Vec<NodeId>) {
-        let stamp = self.clock.fetch_add(1, Ordering::SeqCst) + 1;
+    /// Total inter-node message passes so far (the paper's `m` numerator).
+    pub fn message_passes(&self) -> u64 {
+        self.counters.passes.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of all counters as a simulator-compatible [`Metrics`], so
+    /// both runtimes serialize reports with identical semantics.
+    /// `peak_queue_depth` is always 0 (mailbox depth is not sampled) and
+    /// `events_executed` counts protocol messages processed or dropped —
+    /// control-plane traffic is invisible, matching the simulator's free
+    /// external state changes.
+    pub fn metrics(&self) -> Metrics {
+        let c = &self.counters;
+        let mut m = Metrics::new(c.node_load.len());
+        m.message_passes = c.passes.load(Ordering::SeqCst);
+        m.sends = c.sends.load(Ordering::SeqCst);
+        m.delivered = c.delivered.load(Ordering::SeqCst);
+        m.dropped = c.dropped.load(Ordering::SeqCst);
+        m.crashes = c.crashes.load(Ordering::SeqCst);
+        m.events_executed = c.events.load(Ordering::SeqCst);
+        for (slot, a) in m.node_load.iter_mut().zip(c.node_load.iter()) {
+            *slot = a.load(Ordering::SeqCst);
+        }
+        m
+    }
+
+    fn control(&self, to: NodeId, make: impl FnOnce(Sender<()>) -> LiveMsg) {
+        let (ack_tx, ack_rx) = bounded(1);
+        let _ = self.senders[to.index()].send(make(ack_tx));
+        ack_rx
+            .recv_timeout(WEDGE_TIMEOUT)
+            .expect("live node control ack: runtime wedged");
+    }
+
+    /// Waits until every node in `targets` has drained its mailbox up to
+    /// this point. FIFO channels make the ack a happens-after proof for
+    /// everything enqueued at the node before the barrier.
+    fn barrier<I: IntoIterator<Item = NodeId>>(&self, targets: I) {
+        let (ack_tx, ack_rx) = unbounded();
+        let mut expected = 0usize;
+        for t in targets {
+            let _ = self.senders[t.index()].send(LiveMsg::Barrier {
+                ack: ack_tx.clone(),
+            });
+            expected += 1;
+        }
+        drop(ack_tx);
+        for _ in 0..expected {
+            ack_rx
+                .recv_timeout(WEDGE_TIMEOUT)
+                .expect("live barrier ack: runtime wedged");
+        }
+    }
+
+    /// Next logical stamp — registrations are totally ordered, so
+    /// re-registration always supersedes (monotonically increasing stamps,
+    /// the paper's timestamp conflict rule).
+    fn next_stamp(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Registers a server for `port` at `at` and posts `(port, at)` at
+    /// `targets` (the strategy's `P(at)`). Returns the posting stamp; on
+    /// return the postings are observable by any subsequent locate.
+    pub fn register_server(&self, at: NodeId, port: Port, targets: impl Into<TargetSet>) -> u64 {
+        let targets = targets.into();
+        let stamp = self.next_stamp();
+        self.control(at, |ack| LiveMsg::Serve {
+            port,
+            on: true,
+            ack,
+        });
+        let (done_tx, done_rx) = bounded(1);
         let _ = self.senders[at.index()].send(LiveMsg::DoPost {
             port,
             addr: at,
             stamp,
             targets: targets.clone(),
+            done: done_tx,
         });
-        // barrier: a no-op locate at each target forces mailbox drains in
-        // FIFO order, making the registration visible before we return
-        for t in targets {
-            let _ = self.locate_raw(t, Port::new(u128::MAX), vec![t]);
-        }
+        done_rx
+            .recv_timeout(WEDGE_TIMEOUT)
+            .expect("live post fan-out ack: runtime wedged");
+        // the fan-out is enqueued everywhere; the barrier makes it
+        // *processed* everywhere before the driver moves on
+        self.barrier(targets.iter());
+        stamp
     }
 
-    /// Locates `port` from `client` by querying `targets`; blocks up to
-    /// two seconds for the answers.
-    pub fn locate(&self, client: NodeId, port: Port, targets: Vec<NodeId>) -> Option<NodeId> {
-        self.locate_raw(client, port, targets).map(|(a, _)| a)
+    /// Deregisters the server at `at` and withdraws its postings from
+    /// `targets` with a fresh stamp (withdrawal never erases a newer
+    /// advertisement). On return the withdrawal is observable.
+    pub fn deregister_server(&self, at: NodeId, port: Port, targets: impl Into<TargetSet>) -> u64 {
+        let targets = targets.into();
+        let stamp = self.next_stamp();
+        self.control(at, |ack| LiveMsg::Serve {
+            port,
+            on: false,
+            ack,
+        });
+        let (done_tx, done_rx) = bounded(1);
+        let _ = self.senders[at.index()].send(LiveMsg::DoUnpost {
+            port,
+            stamp,
+            targets: targets.clone(),
+            done: done_tx,
+        });
+        done_rx
+            .recv_timeout(WEDGE_TIMEOUT)
+            .expect("live unpost fan-out ack: runtime wedged");
+        self.barrier(targets.iter());
+        stamp
     }
 
-    fn locate_raw(
+    /// Migrates the service on `port` from `from` to `to`: the old host
+    /// stops serving, the new one registers with a newer stamp (the
+    /// paper's mobile-process scenario). `post_targets` is `P(to)`.
+    pub fn migrate_server(
+        &self,
+        port: Port,
+        from: NodeId,
+        to: NodeId,
+        post_targets: impl Into<TargetSet>,
+    ) -> u64 {
+        self.control(from, |ack| LiveMsg::Serve {
+            port,
+            on: false,
+            ack,
+        });
+        self.register_server(to, port, post_targets)
+    }
+
+    /// Crashes a node: it drops every protocol message until restored.
+    pub fn crash(&self, v: NodeId) {
+        self.crashed.lock()[v.index()] = true;
+        self.counters.crashes.fetch_add(1, Ordering::Relaxed);
+        self.control(v, |ack| LiveMsg::Crash { ack });
+    }
+
+    /// Restores a crashed node (cache intact, like [`mm_sim::Sim::restore`];
+    /// pair with [`LiveNet::clear_cache`] to model lost volatile memory).
+    pub fn restore(&self, v: NodeId) {
+        self.crashed.lock()[v.index()] = false;
+        self.control(v, |ack| LiveMsg::Restore { ack });
+    }
+
+    /// Empties a node's rendezvous cache (works on crashed nodes too).
+    pub fn clear_cache(&self, v: NodeId) {
+        self.control(v, |ack| LiveMsg::ClearCache { ack });
+    }
+
+    /// Locates `port` from `client` by querying `targets` (the strategy's
+    /// `Q(client)`) and blocks until the verdict:
+    ///
+    /// * all targets live → every one answers; `Found`/`NotFound`.
+    /// * some targets crashed → they can never answer while the driver
+    ///   holds them crashed, so the locate is deterministically
+    ///   `Unresolved`: the driver quiesces the fan-out (client, live
+    ///   targets, client again — one barrier per protocol round) and
+    ///   force-finishes the pending operation, standing in for the
+    ///   simulator's client timeout.
+    pub fn locate(
         &self,
         client: NodeId,
         port: Port,
-        targets: Vec<NodeId>,
-    ) -> Option<(NodeId, u64)> {
+        targets: impl Into<TargetSet>,
+    ) -> LiveLocateOutcome {
+        let targets = targets.into();
         let id = self.next_locate.fetch_add(1, Ordering::SeqCst);
         let (done_tx, done_rx) = bounded(1);
+        // crash *epoch* at issue time: the counter only ever grows, so any
+        // concurrent crash — even one followed by an immediate restore,
+        // which would be invisible to a plain crashed-flag re-check — is
+        // detected while we wait
+        let crash_epoch = self.counters.crashes.load(Ordering::SeqCst);
+        let crashed_targets: Vec<NodeId> = {
+            let crashed = self.crashed.lock();
+            targets.iter().filter(|t| crashed[t.index()]).collect()
+        };
         let _ = self.senders[client.index()].send(LiveMsg::DoLocate {
             port,
             locate_id: id,
-            targets,
+            targets: targets.clone(),
             done: done_tx,
         });
-        done_rx.recv_timeout(Duration::from_secs(2)).ok().flatten()
+        if crashed_targets.is_empty() {
+            // all targets live at issue time: the answers are coming — but
+            // a *concurrent* crash from another driver thread can still
+            // silence a target, so re-check while waiting instead of
+            // blocking on a reply that will never arrive
+            let mut waited = Duration::ZERO;
+            loop {
+                match done_rx.recv_timeout(RACE_RECHECK) {
+                    Ok(outcome) => return outcome,
+                    Err(_) => {
+                        waited += RACE_RECHECK;
+                        assert!(waited < WEDGE_TIMEOUT, "live locate: runtime wedged");
+                        if self.counters.crashes.load(Ordering::SeqCst) != crash_epoch {
+                            break; // raced by a crash: force-classify below
+                        }
+                    }
+                }
+            }
+        }
+        // a crashed rendezvous never answers: quiesce, then give up
+        let crashed_now: Vec<NodeId> = {
+            let crashed = self.crashed.lock();
+            targets.iter().filter(|t| crashed[t.index()]).collect()
+        };
+        self.barrier([client]); // queries fanned out
+        self.barrier(targets.iter().filter(|t| !crashed_now.contains(t))); // answers sent
+        self.barrier([client]); // answers absorbed
+        let _ = self.senders[client.index()].send(LiveMsg::FinishLocate { locate_id: id });
+        done_rx
+            .recv_timeout(WEDGE_TIMEOUT)
+            .expect("live locate finish: runtime wedged")
+    }
+
+    /// Convenience wrapper: the located address, if any.
+    pub fn locate_addr(
+        &self,
+        client: NodeId,
+        port: Port,
+        targets: impl Into<TargetSet>,
+    ) -> Option<NodeId> {
+        self.locate(client, port, targets).addr()
+    }
+
+    /// Sends an application request from `client` to the located address
+    /// `addr` and blocks for the outcome. `None` means the server never
+    /// answered (crashed host — force-classified deterministically, like
+    /// [`LiveNet::locate`]'s unresolved path).
+    pub fn request(
+        &self,
+        client: NodeId,
+        addr: NodeId,
+        port: Port,
+        body: u64,
+    ) -> Option<LiveRequestOutcome> {
+        let id = self.next_request.fetch_add(1, Ordering::SeqCst);
+        let (done_tx, done_rx) = bounded(1);
+        // see `locate`: the epoch detects even a crash-then-restore race
+        let crash_epoch = self.counters.crashes.load(Ordering::SeqCst);
+        let addr_crashed = self.crashed.lock()[addr.index()];
+        let _ = self.senders[client.index()].send(LiveMsg::DoRequest {
+            port,
+            addr,
+            body,
+            request_id: id,
+            done: done_tx,
+        });
+        if !addr_crashed {
+            let mut waited = Duration::ZERO;
+            loop {
+                match done_rx.recv_timeout(RACE_RECHECK) {
+                    Ok(outcome) => return outcome,
+                    Err(_) => {
+                        waited += RACE_RECHECK;
+                        assert!(waited < WEDGE_TIMEOUT, "live request: runtime wedged");
+                        if self.counters.crashes.load(Ordering::SeqCst) != crash_epoch {
+                            break; // raced by a crash: force-classify below
+                        }
+                    }
+                }
+            }
+        }
+        self.barrier([client]); // request sent
+        self.barrier([addr]); // request dropped at the crashed host
+        let _ = self.senders[client.index()].send(LiveMsg::FinishRequest { request_id: id });
+        done_rx
+            .recv_timeout(WEDGE_TIMEOUT)
+            .expect("live request finish: runtime wedged")
     }
 
     /// Shuts all node threads down and joins them.
@@ -286,6 +885,15 @@ impl Drop for LiveNet {
     }
 }
 
+impl std::fmt::Debug for LiveNet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiveNet")
+            .field("n", &self.senders.len())
+            .field("message_passes", &self.message_passes())
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -301,13 +909,13 @@ mod tests {
         let server = NodeId::new(3);
         net.register_server(server, port, strat.post_set(server));
         let client = NodeId::new(12);
-        let found = net.locate(client, port, strat.query_set(client));
+        let found = net.locate_addr(client, port, strat.query_set(client));
         assert_eq!(found, Some(server));
         net.shutdown();
     }
 
     #[test]
-    fn live_locate_unknown_port_is_none() {
+    fn live_locate_unknown_port_is_not_found() {
         let n = 9;
         let strat = Checkerboard::new(n);
         let net = LiveNet::new(n);
@@ -316,7 +924,7 @@ mod tests {
             Port::from_name("ghost"),
             strat.query_set(NodeId::new(0)),
         );
-        assert_eq!(found, None);
+        assert_eq!(found, LiveLocateOutcome::NotFound);
     }
 
     #[test]
@@ -327,14 +935,13 @@ mod tests {
         let port = Port::from_name("db");
         net.register_server(NodeId::new(2), port, strat.post_set(NodeId::new(2)));
         net.register_server(NodeId::new(17), port, strat.post_set(NodeId::new(17)));
-        let found = net.locate(NodeId::new(20), port, strat.query_set(NodeId::new(20)));
+        let found = net.locate_addr(NodeId::new(20), port, strat.query_set(NodeId::new(20)));
         assert_eq!(found, Some(NodeId::new(17)), "later registration wins");
     }
 
     #[test]
     fn live_message_count_matches_model() {
-        // #P posts + #Q queries + #Q replies (barrier locates add 0 passes
-        // because they query the node itself)
+        // #P posts + #Q queries + #Q replies, self-messages free
         let n = 16;
         let strat = Checkerboard::new(n);
         let net = LiveNet::new(n);
@@ -349,5 +956,106 @@ mod tests {
         // queries to self are free, replies from self too
         let self_in_q = strat.query_set(client).contains(&client) as u64;
         assert_eq!(after - before, 2 * (q - self_in_q));
+    }
+
+    #[test]
+    fn deregistration_withdraws_postings() {
+        let n = 16;
+        let strat = Checkerboard::new(n);
+        let net = LiveNet::new(n);
+        let port = Port::from_name("tmp");
+        let server = NodeId::new(4);
+        net.register_server(server, port, strat.post_set(server));
+        net.deregister_server(server, port, strat.post_set(server));
+        let found = net.locate(NodeId::new(1), port, strat.query_set(NodeId::new(1)));
+        assert_eq!(found, LiveLocateOutcome::NotFound, "unposted everywhere");
+    }
+
+    #[test]
+    fn reregistration_supersedes_deregistration() {
+        // crash + come back: the re-registration's newer stamp must win
+        // over any stale state, and the stamps must be strictly monotone
+        let n = 16;
+        let strat = Checkerboard::new(n);
+        let net = LiveNet::new(n);
+        let port = Port::from_name("svc");
+        let server = NodeId::new(6);
+        let s1 = net.register_server(server, port, strat.post_set(server));
+        let s2 = net.deregister_server(server, port, strat.post_set(server));
+        let s3 = net.register_server(server, port, strat.post_set(server));
+        assert!(s1 < s2 && s2 < s3, "stamps bump monotonically");
+        let client = NodeId::new(11);
+        match net.locate(client, port, strat.query_set(client)) {
+            LiveLocateOutcome::Found { addr, stamp } => {
+                assert_eq!(addr, server);
+                assert_eq!(stamp, s3, "the freshest posting wins");
+            }
+            other => panic!("expected Found after re-registration, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crashed_rendezvous_forces_unresolved() {
+        let n = 16;
+        let strat = Checkerboard::new(n);
+        let net = LiveNet::new(n);
+        let port = Port::from_name("svc");
+        let server = NodeId::new(5);
+        net.register_server(server, port, strat.post_set(server));
+        let client = NodeId::new(9);
+        let targets = strat.query_set(client);
+        net.crash(targets[0]);
+        match net.locate(client, port, targets.clone()) {
+            LiveLocateOutcome::Unresolved { missing, .. } => {
+                assert!(missing >= 1, "the crashed target never answers")
+            }
+            other => panic!("expected Unresolved, got {other:?}"),
+        }
+        // restore: the node kept its cache, locates complete again
+        net.restore(targets[0]);
+        assert_eq!(net.locate_addr(client, port, targets), Some(server));
+    }
+
+    #[test]
+    fn request_roundtrip_and_stale_address() {
+        let n = 16;
+        let strat = Checkerboard::new(n);
+        let net = LiveNet::new(n);
+        let port = Port::from_name("adder");
+        let server = NodeId::new(3);
+        net.register_server(server, port, strat.post_set(server));
+        assert_eq!(
+            net.request(NodeId::new(12), server, port, 41),
+            Some(LiveRequestOutcome::Replied { body: 42 })
+        );
+        // migrate away: the old address bounces
+        net.migrate_server(port, server, NodeId::new(9), strat.post_set(NodeId::new(9)));
+        assert_eq!(
+            net.request(NodeId::new(12), server, port, 1),
+            Some(LiveRequestOutcome::StaleAddress)
+        );
+        // a crashed host never answers at all
+        net.crash(NodeId::new(9));
+        assert_eq!(net.request(NodeId::new(12), NodeId::new(9), port, 1), None);
+    }
+
+    #[test]
+    fn metrics_snapshot_mirrors_sim_semantics() {
+        let n = 9;
+        let strat = Checkerboard::new(n);
+        let net = LiveNet::new(n);
+        let port = Port::from_name("svc");
+        let server = NodeId::new(4);
+        net.register_server(server, port, strat.post_set(server));
+        let m = net.metrics();
+        let p = strat.post_count(server) as u64;
+        let self_in_p = strat.post_set(server).contains(&server) as u64;
+        assert_eq!(m.message_passes, p - self_in_p, "posting costs #P passes");
+        // the DoPost injection + every posting delivery
+        assert_eq!(m.delivered, 1 + p);
+        assert_eq!(m.dropped, 0);
+        assert_eq!(m.node_load.iter().sum::<u64>(), m.delivered);
+        assert_eq!(m.events_executed, m.delivered);
+        assert_eq!(m.peak_queue_depth, 0, "not sampled in the live runtime");
     }
 }

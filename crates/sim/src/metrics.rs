@@ -48,6 +48,38 @@ impl Metrics {
         *self = Metrics::new(n);
     }
 
+    /// Counter-wise difference `self - earlier`: what happened between two
+    /// snapshots. Used by the workload runners (simulator *and* live) to
+    /// attribute traffic to phases from the same report-building code.
+    /// `peak_queue_depth` is a high-water mark, not a counter, so the
+    /// later snapshot's value is kept as-is.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshots disagree on the node count.
+    pub fn delta(&self, earlier: &Metrics) -> Metrics {
+        assert_eq!(
+            self.node_load.len(),
+            earlier.node_load.len(),
+            "snapshots must come from the same network"
+        );
+        Metrics {
+            message_passes: self.message_passes - earlier.message_passes,
+            sends: self.sends - earlier.sends,
+            delivered: self.delivered - earlier.delivered,
+            dropped: self.dropped - earlier.dropped,
+            crashes: self.crashes - earlier.crashes,
+            events_executed: self.events_executed - earlier.events_executed,
+            peak_queue_depth: self.peak_queue_depth,
+            node_load: self
+                .node_load
+                .iter()
+                .zip(&earlier.node_load)
+                .map(|(a, b)| a - b)
+                .collect(),
+        }
+    }
+
     /// The most-loaded node and its delivery count, if any deliveries
     /// happened.
     pub fn hottest_node(&self) -> Option<(usize, u64)> {
@@ -87,6 +119,25 @@ mod tests {
         m.node_load = vec![1, 5, 0, 2];
         assert_eq!(m.hottest_node(), Some((1, 5)));
         assert_eq!(m.mean_load(), 2.0);
+    }
+
+    #[test]
+    fn delta_subtracts_counters_and_keeps_peak() {
+        let mut before = Metrics::new(2);
+        before.message_passes = 5;
+        before.delivered = 3;
+        before.node_load = vec![2, 1];
+        before.peak_queue_depth = 9;
+        let mut after = before.clone();
+        after.message_passes = 12;
+        after.delivered = 8;
+        after.node_load = vec![4, 4];
+        after.peak_queue_depth = 11;
+        let d = after.delta(&before);
+        assert_eq!(d.message_passes, 7);
+        assert_eq!(d.delivered, 5);
+        assert_eq!(d.node_load, vec![2, 3]);
+        assert_eq!(d.peak_queue_depth, 11, "high-water mark, not a counter");
     }
 
     #[test]

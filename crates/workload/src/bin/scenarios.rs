@@ -6,7 +6,12 @@
 //! cargo run --release -p mm-workload --bin scenarios -- \
 //!     --n 256 --scenario rolling-churn --strategy hash --topology grid --cost hops
 //! cargo run --release -p mm-workload --bin scenarios -- --sweep 64,256,1024
+//! cargo run --release -p mm-workload --bin scenarios -- --n 256 --runtime live
 //! ```
+//!
+//! `--runtime live` executes the same specs on the threaded
+//! `mm-proto` [`LiveNet`](mm_proto::live::LiveNet) runtime (one OS thread
+//! per node) instead of the simulator, reporting the same JSON schema.
 //!
 //! Re-running with identical arguments reproduces byte-identical output
 //! (modulo the `--pretty` flag, which only reformats).
@@ -14,7 +19,7 @@
 use mm_core::strategies::{Broadcast, Checkerboard, HashLocate, PortMapped};
 use mm_sim::{CostModel, QueueKind};
 use mm_topo::{gen, Graph};
-use mm_workload::{scenarios, ScenarioReport, ScenarioRunner};
+use mm_workload::{scenarios, LiveScenarioRunner, ScenarioReport, ScenarioRunner};
 use std::time::Instant;
 
 /// Above this size a literal complete graph (O(n²) adjacency) stops being
@@ -22,6 +27,16 @@ use std::time::Instant;
 /// the sweep substitutes an edgeless graph with the same name and runs to
 /// 64k+ nodes unchanged.
 const COMPLETE_MATERIALIZE_LIMIT: usize = 4096;
+
+/// One OS thread per node: past this the live runtime would exhaust the
+/// default thread budget long before it said anything new.
+const LIVE_THREAD_LIMIT: usize = 4096;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Runtime {
+    Sim,
+    Live,
+}
 
 struct Args {
     ns: Vec<usize>,
@@ -31,6 +46,7 @@ struct Args {
     topology: String,
     cost: CostModel,
     queue: QueueKind,
+    runtime: Runtime,
     pretty: bool,
     records: bool,
 }
@@ -40,7 +56,10 @@ fn usage() -> ! {
         "usage: scenarios [--n N | --sweep N1,N2,..] [--seed S] \
          [--scenario NAME|all] [--strategy checkerboard|hash|broadcast] \
          [--topology complete|grid|ring|hypercube] [--cost uniform|hops] \
-         [--queue calendar|btree] [--pretty] [--records]\n\nscenarios: {}",
+         [--queue calendar|btree] [--runtime sim|live] [--pretty] [--records]\n\
+         \n--runtime live drives the same specs through the threaded \
+         mm-proto LiveNet runtime\n(complete network, uniform cost, \
+         n <= {LIVE_THREAD_LIMIT}) and reports the same schema.\n\nscenarios: {}",
         scenarios::ALL.join(", ")
     );
     std::process::exit(2);
@@ -55,6 +74,7 @@ fn parse_args() -> Args {
         topology: "complete".into(),
         cost: CostModel::Uniform,
         queue: QueueKind::Calendar,
+        runtime: Runtime::Sim,
         pretty: false,
         records: false,
     };
@@ -93,6 +113,13 @@ fn parse_args() -> Args {
                     _ => usage(),
                 }
             }
+            "--runtime" => {
+                args.runtime = match value(&argv, &mut i).as_str() {
+                    "sim" => Runtime::Sim,
+                    "live" => Runtime::Live,
+                    _ => usage(),
+                }
+            }
             "--pretty" => args.pretty = true,
             "--records" => args.records = true,
             "--help" | "-h" => usage(),
@@ -102,6 +129,22 @@ fn parse_args() -> Args {
     }
     if args.ns.is_empty() || args.ns.contains(&0) {
         usage();
+    }
+    // reject impossible live-runtime combinations before any scenario
+    // runs: a failed sweep should not burn minutes of completed work
+    // first and then discard it at the incompatible size
+    if args.runtime == Runtime::Live {
+        if args.topology != "complete" || args.cost != CostModel::Uniform {
+            eprintln!("error: --runtime live is a complete network under uniform cost");
+            std::process::exit(2);
+        }
+        if let Some(&n) = args.ns.iter().find(|&&n| n > LIVE_THREAD_LIMIT) {
+            eprintln!(
+                "error: --runtime live spawns one thread per node; \
+                 --n {n} exceeds the limit {LIVE_THREAD_LIMIT}"
+            );
+            std::process::exit(2);
+        }
     }
     args
 }
@@ -146,6 +189,9 @@ fn build_graph(topology: &str, n: usize, cost: CostModel) -> Graph {
 }
 
 fn run_one(args: &Args, name: &str, n: usize) -> ScenarioReport {
+    if args.runtime == Runtime::Live {
+        return run_one_live(args, name, n);
+    }
     let graph = build_graph(&args.topology, n, args.cost);
     // the grid topology may round n up; size the workload (churn widths
     // etc.) from the node count actually run, not the requested one
@@ -158,6 +204,19 @@ fn run_one(args: &Args, name: &str, n: usize) -> ScenarioReport {
             let replication = 3.min(n);
             run_spec(spec, graph, HashLocate::new(n, replication), args, "hash")
         }
+        _ => usage(),
+    }
+}
+
+fn run_one_live(args: &Args, name: &str, n: usize) -> ScenarioReport {
+    // incompatible flag combinations were rejected in parse_args
+    let spec = scenarios::by_name(name, n, args.seed).unwrap_or_else(|| usage());
+    match args.strategy.as_str() {
+        "checkerboard" => {
+            LiveScenarioRunner::new(spec, n, Checkerboard::new(n), "checkerboard").run()
+        }
+        "broadcast" => LiveScenarioRunner::new(spec, n, Broadcast::new(n), "broadcast").run(),
+        "hash" => LiveScenarioRunner::new(spec, n, HashLocate::new(n, 3.min(n)), "hash").run(),
         _ => usage(),
     }
 }

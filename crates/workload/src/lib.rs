@@ -18,6 +18,13 @@
 //!   `run_until`, and emits per-phase [`PhaseReport`]s (throughput,
 //!   passes per locate, hit rate, p50/p99 node load, staleness
 //!   recoveries) plus `mm-analysis` theory-vs-measured records.
+//! * [`live_runner`] — [`LiveScenarioRunner`]: the *same* specs driven
+//!   through the threaded [`mm_proto::live::LiveNet`] runtime in
+//!   lock-step, emitting the same [`report`] schema — the second half of
+//!   the cross-runtime conformance suite
+//!   (`tests/live_workload_equivalence.rs`).
+//! * [`report`] — the report structs and builders shared by both
+//!   runtimes, plus the per-operation verdict log they both produce.
 //! * [`scenarios`] — the library: steady-state, flash-crowd,
 //!   rolling-churn, migrate-under-load, cold-vs-warm-cache.
 //!
@@ -46,11 +53,16 @@
 //! assert!(report.hit_rate() > 0.9, "steady state mostly hits");
 //! ```
 
+pub mod live_runner;
+pub mod report;
 pub mod runner;
 pub mod scenarios;
 pub mod spec;
+mod timeline;
 pub mod traffic;
 
-pub use runner::{PhaseReport, ScenarioReport, ScenarioRunner};
+pub use live_runner::LiveScenarioRunner;
+pub use report::{LocateRecord, LocateVerdict, PhaseReport, ScenarioReport};
+pub use runner::ScenarioRunner;
 pub use spec::{ArrivalProcess, ChurnAction, ChurnEvent, Phase, PortPopularity, Workload};
 pub use traffic::PopularitySampler;

@@ -1,0 +1,423 @@
+//! The live-runtime scenario runner: drives the **same** [`Workload`]
+//! specs as [`crate::runner::ScenarioRunner`] through
+//! [`mm_proto::live::LiveNet`] — real OS threads and channels instead of
+//! the deterministic simulator — and emits the same JSON report schema.
+//!
+//! # Lock-step execution model
+//!
+//! The paper's rendezvous invariant (`P(s) ∩ Q(c) ≠ ∅`, so m(P,Q) ≥ 1) is
+//! a property of the post/query *sets*, not of the scheduler, and the
+//! point of this runner is to check that the measured behaviour of the
+//! protocol carries over from simulated ticks to real concurrency. To
+//! make the comparison exact, the runner consumes the spec's RNG in
+//! **identical order** to the simulator runner ([`crate::timeline`]) and
+//! executes timeline events in sequence, waiting for each operation's
+//! verdict before the next event fires (concurrency still happens *inside*
+//! each operation: a locate fans out to up to `|Q|` node threads at once).
+//!
+//! This makes the live run deterministic given a seed, with two knowable
+//! divergences from the simulator, both tolerated (with documented
+//! bounds) by the conformance suite `tests/live_workload_equivalence.rs`:
+//!
+//! 1. **Churn races.** The simulator is open-loop: a locate can be
+//!    in-flight when a crash/restore/migration lands, and its verdict
+//!    then depends on tick-level interleaving. Lock-step execution
+//!    completes each operation before churn fires, so operations issued
+//!    within `op_timeout` ticks before a *racy* churn event (crash,
+//!    restore, migrate — not cache wipes or refreshes, which commute with
+//!    completed operations) may legitimately differ. Everything outside
+//!    those windows must agree exactly.
+//! 2. **Phase bucketing.** The simulator attributes a verdict to the
+//!    phase where it was *read* (an arrival in the last tick of a phase
+//!    completes in the next); the live runner classifies at issue time.
+//!    Totals across phases agree; per-phase operation counters can shift
+//!    by the handful of boundary operations.
+//!
+//! Stale-address bounces cannot happen under lock-step execution (a
+//! migration never lands between a locate and its follow-up request), so
+//! `stale_results`/`stale_requests`/`staleness_recoveries` are
+//! structurally 0 here — the simulator's counts are bounded by its
+//! at-risk operations, which is exactly the tolerance rule the
+//! conformance suite enforces.
+
+use crate::report::{
+    build_phase_report, predict_passes_per_locate, Acc, LocateRecord, LocateVerdict, ScenarioReport,
+};
+use crate::spec::{ChurnAction, Workload};
+use crate::timeline::{draw_arrival, resolve_churn, Event, ResolvedChurn, Timeline};
+use crate::traffic::PopularitySampler;
+use mm_core::strategies::PortMapped;
+use mm_core::Port;
+use mm_proto::live::{LiveLocateOutcome, LiveNet, LiveRequestOutcome};
+use mm_proto::TargetInterner;
+use mm_sim::SimTime;
+use mm_topo::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Drives one [`Workload`] against a [`LiveNet`] of `n` node threads and
+/// produces a [`ScenarioReport`] with the same schema as the simulator
+/// runner. The live runtime is inherently a complete network under the
+/// uniform cost model (every thread can message every thread in one
+/// pass), so there is no topology/cost parameter.
+#[derive(Debug)]
+pub struct LiveScenarioRunner<PM: PortMapped> {
+    net: LiveNet,
+    resolver: PM,
+    interner: TargetInterner,
+    spec: Workload,
+    rng: StdRng,
+    sampler: PopularitySampler,
+    /// Port handles, index-aligned with the spec's port space.
+    ports: Vec<Port>,
+    /// Current true server address per port.
+    homes: Vec<NodeId>,
+    /// Runner-side crash view (mirrors [`LiveNet`]'s).
+    crashed: Vec<bool>,
+    /// Currently-live nodes, ascending (same draw order as the simulator
+    /// runner's).
+    live: Vec<NodeId>,
+    acc: Acc,
+    op_log: Vec<LocateRecord>,
+    next_arrival: u64,
+    strategy: String,
+}
+
+impl<PM: PortMapped> LiveScenarioRunner<PM> {
+    /// Builds a live runner for `spec` over `n` node threads with
+    /// `resolver` as the match-making strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`Workload::validate`], `n` is 0, or the
+    /// resolver universe differs from `n`.
+    pub fn new(spec: Workload, n: usize, resolver: PM, strategy: &str) -> Self {
+        if let Err(e) = spec.validate() {
+            panic!("invalid workload {:?}: {e}", spec.name);
+        }
+        assert!(n > 0, "empty network");
+        assert_eq!(
+            n,
+            resolver.node_count(),
+            "resolver universe must match the network"
+        );
+        let sampler = PopularitySampler::new(spec.ports, spec.popularity);
+        LiveScenarioRunner {
+            net: LiveNet::new(n),
+            resolver,
+            interner: TargetInterner::default(),
+            rng: StdRng::seed_from_u64(spec.seed),
+            sampler,
+            ports: (0..spec.ports)
+                .map(|i| Port::from_name(&format!("svc-{i}")))
+                .collect(),
+            homes: Vec::new(),
+            crashed: vec![false; n],
+            live: (0..n).map(NodeId::from).collect(),
+            acc: Acc::default(),
+            op_log: Vec::new(),
+            next_arrival: 0,
+            strategy: strategy.to_string(),
+            spec,
+        }
+    }
+
+    fn n(&self) -> usize {
+        self.crashed.len()
+    }
+
+    fn register(&mut self, home: NodeId, port: Port) {
+        let targets = self.interner.post_set(&self.resolver, home, port);
+        self.net.register_server(home, port, targets);
+    }
+
+    /// Runs the scenario to its horizon and reports.
+    pub fn run(self) -> ScenarioReport {
+        self.run_logged().0
+    }
+
+    /// Like [`LiveScenarioRunner::run`], additionally returning the
+    /// per-operation verdict log (one [`LocateRecord`] per primary
+    /// arrival, in arrival order) for cross-runtime conformance checks.
+    pub fn run_logged(mut self) -> (ScenarioReport, Vec<LocateRecord>) {
+        let predicted = predict_passes_per_locate(&self.resolver, self.n(), &self.ports);
+
+        // --- setup: place one server per port (same RNG draws as the
+        // simulator runner; LiveNet::register_server blocks until the
+        // postings are observable, the analogue of `run_until(t0)`) ---
+        for i in 0..self.spec.ports {
+            let home = NodeId::from(self.rng.gen_range(0..self.n()));
+            self.homes.push(home);
+            let port = self.ports[i];
+            self.register(home, port);
+        }
+
+        // --- the identical deterministic timeline ---
+        let timeline = Timeline::compile(&self.spec, &mut self.rng);
+
+        // --- drive the network phase by phase, lock-step ---
+        let mut reports = Vec::with_capacity(timeline.phase_bounds.len());
+        let mut next = 0usize;
+        let last = timeline.phase_bounds.len() - 1;
+        for (pi, (start, end, name)) in timeline.phase_bounds.iter().enumerate() {
+            let before = self.net.metrics();
+            self.acc = Acc::default();
+            while next < timeline.events.len() && timeline.events[next].0 < *end {
+                let (t, ev) = timeline.events[next].clone();
+                next += 1;
+                self.apply(t, ev);
+            }
+            let after = self.net.metrics();
+            // mirror the simulator's observation windows (the final phase
+            // includes the drain grace) so rate denominators agree
+            let window_end = if pi == last {
+                end + self.spec.op_timeout
+            } else {
+                *end
+            };
+            reports.push(build_phase_report(
+                name,
+                *start,
+                *end,
+                window_end,
+                &self.acc,
+                &after.delta(&before),
+            ));
+        }
+        self.net.shutdown();
+
+        let report = ScenarioReport {
+            scenario: self.spec.name.clone(),
+            strategy: self.strategy.clone(),
+            cost_model: "uniform".to_string(),
+            topology: "live-threads".to_string(),
+            n: self.n() as u64,
+            seed: self.spec.seed,
+            ports: self.spec.ports as u64,
+            horizon: timeline.horizon,
+            predicted_passes_per_locate: predicted,
+            phases: reports,
+        };
+        (report, std::mem::take(&mut self.op_log))
+    }
+
+    /// Applies one timeline event, blocking until its effects are
+    /// observable (lock-step). All random draws go through the shared
+    /// decision layer ([`draw_arrival`]/[`resolve_churn`]) so the
+    /// RNG-consumption order is provably identical to the simulator
+    /// runner's.
+    fn apply(&mut self, t: SimTime, ev: Event) {
+        match ev {
+            Event::Arrival => {
+                let Some((client, port_idx)) =
+                    draw_arrival(&mut self.rng, &self.live, &self.sampler)
+                else {
+                    return; // total outage: the open-loop client is dead too
+                };
+                let arrival = self.next_arrival;
+                self.next_arrival += 1;
+                self.locate_and_classify(t, arrival, client, port_idx);
+            }
+            Event::Refresh => self.refresh_all(),
+            Event::Churn(action) => self.apply_churn(action),
+        }
+    }
+
+    /// One full client interaction: locate, classify, and (when the spec
+    /// asks for it) call the located server with the §1.3 stale-recovery
+    /// retry loop — the synchronous equivalent of the simulator runner's
+    /// issue/drain split.
+    fn locate_and_classify(&mut self, t: SimTime, arrival: u64, client: NodeId, port_idx: usize) {
+        let port = self.ports[port_idx];
+        self.acc.issued += 1;
+        let (verdict, addr) = self.locate_once(client, port_idx);
+        self.op_log.push(LocateRecord {
+            arrival,
+            at: t,
+            client,
+            port_idx,
+            verdict,
+            addr,
+        });
+        let Some(addr) = addr else { return };
+        if !self.spec.request_after_locate {
+            return;
+        }
+        match self.net.request(client, addr, port, 1) {
+            Some(LiveRequestOutcome::Replied { .. }) => self.acc.requests_ok += 1,
+            Some(LiveRequestOutcome::StaleAddress) => {
+                // §1.3 recovery: re-locate and try again, once. Unreachable
+                // under pure lock-step (nothing migrates mid-operation) but
+                // kept for parity with the simulator's recovery loop.
+                self.acc.stale_requests += 1;
+                self.acc.issued += 1;
+                let (retry_verdict, retry_addr) = self.locate_once(client, port_idx);
+                if retry_verdict == LocateVerdict::Hit {
+                    if retry_addr == Some(self.homes[port_idx]) {
+                        self.acc.recoveries += 1;
+                    }
+                    if let Some(a) = retry_addr {
+                        match self.net.request(client, a, port, 1) {
+                            Some(LiveRequestOutcome::Replied { .. }) => self.acc.requests_ok += 1,
+                            Some(LiveRequestOutcome::StaleAddress) => self.acc.stale_requests += 1,
+                            None => self.acc.request_timeouts += 1,
+                        }
+                    }
+                }
+            }
+            None => self.acc.request_timeouts += 1,
+        }
+    }
+
+    /// Issues one locate and folds its verdict into the accumulator.
+    fn locate_once(&mut self, client: NodeId, port_idx: usize) -> (LocateVerdict, Option<NodeId>) {
+        let port = self.ports[port_idx];
+        let targets = self.interner.query_set(&self.resolver, client, port);
+        self.acc.completed += 1;
+        match self.net.locate(client, port, targets) {
+            LiveLocateOutcome::Found { addr, .. } => {
+                self.acc.hits += 1;
+                if addr != self.homes[port_idx] {
+                    self.acc.stale_results += 1;
+                }
+                (LocateVerdict::Hit, Some(addr))
+            }
+            LiveLocateOutcome::NotFound => {
+                self.acc.misses += 1;
+                (LocateVerdict::Miss, None)
+            }
+            LiveLocateOutcome::Unresolved { .. } => {
+                self.acc.unresolved += 1;
+                (LocateVerdict::Unresolved, None)
+            }
+        }
+    }
+
+    fn refresh_all(&mut self) {
+        for i in 0..self.homes.len() {
+            let home = self.homes[i];
+            if !self.crashed[home.index()] {
+                let port = self.ports[i];
+                self.register(home, port);
+            }
+        }
+    }
+
+    fn crash_node(&mut self, v: NodeId) {
+        debug_assert!(!self.crashed[v.index()]);
+        self.crashed[v.index()] = true;
+        if let Ok(pos) = self.live.binary_search(&v) {
+            self.live.remove(pos);
+        }
+        self.net.crash(v);
+    }
+
+    fn restore_node(&mut self, v: NodeId, clear_cache: bool) {
+        debug_assert!(self.crashed[v.index()]);
+        self.crashed[v.index()] = false;
+        if let Err(pos) = self.live.binary_search(&v) {
+            self.live.insert(pos, v);
+        }
+        self.net.restore(v);
+        if clear_cache {
+            self.net.clear_cache(v);
+        }
+    }
+
+    fn apply_churn(&mut self, action: ChurnAction) {
+        let resolved = resolve_churn(
+            &action,
+            &mut self.rng,
+            &self.live,
+            &self.crashed,
+            &self.homes,
+        );
+        for r in resolved {
+            match r {
+                ResolvedChurn::Crash(v) => self.crash_node(v),
+                ResolvedChurn::Restore { node, clear_cache } => {
+                    self.restore_node(node, clear_cache)
+                }
+                ResolvedChurn::Migrate { port_idx, from, to } => {
+                    let port = self.ports[port_idx];
+                    let targets = self.interner.post_set(&self.resolver, to, port);
+                    self.net.migrate_server(port, from, to, targets);
+                    self.homes[port_idx] = to;
+                }
+                ResolvedChurn::ClearAllCaches => {
+                    for vi in 0..self.n() {
+                        self.net.clear_cache(NodeId::from(vi));
+                    }
+                }
+                ResolvedChurn::RefreshAll => self.refresh_all(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios;
+    use mm_core::strategies::{Checkerboard, HashLocate};
+
+    fn run_live(name: &str, n: usize, seed: u64) -> ScenarioReport {
+        let spec = scenarios::by_name(name, n, seed).expect("library scenario");
+        LiveScenarioRunner::new(spec, n, Checkerboard::new(n), "checkerboard").run()
+    }
+
+    #[test]
+    fn live_steady_state_hits_at_theory_cost() {
+        let r = run_live("steady-state", 16, 7);
+        assert_eq!(r.phases.len(), 3);
+        assert!(r.hit_rate() > 0.99, "hit rate {}", r.hit_rate());
+        // 2·sqrt(16) = 8 passes per warm locate; the live runtime pays
+        // exactly the model cost minus free self-messages
+        assert!((r.predicted_passes_per_locate - 8.0).abs() < 1e-9);
+        assert!(r.passes_per_locate() <= 8.0);
+        assert!(r.passes_per_locate() > 6.0);
+    }
+
+    #[test]
+    fn live_rolling_churn_degrades_then_recovers() {
+        let r = run_live("rolling-churn", 16, 7);
+        let churning = r.phases.iter().find(|p| p.name == "churning").unwrap();
+        let recovered = r.phases.iter().find(|p| p.name == "recovered").unwrap();
+        assert!(churning.crashes > 0);
+        assert!(churning.unresolved > 0, "crashed rendezvous leave timeouts");
+        assert!(churning.dropped > 0, "messages die at crashed nodes");
+        assert!(
+            recovered.hit_rate > 0.99,
+            "refresh heals: {}",
+            recovered.hit_rate
+        );
+    }
+
+    #[test]
+    fn live_migrate_under_load_sustains_requests() {
+        let r = run_live("migrate-under-load", 16, 7);
+        let ok: u64 = r.phases.iter().map(|p| p.requests_ok).sum();
+        assert!(ok > 1000, "requests keep flowing through migrations: {ok}");
+        assert_eq!(
+            r.phases.iter().map(|p| p.request_timeouts).sum::<u64>(),
+            0,
+            "no server ever crashes in this scenario"
+        );
+    }
+
+    #[test]
+    fn live_hash_locate_runs_the_same_workload() {
+        let n = 16;
+        let spec = scenarios::steady_state(11);
+        let r = LiveScenarioRunner::new(spec, n, HashLocate::new(n, 3), "hash").run();
+        assert!(r.hit_rate() > 0.99);
+        assert!((r.predicted_passes_per_locate - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn live_runs_are_deterministic_given_a_seed() {
+        let a = serde_json::to_string(&run_live("cold-vs-warm-cache", 16, 5)).unwrap();
+        let b = serde_json::to_string(&run_live("cold-vs-warm-cache", 16, 5)).unwrap();
+        assert_eq!(a, b, "lock-step live runs reproduce byte-identically");
+    }
+}

@@ -1,0 +1,298 @@
+//! Report structs and builders shared by **both** workload runtimes.
+//!
+//! The simulator runner ([`crate::runner::ScenarioRunner`]) and the live
+//! threaded runner ([`crate::live_runner::LiveScenarioRunner`]) emit the
+//! same JSON schema from the same code: per-phase [`PhaseReport`]s built
+//! by [`build_phase_report`] out of an operation-accumulator ([`Acc`]) and
+//! an [`mm_sim::Metrics`] delta. That shared path is what makes the
+//! cross-runtime conformance suite meaningful — any field that diverges
+//! reflects the runtimes, not the serializers.
+//!
+//! Runners also keep a per-operation [`LocateRecord`] log. Records are
+//! keyed by *arrival index* (the position in the spec's deterministic
+//! arrival sequence), so the differential tests can compare verdicts
+//! operation by operation across runtimes regardless of how phase
+//! boundaries bucket the counters.
+
+use mm_analysis::stats::percentile_sorted;
+use mm_analysis::ExperimentRecord;
+use mm_core::strategies::PortMapped;
+use mm_core::Port;
+use mm_sim::{Metrics, SimTime};
+use mm_topo::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Per-phase measurements (all counters are deltas within the phase).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseReport {
+    /// Phase name from the spec.
+    pub name: String,
+    /// Phase start tick (relative to scenario start).
+    pub start: u64,
+    /// Phase end tick (relative to scenario start).
+    pub end: u64,
+    /// Locate operations injected during the phase.
+    pub locates_issued: u64,
+    /// Locate operations that reached a verdict during the phase.
+    pub locates_completed: u64,
+    /// Completed locates that returned an address.
+    pub hits: u64,
+    /// Completed locates where every rendezvous answered "unknown".
+    pub misses: u64,
+    /// Locates abandoned after the client timeout (unanswered queries).
+    pub unresolved: u64,
+    /// Hits whose address no longer matched the server's true location.
+    pub stale_results: u64,
+    /// Application requests bounced by a stale address ("not here").
+    pub stale_requests: u64,
+    /// Stale addresses healed by the re-locate retry finding the current
+    /// address (§1.3's recovery loop, measured under load).
+    pub staleness_recoveries: u64,
+    /// Application requests answered by the server.
+    pub requests_ok: u64,
+    /// Application requests that timed out (crashed server).
+    pub request_timeouts: u64,
+    /// Message passes spent during the phase (the paper's `m` numerator).
+    pub message_passes: u64,
+    /// Messages handed to the network during the phase.
+    pub sends: u64,
+    /// Messages delivered during the phase.
+    pub delivered: u64,
+    /// Messages dropped during the phase (crashed nodes / severed paths).
+    pub dropped: u64,
+    /// Crash events injected during the phase.
+    pub crashes: u64,
+    /// Runtime events executed during the phase: simulator events
+    /// (deliveries, timers, drops) or live protocol messages processed —
+    /// the numerator for wall-clock events/sec.
+    pub events_executed: u64,
+    /// Peak simultaneous event-queue depth observed up to the end of the
+    /// phase (cumulative high-water mark; deterministic). Always 0 in the
+    /// live runtime, which has no global event queue to sample.
+    pub peak_queue_depth: u64,
+    /// `message_passes / locates_completed` (0 when nothing completed).
+    pub passes_per_locate: f64,
+    /// Completed locates per 1000 ticks of the observation window
+    /// (the final phase's window includes the post-horizon drain grace).
+    pub throughput_per_kilotick: f64,
+    /// `hits / locates_completed` (0 when nothing completed).
+    pub hit_rate: f64,
+    /// Median per-node deliveries during the phase.
+    pub load_p50: f64,
+    /// 99th-percentile per-node deliveries during the phase.
+    pub load_p99: f64,
+    /// Hottest node's deliveries during the phase.
+    pub load_max: u64,
+    /// Mean per-node deliveries during the phase.
+    pub load_mean: f64,
+}
+
+/// A whole scenario run: configuration echo plus per-phase reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioReport {
+    /// Scenario (workload) name.
+    pub scenario: String,
+    /// Strategy label (e.g. `checkerboard`).
+    pub strategy: String,
+    /// Cost model label (`uniform` / `hops`).
+    pub cost_model: String,
+    /// Topology label.
+    pub topology: String,
+    /// Node count.
+    pub n: u64,
+    /// Master seed.
+    pub seed: u64,
+    /// Number of service ports.
+    pub ports: u64,
+    /// Scenario horizon in ticks.
+    pub horizon: u64,
+    /// Predicted steady-state passes per locate (`2·|Q|`, the query +
+    /// reply cost against warm caches), for theory-vs-measured records.
+    pub predicted_passes_per_locate: f64,
+    /// Per-phase measurements.
+    pub phases: Vec<PhaseReport>,
+}
+
+impl ScenarioReport {
+    /// Sum of a per-phase counter.
+    pub(crate) fn total(&self, f: impl Fn(&PhaseReport) -> u64) -> u64 {
+        self.phases.iter().map(f).sum()
+    }
+
+    /// Total completed locates.
+    pub fn locates_completed(&self) -> u64 {
+        self.total(|p| p.locates_completed)
+    }
+
+    /// Total simulator events executed across all phases.
+    pub fn events_executed(&self) -> u64 {
+        self.total(|p| p.events_executed)
+    }
+
+    /// Peak event-queue depth over the whole run.
+    pub fn peak_queue_depth(&self) -> u64 {
+        self.phases
+            .iter()
+            .map(|p| p.peak_queue_depth)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Overall hit rate.
+    pub fn hit_rate(&self) -> f64 {
+        let done = self.locates_completed();
+        if done == 0 {
+            0.0
+        } else {
+            self.total(|p| p.hits) as f64 / done as f64
+        }
+    }
+
+    /// Overall passes per completed locate.
+    pub fn passes_per_locate(&self) -> f64 {
+        let done = self.locates_completed();
+        if done == 0 {
+            0.0
+        } else {
+            self.total(|p| p.message_passes) as f64 / done as f64
+        }
+    }
+
+    /// Converts the run into `mm-analysis` theory-vs-measured records:
+    /// one per phase with completed locates, comparing measured passes
+    /// per locate against the strategy's `2·|Q|` steady-state prediction.
+    pub fn records(&self) -> Vec<ExperimentRecord> {
+        self.phases
+            .iter()
+            .filter(|p| p.locates_completed > 0)
+            .map(|p| {
+                ExperimentRecord::new(
+                    &format!("{}/{}", self.scenario, p.name),
+                    "passes-per-locate",
+                    self.predicted_passes_per_locate,
+                    p.passes_per_locate,
+                )
+            })
+            .collect()
+    }
+}
+
+/// Per-phase operation-counter accumulator, shared by both runtimes.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct Acc {
+    pub issued: u64,
+    pub completed: u64,
+    pub hits: u64,
+    pub misses: u64,
+    pub unresolved: u64,
+    pub stale_results: u64,
+    pub stale_requests: u64,
+    pub recoveries: u64,
+    pub requests_ok: u64,
+    pub request_timeouts: u64,
+}
+
+/// Builds one [`PhaseReport`] from the phase's operation counters and the
+/// runtime metrics delta — the single code path for both runtimes.
+/// `window_end` is the end of the observation window actually measured
+/// (the final phase includes the drain grace).
+pub(crate) fn build_phase_report(
+    name: &str,
+    start: SimTime,
+    end: SimTime,
+    window_end: SimTime,
+    acc: &Acc,
+    delta: &Metrics,
+) -> PhaseReport {
+    let completed = acc.completed;
+    let load_max = delta.node_load.iter().copied().max().unwrap_or(0);
+    let mut loads: Vec<f64> = delta.node_load.iter().map(|&d| d as f64).collect();
+    loads.sort_by(|a, b| a.partial_cmp(b).expect("loads are finite"));
+    let window = (window_end - start).max(1);
+    PhaseReport {
+        name: name.to_string(),
+        start,
+        end,
+        locates_issued: acc.issued,
+        locates_completed: completed,
+        hits: acc.hits,
+        misses: acc.misses,
+        unresolved: acc.unresolved,
+        stale_results: acc.stale_results,
+        stale_requests: acc.stale_requests,
+        staleness_recoveries: acc.recoveries,
+        requests_ok: acc.requests_ok,
+        request_timeouts: acc.request_timeouts,
+        message_passes: delta.message_passes,
+        sends: delta.sends,
+        delivered: delta.delivered,
+        dropped: delta.dropped,
+        crashes: delta.crashes,
+        events_executed: delta.events_executed,
+        peak_queue_depth: delta.peak_queue_depth,
+        passes_per_locate: if completed == 0 {
+            0.0
+        } else {
+            delta.message_passes as f64 / completed as f64
+        },
+        throughput_per_kilotick: completed as f64 * 1000.0 / window as f64,
+        hit_rate: if completed == 0 {
+            0.0
+        } else {
+            acc.hits as f64 / completed as f64
+        },
+        load_p50: percentile_sorted(&loads, 0.5),
+        load_p99: percentile_sorted(&loads, 0.99),
+        load_max,
+        load_mean: loads.iter().sum::<f64>() / loads.len() as f64,
+    }
+}
+
+/// Mean `2·|Q|` over a deterministic sample of (client, port) pairs — the
+/// steady-state warm-cache locate cost prediction. Identical sampling in
+/// both runtimes, so the echoed prediction matches too.
+pub(crate) fn predict_passes_per_locate<PM: PortMapped>(
+    resolver: &PM,
+    n: usize,
+    ports: &[Port],
+) -> f64 {
+    let samples = 32.min(n * ports.len()).max(1);
+    let mut total = 0usize;
+    for k in 0..samples {
+        let client = NodeId::from((k * 7919) % n);
+        let port = ports[k % ports.len()];
+        total += resolver.query_set_for(client, port).len();
+    }
+    2.0 * total as f64 / samples as f64
+}
+
+/// The verdict of one locate operation, runtime-agnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocateVerdict {
+    /// An address came back.
+    Hit,
+    /// Every queried node answered "unknown".
+    Miss,
+    /// Some queried node never answered (crashed rendezvous / timeout).
+    Unresolved,
+}
+
+/// One primary locate operation as both runtimes saw it. Retries issued
+/// by the stale-address recovery loop are *not* recorded — they are
+/// timing-dependent — so record `k` in one runtime and record `k` in the
+/// other describe the same spec-level arrival.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocateRecord {
+    /// Arrival index in the spec's deterministic arrival sequence.
+    pub arrival: u64,
+    /// Spec-relative tick at which the arrival was injected.
+    pub at: SimTime,
+    /// The client node that issued the locate.
+    pub client: NodeId,
+    /// Index into the workload's port space.
+    pub port_idx: usize,
+    /// How the locate ended.
+    pub verdict: LocateVerdict,
+    /// The located address for [`LocateVerdict::Hit`].
+    pub addr: Option<NodeId>,
+}

@@ -1,182 +1,35 @@
-//! The scenario runner: compiles a [`Workload`] into simulator injections
-//! and drives a [`ServiceNet`]/[`ShotgunEngine`] open-loop to the horizon.
+//! The simulator-backed scenario runner: compiles a [`Workload`] into
+//! simulator injections and drives a [`ServiceNet`]/[`ShotgunEngine`]
+//! open-loop to the horizon.
 //!
 //! The runner is the missing layer between the protocols and the
 //! benchmarks: the paper (and the E1–E18 harness) measures one locate at a
 //! time on an otherwise silent network, while [`ScenarioRunner`] sustains
 //! concurrent load — arrivals do not wait for earlier operations, churn
 //! fires on schedule, and servers refresh their postings while clients
-//! keep querying. Per-[`Phase`] metrics come out as [`PhaseReport`]s
-//! (throughput, passes per locate, hit rate, node-load percentiles,
-//! staleness recoveries), byte-identically reproducible for equal seeds.
+//! keep querying. Per-[`crate::Phase`] metrics come out as
+//! [`PhaseReport`]s (throughput, passes per locate, hit rate, node-load
+//! percentiles, staleness recoveries), byte-identically reproducible for
+//! equal seeds. The same specs run unchanged on the threaded runtime via
+//! [`crate::live_runner::LiveScenarioRunner`]; the report schema and the
+//! timeline compilation are shared ([`crate::report`],
+//! [`crate::timeline`]) so the two runtimes are differential-testable.
 
+use crate::report::{build_phase_report, predict_passes_per_locate, Acc};
 use crate::spec::{ChurnAction, Workload};
-use crate::traffic::{arrival_times, pick, PopularitySampler};
-use mm_analysis::stats::percentile_sorted;
-use mm_analysis::ExperimentRecord;
+use crate::timeline::{draw_arrival, resolve_churn, Event, ResolvedChurn, Timeline};
+use crate::traffic::PopularitySampler;
 use mm_core::strategies::PortMapped;
 use mm_core::Port;
 use mm_proto::service::ServiceNet;
 use mm_proto::shotgun::RequestOutcome;
 use mm_proto::{LocateHandle, LocateOutcome, ShotgunEngine};
-use mm_sim::{CostModel, Metrics, QueueKind, SimTime};
+use mm_sim::{CostModel, QueueKind, SimTime};
 use mm_topo::{Graph, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
-/// Per-phase measurements (all counters are deltas within the phase).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct PhaseReport {
-    /// Phase name from the spec.
-    pub name: String,
-    /// Phase start tick (relative to scenario start).
-    pub start: u64,
-    /// Phase end tick (relative to scenario start).
-    pub end: u64,
-    /// Locate operations injected during the phase.
-    pub locates_issued: u64,
-    /// Locate operations that reached a verdict during the phase.
-    pub locates_completed: u64,
-    /// Completed locates that returned an address.
-    pub hits: u64,
-    /// Completed locates where every rendezvous answered "unknown".
-    pub misses: u64,
-    /// Locates abandoned after the client timeout (unanswered queries).
-    pub unresolved: u64,
-    /// Hits whose address no longer matched the server's true location.
-    pub stale_results: u64,
-    /// Application requests bounced by a stale address ("not here").
-    pub stale_requests: u64,
-    /// Stale addresses healed by the re-locate retry finding the current
-    /// address (§1.3's recovery loop, measured under load).
-    pub staleness_recoveries: u64,
-    /// Application requests answered by the server.
-    pub requests_ok: u64,
-    /// Application requests that timed out (crashed server).
-    pub request_timeouts: u64,
-    /// Message passes spent during the phase (the paper's `m` numerator).
-    pub message_passes: u64,
-    /// Messages handed to the network during the phase.
-    pub sends: u64,
-    /// Messages delivered during the phase.
-    pub delivered: u64,
-    /// Messages dropped during the phase (crashed nodes / severed paths).
-    pub dropped: u64,
-    /// Crash events injected during the phase.
-    pub crashes: u64,
-    /// Simulator events executed during the phase (deliveries, timers,
-    /// drops) — the numerator for wall-clock events/sec.
-    pub events_executed: u64,
-    /// Peak simultaneous event-queue depth observed up to the end of the
-    /// phase (cumulative high-water mark; deterministic).
-    pub peak_queue_depth: u64,
-    /// `message_passes / locates_completed` (0 when nothing completed).
-    pub passes_per_locate: f64,
-    /// Completed locates per 1000 ticks of the observation window
-    /// (the final phase's window includes the post-horizon drain grace).
-    pub throughput_per_kilotick: f64,
-    /// `hits / locates_completed` (0 when nothing completed).
-    pub hit_rate: f64,
-    /// Median per-node deliveries during the phase.
-    pub load_p50: f64,
-    /// 99th-percentile per-node deliveries during the phase.
-    pub load_p99: f64,
-    /// Hottest node's deliveries during the phase.
-    pub load_max: u64,
-    /// Mean per-node deliveries during the phase.
-    pub load_mean: f64,
-}
-
-/// A whole scenario run: configuration echo plus per-phase reports.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct ScenarioReport {
-    /// Scenario (workload) name.
-    pub scenario: String,
-    /// Strategy label (e.g. `checkerboard`).
-    pub strategy: String,
-    /// Cost model label (`uniform` / `hops`).
-    pub cost_model: String,
-    /// Topology label.
-    pub topology: String,
-    /// Node count.
-    pub n: u64,
-    /// Master seed.
-    pub seed: u64,
-    /// Number of service ports.
-    pub ports: u64,
-    /// Scenario horizon in ticks.
-    pub horizon: u64,
-    /// Predicted steady-state passes per locate (`2·|Q|`, the query +
-    /// reply cost against warm caches), for theory-vs-measured records.
-    pub predicted_passes_per_locate: f64,
-    /// Per-phase measurements.
-    pub phases: Vec<PhaseReport>,
-}
-
-impl ScenarioReport {
-    /// Sum of a per-phase counter.
-    fn total(&self, f: impl Fn(&PhaseReport) -> u64) -> u64 {
-        self.phases.iter().map(f).sum()
-    }
-
-    /// Total completed locates.
-    pub fn locates_completed(&self) -> u64 {
-        self.total(|p| p.locates_completed)
-    }
-
-    /// Total simulator events executed across all phases.
-    pub fn events_executed(&self) -> u64 {
-        self.total(|p| p.events_executed)
-    }
-
-    /// Peak event-queue depth over the whole run.
-    pub fn peak_queue_depth(&self) -> u64 {
-        self.phases
-            .iter()
-            .map(|p| p.peak_queue_depth)
-            .max()
-            .unwrap_or(0)
-    }
-
-    /// Overall hit rate.
-    pub fn hit_rate(&self) -> f64 {
-        let done = self.locates_completed();
-        if done == 0 {
-            0.0
-        } else {
-            self.total(|p| p.hits) as f64 / done as f64
-        }
-    }
-
-    /// Overall passes per completed locate.
-    pub fn passes_per_locate(&self) -> f64 {
-        let done = self.locates_completed();
-        if done == 0 {
-            0.0
-        } else {
-            self.total(|p| p.message_passes) as f64 / done as f64
-        }
-    }
-
-    /// Converts the run into `mm-analysis` theory-vs-measured records:
-    /// one per phase with completed locates, comparing measured passes
-    /// per locate against the strategy's `2·|Q|` steady-state prediction.
-    pub fn records(&self) -> Vec<ExperimentRecord> {
-        self.phases
-            .iter()
-            .filter(|p| p.locates_completed > 0)
-            .map(|p| {
-                ExperimentRecord::new(
-                    &format!("{}/{}", self.scenario, p.name),
-                    "passes-per-locate",
-                    self.predicted_passes_per_locate,
-                    p.passes_per_locate,
-                )
-            })
-            .collect()
-    }
-}
+pub use crate::report::{LocateRecord, LocateVerdict, PhaseReport, ScenarioReport};
 
 /// An in-flight client operation awaiting its verdict.
 #[derive(Debug)]
@@ -185,6 +38,10 @@ enum Op {
         handle: LocateHandle,
         port_idx: usize,
         issued_at: SimTime,
+        /// Position in the deterministic arrival sequence; `None` for
+        /// stale-recovery retries (which are timing-dependent and thus
+        /// excluded from the cross-runtime operation log).
+        arrival: Option<u64>,
         /// This locate is the retry after a stale request bounce.
         retry: bool,
     },
@@ -196,38 +53,6 @@ enum Op {
         /// This request follows a stale-retry locate; don't retry again.
         after_retry: bool,
     },
-}
-
-/// Per-phase counter accumulator.
-#[derive(Debug, Default, Clone)]
-struct Acc {
-    issued: u64,
-    completed: u64,
-    hits: u64,
-    misses: u64,
-    unresolved: u64,
-    stale_results: u64,
-    stale_requests: u64,
-    recoveries: u64,
-    requests_ok: u64,
-    request_timeouts: u64,
-}
-
-/// Runner events in time order; the discriminant doubles as the same-tick
-/// priority (churn reshapes the world before traffic observes it).
-#[derive(Debug, Clone, PartialEq)]
-enum Event {
-    Churn(ChurnAction),
-    Refresh,
-    Arrival,
-}
-
-fn event_priority(e: &Event) -> u8 {
-    match e {
-        Event::Churn(_) => 0,
-        Event::Refresh => 1,
-        Event::Arrival => 2,
-    }
 }
 
 /// Drives one [`Workload`] against one `topology × strategy × cost model`
@@ -249,6 +74,9 @@ pub struct ScenarioRunner<PM: PortMapped> {
     live: Vec<NodeId>,
     in_flight: Vec<Op>,
     acc: Acc,
+    /// Per-operation verdict log for the cross-runtime conformance suite.
+    op_log: Vec<LocateRecord>,
+    next_arrival: u64,
     /// Offset between spec-relative time and simulator time (setup
     /// posting settles during the offset window).
     t0: SimTime,
@@ -344,6 +172,8 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
             live: (0..n).map(NodeId::from).collect(),
             in_flight: Vec::new(),
             acc: Acc::default(),
+            op_log: Vec::new(),
+            next_arrival: 0,
             t0: op_timeout,
             op_timeout,
             strategy: strategy.to_string(),
@@ -386,28 +216,17 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
         }
     }
 
-    /// Mean `2·|Q|` over a deterministic sample of (client, port) pairs —
-    /// the steady-state warm-cache locate cost prediction.
-    fn predict_passes_per_locate(&self) -> f64 {
-        let n = self.n();
-        let samples = 32.min(n * self.ports.len()).max(1);
-        let mut total = 0usize;
-        for k in 0..samples {
-            let client = NodeId::from((k * 7919) % n);
-            let port = self.ports[k % self.ports.len()];
-            total += self
-                .net
-                .engine()
-                .resolver()
-                .query_set_for(client, port)
-                .len();
-        }
-        2.0 * total as f64 / samples as f64
+    /// Runs the scenario to its horizon and reports.
+    pub fn run(self) -> ScenarioReport {
+        self.run_logged().0
     }
 
-    /// Runs the scenario to its horizon and reports.
-    pub fn run(mut self) -> ScenarioReport {
-        let predicted = self.predict_passes_per_locate();
+    /// Like [`ScenarioRunner::run`], additionally returning the
+    /// per-operation verdict log (one [`LocateRecord`] per primary
+    /// arrival, in arrival order) for cross-runtime conformance checks.
+    pub fn run_logged(mut self) -> (ScenarioReport, Vec<LocateRecord>) {
+        let predicted =
+            predict_passes_per_locate(self.net.engine().resolver(), self.n(), &self.ports);
 
         // --- setup: place one server per port, let postings settle ---
         for i in 0..self.spec.ports {
@@ -422,40 +241,17 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
         // --- compile the spec into a merged, sorted event timeline ---
         // Arrival draws happen in phase order before the run so the RNG
         // consumption order is part of the spec's deterministic contract.
-        let mut timeline: Vec<(SimTime, Event)> = Vec::new();
-        let mut phase_bounds: Vec<(SimTime, SimTime, String)> = Vec::new();
-        let mut cursor: SimTime = 0;
-        let phases = self.spec.phases.clone();
-        for phase in &phases {
-            let (start, end) = (cursor, cursor + phase.duration);
-            for t in arrival_times(phase.arrivals, start, end, &mut self.rng) {
-                timeline.push((t, Event::Arrival));
-            }
-            phase_bounds.push((start, end, phase.name.clone()));
-            cursor = end;
-        }
-        let horizon = cursor;
-        for ev in self.spec.churn.clone() {
-            timeline.push((ev.at, Event::Churn(ev.action)));
-        }
-        if let Some(r) = self.spec.refresh_interval {
-            let mut t = r;
-            while t < horizon {
-                timeline.push((t, Event::Refresh));
-                t += r;
-            }
-        }
-        timeline.sort_by_key(|e| (e.0, event_priority(&e.1)));
+        let timeline = Timeline::compile(&self.spec, &mut self.rng);
 
         // --- drive the engine phase by phase ---
-        let mut reports = Vec::with_capacity(phase_bounds.len());
+        let mut reports = Vec::with_capacity(timeline.phase_bounds.len());
         let mut next = 0usize;
-        let last = phase_bounds.len() - 1;
-        for (pi, (start, end, name)) in phase_bounds.iter().enumerate() {
+        let last = timeline.phase_bounds.len() - 1;
+        for (pi, (start, end, name)) in timeline.phase_bounds.iter().enumerate() {
             let before = self.net.engine().metrics().clone();
             self.acc = Acc::default();
-            while next < timeline.len() && timeline[next].0 < *end {
-                let (t, ev) = timeline[next].clone();
+            while next < timeline.events.len() && timeline.events[next].0 < *end {
+                let (t, ev) = timeline.events[next].clone();
                 next += 1;
                 self.eng().run_until(t0 + t);
                 self.drain(t0 + t, false);
@@ -474,10 +270,17 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
             // rate denominators use the observation window actually
             // measured, which for the final phase includes the drain grace
             let window_end = close - t0;
-            reports.push(self.phase_report(name, *start, *end, window_end, &before, &after));
+            reports.push(build_phase_report(
+                name,
+                *start,
+                *end,
+                window_end,
+                &self.acc,
+                &after.delta(&before),
+            ));
         }
 
-        ScenarioReport {
+        let report = ScenarioReport {
             scenario: self.spec.name.clone(),
             strategy: self.strategy.clone(),
             cost_model: self.cost_label.clone(),
@@ -485,28 +288,37 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
             n: self.n() as u64,
             seed: self.spec.seed,
             ports: self.spec.ports as u64,
-            horizon,
+            horizon: timeline.horizon,
             predicted_passes_per_locate: predicted,
             phases: reports,
-        }
+        };
+        let mut log = std::mem::take(&mut self.op_log);
+        log.sort_by_key(|r| r.arrival);
+        (report, log)
     }
 
-    /// Applies one timeline event at the current simulated time.
+    /// Applies one timeline event at the current simulated time. All
+    /// random draws go through the shared decision layer
+    /// ([`draw_arrival`]/[`resolve_churn`]) so the RNG-consumption order
+    /// is provably identical to the live runner's.
     fn apply(&mut self, ev: Event) {
         match ev {
             Event::Arrival => {
-                if self.live.is_empty() {
+                let Some((client, port_idx)) =
+                    draw_arrival(&mut self.rng, &self.live, &self.sampler)
+                else {
                     return; // total outage: the open-loop client is dead too
-                }
-                let client = pick(&self.live, &mut self.rng);
-                let port_idx = self.sampler.sample(&mut self.rng);
+                };
                 let port = self.ports[port_idx];
                 let issued_at = self.net.engine().now();
                 let handle = self.eng().locate(client, port);
+                let arrival = self.next_arrival;
+                self.next_arrival += 1;
                 self.in_flight.push(Op::Locate {
                     handle,
                     port_idx,
                     issued_at,
+                    arrival: Some(arrival),
                     retry: false,
                 });
                 self.acc.issued += 1;
@@ -527,53 +339,52 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
     }
 
     fn apply_churn(&mut self, action: ChurnAction) {
-        match action {
-            ChurnAction::CrashRandom {
-                count,
-                spare_servers,
-            } => {
-                let mut pool: Vec<NodeId> = self
-                    .live
-                    .iter()
-                    .copied()
-                    .filter(|v| !spare_servers || !self.homes.contains(v))
-                    .collect();
-                for _ in 0..count.min(pool.len()) {
-                    let k = self.rng.gen_range(0..pool.len());
-                    let v = pool.swap_remove(k);
-                    self.crash_node(v);
+        let resolved = resolve_churn(
+            &action,
+            &mut self.rng,
+            &self.live,
+            &self.crashed,
+            &self.homes,
+        );
+        for r in resolved {
+            match r {
+                ResolvedChurn::Crash(v) => self.crash_node(v),
+                ResolvedChurn::Restore { node, clear_cache } => {
+                    self.restore_node(node, clear_cache)
                 }
-            }
-            ChurnAction::CrashServer { port_index } => {
-                let v = self.homes[port_index];
-                if !self.crashed[v.index()] {
-                    self.crash_node(v);
+                ResolvedChurn::Migrate { port_idx, from, to } => {
+                    let port = self.ports[port_idx];
+                    self.eng().migrate_server(port, from, to);
+                    self.homes[port_idx] = to;
                 }
-            }
-            ChurnAction::RestoreAll { clear_caches } => {
-                for vi in 0..self.n() {
-                    if self.crashed[vi] {
-                        self.restore_node(NodeId::from(vi), clear_caches);
+                ResolvedChurn::ClearAllCaches => {
+                    for vi in 0..self.n() {
+                        self.eng().clear_cache(NodeId::from(vi));
                     }
                 }
+                ResolvedChurn::RefreshAll => self.refresh_all(),
             }
-            ChurnAction::MigrateRandom { port_index } => {
-                let from = self.homes[port_index];
-                let pool: Vec<NodeId> = self.live.iter().copied().filter(|&v| v != from).collect();
-                if pool.is_empty() {
-                    return;
-                }
-                let to = pick(&pool, &mut self.rng);
-                let port = self.ports[port_index];
-                self.eng().migrate_server(port, from, to);
-                self.homes[port_index] = to;
-            }
-            ChurnAction::ClearAllCaches => {
-                for vi in 0..self.n() {
-                    self.eng().clear_cache(NodeId::from(vi));
-                }
-            }
-            ChurnAction::RefreshAll => self.refresh_all(),
+        }
+    }
+
+    fn record(
+        &mut self,
+        arrival: Option<u64>,
+        handle: LocateHandle,
+        port_idx: usize,
+        issued_at: SimTime,
+        verdict: LocateVerdict,
+        addr: Option<NodeId>,
+    ) {
+        if let Some(arrival) = arrival {
+            self.op_log.push(LocateRecord {
+                arrival,
+                at: issued_at - self.t0,
+                client: handle.client,
+                port_idx,
+                verdict,
+                addr,
+            });
         }
     }
 
@@ -598,11 +409,20 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
                     handle,
                     port_idx,
                     issued_at,
+                    arrival,
                     retry,
                 } => match self.net.engine().outcome(handle) {
                     LocateOutcome::Found { addr, .. } => {
                         self.acc.completed += 1;
                         self.acc.hits += 1;
+                        self.record(
+                            arrival,
+                            handle,
+                            port_idx,
+                            issued_at,
+                            LocateVerdict::Hit,
+                            Some(addr),
+                        );
                         let fresh = addr == self.homes[port_idx];
                         if !fresh {
                             self.acc.stale_results += 1;
@@ -622,16 +442,33 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
                     LocateOutcome::NotFound { .. } => {
                         self.acc.completed += 1;
                         self.acc.misses += 1;
+                        self.record(
+                            arrival,
+                            handle,
+                            port_idx,
+                            issued_at,
+                            LocateVerdict::Miss,
+                            None,
+                        );
                     }
                     LocateOutcome::Unresolved { .. } => {
                         if force || now.saturating_sub(issued_at) >= self.op_timeout {
                             self.acc.completed += 1;
                             self.acc.unresolved += 1;
+                            self.record(
+                                arrival,
+                                handle,
+                                port_idx,
+                                issued_at,
+                                LocateVerdict::Unresolved,
+                                None,
+                            );
                         } else {
                             keep.push(Op::Locate {
                                 handle,
                                 port_idx,
                                 issued_at,
+                                arrival,
                                 retry,
                             });
                         }
@@ -698,71 +535,12 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
                     handle,
                     port_idx,
                     issued_at: issued,
+                    arrival: None,
                     retry: true,
                 });
             }
         }
         self.in_flight = keep;
-    }
-
-    fn phase_report(
-        &self,
-        name: &str,
-        start: SimTime,
-        end: SimTime,
-        window_end: SimTime,
-        before: &Metrics,
-        after: &Metrics,
-    ) -> PhaseReport {
-        let completed = self.acc.completed;
-        let passes = after.message_passes - before.message_passes;
-        let deltas: Vec<u64> = after
-            .node_load
-            .iter()
-            .zip(&before.node_load)
-            .map(|(a, b)| a - b)
-            .collect();
-        let load_max = deltas.iter().copied().max().unwrap_or(0);
-        let mut loads: Vec<f64> = deltas.iter().map(|&d| d as f64).collect();
-        loads.sort_by(|a, b| a.partial_cmp(b).expect("loads are finite"));
-        let window = (window_end - start).max(1);
-        PhaseReport {
-            name: name.to_string(),
-            start,
-            end,
-            locates_issued: self.acc.issued,
-            locates_completed: completed,
-            hits: self.acc.hits,
-            misses: self.acc.misses,
-            unresolved: self.acc.unresolved,
-            stale_results: self.acc.stale_results,
-            stale_requests: self.acc.stale_requests,
-            staleness_recoveries: self.acc.recoveries,
-            requests_ok: self.acc.requests_ok,
-            request_timeouts: self.acc.request_timeouts,
-            message_passes: passes,
-            sends: after.sends - before.sends,
-            delivered: after.delivered - before.delivered,
-            dropped: after.dropped - before.dropped,
-            crashes: after.crashes - before.crashes,
-            events_executed: after.events_executed - before.events_executed,
-            peak_queue_depth: after.peak_queue_depth,
-            passes_per_locate: if completed == 0 {
-                0.0
-            } else {
-                passes as f64 / completed as f64
-            },
-            throughput_per_kilotick: completed as f64 * 1000.0 / window as f64,
-            hit_rate: if completed == 0 {
-                0.0
-            } else {
-                self.acc.hits as f64 / completed as f64
-            },
-            load_p50: percentile_sorted(&loads, 0.5),
-            load_p99: percentile_sorted(&loads, 0.99),
-            load_max,
-            load_mean: loads.iter().sum::<f64>() / loads.len() as f64,
-        }
     }
 }
 
@@ -979,5 +757,26 @@ mod tests {
             "the run must get through the silent phase and keep going"
         );
         assert!(r.phases[2].hit_rate > 0.99);
+    }
+
+    #[test]
+    fn op_log_covers_every_primary_arrival_in_order() {
+        let spec = scenarios::by_name("steady-state", 64, 7).unwrap();
+        let (r, log) = ScenarioRunner::new(
+            spec,
+            gen::complete(64),
+            Checkerboard::new(64),
+            CostModel::Uniform,
+            "checkerboard",
+        )
+        .run_logged();
+        let issued: u64 = r.phases.iter().map(|p| p.locates_issued).sum();
+        assert_eq!(log.len() as u64, issued, "no retries in steady state");
+        assert!(log.windows(2).all(|w| w[0].arrival < w[1].arrival));
+        assert!(
+            log.iter()
+                .all(|rec| rec.verdict == LocateVerdict::Hit && rec.addr.is_some()),
+            "steady state hits everywhere"
+        );
     }
 }

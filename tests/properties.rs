@@ -1,8 +1,10 @@
 //! Property-based tests (proptest) over the core invariants:
-//! strategy coverage, lower bounds, matrix identities, decomposition,
-//! lifting, caches and the ruler sequence — for randomized parameters.
+//! the rendezvous guarantee m(P,Q) ≥ 1, strategy coverage, lower bounds,
+//! matrix identities, decomposition, lifting, caches and the ruler
+//! sequence — for randomized parameters.
 
 use match_making::core::lift::LiftedStrategy;
+use match_making::core::strategy::intersect_sorted;
 use match_making::core::{bounds, Strategy};
 use match_making::prelude::*;
 use match_making::proto::cache::Cache;
@@ -11,8 +13,74 @@ use mm_topo::props::components;
 use proptest::prelude::*;
 use std::sync::Arc;
 
+/// The paper's match-making guarantee, checked *directly* on the sets:
+/// for a random (server, client) pair, `P(s) ∩ Q(c)` is non-empty — at
+/// least one rendezvous node exists, so `m(P,Q) ≥ 1`. This is the
+/// invariant both the simulator and the live threaded runtime rely on,
+/// independent of any scheduler.
+fn assert_rendezvous<S: Strategy>(strat: &S, s_pick: usize, c_pick: usize) {
+    let n = strat.node_count();
+    let s = NodeId::from(s_pick % n);
+    let c = NodeId::from(c_pick % n);
+    let p = strat.post_set(s);
+    let q = strat.query_set(c);
+    assert!(
+        !intersect_sorted(&p, &q).is_empty(),
+        "m(P,Q) ≥ 1 violated: P({s}) ∩ Q({c}) = ∅ for {}",
+        strat.name()
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// m(P,Q) ≥ 1 for the checkerboard (paper §2.2) at arbitrary n —
+    /// including non-square n, where the virtual grid wraps.
+    #[test]
+    fn checkerboard_rendezvous_nonempty(n in 1usize..300, s in any::<usize>(), c in any::<usize>()) {
+        assert_rendezvous(&Checkerboard::new(n), s, c);
+    }
+
+    /// m(P,Q) ≥ 1 for the generalized p×q shotgun blocks (post a row,
+    /// query a column) at arbitrary shapes.
+    #[test]
+    fn blocks_rendezvous_nonempty(n in 1usize..150, x in 1usize..20,
+                                  s in any::<usize>(), c in any::<usize>()) {
+        let x = x.min(n);
+        let y = n.div_ceil(x).min(n);
+        prop_assume!(x * y >= n);
+        assert_rendezvous(&Blocks::new(n, x, y), s, c);
+    }
+
+    /// m(P,Q) ≥ 1 for the exact p×q grid row/column split (no wrapping).
+    #[test]
+    fn grid_row_column_rendezvous_nonempty(p in 1usize..18, q in 1usize..18,
+                                           s in any::<usize>(), c in any::<usize>()) {
+        assert_rendezvous(&GridRowColumn::new(p, q), s, c);
+    }
+
+    /// m(P,Q) ≥ 1 for the sweep variant (Example 3's asymmetric split).
+    #[test]
+    fn sweep_rendezvous_nonempty(n in 1usize..300, s in any::<usize>(), c in any::<usize>()) {
+        assert_rendezvous(&Sweep::new(n), s, c);
+    }
+
+    /// m(P,Q) ≥ 1 for Hash Locate (§5): `P = Q` are port-indexed, so for
+    /// *every* port the server's posting replicas are exactly the nodes
+    /// any client queries — the intersection is the full replica set.
+    #[test]
+    fn hash_locate_rendezvous_nonempty(n in 1usize..200, r in 1usize..8, port in any::<u128>(),
+                                       s in any::<usize>(), c in any::<usize>()) {
+        let r = r.min(n);
+        let h = HashLocate::new(n, r);
+        let s = NodeId::from(s % n);
+        let c = NodeId::from(c % n);
+        let p = h.post_set_for(s, Port::new(port));
+        let q = h.query_set_for(c, Port::new(port));
+        let meet = intersect_sorted(&p, &q);
+        prop_assert!(!meet.is_empty(), "hash locate m(P,Q) ≥ 1");
+        prop_assert_eq!(meet.len(), r, "P = Q: the whole replica set rendezvouses");
+    }
 
     /// Every strategy family produces a valid (always-rendezvous) strategy
     /// for arbitrary universe sizes.
