@@ -38,9 +38,16 @@ fn run_scenario(name: &str, n: usize, queue: QueueKind) -> u64 {
 fn sustained_load(c: &mut Criterion) {
     let mut group = c.benchmark_group("workload_sustained");
     group.sample_size(5);
-    // three library scenarios spanning the stress axes: baseline load,
-    // Zipf spike, and crash/restore churn
-    let cases = ["steady-state", "flash-crowd", "rolling-churn"];
+    // four library scenarios spanning the stress axes: baseline load,
+    // Zipf spike, crash/restore churn, and the closed-loop saturation
+    // ramp (whose runner interleaves client-pool wake-ups with engine
+    // stepping — a different event-queue access pattern than open loop)
+    let cases = [
+        "steady-state",
+        "flash-crowd",
+        "rolling-churn",
+        "overload-ramp",
+    ];
     for n in [16_384usize, 65_536] {
         for name in cases {
             for (queue, label) in [

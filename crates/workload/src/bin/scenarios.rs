@@ -7,11 +7,22 @@
 //!     --n 256 --scenario rolling-churn --strategy hash --topology grid --cost hops
 //! cargo run --release -p mm-workload --bin scenarios -- --sweep 64,256,1024
 //! cargo run --release -p mm-workload --bin scenarios -- --n 256 --runtime live
+//! cargo run --release -p mm-workload --bin scenarios -- --n 256 --scenario overload-ramp
+//! cargo run --release -p mm-workload --bin scenarios -- \
+//!     --n 256 --scenario steady-state --clients 16 --think fixed:4 --retries 1
 //! ```
 //!
 //! `--runtime live` executes the same specs on the threaded
 //! `mm-proto` [`LiveNet`](mm_proto::live::LiveNet) runtime (one OS thread
 //! per node) instead of the simulator, reporting the same JSON schema.
+//!
+//! `--clients N` turns any scenario closed-loop: offered arrivals queue
+//! for a pool of `N` client slots (`--think`, `--retries`, `--backoff`,
+//! `--window` shape the pool), and the JSON grows per-phase latency and
+//! queueing-delay percentiles plus fixed-width time-series windows. The
+//! dedicated closed-loop library scenarios (`overload-ramp`,
+//! `flash-crowd-recovery`) carry their own pools. Without `--clients`,
+//! open-loop output stays byte-compatible with the historical schema.
 //!
 //! Re-running with identical arguments reproduces byte-identical output
 //! (modulo the `--pretty` flag, which only reformats).
@@ -19,7 +30,9 @@
 use mm_core::strategies::{Broadcast, Checkerboard, HashLocate, PortMapped};
 use mm_sim::{CostModel, QueueKind};
 use mm_topo::{gen, Graph};
-use mm_workload::{scenarios, LiveScenarioRunner, ScenarioReport, ScenarioRunner};
+use mm_workload::{
+    scenarios, ClientModel, LiveScenarioRunner, ScenarioReport, ScenarioRunner, ThinkTime,
+};
 use std::time::Instant;
 
 /// Above this size a literal complete graph (O(n²) adjacency) stops being
@@ -47,6 +60,12 @@ struct Args {
     cost: CostModel,
     queue: QueueKind,
     runtime: Runtime,
+    /// `--clients N` closed-loop override applied on top of the scenario.
+    clients: Option<usize>,
+    think: ThinkTime,
+    retries: u32,
+    backoff: u64,
+    window: u64,
     pretty: bool,
     records: bool,
 }
@@ -56,13 +75,38 @@ fn usage() -> ! {
         "usage: scenarios [--n N | --sweep N1,N2,..] [--seed S] \
          [--scenario NAME|all] [--strategy checkerboard|hash|broadcast] \
          [--topology complete|grid|ring|hypercube] [--cost uniform|hops] \
-         [--queue calendar|btree] [--runtime sim|live] [--pretty] [--records]\n\
+         [--queue calendar|btree] [--runtime sim|live] \
+         [--clients N] [--think zero|fixed:T|exp:M] [--retries R] \
+         [--backoff B] [--window W] [--pretty] [--records]\n\
          \n--runtime live drives the same specs through the threaded \
          mm-proto LiveNet runtime\n(complete network, uniform cost, \
-         n <= {LIVE_THREAD_LIMIT}) and reports the same schema.\n\nscenarios: {}",
-        scenarios::ALL.join(", ")
+         n <= {LIVE_THREAD_LIMIT}) and reports the same schema.\n\
+         --clients N runs the scenario closed-loop: a pool of N clients, \
+         latency/queueing-delay\npercentiles and time-series windows in \
+         the JSON ('all' stays the open-loop five).\n\nopen-loop \
+         scenarios: {}\nclosed-loop scenarios: {}",
+        scenarios::ALL.join(", "),
+        scenarios::CLOSED_LOOP.join(", ")
     );
     std::process::exit(2);
+}
+
+/// Parses a `--think` spec: `zero`, `fixed:T` or `exp:M`.
+fn parse_think(s: &str) -> Option<ThinkTime> {
+    if s == "zero" {
+        return Some(ThinkTime::Zero);
+    }
+    if let Some(t) = s.strip_prefix("fixed:") {
+        return t.parse().ok().map(|ticks| ThinkTime::Fixed { ticks });
+    }
+    if let Some(m) = s.strip_prefix("exp:") {
+        return m
+            .parse()
+            .ok()
+            .filter(|m: &f64| *m > 0.0)
+            .map(|mean| ThinkTime::Exponential { mean });
+    }
+    None
 }
 
 fn parse_args() -> Args {
@@ -75,6 +119,11 @@ fn parse_args() -> Args {
         cost: CostModel::Uniform,
         queue: QueueKind::Calendar,
         runtime: Runtime::Sim,
+        clients: None,
+        think: ThinkTime::Fixed { ticks: 2 },
+        retries: 1,
+        backoff: 8,
+        window: 250,
         pretty: false,
         records: false,
     };
@@ -120,6 +169,15 @@ fn parse_args() -> Args {
                     _ => usage(),
                 }
             }
+            "--clients" => {
+                args.clients = Some(value(&argv, &mut i).parse().unwrap_or_else(|_| usage()));
+            }
+            "--think" => {
+                args.think = parse_think(&value(&argv, &mut i)).unwrap_or_else(|| usage());
+            }
+            "--retries" => args.retries = value(&argv, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--backoff" => args.backoff = value(&argv, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--window" => args.window = value(&argv, &mut i).parse().unwrap_or_else(|_| usage()),
             "--pretty" => args.pretty = true,
             "--records" => args.records = true,
             "--help" | "-h" => usage(),
@@ -188,6 +246,27 @@ fn build_graph(topology: &str, n: usize, cost: CostModel) -> Graph {
     }
 }
 
+/// Resolves the library spec and applies any `--clients` closed-loop
+/// override, failing fast (with the validator's explanation) on
+/// incompatible combinations instead of panicking mid-sweep.
+fn build_spec(args: &Args, name: &str, n: usize) -> mm_workload::Workload {
+    let mut spec = scenarios::by_name(name, n, args.seed).unwrap_or_else(|| usage());
+    if let Some(clients) = args.clients {
+        spec.clients = Some(ClientModel {
+            clients,
+            think: args.think,
+            retry_budget: args.retries,
+            retry_backoff: args.backoff,
+            window: args.window,
+        });
+    }
+    if let Err(e) = spec.validate() {
+        eprintln!("error: {name}: {e}");
+        std::process::exit(2);
+    }
+    spec
+}
+
 fn run_one(args: &Args, name: &str, n: usize) -> ScenarioReport {
     if args.runtime == Runtime::Live {
         return run_one_live(args, name, n);
@@ -196,7 +275,7 @@ fn run_one(args: &Args, name: &str, n: usize) -> ScenarioReport {
     // the grid topology may round n up; size the workload (churn widths
     // etc.) from the node count actually run, not the requested one
     let n = graph.node_count();
-    let spec = scenarios::by_name(name, n, args.seed).unwrap_or_else(|| usage());
+    let spec = build_spec(args, name, n);
     match args.strategy.as_str() {
         "checkerboard" => run_spec(spec, graph, Checkerboard::new(n), args, "checkerboard"),
         "broadcast" => run_spec(spec, graph, Broadcast::new(n), args, "broadcast"),
@@ -210,7 +289,7 @@ fn run_one(args: &Args, name: &str, n: usize) -> ScenarioReport {
 
 fn run_one_live(args: &Args, name: &str, n: usize) -> ScenarioReport {
     // incompatible flag combinations were rejected in parse_args
-    let spec = scenarios::by_name(name, n, args.seed).unwrap_or_else(|| usage());
+    let spec = build_spec(args, name, n);
     match args.strategy.as_str() {
         "checkerboard" => {
             LiveScenarioRunner::new(spec, n, Checkerboard::new(n), "checkerboard").run()
@@ -233,14 +312,24 @@ fn run_spec<PM: PortMapped>(
 
 fn main() {
     let args = parse_args();
+    // "all" stays the open-loop five (their concatenated JSON is a
+    // compatibility surface); the closed-loop library is addressed by name
     let names: Vec<&str> = if args.scenario == "all" {
         scenarios::ALL.to_vec()
     } else {
-        if !scenarios::ALL.contains(&args.scenario.as_str()) {
+        let known = args.scenario.as_str();
+        if !scenarios::ALL.contains(&known) && !scenarios::CLOSED_LOOP.contains(&known) {
             usage();
         }
-        vec![args.scenario.as_str()]
+        vec![known]
     };
+    // fail fast on invalid flag × scenario combinations (e.g. --clients
+    // over a request_after_locate workload) before ANY scenario runs: a
+    // sweep must not complete half its work and then discard it mid-way
+    // (spec validity does not depend on n, so the first size suffices)
+    for name in &names {
+        build_spec(&args, name, args.ns[0]);
+    }
 
     let mut reports = Vec::new();
     for &n in &args.ns {

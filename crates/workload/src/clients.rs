@@ -1,0 +1,705 @@
+//! The closed-loop client pool shared by **both** workload runtimes.
+//!
+//! Open-loop arrivals (the historical mode) issue every offered operation
+//! the tick it arrives, so overload only ever shows up as unresolved
+//! counters. A [`ClientPool`] turns the same offered-arrival schedule into
+//! a latency instrument: offered operations wait in a FIFO dispatch queue
+//! until one of `clients` slots is free, each slot runs one operation at a
+//! time (with an optional retry budget and exponential backoff on
+//! unresolved verdicts), and thinks for a spec-drawn pause before taking
+//! the next operation. Queueing delay (offer → dispatch) is therefore the
+//! direct image of saturation: past the knee where offered rate exceeds
+//! `clients / (service + think)`, the queue — and its delay percentiles —
+//! grow without bound.
+//!
+//! # Determinism contract
+//!
+//! The pool is the *single* decision layer for closed-loop runs, used
+//! verbatim by the simulator runner and the live threaded runner. All
+//! randomness (the dispatched operation's client node and port, the think
+//! pause) is drawn inside [`ClientPool::service`] in slot-index order at
+//! canonical virtual times, so both runtimes consume the spec's RNG in
+//! exactly the same order — the same contract [`crate::timeline`]
+//! establishes for the open-loop path. The runtime-specific part (actually
+//! issuing a locate and producing its verdict) hides behind [`OpDriver`];
+//! the simulator driver reports the engine's real issue→verdict elapsed,
+//! the live driver reports the uniform-cost model's deterministic elapsed,
+//! and on churn-free scenarios the two are provably identical — which is
+//! what lets `tests/live_workload_equivalence.rs` assert byte-equal
+//! latency percentiles across the runtimes.
+
+use crate::report::{Acc, LocateRecord, LocateVerdict};
+use crate::spec::ClientModel;
+use crate::timeline::draw_arrival;
+use crate::traffic::{think_ticks, PopularitySampler};
+use mm_sim::SimTime;
+use mm_topo::NodeId;
+use rand::rngs::StdRng;
+use std::collections::VecDeque;
+
+/// How one runtime executes a single locate for the pool.
+///
+/// `issue` starts the operation at virtual time `now` and returns a
+/// runtime-opaque token plus an optional wake-up hint (the earliest
+/// virtual time a verdict can be ready; `None` = poll every tick).
+/// `poll` reports the verdict once it is decided, with `completed_at` the
+/// exact virtual tick it landed (≤ `now`) — the pool uses that tick, not
+/// the discovery tick, for latency accounting, so coarse polling cannot
+/// skew percentiles.
+pub(crate) trait OpDriver {
+    /// Starts a locate from `client` for port `port_idx` at virtual `now`.
+    fn issue(&mut self, now: SimTime, client: NodeId, port_idx: usize) -> (u64, Option<SimTime>);
+    /// The verdict, once decided by virtual time `now`. `issued` is the
+    /// virtual tick this attempt was issued (for timeout classification
+    /// and exact completion-tick reconstruction).
+    fn poll(
+        &mut self,
+        client: NodeId,
+        token: u64,
+        issued: SimTime,
+        now: SimTime,
+    ) -> Option<(LocateVerdict, Option<NodeId>, SimTime)>;
+    /// The port's current true server address (stale-hit accounting).
+    fn home(&self, port_idx: usize) -> NodeId;
+}
+
+/// One offered operation's life, from offer to (maybe) final verdict.
+/// The closed-loop report sections are built from these after the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ClientOpRecord {
+    /// Offered-arrival index (position in the spec's timeline).
+    pub arrival: u64,
+    /// Tick the timeline offered the operation.
+    pub offered_at: SimTime,
+    /// Tick a client slot picked it up (`None` = never dispatched —
+    /// abandoned in the queue when the horizon arrived).
+    pub dispatched_at: Option<SimTime>,
+    /// Tick of the final verdict.
+    pub completed_at: Option<SimTime>,
+    /// Locate attempts issued (1 + retries).
+    pub attempts: u32,
+    /// Final verdict.
+    pub verdict: Option<LocateVerdict>,
+    /// Located address for hits.
+    pub addr: Option<NodeId>,
+    /// The node the operation was issued from (drawn at dispatch).
+    pub client: Option<NodeId>,
+    /// The port requested (drawn at dispatch).
+    pub port_idx: Option<usize>,
+}
+
+/// A client slot's state machine.
+#[derive(Debug)]
+enum Slot {
+    /// Ready for the next queued operation.
+    Free,
+    /// An attempt is in flight; `wake` is the next tick worth polling.
+    Busy {
+        rec: usize,
+        token: u64,
+        issued: SimTime,
+        wake: SimTime,
+        attempts: u32,
+    },
+    /// The last attempt was unresolved; retry fires at `resume_at`.
+    Backoff {
+        rec: usize,
+        resume_at: SimTime,
+        attempts: u32,
+        /// When the unresolved verdict landed (final-verdict tick if the
+        /// budget runs out before the retry fires).
+        last_done: SimTime,
+    },
+    /// Thinking after a final verdict; free again at `until`.
+    Thinking { until: SimTime },
+}
+
+/// The pool itself. The runners own one per closed-loop run and drive it
+/// with [`offer`](ClientPool::offer) / [`service`](ClientPool::service) /
+/// [`next_wakeup`](ClientPool::next_wakeup) from their event loops.
+#[derive(Debug)]
+pub(crate) struct ClientPool {
+    model: ClientModel,
+    slots: Vec<Slot>,
+    /// FIFO of offered-but-undispatched operations (indices into
+    /// `records`).
+    queue: VecDeque<usize>,
+    records: Vec<ClientOpRecord>,
+    /// Past the horizon: no new dispatches or retries, drain only.
+    frozen: bool,
+}
+
+impl ClientPool {
+    pub(crate) fn new(model: ClientModel) -> Self {
+        let slots = (0..model.clients).map(|_| Slot::Free).collect();
+        ClientPool {
+            model,
+            slots,
+            queue: VecDeque::new(),
+            records: Vec::new(),
+            frozen: false,
+        }
+    }
+
+    /// Accepts one offered arrival from the timeline.
+    pub(crate) fn offer(&mut self, now: SimTime, arrival: u64) {
+        debug_assert!(!self.frozen, "no offers past the horizon");
+        let rec = self.records.len();
+        self.records.push(ClientOpRecord {
+            arrival,
+            offered_at: now,
+            dispatched_at: None,
+            completed_at: None,
+            attempts: 0,
+            verdict: None,
+            addr: None,
+            client: None,
+            port_idx: None,
+        });
+        self.queue.push_back(rec);
+    }
+
+    /// The earliest virtual time any slot needs attention, if any.
+    pub(crate) fn next_wakeup(&self) -> Option<SimTime> {
+        self.slots
+            .iter()
+            .filter_map(|s| match *s {
+                Slot::Free => None,
+                Slot::Busy { wake, .. } => Some(wake),
+                // once frozen, a pending retry will never fire: the slot
+                // is due *immediately* (at its last verdict tick, already
+                // in the past) so the drain loop settles it instead of
+                // waiting out — or silently skipping — a backoff that may
+                // extend past the drain window
+                Slot::Backoff {
+                    resume_at,
+                    last_done,
+                    ..
+                } => Some(if self.frozen { last_done } else { resume_at }),
+                Slot::Thinking { until } => {
+                    if self.frozen {
+                        None
+                    } else {
+                        Some(until)
+                    }
+                }
+            })
+            .min()
+    }
+
+    /// Processes everything due at virtual time `now`, to a fixpoint:
+    /// reads verdicts, schedules retries, starts think pauses, frees
+    /// thinking slots, and dispatches queued operations onto free slots.
+    /// All RNG draws happen here, in slot-index order then queue order —
+    /// the canonical order both runtimes share.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn service<D: OpDriver>(
+        &mut self,
+        now: SimTime,
+        driver: &mut D,
+        rng: &mut StdRng,
+        live: &[NodeId],
+        sampler: &PopularitySampler,
+        acc: &mut Acc,
+        op_log: &mut Vec<LocateRecord>,
+    ) {
+        loop {
+            let mut progress = false;
+
+            // 1. verdicts + retries + backoff resumes, slot-index order
+            for si in 0..self.slots.len() {
+                match self.slots[si] {
+                    Slot::Busy {
+                        rec,
+                        token,
+                        issued,
+                        wake,
+                        attempts,
+                    } if wake <= now => {
+                        let client = self.records[rec].client.expect("dispatched");
+                        match driver.poll(client, token, issued, now) {
+                            Some((verdict, addr, done_at)) => {
+                                progress = true;
+                                let port_idx = self.records[rec].port_idx.expect("dispatched");
+                                acc.completed += 1;
+                                match verdict {
+                                    LocateVerdict::Hit => {
+                                        acc.hits += 1;
+                                        if addr != Some(driver.home(port_idx)) {
+                                            acc.stale_results += 1;
+                                        }
+                                    }
+                                    LocateVerdict::Miss => acc.misses += 1,
+                                    LocateVerdict::Unresolved => acc.unresolved += 1,
+                                }
+                                let retry = verdict == LocateVerdict::Unresolved
+                                    && attempts <= self.model.retry_budget
+                                    && !self.frozen;
+                                if retry {
+                                    // double per retry round, saturating
+                                    let shift = (attempts - 1).min(16);
+                                    let delay = self.model.retry_backoff.saturating_mul(1 << shift);
+                                    self.slots[si] = Slot::Backoff {
+                                        rec,
+                                        resume_at: done_at + delay,
+                                        attempts,
+                                        last_done: done_at,
+                                    };
+                                } else {
+                                    self.finish(rec, verdict, addr, done_at, op_log);
+                                    let until = done_at + think_ticks(self.model.think, rng);
+                                    self.slots[si] = Slot::Thinking { until };
+                                }
+                            }
+                            None => {
+                                self.slots[si] = Slot::Busy {
+                                    rec,
+                                    token,
+                                    issued,
+                                    wake: now + 1,
+                                    attempts,
+                                };
+                            }
+                        }
+                    }
+                    Slot::Backoff {
+                        rec,
+                        resume_at,
+                        attempts,
+                        last_done,
+                    } if resume_at <= now || self.frozen => {
+                        progress = true;
+                        if self.frozen {
+                            // the horizon arrived before the retry fired:
+                            // the operation ends on its last verdict
+                            self.finish(rec, LocateVerdict::Unresolved, None, last_done, op_log);
+                            self.slots[si] = Slot::Free;
+                        } else {
+                            let client = self.records[rec].client.expect("dispatched");
+                            let port_idx = self.records[rec].port_idx.expect("dispatched");
+                            acc.issued += 1;
+                            self.records[rec].attempts += 1;
+                            let (token, hint) = driver.issue(now, client, port_idx);
+                            self.slots[si] = Slot::Busy {
+                                rec,
+                                token,
+                                issued: now,
+                                wake: hint.unwrap_or(now),
+                                attempts: attempts + 1,
+                            };
+                        }
+                    }
+                    _ => {}
+                }
+            }
+
+            // 2. think pauses ending at or before now
+            for slot in &mut self.slots {
+                if let Slot::Thinking { until } = *slot {
+                    if until <= now {
+                        *slot = Slot::Free;
+                        progress = true;
+                    }
+                }
+            }
+
+            // 3. dispatch queued operations onto free slots, FIFO
+            if !self.frozen {
+                while !self.queue.is_empty() {
+                    let Some(si) = self.slots.iter().position(|s| matches!(s, Slot::Free)) else {
+                        break;
+                    };
+                    // total outage: nobody can issue; the queue waits for
+                    // a restore (the RNG is *not* consumed, identically in
+                    // both runtimes)
+                    let Some((client, port_idx)) = draw_arrival(rng, live, sampler) else {
+                        break;
+                    };
+                    let rec = self.queue.pop_front().expect("nonempty");
+                    let r = &mut self.records[rec];
+                    r.dispatched_at = Some(now);
+                    r.client = Some(client);
+                    r.port_idx = Some(port_idx);
+                    r.attempts = 1;
+                    acc.issued += 1;
+                    let (token, hint) = driver.issue(now, client, port_idx);
+                    self.slots[si] = Slot::Busy {
+                        rec,
+                        token,
+                        issued: now,
+                        wake: hint.unwrap_or(now),
+                        attempts: 1,
+                    };
+                    progress = true;
+                }
+            }
+
+            if !progress {
+                break;
+            }
+        }
+    }
+
+    /// Marks the horizon: no further dispatches or retries; operations
+    /// still queued are abandoned where they stand (their records keep
+    /// `dispatched_at = None`), and pending backoffs resolve to their last
+    /// verdict at the next [`service`](ClientPool::service) call.
+    pub(crate) fn freeze(&mut self) {
+        self.frozen = true;
+        self.queue.clear();
+    }
+
+    /// Consumes the pool, returning every operation record in offered
+    /// order.
+    pub(crate) fn into_records(self) -> Vec<ClientOpRecord> {
+        self.records
+    }
+
+    /// Records an operation's final verdict (and its op-log entry, keyed
+    /// like the open-loop log: arrival index + offered tick).
+    fn finish(
+        &mut self,
+        rec: usize,
+        verdict: LocateVerdict,
+        addr: Option<NodeId>,
+        done_at: SimTime,
+        op_log: &mut Vec<LocateRecord>,
+    ) {
+        let r = &mut self.records[rec];
+        r.verdict = Some(verdict);
+        r.addr = addr;
+        r.completed_at = Some(done_at);
+        op_log.push(LocateRecord {
+            arrival: r.arrival,
+            at: r.offered_at,
+            client: r.client.expect("dispatched"),
+            port_idx: r.port_idx.expect("dispatched"),
+            verdict,
+            addr,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{PortPopularity, ThinkTime};
+    use rand::SeedableRng;
+
+    /// A deterministic mock runtime: every locate takes `service` ticks
+    /// and yields the scripted verdict (round-robin).
+    struct MockDriver {
+        service: SimTime,
+        script: Vec<LocateVerdict>,
+        issued: Vec<(SimTime, NodeId, usize)>,
+        next: usize,
+        outcomes: Vec<(LocateVerdict, SimTime)>,
+    }
+
+    impl MockDriver {
+        fn new(service: SimTime, script: Vec<LocateVerdict>) -> Self {
+            MockDriver {
+                service,
+                script,
+                issued: Vec::new(),
+                next: 0,
+                outcomes: Vec::new(),
+            }
+        }
+    }
+
+    impl OpDriver for MockDriver {
+        fn issue(
+            &mut self,
+            now: SimTime,
+            client: NodeId,
+            port_idx: usize,
+        ) -> (u64, Option<SimTime>) {
+            let verdict = self.script[self.next % self.script.len()];
+            self.next += 1;
+            self.issued.push((now, client, port_idx));
+            let done = now + self.service;
+            let token = self.outcomes.len() as u64;
+            self.outcomes.push((verdict, done));
+            (token, Some(done))
+        }
+
+        fn poll(
+            &mut self,
+            _client: NodeId,
+            token: u64,
+            _issued: SimTime,
+            now: SimTime,
+        ) -> Option<(LocateVerdict, Option<NodeId>, SimTime)> {
+            let (verdict, done) = self.outcomes[token as usize];
+            if now >= done {
+                let addr = (verdict == LocateVerdict::Hit).then(|| NodeId::new(0));
+                Some((verdict, addr, done))
+            } else {
+                None
+            }
+        }
+
+        fn home(&self, _port_idx: usize) -> NodeId {
+            NodeId::new(0)
+        }
+    }
+
+    fn fixture(
+        clients: usize,
+        retry_budget: u32,
+    ) -> (ClientPool, StdRng, Vec<NodeId>, PopularitySampler) {
+        let model = ClientModel {
+            clients,
+            think: ThinkTime::Fixed { ticks: 2 },
+            retry_budget,
+            retry_backoff: 4,
+            window: 100,
+        };
+        let pool = ClientPool::new(model);
+        let rng = StdRng::seed_from_u64(1);
+        let live: Vec<NodeId> = (0..8usize).map(NodeId::from).collect();
+        let sampler = PopularitySampler::new(4, PortPopularity::Uniform);
+        (pool, rng, live, sampler)
+    }
+
+    /// Drives the pool like a runner would: service at every wakeup.
+    #[allow(clippy::too_many_arguments)]
+    fn drive(
+        pool: &mut ClientPool,
+        driver: &mut MockDriver,
+        rng: &mut StdRng,
+        live: &[NodeId],
+        sampler: &PopularitySampler,
+        acc: &mut Acc,
+        log: &mut Vec<LocateRecord>,
+        until: SimTime,
+    ) {
+        while let Some(t) = pool.next_wakeup() {
+            if t > until {
+                break;
+            }
+            pool.service(t, driver, rng, live, sampler, acc, log);
+        }
+    }
+
+    #[test]
+    fn single_client_serializes_and_queues() {
+        let (mut pool, mut rng, live, sampler) = fixture(1, 0);
+        let mut driver = MockDriver::new(2, vec![LocateVerdict::Hit]);
+        let mut acc = Acc::default();
+        let mut log = Vec::new();
+        // two offers in the same tick: the second must wait a full
+        // service + think cycle
+        pool.offer(10, 0);
+        pool.offer(10, 1);
+        pool.service(
+            10,
+            &mut driver,
+            &mut rng,
+            &live,
+            &sampler,
+            &mut acc,
+            &mut log,
+        );
+        drive(
+            &mut pool,
+            &mut driver,
+            &mut rng,
+            &live,
+            &sampler,
+            &mut acc,
+            &mut log,
+            100,
+        );
+        let recs = pool.into_records();
+        assert_eq!(recs[0].dispatched_at, Some(10));
+        assert_eq!(recs[0].completed_at, Some(12));
+        // verdict at 12, think 2 → free at 14, second dispatch at 14
+        assert_eq!(recs[1].dispatched_at, Some(14));
+        assert_eq!(recs[1].completed_at, Some(16));
+        assert_eq!(acc.issued, 2);
+        assert_eq!(acc.hits, 2);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].at, 10, "op log keys on the offered tick");
+    }
+
+    #[test]
+    fn retries_backoff_exponentially_then_give_up() {
+        let (mut pool, mut rng, live, sampler) = fixture(1, 2);
+        let mut driver = MockDriver::new(3, vec![LocateVerdict::Unresolved]);
+        let mut acc = Acc::default();
+        let mut log = Vec::new();
+        pool.offer(0, 0);
+        pool.service(
+            0,
+            &mut driver,
+            &mut rng,
+            &live,
+            &sampler,
+            &mut acc,
+            &mut log,
+        );
+        drive(
+            &mut pool,
+            &mut driver,
+            &mut rng,
+            &live,
+            &sampler,
+            &mut acc,
+            &mut log,
+            200,
+        );
+        // attempt 1 at 0 (done 3), retry at 3+4=7 (done 10), retry at
+        // 10+8=18 (done 21), budget exhausted → final verdict at 21
+        assert_eq!(
+            driver.issued.iter().map(|&(t, _, _)| t).collect::<Vec<_>>(),
+            vec![0, 7, 18]
+        );
+        let recs = pool.into_records();
+        assert_eq!(recs[0].attempts, 3);
+        assert_eq!(recs[0].verdict, Some(LocateVerdict::Unresolved));
+        assert_eq!(recs[0].completed_at, Some(21));
+        assert_eq!(acc.issued, 3);
+        assert_eq!(acc.unresolved, 3, "every attempt is classified");
+        assert_eq!(log.len(), 1, "one op-log entry per offered operation");
+    }
+
+    #[test]
+    fn freeze_abandons_the_queue_and_settles_backoffs() {
+        let (mut pool, mut rng, live, sampler) = fixture(1, 3);
+        let mut driver = MockDriver::new(2, vec![LocateVerdict::Unresolved]);
+        let mut acc = Acc::default();
+        let mut log = Vec::new();
+        pool.offer(0, 0);
+        pool.offer(0, 1);
+        pool.service(
+            0,
+            &mut driver,
+            &mut rng,
+            &live,
+            &sampler,
+            &mut acc,
+            &mut log,
+        );
+        // run to the first unresolved verdict (t=2), entering backoff
+        pool.service(
+            2,
+            &mut driver,
+            &mut rng,
+            &live,
+            &sampler,
+            &mut acc,
+            &mut log,
+        );
+        pool.freeze();
+        pool.service(
+            3,
+            &mut driver,
+            &mut rng,
+            &live,
+            &sampler,
+            &mut acc,
+            &mut log,
+        );
+        let recs = pool.into_records();
+        assert_eq!(recs[0].verdict, Some(LocateVerdict::Unresolved));
+        assert_eq!(recs[0].completed_at, Some(2), "last verdict tick kept");
+        assert_eq!(recs[1].dispatched_at, None, "abandoned in the queue");
+        assert_eq!(recs[1].verdict, None);
+        assert_eq!(log.len(), 1);
+    }
+
+    /// A backoff scheduled beyond the post-horizon drain window must
+    /// still settle: once frozen, the slot reports an already-due wakeup
+    /// so a drain loop bounded by `horizon + op_timeout` services it —
+    /// otherwise the operation would vanish from all accounting (no
+    /// verdict, not abandoned, no op-log entry).
+    #[test]
+    fn frozen_backoff_beyond_the_drain_window_still_settles() {
+        let (mut pool, mut rng, live, sampler) = fixture(1, 3);
+        // service takes 3 ticks, backoff base 4 doubles per round
+        let mut driver = MockDriver::new(3, vec![LocateVerdict::Unresolved]);
+        let mut acc = Acc::default();
+        let mut log = Vec::new();
+        let horizon = 12;
+        pool.offer(0, 0);
+        pool.service(
+            0,
+            &mut driver,
+            &mut rng,
+            &live,
+            &sampler,
+            &mut acc,
+            &mut log,
+        );
+        // attempt 1 done at 3, retry at 7, done at 10 → next backoff
+        // resumes at 10 + 8 = 18, past the drain window [12, 12 + 4]
+        while let Some(t) = pool.next_wakeup().filter(|&t| t < horizon) {
+            pool.service(
+                t,
+                &mut driver,
+                &mut rng,
+                &live,
+                &sampler,
+                &mut acc,
+                &mut log,
+            );
+        }
+        pool.freeze();
+        let drain_end = horizon + 4;
+        while let Some(t) = pool.next_wakeup().filter(|&t| t <= drain_end) {
+            pool.service(
+                t,
+                &mut driver,
+                &mut rng,
+                &live,
+                &sampler,
+                &mut acc,
+                &mut log,
+            );
+        }
+        let recs = pool.into_records();
+        assert_eq!(recs[0].verdict, Some(LocateVerdict::Unresolved));
+        assert_eq!(recs[0].completed_at, Some(10), "last verdict tick kept");
+        assert_eq!(log.len(), 1, "the operation must not vanish");
+    }
+
+    #[test]
+    fn total_outage_defers_dispatch_without_consuming_rng() {
+        let (mut pool, mut rng, _live, sampler) = fixture(2, 0);
+        let mut driver = MockDriver::new(2, vec![LocateVerdict::Hit]);
+        let mut acc = Acc::default();
+        let mut log = Vec::new();
+        pool.offer(5, 0);
+        let before = rng.clone();
+        pool.service(5, &mut driver, &mut rng, &[], &sampler, &mut acc, &mut log);
+        assert_eq!(rng, before, "no draw happened");
+        assert!(driver.issued.is_empty());
+        // nodes come back: the queued operation dispatches late, and the
+        // queueing delay records the outage
+        let live: Vec<NodeId> = (0..4usize).map(NodeId::from).collect();
+        pool.service(
+            40,
+            &mut driver,
+            &mut rng,
+            &live,
+            &sampler,
+            &mut acc,
+            &mut log,
+        );
+        drive(
+            &mut pool,
+            &mut driver,
+            &mut rng,
+            &live,
+            &sampler,
+            &mut acc,
+            &mut log,
+            100,
+        );
+        let recs = pool.into_records();
+        assert_eq!(recs[0].dispatched_at, Some(40));
+        assert_eq!(recs[0].offered_at, 5);
+    }
+}

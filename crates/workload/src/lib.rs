@@ -12,6 +12,12 @@
 //!   (crash/restore waves, service migration, cache wipes).
 //! * [`traffic`] — the seeded samplers that turn a spec into concrete
 //!   arrival timelines and target choices.
+//! * `clients` — the closed-loop client pool (private): when a spec
+//!   carries a [`ClientModel`], offered arrivals queue for a fixed pool
+//!   of client slots (think time, retry budget, exponential backoff) and
+//!   the reports grow latency/queueing-delay percentiles plus fixed-width
+//!   time-series windows. The pool is the single decision layer for both
+//!   runtimes, which is what keeps closed-loop runs differential-testable.
 //! * [`runner`] — [`ScenarioRunner`]: compiles a spec into `mm-sim`
 //!   injections against a [`mm_proto::service::ServiceNet`] /
 //!   [`mm_proto::ShotgunEngine`], drives it to the horizon with
@@ -26,7 +32,8 @@
 //! * [`report`] — the report structs and builders shared by both
 //!   runtimes, plus the per-operation verdict log they both produce.
 //! * [`scenarios`] — the library: steady-state, flash-crowd,
-//!   rolling-churn, migrate-under-load, cold-vs-warm-cache.
+//!   rolling-churn, migrate-under-load, cold-vs-warm-cache (open-loop)
+//!   plus overload-ramp and flash-crowd-recovery (closed-loop).
 //!
 //! Determinism is a hard contract: every random choice flows from the
 //! spec's seed through one generator in a fixed order, so two runs of the
@@ -53,6 +60,7 @@
 //! assert!(report.hit_rate() > 0.9, "steady state mostly hits");
 //! ```
 
+mod clients;
 pub mod live_runner;
 pub mod report;
 pub mod runner;
@@ -62,7 +70,12 @@ mod timeline;
 pub mod traffic;
 
 pub use live_runner::LiveScenarioRunner;
-pub use report::{LocateRecord, LocateVerdict, PhaseReport, ScenarioReport};
+pub use report::{
+    ClosedLoopStats, LocateRecord, LocateVerdict, PhaseReport, ScenarioReport, WindowReport,
+};
 pub use runner::ScenarioRunner;
-pub use spec::{ArrivalProcess, ChurnAction, ChurnEvent, Phase, PortPopularity, Workload};
+pub use spec::{
+    ArrivalProcess, ChurnAction, ChurnEvent, ClientModel, Phase, PortPopularity, ThinkTime,
+    Workload,
+};
 pub use traffic::PopularitySampler;

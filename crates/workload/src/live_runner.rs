@@ -40,8 +40,10 @@
 //! at-risk operations, which is exactly the tolerance rule the
 //! conformance suite enforces.
 
+use crate::clients::{ClientPool, OpDriver};
 use crate::report::{
-    build_phase_report, predict_passes_per_locate, Acc, LocateRecord, LocateVerdict, ScenarioReport,
+    build_closed_loop, build_phase_report, predict_passes_per_locate, Acc, LocateRecord,
+    LocateVerdict, ScenarioReport,
 };
 use crate::spec::{ChurnAction, Workload};
 use crate::timeline::{draw_arrival, resolve_churn, Event, ResolvedChurn, Timeline};
@@ -54,6 +56,61 @@ use mm_sim::SimTime;
 use mm_topo::NodeId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// The thread network's [`OpDriver`]. The live locate call is synchronous
+/// (lock-step), so `issue` runs the whole operation immediately and banks
+/// the verdict under a token; `poll` replays it once the virtual clock
+/// reaches the modelled completion tick. The virtual-elapsed model mirrors
+/// the simulator's uniform-cost timing exactly: a query set containing
+/// only the client itself costs 0 ticks (free local delivery), any remote
+/// fan-out completes when the slowest reply lands at issue + 2 (query
+/// tick + reply tick), and an unresolved operation burns the full client
+/// timeout.
+struct LiveDriver<'a, PM: PortMapped> {
+    net: &'a LiveNet,
+    interner: &'a mut TargetInterner,
+    resolver: &'a PM,
+    ports: &'a [Port],
+    homes: &'a [NodeId],
+    op_timeout: SimTime,
+    pending: &'a mut Vec<(LocateVerdict, Option<NodeId>, SimTime)>,
+}
+
+impl<PM: PortMapped> OpDriver for LiveDriver<'_, PM> {
+    fn issue(&mut self, now: SimTime, client: NodeId, port_idx: usize) -> (u64, Option<SimTime>) {
+        let port = self.ports[port_idx];
+        let targets = self.interner.query_set(self.resolver, client, port);
+        let solo = targets.len() == 1 && targets.contains(client);
+        let (verdict, addr, elapsed) = match self.net.locate(client, port, targets) {
+            LiveLocateOutcome::Found { addr, .. } => {
+                (LocateVerdict::Hit, Some(addr), if solo { 0 } else { 2 })
+            }
+            LiveLocateOutcome::NotFound => (LocateVerdict::Miss, None, if solo { 0 } else { 2 }),
+            LiveLocateOutcome::Unresolved { .. } => {
+                (LocateVerdict::Unresolved, None, self.op_timeout)
+            }
+        };
+        let done = now + elapsed;
+        let token = self.pending.len() as u64;
+        self.pending.push((verdict, addr, done));
+        (token, Some(done))
+    }
+
+    fn poll(
+        &mut self,
+        _client: NodeId,
+        token: u64,
+        _issued: SimTime,
+        now: SimTime,
+    ) -> Option<(LocateVerdict, Option<NodeId>, SimTime)> {
+        let (verdict, addr, done) = self.pending[token as usize];
+        (now >= done).then_some((verdict, addr, done))
+    }
+
+    fn home(&self, port_idx: usize) -> NodeId {
+        self.homes[port_idx]
+    }
+}
 
 /// Drives one [`Workload`] against a [`LiveNet`] of `n` node threads and
 /// produces a [`ScenarioReport`] with the same schema as the simulator
@@ -81,6 +138,11 @@ pub struct LiveScenarioRunner<PM: PortMapped> {
     op_log: Vec<LocateRecord>,
     next_arrival: u64,
     strategy: String,
+    /// Closed-loop attempt outcomes, indexed by [`OpDriver`] token: the
+    /// live locate is synchronous (lock-step), so its verdict is stored at
+    /// issue time together with its modelled virtual completion tick and
+    /// replayed when the pool polls.
+    pending: Vec<(LocateVerdict, Option<NodeId>, SimTime)>,
 }
 
 impl<PM: PortMapped> LiveScenarioRunner<PM> {
@@ -118,6 +180,7 @@ impl<PM: PortMapped> LiveScenarioRunner<PM> {
             op_log: Vec::new(),
             next_arrival: 0,
             strategy: strategy.to_string(),
+            pending: Vec::new(),
             spec,
         }
     }
@@ -140,6 +203,9 @@ impl<PM: PortMapped> LiveScenarioRunner<PM> {
     /// per-operation verdict log (one [`LocateRecord`] per primary
     /// arrival, in arrival order) for cross-runtime conformance checks.
     pub fn run_logged(mut self) -> (ScenarioReport, Vec<LocateRecord>) {
+        if self.spec.clients.is_some() {
+            return self.run_logged_closed();
+        }
         let predicted = predict_passes_per_locate(&self.resolver, self.n(), &self.ports);
 
         // --- setup: place one server per port (same RNG draws as the
@@ -158,8 +224,7 @@ impl<PM: PortMapped> LiveScenarioRunner<PM> {
         // --- drive the network phase by phase, lock-step ---
         let mut reports = Vec::with_capacity(timeline.phase_bounds.len());
         let mut next = 0usize;
-        let last = timeline.phase_bounds.len() - 1;
-        for (pi, (start, end, name)) in timeline.phase_bounds.iter().enumerate() {
+        for (start, end, name) in timeline.phase_bounds.iter() {
             let before = self.net.metrics();
             self.acc = Acc::default();
             while next < timeline.events.len() && timeline.events[next].0 < *end {
@@ -168,25 +233,145 @@ impl<PM: PortMapped> LiveScenarioRunner<PM> {
                 self.apply(t, ev);
             }
             let after = self.net.metrics();
-            // mirror the simulator's observation windows (the final phase
-            // includes the drain grace) so rate denominators agree
-            let window_end = if pi == last {
-                end + self.spec.op_timeout
-            } else {
-                *end
-            };
             reports.push(build_phase_report(
                 name,
                 *start,
                 *end,
-                window_end,
                 &self.acc,
                 &after.delta(&before),
             ));
         }
         self.net.shutdown();
 
-        let report = ScenarioReport {
+        let report = self.assemble(None, timeline.horizon, predicted, reports, None);
+        (report, std::mem::take(&mut self.op_log))
+    }
+
+    /// The closed-loop twin of [`LiveScenarioRunner::run_logged`]: the
+    /// identical [`ClientPool`] event loop as the simulator runner —
+    /// offered arrivals queue for slots, wake-ups fire in virtual-time
+    /// order, every random draw happens inside the shared pool code — with
+    /// the locates executed synchronously on the thread network. The
+    /// driver models each attempt's virtual completion tick with the
+    /// uniform-cost law (0 for a pure self-query, 2 otherwise, `op_timeout`
+    /// for unresolved), which on churn-free scenarios is exactly the
+    /// simulator's measured elapsed — so latency percentiles match
+    /// byte-for-byte across the runtimes.
+    fn run_logged_closed(mut self) -> (ScenarioReport, Vec<LocateRecord>) {
+        let predicted = predict_passes_per_locate(&self.resolver, self.n(), &self.ports);
+        for i in 0..self.spec.ports {
+            let home = NodeId::from(self.rng.gen_range(0..self.n()));
+            self.homes.push(home);
+            let port = self.ports[i];
+            self.register(home, port);
+        }
+
+        let timeline = Timeline::compile(&self.spec, &mut self.rng);
+        let model = self.spec.clients.expect("closed-loop path");
+        let mut pool = ClientPool::new(model);
+        let horizon = timeline.horizon;
+
+        let mut reports = Vec::with_capacity(timeline.phase_bounds.len());
+        let mut next = 0usize;
+        let last = timeline.phase_bounds.len() - 1;
+        for (pi, (start, end, name)) in timeline.phase_bounds.iter().enumerate() {
+            let before = self.net.metrics();
+            self.acc = Acc::default();
+            loop {
+                let ev_t = timeline.events.get(next).map(|e| e.0).filter(|t| t < end);
+                let pool_t = pool.next_wakeup().filter(|t| t < end);
+                let t = match (ev_t, pool_t) {
+                    (None, None) => break,
+                    (a, b) => a.into_iter().chain(b).min().expect("one is Some"),
+                };
+                // verdicts before same-tick churn, as in the simulator
+                self.service_pool(&mut pool, t);
+                while next < timeline.events.len() && timeline.events[next].0 == t {
+                    let (_, ev) = timeline.events[next].clone();
+                    next += 1;
+                    match ev {
+                        Event::Arrival => {
+                            let arrival = self.next_arrival;
+                            self.next_arrival += 1;
+                            pool.offer(t, arrival);
+                        }
+                        Event::Refresh => self.refresh_all(),
+                        Event::Churn(action) => self.apply_churn(action),
+                    }
+                }
+                self.service_pool(&mut pool, t);
+            }
+            if pi == last {
+                pool.freeze();
+                let drain_end = horizon + self.spec.op_timeout;
+                while let Some(t) = pool.next_wakeup().filter(|&t| t <= drain_end) {
+                    self.service_pool(&mut pool, t);
+                }
+            }
+            let after = self.net.metrics();
+            reports.push(build_phase_report(
+                name,
+                *start,
+                *end,
+                &self.acc,
+                &after.delta(&before),
+            ));
+        }
+        self.net.shutdown();
+
+        let records = pool.into_records();
+        let (phase_stats, windows) =
+            build_closed_loop(&records, &timeline.phase_bounds, horizon, model.window);
+        for (report, stats) in reports.iter_mut().zip(phase_stats) {
+            report.closed_loop = Some(stats);
+        }
+        let report = self.assemble(
+            Some(model.clients as u64),
+            horizon,
+            predicted,
+            reports,
+            Some(windows),
+        );
+        // the pool logs at final-verdict time (a retried op can finish
+        // after later arrivals); the documented contract is arrival order
+        let mut log = std::mem::take(&mut self.op_log);
+        log.sort_by_key(|r| r.arrival);
+        (report, log)
+    }
+
+    /// One [`ClientPool::service`] call with the thread network behind the
+    /// [`OpDriver`] seam.
+    fn service_pool(&mut self, pool: &mut ClientPool, now: SimTime) {
+        let mut driver = LiveDriver {
+            net: &self.net,
+            interner: &mut self.interner,
+            resolver: &self.resolver,
+            ports: &self.ports,
+            homes: &self.homes,
+            op_timeout: self.spec.op_timeout,
+            pending: &mut self.pending,
+        };
+        pool.service(
+            now,
+            &mut driver,
+            &mut self.rng,
+            &self.live,
+            &self.sampler,
+            &mut self.acc,
+            &mut self.op_log,
+        );
+    }
+
+    /// Assembles the scenario-level report envelope.
+    fn assemble(
+        &self,
+        clients: Option<u64>,
+        horizon: SimTime,
+        predicted: f64,
+        phases: Vec<crate::report::PhaseReport>,
+        windows: Option<Vec<crate::report::WindowReport>>,
+    ) -> ScenarioReport {
+        ScenarioReport {
             scenario: self.spec.name.clone(),
             strategy: self.strategy.clone(),
             cost_model: "uniform".to_string(),
@@ -194,11 +379,12 @@ impl<PM: PortMapped> LiveScenarioRunner<PM> {
             n: self.n() as u64,
             seed: self.spec.seed,
             ports: self.spec.ports as u64,
-            horizon: timeline.horizon,
+            clients,
+            horizon,
             predicted_passes_per_locate: predicted,
-            phases: reports,
-        };
-        (report, std::mem::take(&mut self.op_log))
+            phases,
+            windows,
+        }
     }
 
     /// Applies one timeline event, blocking until its effects are
@@ -419,5 +605,56 @@ mod tests {
         let a = serde_json::to_string(&run_live("cold-vs-warm-cache", 16, 5)).unwrap();
         let b = serde_json::to_string(&run_live("cold-vs-warm-cache", 16, 5)).unwrap();
         assert_eq!(a, b, "lock-step live runs reproduce byte-identically");
+    }
+
+    /// The closed-loop pool drives the thread network too: the ramp's
+    /// knee (monotone p99 queueing delay, flat service latency) must be
+    /// measurable on real threads, deterministically.
+    #[test]
+    fn live_overload_ramp_finds_the_same_knee() {
+        let r = run_live("overload-ramp", 16, 7);
+        assert_eq!(r.clients, Some(24));
+        let stats: Vec<_> = r
+            .phases
+            .iter()
+            .map(|p| p.closed_loop.as_ref().expect("closed-loop stats"))
+            .collect();
+        assert!(
+            stats[2].queue_delay_p99 < stats[3].queue_delay_p99
+                && stats[3].queue_delay_p99 < stats[4].queue_delay_p99,
+            "p99 queueing delay must climb past the knee"
+        );
+        assert!(stats.iter().all(|s| s.latency_p99 <= 2.0));
+        assert!(r.windows.is_some());
+        let a = serde_json::to_string(&run_live("overload-ramp", 16, 7)).unwrap();
+        let b = serde_json::to_string(&run_live("overload-ramp", 16, 7)).unwrap();
+        assert_eq!(a, b, "closed-loop live runs reproduce byte-identically");
+    }
+
+    /// Closed-loop retries against a churny network: the recovery
+    /// scenario must burn retry budget during the outage and settle back,
+    /// and the op log must come back in arrival order even though retried
+    /// operations reach their final verdict after later arrivals.
+    #[test]
+    fn live_flash_crowd_recovery_retries_through_the_outage() {
+        let spec = scenarios::by_name("flash-crowd-recovery", 16, 7).unwrap();
+        let (r, log) =
+            LiveScenarioRunner::new(spec, 16, Checkerboard::new(16), "checkerboard").run_logged();
+        assert!(
+            log.windows(2).all(|w| w[0].arrival < w[1].arrival),
+            "op log must be sorted by arrival"
+        );
+        let total_retries: u64 = r
+            .phases
+            .iter()
+            .map(|p| p.closed_loop.as_ref().unwrap().retries)
+            .sum();
+        assert!(total_retries > 0, "the outage must trigger retries");
+        let last = r.windows.as_ref().unwrap().last().unwrap().clone();
+        assert!(
+            last.latency_p99 <= 2.0,
+            "latency must settle by the horizon: {}",
+            last.latency_p99
+        );
     }
 }

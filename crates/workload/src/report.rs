@@ -14,6 +14,8 @@
 //! operation by operation across runtimes regardless of how phase
 //! boundaries bucket the counters.
 
+use crate::clients::ClientOpRecord;
+use crate::timeline::PhaseBounds;
 use mm_analysis::stats::percentile_sorted;
 use mm_analysis::ExperimentRecord;
 use mm_core::strategies::PortMapped;
@@ -72,8 +74,12 @@ pub struct PhaseReport {
     pub peak_queue_depth: u64,
     /// `message_passes / locates_completed` (0 when nothing completed).
     pub passes_per_locate: f64,
-    /// Completed locates per 1000 ticks of the observation window
-    /// (the final phase's window includes the post-horizon drain grace).
+    /// Completed locates per 1000 ticks of the phase's scheduled
+    /// duration `[start, end)`. The final phase's post-horizon drain
+    /// grace is *excluded* from the denominator (verdicts read during the
+    /// drain still count in the numerator), so the last phase's rate is
+    /// comparable with the inner phases' instead of being deflated by the
+    /// timeout window.
     pub throughput_per_kilotick: f64,
     /// `hits / locates_completed` (0 when nothing completed).
     pub hit_rate: f64,
@@ -85,6 +91,92 @@ pub struct PhaseReport {
     pub load_max: u64,
     /// Mean per-node deliveries during the phase.
     pub load_mean: f64,
+    /// Closed-loop latency accounting for this phase, present only when
+    /// the workload configures a [`crate::spec::ClientModel`] — open-loop
+    /// reports serialize without this key, byte-for-byte as before.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub closed_loop: Option<ClosedLoopStats>,
+}
+
+/// Per-phase closed-loop measurements, built from the client pool's
+/// operation records.
+///
+/// Attribution follows when each fact becomes true: `offered` and
+/// `abandoned` bucket by the offered tick, `dispatched` and the
+/// queueing-delay samples by the dispatch tick, `completed`/`retries` and
+/// the latency samples by the final-verdict tick (verdicts read during
+/// the post-horizon drain clamp into the last bucket). This is what makes
+/// saturation legible: under a growing FIFO backlog the delay of the
+/// operation *being dispatched* rises monotonically with time, so the
+/// per-phase queue-delay p99 climbs phase over phase past the knee even
+/// when a late phase's own offers never reach service (they show up as
+/// `abandoned` instead — bucketing delays by offer tick would censor
+/// exactly the worst-delayed survivors).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClosedLoopStats {
+    /// Operations the timeline offered during the phase.
+    pub offered: u64,
+    /// Operations a client slot picked up during the phase (however long
+    /// ago they were offered).
+    pub dispatched: u64,
+    /// Operations whose final verdict landed during the phase.
+    pub completed: u64,
+    /// Operations offered during the phase that were still queued when
+    /// the horizon arrived — the saturation overflow that open-loop
+    /// counters cannot see.
+    pub abandoned: u64,
+    /// Extra locate attempts spent by the retry budget on operations
+    /// completing in the phase.
+    pub retries: u64,
+    /// Median issue→verdict latency in ticks (includes retry backoffs).
+    pub latency_p50: f64,
+    /// 95th-percentile issue→verdict latency.
+    pub latency_p95: f64,
+    /// 99th-percentile issue→verdict latency.
+    pub latency_p99: f64,
+    /// Worst issue→verdict latency.
+    pub latency_max: u64,
+    /// Median offer→dispatch queueing delay in ticks.
+    pub queue_delay_p50: f64,
+    /// 95th-percentile queueing delay.
+    pub queue_delay_p95: f64,
+    /// 99th-percentile queueing delay — the saturation-knee instrument.
+    pub queue_delay_p99: f64,
+    /// Worst queueing delay among dispatched operations.
+    pub queue_delay_max: u64,
+}
+
+/// One fixed-width time-series window of a closed-loop run (the same
+/// measurements as [`ClosedLoopStats`], bucketed by offered tick into
+/// `[start, end)` windows of the spec's `window` width).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowReport {
+    /// Window start tick.
+    pub start: u64,
+    /// Window end tick (the last window clamps to the horizon).
+    pub end: u64,
+    /// Operations offered in the window.
+    pub offered: u64,
+    /// Operations dispatched in the window.
+    pub dispatched: u64,
+    /// Final verdicts landing in the window.
+    pub completed: u64,
+    /// Verdicts in the window that were hits.
+    pub hits: u64,
+    /// Verdicts in the window that were unresolved.
+    pub unresolved: u64,
+    /// Median issue→verdict latency.
+    pub latency_p50: f64,
+    /// 95th-percentile issue→verdict latency.
+    pub latency_p95: f64,
+    /// 99th-percentile issue→verdict latency.
+    pub latency_p99: f64,
+    /// Median offer→dispatch queueing delay.
+    pub queue_delay_p50: f64,
+    /// 95th-percentile queueing delay.
+    pub queue_delay_p95: f64,
+    /// 99th-percentile queueing delay.
+    pub queue_delay_p99: f64,
 }
 
 /// A whole scenario run: configuration echo plus per-phase reports.
@@ -104,6 +196,10 @@ pub struct ScenarioReport {
     pub seed: u64,
     /// Number of service ports.
     pub ports: u64,
+    /// Closed-loop client-pool size; absent for open-loop runs (whose
+    /// JSON stays byte-identical to the pre-closed-loop schema).
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub clients: Option<u64>,
     /// Scenario horizon in ticks.
     pub horizon: u64,
     /// Predicted steady-state passes per locate (`2·|Q|`, the query +
@@ -111,6 +207,9 @@ pub struct ScenarioReport {
     pub predicted_passes_per_locate: f64,
     /// Per-phase measurements.
     pub phases: Vec<PhaseReport>,
+    /// Fixed-width time-series windows (closed-loop runs only).
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub windows: Option<Vec<WindowReport>>,
 }
 
 impl ScenarioReport {
@@ -192,15 +291,26 @@ pub(crate) struct Acc {
     pub request_timeouts: u64,
 }
 
+/// Percentile of a sorted sample, 0.0 when the sample is empty (a
+/// zero-node metrics snapshot or a phase with no closed-loop operations
+/// must yield zeroed stats, not a panic).
+fn percentile_or_zero(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        0.0
+    } else {
+        percentile_sorted(sorted, q)
+    }
+}
+
 /// Builds one [`PhaseReport`] from the phase's operation counters and the
-/// runtime metrics delta — the single code path for both runtimes.
-/// `window_end` is the end of the observation window actually measured
-/// (the final phase includes the drain grace).
+/// runtime metrics delta — the single code path for both runtimes. Rate
+/// denominators use the scheduled phase duration `[start, end)`; the
+/// final phase's drain grace is deliberately excluded (see
+/// [`PhaseReport::throughput_per_kilotick`]).
 pub(crate) fn build_phase_report(
     name: &str,
     start: SimTime,
     end: SimTime,
-    window_end: SimTime,
     acc: &Acc,
     delta: &Metrics,
 ) -> PhaseReport {
@@ -208,7 +318,7 @@ pub(crate) fn build_phase_report(
     let load_max = delta.node_load.iter().copied().max().unwrap_or(0);
     let mut loads: Vec<f64> = delta.node_load.iter().map(|&d| d as f64).collect();
     loads.sort_by(|a, b| a.partial_cmp(b).expect("loads are finite"));
-    let window = (window_end - start).max(1);
+    let window = (end - start).max(1);
     PhaseReport {
         name: name.to_string(),
         start,
@@ -241,11 +351,142 @@ pub(crate) fn build_phase_report(
         } else {
             acc.hits as f64 / completed as f64
         },
-        load_p50: percentile_sorted(&loads, 0.5),
-        load_p99: percentile_sorted(&loads, 0.99),
+        load_p50: percentile_or_zero(&loads, 0.5),
+        load_p99: percentile_or_zero(&loads, 0.99),
         load_max,
-        load_mean: loads.iter().sum::<f64>() / loads.len() as f64,
+        load_mean: if loads.is_empty() {
+            0.0
+        } else {
+            loads.iter().sum::<f64>() / loads.len() as f64
+        },
+        closed_loop: None,
     }
+}
+
+/// Latency / queueing-delay aggregation over one bucket of closed-loop
+/// operation records.
+#[derive(Default)]
+struct LoopBucket {
+    offered: u64,
+    dispatched: u64,
+    completed: u64,
+    abandoned: u64,
+    attempts: u64,
+    hits: u64,
+    unresolved: u64,
+    latencies: Vec<f64>,
+    delays: Vec<f64>,
+}
+
+impl LoopBucket {
+    fn sorted(mut v: Vec<f64>) -> Vec<f64> {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("ticks are finite"));
+        v
+    }
+
+    fn stats(self) -> ClosedLoopStats {
+        let latencies = Self::sorted(self.latencies);
+        let delays = Self::sorted(self.delays);
+        ClosedLoopStats {
+            offered: self.offered,
+            dispatched: self.dispatched,
+            completed: self.completed,
+            abandoned: self.abandoned,
+            retries: self.attempts - self.completed,
+            latency_p50: percentile_or_zero(&latencies, 0.5),
+            latency_p95: percentile_or_zero(&latencies, 0.95),
+            latency_p99: percentile_or_zero(&latencies, 0.99),
+            latency_max: latencies.last().copied().unwrap_or(0.0) as u64,
+            queue_delay_p50: percentile_or_zero(&delays, 0.5),
+            queue_delay_p95: percentile_or_zero(&delays, 0.95),
+            queue_delay_p99: percentile_or_zero(&delays, 0.99),
+            queue_delay_max: delays.last().copied().unwrap_or(0.0) as u64,
+        }
+    }
+
+    fn window(self, start: SimTime, end: SimTime) -> WindowReport {
+        let latencies = Self::sorted(self.latencies);
+        let delays = Self::sorted(self.delays);
+        WindowReport {
+            start,
+            end,
+            offered: self.offered,
+            dispatched: self.dispatched,
+            completed: self.completed,
+            hits: self.hits,
+            unresolved: self.unresolved,
+            latency_p50: percentile_or_zero(&latencies, 0.5),
+            latency_p95: percentile_or_zero(&latencies, 0.95),
+            latency_p99: percentile_or_zero(&latencies, 0.99),
+            queue_delay_p50: percentile_or_zero(&delays, 0.5),
+            queue_delay_p95: percentile_or_zero(&delays, 0.95),
+            queue_delay_p99: percentile_or_zero(&delays, 0.99),
+        }
+    }
+}
+
+/// Builds the per-phase [`ClosedLoopStats`] (index-aligned with
+/// `phase_bounds`) and the fixed-width [`WindowReport`] series from a
+/// finished pool's operation records — shared by both runtimes, so equal
+/// records produce byte-equal closed-loop sections.
+pub(crate) fn build_closed_loop(
+    records: &[ClientOpRecord],
+    phase_bounds: &[PhaseBounds],
+    horizon: SimTime,
+    window: SimTime,
+) -> (Vec<ClosedLoopStats>, Vec<WindowReport>) {
+    let mut phases: Vec<LoopBucket> = phase_bounds.iter().map(|_| LoopBucket::default()).collect();
+    let n_windows = horizon.div_ceil(window).max(1) as usize;
+    let mut windows: Vec<LoopBucket> = (0..n_windows).map(|_| LoopBucket::default()).collect();
+    // bucket index per tick, clamped so post-horizon drain verdicts land
+    // in the final bucket
+    let phase_of = |t: SimTime| -> usize {
+        phase_bounds
+            .iter()
+            .position(|(_, e, _)| t < *e)
+            .unwrap_or(phase_bounds.len() - 1)
+    };
+    let window_of = |t: SimTime| -> usize { ((t / window) as usize).min(n_windows - 1) };
+    for r in records {
+        for bucket in [
+            &mut phases[phase_of(r.offered_at)],
+            &mut windows[window_of(r.offered_at)],
+        ] {
+            bucket.offered += 1;
+            if r.dispatched_at.is_none() {
+                bucket.abandoned += 1;
+            }
+        }
+        if let Some(d) = r.dispatched_at {
+            for bucket in [&mut phases[phase_of(d)], &mut windows[window_of(d)]] {
+                bucket.dispatched += 1;
+                bucket.delays.push((d - r.offered_at) as f64);
+            }
+            if let Some(done) = r.completed_at {
+                for bucket in [&mut phases[phase_of(done)], &mut windows[window_of(done)]] {
+                    bucket.completed += 1;
+                    bucket.attempts += u64::from(r.attempts);
+                    bucket.latencies.push((done - d) as f64);
+                    match r.verdict {
+                        Some(LocateVerdict::Hit) => bucket.hits += 1,
+                        Some(LocateVerdict::Unresolved) => bucket.unresolved += 1,
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+    let phase_stats = phases.into_iter().map(LoopBucket::stats).collect();
+    let window_reports = windows
+        .into_iter()
+        .enumerate()
+        .map(|(i, b)| {
+            let start = i as SimTime * window;
+            let end = (start + window).min(horizon);
+            b.window(start, end)
+        })
+        .collect();
+    (phase_stats, window_reports)
 }
 
 /// Mean `2·|Q|` over a deterministic sample of (client, port) pairs — the
@@ -278,9 +519,11 @@ pub enum LocateVerdict {
 }
 
 /// One primary locate operation as both runtimes saw it. Retries issued
-/// by the stale-address recovery loop are *not* recorded — they are
-/// timing-dependent — so record `k` in one runtime and record `k` in the
-/// other describe the same spec-level arrival.
+/// by the stale-address recovery loop (open-loop) or a closed-loop retry
+/// budget are *not* logged separately — the closed-loop log keeps one
+/// entry per offered operation with its *final* verdict — so record `k`
+/// in one runtime and record `k` in the other describe the same
+/// spec-level arrival.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LocateRecord {
     /// Arrival index in the spec's deterministic arrival sequence.
@@ -295,4 +538,110 @@ pub struct LocateRecord {
     pub verdict: LocateVerdict,
     /// The located address for [`LocateVerdict::Hit`].
     pub addr: Option<NodeId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(
+        arrival: u64,
+        offered_at: SimTime,
+        dispatched_at: Option<SimTime>,
+        completed_at: Option<SimTime>,
+        attempts: u32,
+        verdict: Option<LocateVerdict>,
+    ) -> ClientOpRecord {
+        ClientOpRecord {
+            arrival,
+            offered_at,
+            dispatched_at,
+            completed_at,
+            attempts,
+            verdict,
+            addr: None,
+            client: dispatched_at.map(|_| NodeId::new(0)),
+            port_idx: dispatched_at.map(|_| 0),
+        }
+    }
+
+    /// Satellite regression: a metrics delta with no per-node loads (an
+    /// empty network snapshot) must produce zeroed load stats, not an
+    /// empty-slice percentile panic or a 0/0 mean.
+    #[test]
+    fn empty_node_load_yields_zeroed_stats() {
+        let acc = Acc::default();
+        let delta = Metrics::new(0);
+        let p = build_phase_report("empty", 0, 100, &acc, &delta);
+        assert_eq!(p.load_p50, 0.0);
+        assert_eq!(p.load_p99, 0.0);
+        assert_eq!(p.load_max, 0);
+        assert_eq!(p.load_mean, 0.0);
+        assert_eq!(p.throughput_per_kilotick, 0.0);
+        assert_eq!(p.closed_loop, None);
+    }
+
+    #[test]
+    fn closed_loop_buckets_by_event_tick() {
+        let bounds = vec![(0u64, 100u64, "a".to_string()), (100, 200, "b".to_string())];
+        let records = vec![
+            // offered in phase a, dispatched immediately, done 2 later
+            rec(0, 10, Some(10), Some(12), 1, Some(LocateVerdict::Hit)),
+            // offered in phase a, queued 30 ticks, one retry
+            rec(
+                1,
+                20,
+                Some(50),
+                Some(80),
+                2,
+                Some(LocateVerdict::Unresolved),
+            ),
+            // offered in phase b, never dispatched
+            rec(2, 150, None, None, 0, None),
+        ];
+        let (phases, windows) = build_closed_loop(&records, &bounds, 200, 50);
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].offered, 2);
+        assert_eq!(phases[0].dispatched, 2);
+        assert_eq!(phases[0].completed, 2);
+        assert_eq!(phases[0].retries, 1);
+        assert_eq!(phases[0].abandoned, 0);
+        assert_eq!(phases[0].latency_max, 30);
+        assert_eq!(phases[0].queue_delay_max, 30);
+        assert_eq!(phases[0].queue_delay_p50, 15.0);
+        assert_eq!(phases[1].offered, 1);
+        assert_eq!(phases[1].abandoned, 1);
+        assert_eq!(phases[1].dispatched, 0);
+        assert_eq!(phases[1].latency_p99, 0.0, "no samples → zeroed");
+
+        assert_eq!(windows.len(), 4);
+        assert_eq!(
+            windows.iter().map(|w| (w.start, w.end)).collect::<Vec<_>>(),
+            vec![(0, 50), (50, 100), (100, 150), (150, 200)]
+        );
+        assert_eq!(windows[0].offered, 2, "offers bucket by offered tick");
+        assert_eq!(windows[0].hits, 1, "verdict at t=12 lands in window 0");
+        assert_eq!(windows[0].unresolved, 0);
+        assert_eq!(
+            windows[1].unresolved, 1,
+            "verdict at t=80 lands in window 1"
+        );
+        assert_eq!(windows[1].dispatched, 1, "dispatch at t=50 in window 1");
+        assert_eq!(windows[1].queue_delay_p99, 30.0);
+        assert_eq!(windows[3].offered, 1);
+        assert_eq!(windows[1].offered, 0, "offers stay where offered");
+        assert_eq!(windows[2].offered, 0, "empty windows are still emitted");
+    }
+
+    /// A record offered exactly on the horizon tick clamps into the last
+    /// window instead of indexing past the series.
+    #[test]
+    fn closed_loop_window_clamps_the_horizon_edge() {
+        let bounds = vec![(0u64, 90u64, "a".to_string())];
+        let records = vec![rec(0, 89, Some(89), Some(91), 1, Some(LocateVerdict::Hit))];
+        let (_, windows) = build_closed_loop(&records, &bounds, 90, 40);
+        assert_eq!(windows.len(), 3);
+        assert_eq!(windows.last().unwrap().end, 90, "clamped to horizon");
+        assert_eq!(windows[2].offered, 1);
+    }
 }

@@ -15,7 +15,8 @@
 //! timeline compilation are shared ([`crate::report`],
 //! [`crate::timeline`]) so the two runtimes are differential-testable.
 
-use crate::report::{build_phase_report, predict_passes_per_locate, Acc};
+use crate::clients::{ClientPool, OpDriver};
+use crate::report::{build_closed_loop, build_phase_report, predict_passes_per_locate, Acc};
 use crate::spec::{ChurnAction, Workload};
 use crate::timeline::{draw_arrival, resolve_churn, Event, ResolvedChurn, Timeline};
 use crate::traffic::PopularitySampler;
@@ -53,6 +54,57 @@ enum Op {
         /// This request follows a stale-retry locate; don't retry again.
         after_retry: bool,
     },
+}
+
+/// The simulator's [`OpDriver`]: issues locates into the engine and polls
+/// their outcomes, translating engine time (offset by `t0`) to the spec's
+/// virtual clock. The engine reports the *exact* completion tick
+/// (`issued + elapsed`), so per-tick polling never skews latency
+/// accounting.
+struct SimDriver<'a, PM: PortMapped> {
+    net: &'a mut ServiceNet<PM>,
+    ports: &'a [Port],
+    homes: &'a [NodeId],
+    t0: SimTime,
+    op_timeout: SimTime,
+}
+
+impl<PM: PortMapped> OpDriver for SimDriver<'_, PM> {
+    fn issue(&mut self, _now: SimTime, client: NodeId, port_idx: usize) -> (u64, Option<SimTime>) {
+        let handle = self.net.engine_mut().locate(client, self.ports[port_idx]);
+        // no wake-up hint: the verdict tick is only knowable by polling
+        (handle.id, None)
+    }
+
+    fn poll(
+        &mut self,
+        client: NodeId,
+        token: u64,
+        issued: SimTime,
+        now: SimTime,
+    ) -> Option<(LocateVerdict, Option<NodeId>, SimTime)> {
+        // idempotent: make sure every event due at `now` has executed
+        // (an operation issued this tick may complete this tick)
+        self.net.engine_mut().run_until(self.t0 + now);
+        match self
+            .net
+            .engine()
+            .outcome(LocateHandle { client, id: token })
+        {
+            LocateOutcome::Found { addr, elapsed, .. } => {
+                Some((LocateVerdict::Hit, Some(addr), issued + elapsed))
+            }
+            LocateOutcome::NotFound { elapsed } => {
+                Some((LocateVerdict::Miss, None, issued + elapsed))
+            }
+            LocateOutcome::Unresolved { .. } => (now.saturating_sub(issued) >= self.op_timeout)
+                .then_some((LocateVerdict::Unresolved, None, issued + self.op_timeout)),
+        }
+    }
+
+    fn home(&self, port_idx: usize) -> NodeId {
+        self.homes[port_idx]
+    }
 }
 
 /// Drives one [`Workload`] against one `topology × strategy × cost model`
@@ -225,6 +277,9 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
     /// per-operation verdict log (one [`LocateRecord`] per primary
     /// arrival, in arrival order) for cross-runtime conformance checks.
     pub fn run_logged(mut self) -> (ScenarioReport, Vec<LocateRecord>) {
+        if self.spec.clients.is_some() {
+            return self.run_logged_closed();
+        }
         let predicted =
             predict_passes_per_locate(self.net.engine().resolver(), self.n(), &self.ports);
 
@@ -267,20 +322,151 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
             self.eng().run_until(close);
             self.drain(close, pi == last);
             let after = self.net.engine().metrics().clone();
-            // rate denominators use the observation window actually
-            // measured, which for the final phase includes the drain grace
-            let window_end = close - t0;
             reports.push(build_phase_report(
                 name,
                 *start,
                 *end,
-                window_end,
                 &self.acc,
                 &after.delta(&before),
             ));
         }
 
-        let report = ScenarioReport {
+        let report = self.assemble(None, timeline.horizon, predicted, reports, None);
+        let mut log = std::mem::take(&mut self.op_log);
+        log.sort_by_key(|r| r.arrival);
+        (report, log)
+    }
+
+    /// The closed-loop twin of [`ScenarioRunner::run_logged`]: timeline
+    /// arrivals are *offered* to a [`ClientPool`] instead of being issued
+    /// on the spot, and the runner's event loop interleaves timeline
+    /// events with the pool's wake-ups (verdict polls, retry backoffs,
+    /// think-pause expiries) in virtual-time order. The pool makes every
+    /// random decision, so the live runner — which drives the identical
+    /// pool code — consumes the RNG in the same order.
+    fn run_logged_closed(mut self) -> (ScenarioReport, Vec<LocateRecord>) {
+        let predicted =
+            predict_passes_per_locate(self.net.engine().resolver(), self.n(), &self.ports);
+        for i in 0..self.spec.ports {
+            let home = NodeId::from(self.rng.gen_range(0..self.n()));
+            self.homes.push(home);
+            let port = self.ports[i];
+            self.eng().register_server(home, port);
+        }
+        let t0 = self.t0;
+        self.eng().run_until(t0);
+
+        let timeline = Timeline::compile(&self.spec, &mut self.rng);
+        let model = self.spec.clients.expect("closed-loop path");
+        let mut pool = ClientPool::new(model);
+        let horizon = timeline.horizon;
+
+        let mut reports = Vec::with_capacity(timeline.phase_bounds.len());
+        let mut next = 0usize;
+        let last = timeline.phase_bounds.len() - 1;
+        for (pi, (start, end, name)) in timeline.phase_bounds.iter().enumerate() {
+            let before = self.net.engine().metrics().clone();
+            self.acc = Acc::default();
+            loop {
+                let ev_t = timeline.events.get(next).map(|e| e.0).filter(|t| t < end);
+                let pool_t = pool.next_wakeup().filter(|t| t < end);
+                let t = match (ev_t, pool_t) {
+                    (None, None) => break,
+                    (a, b) => a.into_iter().chain(b).min().expect("one is Some"),
+                };
+                self.eng().run_until(t0 + t);
+                // verdicts are read before the world reshapes at the same
+                // tick (the drain-before-apply discipline of the open loop)
+                self.service_pool(&mut pool, t);
+                while next < timeline.events.len() && timeline.events[next].0 == t {
+                    let (_, ev) = timeline.events[next].clone();
+                    next += 1;
+                    match ev {
+                        Event::Arrival => {
+                            let arrival = self.next_arrival;
+                            self.next_arrival += 1;
+                            pool.offer(t, arrival);
+                        }
+                        Event::Refresh => self.refresh_all(),
+                        Event::Churn(action) => self.apply_churn(action),
+                    }
+                }
+                // dispatch whatever this tick freed or offered
+                self.service_pool(&mut pool, t);
+            }
+            // run in-phase message chains to the boundary so the metrics
+            // snapshot charges them to this phase (passes are counted at
+            // send time, which is ≤ the boundary for in-phase issues)
+            self.eng().run_until(t0 + *end);
+            if pi == last {
+                // horizon: stop dispatching and retrying, drain verdicts
+                pool.freeze();
+                let drain_end = horizon + self.op_timeout;
+                while let Some(t) = pool.next_wakeup().filter(|&t| t <= drain_end) {
+                    self.eng().run_until(t0 + t);
+                    self.service_pool(&mut pool, t);
+                }
+                self.eng().run_until(t0 + drain_end);
+            }
+            let after = self.net.engine().metrics().clone();
+            reports.push(build_phase_report(
+                name,
+                *start,
+                *end,
+                &self.acc,
+                &after.delta(&before),
+            ));
+        }
+
+        let records = pool.into_records();
+        let (phase_stats, windows) =
+            build_closed_loop(&records, &timeline.phase_bounds, horizon, model.window);
+        for (report, stats) in reports.iter_mut().zip(phase_stats) {
+            report.closed_loop = Some(stats);
+        }
+        let report = self.assemble(
+            Some(model.clients as u64),
+            horizon,
+            predicted,
+            reports,
+            Some(windows),
+        );
+        let mut log = std::mem::take(&mut self.op_log);
+        log.sort_by_key(|r| r.arrival);
+        (report, log)
+    }
+
+    /// One [`ClientPool::service`] call with this runner's engine behind
+    /// the [`OpDriver`] seam.
+    fn service_pool(&mut self, pool: &mut ClientPool, now: SimTime) {
+        let mut driver = SimDriver {
+            net: &mut self.net,
+            ports: &self.ports,
+            homes: &self.homes,
+            t0: self.t0,
+            op_timeout: self.op_timeout,
+        };
+        pool.service(
+            now,
+            &mut driver,
+            &mut self.rng,
+            &self.live,
+            &self.sampler,
+            &mut self.acc,
+            &mut self.op_log,
+        );
+    }
+
+    /// Assembles the scenario-level report envelope.
+    fn assemble(
+        &self,
+        clients: Option<u64>,
+        horizon: SimTime,
+        predicted: f64,
+        phases: Vec<PhaseReport>,
+        windows: Option<Vec<crate::report::WindowReport>>,
+    ) -> ScenarioReport {
+        ScenarioReport {
             scenario: self.spec.name.clone(),
             strategy: self.strategy.clone(),
             cost_model: self.cost_label.clone(),
@@ -288,13 +474,12 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
             n: self.n() as u64,
             seed: self.spec.seed,
             ports: self.spec.ports as u64,
-            horizon: timeline.horizon,
+            clients,
+            horizon,
             predicted_passes_per_locate: predicted,
-            phases: reports,
-        };
-        let mut log = std::mem::take(&mut self.op_log);
-        log.sort_by_key(|r| r.arrival);
-        (report, log)
+            phases,
+            windows,
+        }
     }
 
     /// Applies one timeline event at the current simulated time. All
@@ -741,6 +926,7 @@ mod tests {
             refresh_interval: None,
             request_after_locate: false,
             op_timeout: 32,
+            clients: None,
         };
         let r = ScenarioRunner::new(
             spec,
@@ -757,6 +943,112 @@ mod tests {
             "the run must get through the silent phase and keep going"
         );
         assert!(r.phases[2].hit_rate > 0.99);
+    }
+
+    /// Acceptance: the overload ramp must expose the saturation knee as
+    /// monotonically increasing p99 queueing delay once the offered rate
+    /// exceeds the pool's capacity, while service latency stays flat (the
+    /// network itself is not the bottleneck) and the overflow shows up as
+    /// abandoned operations.
+    #[test]
+    fn overload_ramp_finds_the_saturation_knee() {
+        let r = run_scenario("overload-ramp", 64, 7);
+        assert_eq!(r.clients, Some(24));
+        let stats: Vec<_> = r
+            .phases
+            .iter()
+            .map(|p| p.closed_loop.as_ref().expect("closed-loop phase stats"))
+            .collect();
+        // under the knee: negligible queueing
+        assert!(stats[0].queue_delay_p99 < 2.0, "light load queues");
+        assert!(stats[1].queue_delay_p99 < 2.0, "approach queues");
+        // past the knee: p99 queueing delay climbs phase over phase
+        assert!(
+            stats[1].queue_delay_p99 < stats[2].queue_delay_p99
+                && stats[2].queue_delay_p99 < stats[3].queue_delay_p99
+                && stats[3].queue_delay_p99 < stats[4].queue_delay_p99,
+            "p99 queue delay must climb monotonically past the knee: {:?}",
+            stats.iter().map(|s| s.queue_delay_p99).collect::<Vec<_>>()
+        );
+        // the pool, not the network, is the bottleneck: flat latency
+        for s in &stats {
+            assert!(s.latency_p99 <= 2.0, "service latency must stay flat");
+        }
+        // saturation overflow is visible, not silently dropped
+        assert!(stats[4].abandoned > 0, "collapse must abandon offers");
+        let windows = r.windows.as_ref().expect("time-series windows");
+        assert_eq!(windows.len(), 10, "2500 ticks / 250-tick windows");
+        // once fully saturated, dispatch rate pins at pool capacity:
+        // 24 clients / (2 service + 2 think) = 6 per tick
+        for s in &stats[3..] {
+            assert_eq!(s.dispatched, 3000, "500 ticks x 6 dispatches");
+        }
+    }
+
+    /// Acceptance: closed-loop reports are byte-identical across repeated
+    /// runs of the same seed and across event-queue implementations, and
+    /// a different seed actually changes the bytes.
+    #[test]
+    fn closed_loop_reports_are_byte_identical() {
+        let json = |seed: u64, queue: QueueKind| {
+            let spec = scenarios::by_name("overload-ramp", 64, seed).unwrap();
+            let r = ScenarioRunner::with_queue(
+                spec,
+                gen::complete(64),
+                Checkerboard::new(64),
+                CostModel::Uniform,
+                "checkerboard",
+                queue,
+            )
+            .run();
+            serde_json::to_string(&r).unwrap()
+        };
+        let a = json(42, QueueKind::Calendar);
+        assert_eq!(a, json(42, QueueKind::Calendar), "repeat run");
+        assert_eq!(a, json(42, QueueKind::BTree), "queue cross-check");
+        assert_ne!(a, json(43, QueueKind::Calendar), "seed sensitivity");
+        assert!(a.contains("\"latency_p99\""));
+        assert!(a.contains("\"windows\""));
+    }
+
+    /// The open-loop path must not grow any closed-loop JSON keys — its
+    /// serialized schema is a compatibility surface.
+    #[test]
+    fn open_loop_json_has_no_closed_loop_keys() {
+        let r = run_scenario("steady-state", 64, 7);
+        let json = serde_json::to_string(&r).unwrap();
+        for key in ["closed_loop", "windows", "clients", "latency_p50"] {
+            assert!(!json.contains(key), "open-loop JSON leaked {key:?}");
+        }
+        // and it still round-trips through the value model
+        let v = serde::Serialize::to_value(&r);
+        let back: ScenarioReport = serde::Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, r);
+    }
+
+    /// Closed-loop retries are driven by the spec's budget: the recovery
+    /// scenario's outage burns retries, a budget of zero burns none.
+    #[test]
+    fn flash_crowd_recovery_retries_then_recovers() {
+        let r = run_scenario("flash-crowd-recovery", 64, 7);
+        let total_retries: u64 = r
+            .phases
+            .iter()
+            .map(|p| p.closed_loop.as_ref().unwrap().retries)
+            .sum();
+        assert!(total_retries > 0, "the outage must trigger retries");
+        let windows = r.windows.as_ref().unwrap();
+        let spike = windows
+            .iter()
+            .map(|w| w.queue_delay_p99)
+            .fold(0.0f64, f64::max);
+        assert!(spike > 50.0, "the outage must back the pool up: {spike}");
+        let last = windows.last().unwrap();
+        assert!(
+            last.queue_delay_p99 < 2.0 && last.latency_p99 <= 2.0,
+            "the pool must drain back to baseline by the horizon"
+        );
+        assert!(r.hit_rate() > 0.8, "most verdicts still hit");
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! The built-in scenario library.
 //!
-//! Five production-shaped workloads, each parameterized by node count and
-//! seed. Durations scale with nothing — a scenario is the same length at
-//! `n = 64` and `n = 65536`; what changes is the per-node pressure, which
-//! is exactly what the phase reports measure.
+//! Seven production-shaped workloads, each parameterized by node count
+//! and seed. Durations scale with nothing — a scenario is the same length
+//! at `n = 64` and `n = 65536`; what changes is the per-node pressure,
+//! which is exactly what the phase reports measure.
 //!
 //! | scenario | stresses |
 //! |---|---|
@@ -12,8 +12,13 @@
 //! | [`rolling_churn`] | locates under waves of crash/restore (cache loss) |
 //! | [`migrate_under_load`] | stale-address recovery while servers move |
 //! | [`cold_vs_warm_cache`] | miss behaviour after a total cache wipe |
+//! | [`overload_ramp`] | closed-loop saturation: queueing delay past the knee |
+//! | [`flash_crowd_recovery`] | closed-loop retries through a mid-crowd outage |
 
-use crate::spec::{ArrivalProcess, ChurnAction, ChurnEvent, Phase, PortPopularity, Workload};
+use crate::spec::{
+    ArrivalProcess, ChurnAction, ChurnEvent, ClientModel, Phase, PortPopularity, ThinkTime,
+    Workload,
+};
 
 /// Default client timeout used by the library scenarios. This is the
 /// uniform-cost-model budget; under [`mm_sim::CostModel::Hops`] the
@@ -22,7 +27,10 @@ use crate::spec::{ArrivalProcess, ChurnAction, ChurnEvent, Phase, PortPopularity
 /// misreport slow-but-healthy answers as unresolved.
 pub const OP_TIMEOUT: u64 = 64;
 
-/// Names of all library scenarios, in canonical order.
+/// Names of the open-loop library scenarios, in canonical order. Kept to
+/// exactly the historical five so sweeps over `ALL` (and their JSON
+/// output) stay byte-compatible; the closed-loop additions live in
+/// [`CLOSED_LOOP`].
 pub const ALL: [&str; 5] = [
     "steady-state",
     "flash-crowd",
@@ -30,6 +38,10 @@ pub const ALL: [&str; 5] = [
     "migrate-under-load",
     "cold-vs-warm-cache",
 ];
+
+/// Names of the closed-loop library scenarios ([`overload_ramp`],
+/// [`flash_crowd_recovery`]).
+pub const CLOSED_LOOP: [&str; 2] = ["overload-ramp", "flash-crowd-recovery"];
 
 /// Builds a library scenario by name.
 ///
@@ -44,6 +56,8 @@ pub fn by_name(name: &str, n: usize, seed: u64) -> Option<Workload> {
         "rolling-churn" => Some(rolling_churn(n, seed)),
         "migrate-under-load" => Some(migrate_under_load(seed)),
         "cold-vs-warm-cache" => Some(cold_vs_warm_cache(seed)),
+        "overload-ramp" => Some(overload_ramp(seed)),
+        "flash-crowd-recovery" => Some(flash_crowd_recovery(n, seed)),
         _ => None,
     }
 }
@@ -65,6 +79,7 @@ pub fn steady_state(seed: u64) -> Workload {
         refresh_interval: Some(500),
         request_after_locate: false,
         op_timeout: OP_TIMEOUT,
+        clients: None,
     }
 }
 
@@ -85,6 +100,7 @@ pub fn flash_crowd(seed: u64) -> Workload {
         refresh_interval: Some(500),
         request_after_locate: false,
         op_timeout: OP_TIMEOUT,
+        clients: None,
     }
 }
 
@@ -122,6 +138,7 @@ pub fn rolling_churn(n: usize, seed: u64) -> Workload {
         refresh_interval: Some(200),
         request_after_locate: false,
         op_timeout: OP_TIMEOUT,
+        clients: None,
     }
 }
 
@@ -152,6 +169,7 @@ pub fn migrate_under_load(seed: u64) -> Workload {
         refresh_interval: Some(400),
         request_after_locate: true,
         op_timeout: OP_TIMEOUT,
+        clients: None,
     }
 }
 
@@ -179,6 +197,90 @@ pub fn cold_vs_warm_cache(seed: u64) -> Workload {
         refresh_interval: Some(1300),
         request_after_locate: false,
         op_timeout: OP_TIMEOUT,
+        clients: None,
+    }
+}
+
+/// Closed-loop saturation sweep: a fixed pool of 24 clients (service ≈ 2
+/// ticks + 2 ticks think ⇒ capacity ≈ 6 dispatches/tick) faces an offered
+/// Poisson rate ramping from well under to well over that capacity.
+/// Under the knee, queueing delay is ~0 and latency is the pure service
+/// cost; past it, the dispatch queue — and its p99 delay — grows without
+/// bound, and the tail of the ramp is abandoned at the horizon. This is
+/// the regime the paper's one-shot experiments cannot see.
+pub fn overload_ramp(seed: u64) -> Workload {
+    let rates = [
+        ("light", 2.0),
+        ("approach", 4.0),
+        ("knee", 8.0),
+        ("overload", 12.0),
+        ("collapse", 16.0),
+    ];
+    Workload {
+        name: "overload-ramp".into(),
+        seed,
+        ports: 8,
+        popularity: PortPopularity::Uniform,
+        phases: rates
+            .iter()
+            .map(|&(name, rate)| Phase::new(name, 500, ArrivalProcess::Poisson { rate }))
+            .collect(),
+        churn: vec![],
+        refresh_interval: Some(500),
+        request_after_locate: false,
+        op_timeout: OP_TIMEOUT,
+        clients: Some(ClientModel {
+            clients: 24,
+            think: ThinkTime::Fixed { ticks: 2 },
+            retry_budget: 1,
+            retry_backoff: 8,
+            window: 250,
+        }),
+    }
+}
+
+/// Closed-loop flash crowd with a mid-spike outage: a quarter of the
+/// network (servers included) crashes during the crowd, so in-flight
+/// locates time out, clients burn their retry budgets against dead
+/// rendezvous nodes, and the occupied pool backs the crowd up in the
+/// dispatch queue. After the restore, the refresh cadence re-posts the
+/// services and the time-series windows show the latency spike draining
+/// back to the steady baseline — convergence-under-perturbation measured
+/// as recovery time, not as a success bit.
+pub fn flash_crowd_recovery(n: usize, seed: u64) -> Workload {
+    Workload {
+        name: "flash-crowd-recovery".into(),
+        seed,
+        ports: 8,
+        popularity: PortPopularity::Zipf { exponent: 1.1 },
+        phases: vec![
+            Phase::new("calm", 600, ArrivalProcess::Poisson { rate: 2.0 }),
+            Phase::new("crowd", 800, ArrivalProcess::Poisson { rate: 4.0 }),
+            Phase::new("recovery", 600, ArrivalProcess::Poisson { rate: 2.0 }),
+        ],
+        churn: vec![
+            ChurnEvent {
+                at: 700,
+                action: ChurnAction::CrashRandom {
+                    count: (n / 4).max(1),
+                    spare_servers: false,
+                },
+            },
+            ChurnEvent {
+                at: 1_100,
+                action: ChurnAction::RestoreAll { clear_caches: true },
+            },
+        ],
+        refresh_interval: Some(200),
+        request_after_locate: false,
+        op_timeout: OP_TIMEOUT,
+        clients: Some(ClientModel {
+            clients: 48,
+            think: ThinkTime::Fixed { ticks: 1 },
+            retry_budget: 2,
+            retry_backoff: 16,
+            window: 200,
+        }),
     }
 }
 
@@ -188,12 +290,24 @@ mod tests {
 
     #[test]
     fn every_library_scenario_validates() {
-        for name in ALL {
+        for name in ALL.iter().chain(&CLOSED_LOOP) {
             let w = by_name(name, 64, 7).expect("known scenario");
             w.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
-            assert_eq!(w.name, name);
+            assert_eq!(&w.name, name);
         }
         assert!(by_name("nope", 64, 7).is_none());
+    }
+
+    #[test]
+    fn open_loop_library_stays_open_loop() {
+        // the historical five must keep `clients: None` (their JSON is a
+        // compatibility surface); the closed-loop library must not
+        for name in ALL {
+            assert!(by_name(name, 64, 7).unwrap().clients.is_none(), "{name}");
+        }
+        for name in CLOSED_LOOP {
+            assert!(by_name(name, 64, 7).unwrap().clients.is_some(), "{name}");
+        }
     }
 
     #[test]

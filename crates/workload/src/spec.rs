@@ -53,6 +53,48 @@ pub enum ArrivalProcess {
     Idle,
 }
 
+/// Think-time distribution of a closed-loop client between operations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ThinkTime {
+    /// No pause: the client re-enters service the tick its verdict lands.
+    Zero,
+    /// Exactly `ticks` between a verdict and the client's next
+    /// availability.
+    Fixed {
+        /// Pause length in ticks.
+        ticks: SimTime,
+    },
+    /// Exponentially distributed pause with the given mean (ticks),
+    /// rounded to the nearest tick.
+    Exponential {
+        /// Mean pause in ticks (> 0).
+        mean: f64,
+    },
+}
+
+/// Closed-loop client-pool model.
+///
+/// Open-loop arrivals measure cost per operation but hide overload: an
+/// oversubscribed system just accumulates unresolved counters. A closed
+/// pool of `clients` slots turns the same offered-arrival schedule into a
+/// latency instrument — each offered operation waits in a dispatch queue
+/// until a slot is free, so overload shows up as growing queueing delay
+/// (and eventually as operations never dispatched before the horizon).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClientModel {
+    /// Number of concurrent client slots (> 0).
+    pub clients: usize,
+    /// Pause between a client's verdict and its next availability.
+    pub think: ThinkTime,
+    /// How many times a client re-issues an operation whose verdict was
+    /// unresolved (0 = give up immediately).
+    pub retry_budget: u32,
+    /// Backoff before the first retry, doubling per subsequent retry.
+    pub retry_backoff: SimTime,
+    /// Width of the fixed time-series report windows (> 0).
+    pub window: SimTime,
+}
+
 /// One contiguous traffic phase. Phases run back to back; the runner
 /// reports metrics per phase, so before/after comparisons (cold vs. warm,
 /// calm vs. flash crowd) fall out of the phase structure.
@@ -149,6 +191,10 @@ pub struct Workload {
     /// Ticks a client waits for outstanding answers before declaring an
     /// operation unresolved (crashed rendezvous never answer).
     pub op_timeout: SimTime,
+    /// Closed-loop client pool. `None` keeps the historical open-loop
+    /// behaviour (arrivals are issued the tick they are offered,
+    /// regardless of how many operations are already in flight).
+    pub clients: Option<ClientModel>,
 }
 
 impl Workload {
@@ -214,6 +260,25 @@ impl Workload {
         if self.op_timeout == 0 {
             return Err("op_timeout must be > 0".into());
         }
+        if let Some(model) = &self.clients {
+            if model.clients == 0 {
+                return Err("client pool needs at least one client".into());
+            }
+            if model.window == 0 {
+                return Err("time-series window width must be > 0".into());
+            }
+            if let ThinkTime::Exponential { mean } = model.think {
+                // NaN means must fail too
+                if mean.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+                    return Err("think-time mean must be > 0".into());
+                }
+            }
+            if self.request_after_locate {
+                return Err("closed-loop pools drive locate-only workloads; \
+                     request_after_locate is an open-loop feature"
+                    .into());
+            }
+        }
         Ok(())
     }
 }
@@ -237,6 +302,17 @@ mod tests {
             refresh_interval: None,
             request_after_locate: false,
             op_timeout: 32,
+            clients: None,
+        }
+    }
+
+    fn pool() -> ClientModel {
+        ClientModel {
+            clients: 4,
+            think: ThinkTime::Fixed { ticks: 2 },
+            retry_budget: 1,
+            retry_backoff: 8,
+            window: 50,
         }
     }
 
@@ -271,5 +347,45 @@ mod tests {
             action: ChurnAction::MigrateRandom { port_index: 7 },
         });
         assert!(w.validate().is_err(), "port index out of range");
+    }
+
+    #[test]
+    fn client_model_validation() {
+        let mut w = minimal();
+        w.clients = Some(pool());
+        assert!(w.validate().is_ok());
+
+        let mut w = minimal();
+        w.clients = Some(ClientModel {
+            clients: 0,
+            ..pool()
+        });
+        assert!(w.validate().is_err(), "empty pool");
+
+        let mut w = minimal();
+        w.clients = Some(ClientModel {
+            window: 0,
+            ..pool()
+        });
+        assert!(w.validate().is_err(), "zero window");
+
+        let mut w = minimal();
+        w.clients = Some(ClientModel {
+            think: ThinkTime::Exponential { mean: 0.0 },
+            ..pool()
+        });
+        assert!(w.validate().is_err(), "non-positive think mean");
+
+        let mut w = minimal();
+        w.clients = Some(ClientModel {
+            think: ThinkTime::Exponential { mean: f64::NAN },
+            ..pool()
+        });
+        assert!(w.validate().is_err(), "NaN think mean");
+
+        let mut w = minimal();
+        w.clients = Some(pool());
+        w.request_after_locate = true;
+        assert!(w.validate().is_err(), "closed loop rejects request mode");
     }
 }

@@ -1,6 +1,6 @@
 //! Seeded traffic generation: popularity sampling and arrival timelines.
 
-use crate::spec::{ArrivalProcess, PortPopularity};
+use crate::spec::{ArrivalProcess, PortPopularity, ThinkTime};
 use mm_sim::SimTime;
 use rand::distributions::unit_f64;
 use rand::rngs::StdRng;
@@ -35,20 +35,29 @@ impl PopularitySampler {
         };
         let total: f64 = weights.iter().sum();
         let mut acc = 0.0;
-        let cdf = weights
+        let mut cdf: Vec<f64> = weights
             .iter()
             .map(|w| {
                 acc += w / total;
                 acc
             })
             .collect();
+        // Floating-point accumulation can leave the last entry a few ULPs
+        // short of 1.0, which would silently hand the missing tail mass to
+        // the least-popular port (every draw above the accumulated total
+        // clamps to the final index). Pin the tail exactly.
+        *cdf.last_mut().expect("at least one port") = 1.0;
         PopularitySampler { cdf }
     }
 
     /// Draws one port index.
     pub fn sample(&self, rng: &mut StdRng) -> usize {
-        let u = unit_f64(rng);
-        // first index whose cdf exceeds u
+        self.index_for(unit_f64(rng))
+    }
+
+    /// The port index owning the CDF coordinate `u ∈ [0, 1)`: the first
+    /// index whose cumulative mass exceeds `u`.
+    fn index_for(&self, u: f64) -> usize {
         match self
             .cdf
             .binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite"))
@@ -95,11 +104,35 @@ pub fn arrival_times(
                 if t >= end as f64 {
                     break;
                 }
-                out.push(t as SimTime);
+                // Round to the nearest tick rather than truncating:
+                // flooring shifted every arrival up to a full tick early
+                // (a systematic bias of E[frac] = ½ tick per arrival) and
+                // parked sub-tick first gaps exactly on the phase-start
+                // boundary, where they collided with same-tick churn.
+                // Rounding is unbiased; the rare arrival that rounds onto
+                // `end` belongs to the next phase's window and is dropped.
+                let tick = t.round() as SimTime;
+                if tick < end {
+                    out.push(tick);
+                }
             }
         }
     }
     out
+}
+
+/// Draws one think-time pause in ticks. Only the exponential law consumes
+/// the RNG, so deterministic specs (`Zero`/`Fixed`) keep the canonical
+/// draw order identical whether or not a pool is configured.
+pub fn think_ticks(think: ThinkTime, rng: &mut StdRng) -> SimTime {
+    match think {
+        ThinkTime::Zero => 0,
+        ThinkTime::Fixed { ticks } => ticks,
+        ThinkTime::Exponential { mean } => {
+            let u = unit_f64(rng);
+            (-(1.0 - u).ln() * mean).round() as SimTime
+        }
+    }
 }
 
 /// Draws a uniformly random element of `pool`.
@@ -170,5 +203,83 @@ mod tests {
     fn idle_is_empty() {
         let mut rng = StdRng::seed_from_u64(7);
         assert!(arrival_times(ArrivalProcess::Idle, 0, 1_000, &mut rng).is_empty());
+    }
+
+    /// Regression for the truncation bias: realized Poisson rates must sit
+    /// within a few percent of the requested rate at both ends of the rate
+    /// range, and every arrival must stay inside the phase window.
+    #[test]
+    fn poisson_realized_rate_is_unbiased() {
+        for (rate, start, end, seeds) in [
+            (0.05f64, 1_000u64, 201_000u64, [1u64, 2, 3]),
+            (2.0, 500, 50_500, [4, 5, 6]),
+        ] {
+            let duration = (end - start) as f64;
+            for seed in seeds {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let t = arrival_times(ArrivalProcess::Poisson { rate }, start, end, &mut rng);
+                assert!(t.iter().all(|&a| a >= start && a < end), "window bounds");
+                assert!(t.windows(2).all(|w| w[0] <= w[1]), "sorted");
+                let realized = t.len() as f64 / duration;
+                let rel = (realized / rate - 1.0).abs();
+                assert!(
+                    rel < 0.05,
+                    "rate {rate} seed {seed}: realized {realized} is {rel:.3} off"
+                );
+            }
+        }
+    }
+
+    /// The Zipf CDF must end at exactly 1.0 — otherwise draws above the
+    /// accumulated total clamp to the least-popular port, silently
+    /// re-weighting the tail.
+    #[test]
+    fn cdf_tail_is_pinned_to_one() {
+        for ports in [2usize, 16, 1_000] {
+            for popularity in [
+                PortPopularity::Uniform,
+                PortPopularity::Zipf { exponent: 0.7 },
+                PortPopularity::Zipf { exponent: 1.3 },
+            ] {
+                let s = PopularitySampler::new(ports, popularity);
+                assert_eq!(
+                    *s.cdf.last().unwrap(),
+                    1.0,
+                    "{ports} ports, {popularity:?}: tail must be exact"
+                );
+                assert!(s.cdf.windows(2).all(|w| w[0] <= w[1]), "monotone CDF");
+            }
+        }
+    }
+
+    /// Boundary draws: a coordinate just below 1.0 belongs to the final
+    /// port *because its CDF slice owns it*, not because of an
+    /// out-of-range clamp; and the very first slice owns 0.0.
+    #[test]
+    fn boundary_draws_map_to_owning_ports() {
+        let s = PopularitySampler::new(16, PortPopularity::Zipf { exponent: 1.2 });
+        assert_eq!(s.index_for(0.0), 0);
+        let just_below_one = 1.0 - f64::EPSILON / 2.0;
+        assert_eq!(s.index_for(just_below_one), 15);
+        // the head's slice is wide under Zipf: mid-head draws stay put
+        assert_eq!(s.index_for(s.cdf[0] / 2.0), 0);
+        assert_eq!(s.index_for(s.cdf[0]), 0, "exact hit resolves to owner");
+    }
+
+    #[test]
+    fn think_ticks_follow_the_law() {
+        let mut rng = StdRng::seed_from_u64(8);
+        assert_eq!(think_ticks(ThinkTime::Zero, &mut rng), 0);
+        assert_eq!(think_ticks(ThinkTime::Fixed { ticks: 7 }, &mut rng), 7);
+        let mean = 12.0;
+        let n = 4_000;
+        let total: u64 = (0..n)
+            .map(|_| think_ticks(ThinkTime::Exponential { mean }, &mut rng))
+            .sum();
+        let realized = total as f64 / n as f64;
+        assert!(
+            (realized / mean - 1.0).abs() < 0.1,
+            "exponential mean drifted: {realized}"
+        );
     }
 }

@@ -39,7 +39,9 @@
 
 use match_making::prelude::*;
 use mm_workload::report::{LocateRecord, ScenarioReport};
-use mm_workload::{scenarios, ChurnAction, LiveScenarioRunner, ScenarioRunner, Workload};
+use mm_workload::{
+    scenarios, ChurnAction, ClientModel, LiveScenarioRunner, ScenarioRunner, ThinkTime, Workload,
+};
 
 /// Longest operation chain (in uniform-cost ticks) that can straddle a
 /// racy churn event in the open-loop simulator.
@@ -83,8 +85,7 @@ struct Pair {
     live_log: Vec<LocateRecord>,
 }
 
-fn run_pair(name: &str, n: usize, seed: u64) -> Pair {
-    let spec = scenarios::by_name(name, n, seed).expect("library scenario");
+fn run_pair_spec(spec: Workload, n: usize) -> Pair {
     let (sim, sim_log) = ScenarioRunner::new(
         spec.clone(),
         gen::complete(n),
@@ -102,6 +103,11 @@ fn run_pair(name: &str, n: usize, seed: u64) -> Pair {
         live,
         live_log,
     }
+}
+
+fn run_pair(name: &str, n: usize, seed: u64) -> Pair {
+    let spec = scenarios::by_name(name, n, seed).expect("library scenario");
+    run_pair_spec(spec, n)
 }
 
 /// A counter projection over a phase report (for table-driven asserts).
@@ -222,6 +228,25 @@ fn check_pair(p: &Pair, ctx: &str) {
                 ps.name
             );
         }
+        // Closed-loop churn-free runs must agree on the *entire* latency
+        // accounting: the live driver's virtual-elapsed model (0 for pure
+        // self-queries, 2 otherwise, timeout for unresolved) is exactly
+        // the simulator's measured elapsed when nothing crashes, so every
+        // percentile, window and counter is byte-equal.
+        if p.spec.clients.is_some() {
+            for (ps, pl) in p.sim.phases.iter().zip(&p.live.phases) {
+                assert_eq!(
+                    ps.closed_loop, pl.closed_loop,
+                    "{ctx}: phase {:?} closed-loop stats diverge",
+                    ps.name
+                );
+            }
+            assert_eq!(
+                p.sim.windows, p.live.windows,
+                "{ctx}: time-series windows diverge"
+            );
+            assert_eq!(p.sim.clients, p.live.clients);
+        }
     } else {
         // Bounded divergence: at worst every at-risk operation re-runs its
         // whole chain — a locate (2·|Q| passes, |Q| ≤ 2·√n − 1 for the
@@ -287,6 +312,43 @@ fn rolling_churn_agrees_outside_crash_windows() {
 #[test]
 fn migrate_under_load_agrees_outside_migration_windows() {
     check_scenario("migrate-under-load");
+}
+
+/// Closed-loop conformance: the churn-free overload ramp must agree
+/// *exactly* across the runtimes — per-operation verdicts and addresses,
+/// every message counter, and (via `check_pair`'s closed-loop section)
+/// the full latency/queueing-delay percentile surface and time-series
+/// windows. This is the satellite acceptance for the client-pool model:
+/// queueing delay is computed by the shared pool, so if either runtime's
+/// notion of virtual time slipped by even one tick, the percentiles (and
+/// the RNG draw order behind the dispatch sequence) would diverge.
+#[test]
+fn closed_loop_overload_ramp_agrees_exactly() {
+    for &(n, seed) in &[(16usize, 7u64), (16, 11), (64, 7), (64, 42), (256, 7)] {
+        let p = run_pair("overload-ramp", n, seed);
+        check_pair(&p, &format!("overload-ramp n={n} seed={seed}"));
+    }
+}
+
+/// A second churn-free closed-loop shape, exercising the *random* think
+/// law (exponential draws consume the RNG at verdict-processing time, so
+/// this catches any cross-runtime slip in the order verdicts are read).
+#[test]
+fn closed_loop_exponential_think_agrees_exactly() {
+    for &n in &[16usize, 64] {
+        let mut spec = scenarios::steady_state(13);
+        spec.clients = Some(ClientModel {
+            clients: 8,
+            think: ThinkTime::Exponential { mean: 3.0 },
+            retry_budget: 2,
+            retry_backoff: 8,
+            window: 400,
+        });
+        let p = run_pair_spec(spec, n);
+        check_pair(&p, &format!("steady-state+pool n={n}"));
+        // the pool actually engaged: every phase carries closed-loop stats
+        assert!(p.sim.phases.iter().all(|ph| ph.closed_loop.is_some()));
+    }
 }
 
 /// The two runtimes must also agree with *themselves*: a second live run

@@ -41,6 +41,21 @@ fn calendar_and_btree_queues_produce_identical_reports() {
     }
 }
 
+/// The closed-loop runner interleaves pool wake-ups with engine stepping
+/// (many short `run_until` calls instead of one per timeline event), a
+/// different access pattern over the event queue — both implementations
+/// must still agree byte for byte, latency percentiles and windows
+/// included.
+#[test]
+fn queues_agree_on_closed_loop_scenarios() {
+    for (scenario, seed) in [("overload-ramp", 7u64), ("flash-crowd-recovery", 11)] {
+        let calendar = report_json(scenario, 256, seed, QueueKind::Calendar);
+        let btree = report_json(scenario, 256, seed, QueueKind::BTree);
+        assert!(calendar.contains("\"queue_delay_p99\""));
+        assert_eq!(calendar, btree, "{scenario} seed {seed}");
+    }
+}
+
 #[test]
 fn queues_agree_under_hops_cost_model() {
     // store-and-forward exercises multi-tick deliveries (non-unit delays

@@ -8,9 +8,11 @@
 //! JSON with deterministic field order — insertion order, which for the
 //! derive is declaration order.
 //!
-//! Attribute compatibility: `#[serde(...)]` attributes are accepted and
-//! ignored; the derive's newtype behaviour already matches
-//! `#[serde(transparent)]` (the only attribute the workspace uses).
+//! Attribute compatibility: the derive honours
+//! `#[serde(skip_serializing_if = "Option::is_none", default)]` on named
+//! fields (omitted when `Null`, absent keys read back as `None`); all
+//! other `#[serde(...)]` attributes are accepted and ignored, and the
+//! derive's newtype behaviour already matches `#[serde(transparent)]`.
 
 // lets the derive's `::serde::...` paths resolve inside this crate too
 extern crate self as serde;
@@ -326,6 +328,44 @@ mod tests {
     fn missing_field_errors() {
         let v = Value::Map(vec![("a".into(), Value::U128(1))]);
         assert!(Demo::from_value(&v).is_err());
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct WithOptional {
+        /// A doc comment that mentions default and skip_serializing_if —
+        /// words in documentation must NOT mark the field optional.
+        always: u64,
+        #[serde(skip_serializing_if = "Option::is_none", default)]
+        sometimes: Option<u64>,
+    }
+
+    #[test]
+    fn optional_fields_are_skipped_when_none_and_roundtrip() {
+        let none = WithOptional {
+            always: 1,
+            sometimes: None,
+        };
+        let v = none.to_value();
+        assert_eq!(v.get("sometimes"), None, "None must not serialize");
+        assert_eq!(
+            v.get("always"),
+            Some(&Value::U128(1)),
+            "doc-comment keywords must not make a field optional"
+        );
+        assert!(
+            WithOptional::from_value(&Value::Map(vec![("sometimes".into(), Value::U128(2))]))
+                .is_err(),
+            "a truly missing required field still errors"
+        );
+        assert_eq!(WithOptional::from_value(&v).unwrap(), none);
+
+        let some = WithOptional {
+            always: 1,
+            sometimes: Some(9),
+        };
+        let v = some.to_value();
+        assert_eq!(v.get("sometimes"), Some(&Value::U128(9)));
+        assert_eq!(WithOptional::from_value(&v).unwrap(), some);
     }
 
     #[test]

@@ -11,13 +11,26 @@
 //!   which is what every annotated newtype in the workspace asks for);
 //! * tuple structs with several fields — serialized as a sequence.
 //!
-//! `#[serde(...)]` attributes are accepted and ignored. Enums and generic
-//! types produce a compile error pointing here.
+//! `#[serde(skip_serializing_if = "Option::is_none")]` (paired upstream
+//! with `#[serde(default)]`) is honoured on named fields: the field is
+//! omitted from the serialized map when its value renders as `Null`
+//! (which is exactly what `Option::None` renders as in the shim's value
+//! model), and a missing key deserializes as `Null` — so `Option` fields
+//! round-trip whether or not they were present. All other `#[serde(...)]`
+//! attributes are accepted and ignored. Enums and generic types produce a
+//! compile error pointing here.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+/// One named field: its identifier and whether a
+/// `skip_serializing_if`/`default` attribute marks it optional.
+struct Field {
+    name: String,
+    optional: bool,
+}
+
 enum Shape {
-    Named(Vec<String>),
+    Named(Vec<Field>),
     Tuple(usize),
 }
 
@@ -79,12 +92,43 @@ fn parse_input(input: TokenStream) -> Result<Input, String> {
 }
 
 fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    scan_attributes(tokens, i);
+}
+
+/// Advances past `#[...]` attributes, reporting whether a `#[serde(...)]`
+/// attribute asks for optional-field treatment (`skip_serializing_if` /
+/// `default`). Only the argument list of a `serde` attribute is
+/// inspected — doc comments are `#[doc = "..."]` attributes, so matching
+/// on raw attribute text would let the *word* "default" in a field's
+/// documentation silently change its serialized schema.
+fn scan_attributes(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut optional = false;
     while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
         *i += 1; // '#'
-        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
-        {
-            *i += 1; // the [...] group
+        if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+            if g.delimiter() == Delimiter::Bracket {
+                optional |= serde_attr_marks_optional(g.stream());
+                *i += 1; // the [...] group
+            }
         }
+    }
+    optional
+}
+
+/// `true` if a bracket-group body is `serde(...)` with
+/// `skip_serializing_if` or `default` among its arguments.
+fn serde_attr_marks_optional(body: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
+            if name.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            args.stream().into_iter().any(|t| {
+                matches!(&t, TokenTree::Ident(id)
+                    if id.to_string() == "skip_serializing_if" || id.to_string() == "default")
+            })
+        }
+        _ => false,
     }
 }
 
@@ -101,12 +145,12 @@ fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
 /// Field names of a named-field body, in declaration order. Commas inside
 /// `<...>` or any bracketed group belong to the field's type, not the
 /// field list, so splitting tracks angle-bracket depth.
-fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
     let tokens: Vec<TokenTree> = body.into_iter().collect();
     let mut i = 0;
     let mut fields = Vec::new();
     while i < tokens.len() {
-        skip_attributes(&tokens, &mut i);
+        let optional = scan_attributes(&tokens, &mut i);
         skip_visibility(&tokens, &mut i);
         let name = match tokens.get(i) {
             Some(TokenTree::Ident(id)) => {
@@ -135,7 +179,7 @@ fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
             }
             i += 1;
         }
-        fields.push(name);
+        fields.push(Field { name, optional });
     }
     Ok(fields)
 }
@@ -181,10 +225,19 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         Shape::Named(fields) => {
             let pushes: String = fields
                 .iter()
-                .map(|f| {
-                    format!(
-                        "entries.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));"
-                    )
+                .map(|field| {
+                    let f = &field.name;
+                    if field.optional {
+                        format!(
+                            "{{ let v = ::serde::Serialize::to_value(&self.{f}); \
+                             if !matches!(v, ::serde::Value::Null) {{ \
+                             entries.push(({f:?}.to_string(), v)); }} }}"
+                        )
+                    } else {
+                        format!(
+                            "entries.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));"
+                        )
+                    }
                 })
                 .collect();
             format!(
@@ -222,12 +275,21 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         Shape::Named(fields) => {
             let inits: String = fields
                 .iter()
-                .map(|f| {
-                    format!(
-                        "{f}: ::serde::Deserialize::from_value(\
-                             v.get({f:?}).ok_or_else(|| ::serde::Error::missing({f:?}))?\
-                         )?,"
-                    )
+                .map(|field| {
+                    let f = &field.name;
+                    if field.optional {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(\
+                                 v.get({f:?}).unwrap_or(&::serde::Value::Null)\
+                             )?,"
+                        )
+                    } else {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(\
+                                 v.get({f:?}).ok_or_else(|| ::serde::Error::missing({f:?}))?\
+                             )?,"
+                        )
+                    }
                 })
                 .collect();
             format!("::std::result::Result::Ok({name} {{ {inits} }})")
