@@ -1,0 +1,336 @@
+//! Joins a flushed trace back into per-strategy tables.
+//!
+//! Three views of one [`TraceFile`]:
+//!
+//! 1. **Measured `m(P,Q)`** — for each locate trace, the number of
+//!    `contact` spans where the query met a matching post; the paper's
+//!    quantity, observed per operation instead of bounded in aggregate.
+//! 2. **Latency attribution** — each locate's elapsed ticks split into
+//!    *transit* (the uniform-cost law's 2 ticks of query + answer
+//!    travel, 0 for pure self-locates) and *wait* (everything beyond
+//!    transit: the client-timeout tail of unresolved operations).
+//! 3. **Conservation** — summed span costs must exactly reproduce the
+//!    run's `Metrics` counters (footer `passes`/`sends`) whenever the
+//!    trace is complete: sample rate 1, nothing dropped, churn-free.
+//!    Self-delivered answers count as sends but not passes, which the
+//!    spans encode as zero-cost contacts/requests.
+
+use crate::trace::{TraceFile, TraceFooter, TraceHeader};
+use std::collections::BTreeMap;
+
+/// Outcome of the span-vs-counters conservation check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConservationCheck {
+    /// Whether the check is meaningful: sample rate 1 and zero dropped
+    /// spans (a partial trace cannot reproduce whole-run counters).
+    pub applicable: bool,
+    /// Σ span costs == footer `passes`.
+    pub passes_match: bool,
+    /// Σ span costs + self-delivery sends == footer `sends`.
+    pub sends_match: bool,
+}
+
+impl ConservationCheck {
+    /// True when applicable and both totals match.
+    pub fn holds(&self) -> bool {
+        self.applicable && self.passes_match && self.sends_match
+    }
+}
+
+/// Aggregated view of one trace file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceAnalysis {
+    /// The file's header, echoed for rendering.
+    pub header: TraceHeader,
+    /// The file's footer, echoed for rendering.
+    pub footer: TraceFooter,
+    /// Locate traces seen (after sampling).
+    pub locates: u64,
+    /// ... of which hit / miss / unresolved.
+    pub hits: u64,
+    /// Misses.
+    pub misses: u64,
+    /// Unresolved locates.
+    pub unresolved: u64,
+    /// Post traces seen (setup + refresh).
+    pub posts: u64,
+    /// Request spans seen.
+    pub requests: u64,
+    /// `m(P,Q)` histogram: measured meets per locate → locate count.
+    pub meet_distribution: BTreeMap<u64, u64>,
+    /// Mean measured meets per locate.
+    pub mean_meets: f64,
+    /// Σ transit ticks over locates (2 per fanned-out locate).
+    pub transit_ticks: u64,
+    /// Σ wait ticks over locates (elapsed − transit).
+    pub wait_ticks: u64,
+    /// Σ span costs — message passes implied by the spans.
+    pub span_cost_total: u64,
+    /// Passes plus self-delivered answers — sends implied by the spans.
+    pub implied_sends: u64,
+    /// The conservation verdict.
+    pub conservation: ConservationCheck,
+}
+
+/// Analyzes a parsed trace file.
+pub fn analyze(file: &TraceFile) -> TraceAnalysis {
+    let mut locates = 0u64;
+    let (mut hits, mut misses, mut unresolved) = (0u64, 0u64, 0u64);
+    let mut posts = 0u64;
+    let mut requests = 0u64;
+    let mut meet_distribution: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut meets_total = 0u64;
+    let (mut transit_ticks, mut wait_ticks) = (0u64, 0u64);
+    let mut span_cost_total = 0u64;
+    let mut implied_sends = 0u64;
+
+    // per-locate aggregation state, keyed by trace id (spans are sorted,
+    // but a single linear pass with a map stays correct on any order)
+    let mut meets_by_trace: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut fanout_by_trace: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut elapsed_by_trace: BTreeMap<u64, u64> = BTreeMap::new();
+
+    for s in &file.spans {
+        span_cost_total += s.cost;
+        implied_sends += s.cost;
+        match s.kind.as_str() {
+            "locate" => {
+                locates += 1;
+                match s.verdict.as_deref() {
+                    Some("hit") => hits += 1,
+                    Some("miss") => misses += 1,
+                    _ => unresolved += 1,
+                }
+                elapsed_by_trace.insert(s.trace, s.elapsed.unwrap_or(0));
+                meets_by_trace.entry(s.trace).or_insert(0);
+                fanout_by_trace.entry(s.trace).or_insert(0);
+            }
+            "contact" => {
+                if s.met == Some(true) {
+                    *meets_by_trace.entry(s.trace).or_insert(0) += 1;
+                }
+                if s.cost > 0 {
+                    *fanout_by_trace.entry(s.trace).or_insert(0) += 1;
+                } else {
+                    // self-contact: the answer is a send but not a pass
+                    implied_sends += 1;
+                }
+            }
+            "post" => posts += 1,
+            "request" => {
+                requests += 1;
+                if s.cost == 0 {
+                    // self-request: request + reply are both sends
+                    implied_sends += 2;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    for (trace, meets) in &meets_by_trace {
+        *meet_distribution.entry(*meets).or_insert(0) += 1;
+        meets_total += meets;
+        let transit = if fanout_by_trace.get(trace).copied().unwrap_or(0) > 0 {
+            2
+        } else {
+            0
+        };
+        let elapsed = elapsed_by_trace.get(trace).copied().unwrap_or(0);
+        transit_ticks += transit;
+        wait_ticks += elapsed.saturating_sub(transit);
+    }
+
+    let applicable = file.header.sample_rate >= 1.0 && file.footer.dropped == 0;
+    let conservation = ConservationCheck {
+        applicable,
+        passes_match: span_cost_total == file.footer.passes,
+        sends_match: implied_sends == file.footer.sends,
+    };
+    TraceAnalysis {
+        header: file.header.clone(),
+        footer: file.footer.clone(),
+        locates,
+        hits,
+        misses,
+        unresolved,
+        posts,
+        requests,
+        meet_distribution,
+        mean_meets: if locates > 0 {
+            meets_total as f64 / locates as f64
+        } else {
+            0.0
+        },
+        transit_ticks,
+        wait_ticks,
+        span_cost_total,
+        implied_sends,
+        conservation,
+    }
+}
+
+impl TraceAnalysis {
+    /// Renders the analysis as the `scenarios trace` report.
+    pub fn render(&self) -> String {
+        let h = &self.header;
+        let f = &self.footer;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "trace: {} · {} · n={} · seed={} · sample_rate={}\n",
+            h.scenario, h.strategy, h.n, h.seed, h.sample_rate
+        ));
+        out.push_str(&format!(
+            "traces={} spans={} sampled_out={} dropped={}\n\n",
+            f.traces, f.spans, f.sampled_out, f.dropped
+        ));
+        out.push_str(&format!(
+            "operations: {} locates ({} hit / {} miss / {} unresolved), {} posts, {} requests\n\n",
+            self.locates, self.hits, self.misses, self.unresolved, self.posts, self.requests
+        ));
+        out.push_str(&format!("measured m(P,Q) per locate [{}]:\n", h.strategy));
+        out.push_str("    m | locates\n");
+        out.push_str("  ----+--------\n");
+        for (m, count) in &self.meet_distribution {
+            out.push_str(&format!("  {m:>3} | {count:>7}\n"));
+        }
+        out.push_str(&format!("  mean m = {:.4}\n\n", self.mean_meets));
+        let (mean_transit, mean_wait) = if self.locates > 0 {
+            (
+                self.transit_ticks as f64 / self.locates as f64,
+                self.wait_ticks as f64 / self.locates as f64,
+            )
+        } else {
+            (0.0, 0.0)
+        };
+        out.push_str(&format!(
+            "latency attribution (virtual ticks): transit={} wait={} (mean {:.2} + {:.2} per locate)\n\n",
+            self.transit_ticks, self.wait_ticks, mean_transit, mean_wait
+        ));
+        let mark = |ok: bool| if ok { "ok" } else { "MISMATCH" };
+        if self.conservation.applicable {
+            out.push_str(&format!(
+                "conservation: span costs = {} passes (metrics: {}) {} · implied sends = {} (metrics: {}) {}\n",
+                self.span_cost_total,
+                f.passes,
+                mark(self.conservation.passes_match),
+                self.implied_sends,
+                f.sends,
+                mark(self.conservation.sends_match),
+            ));
+        } else {
+            out.push_str(&format!(
+                "conservation: not applicable (sample_rate={} dropped={}) — span costs = {}, metrics passes = {}\n",
+                h.sample_rate, f.dropped, self.span_cost_total, f.passes
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{SpanRecord, TraceConfig, Tracer, TRACE_VERSION};
+
+    fn header(rate: f64) -> TraceHeader {
+        TraceHeader {
+            version: TRACE_VERSION,
+            scenario: "synthetic".into(),
+            strategy: "checkerboard".into(),
+            n: 9,
+            seed: 1,
+            ports: 1,
+            sample_rate: rate,
+        }
+    }
+
+    /// One post (2 remote stores) + one locate (2 contacts, one meeting,
+    /// one of them the client itself) + one remote request.
+    fn synthetic() -> TraceFile {
+        let mut t = Tracer::new(TraceConfig::full(1));
+        let post = t.next_trace_id();
+        let base = |trace, span, kind: &str, node, cost| SpanRecord {
+            trace,
+            span,
+            parent: (span > 0).then_some(0),
+            kind: kind.into(),
+            node,
+            port: 5,
+            hop: u32::from(span > 0),
+            tick: 0,
+            cost,
+            met: None,
+            verdict: None,
+            elapsed: None,
+        };
+        t.record(base(post, 0, "post", 4, 0));
+        t.record(base(post, 1, "store", 3, 1));
+        t.record(base(post, 2, "store", 5, 1));
+        let loc = t.next_trace_id();
+        let mut root = base(loc, 0, "locate", 7, 0);
+        root.verdict = Some("hit".into());
+        root.elapsed = Some(2);
+        t.record(root);
+        let mut c1 = base(loc, 1, "contact", 3, 2);
+        c1.met = Some(true);
+        t.record(c1);
+        let mut c2 = base(loc, 2, "contact", 7, 0); // the client itself
+        c2.met = Some(false);
+        t.record(c2);
+        t.record(base(loc, 3, "request", 4, 2));
+        // passes: 2 stores + 2 contact + 2 request = 6
+        // sends: passes + 1 self-contact answer = 7
+        t.finish(header(1.0), 7, 6)
+    }
+
+    #[test]
+    fn meets_latency_and_conservation() {
+        let a = analyze(&synthetic());
+        assert_eq!((a.locates, a.hits, a.posts, a.requests), (1, 1, 1, 1));
+        assert_eq!(a.meet_distribution.get(&1), Some(&1), "m(P,Q) = 1 once");
+        assert_eq!(a.mean_meets, 1.0);
+        assert_eq!((a.transit_ticks, a.wait_ticks), (2, 0));
+        assert_eq!(a.span_cost_total, 6);
+        assert_eq!(a.implied_sends, 7);
+        assert!(a.conservation.holds(), "synthetic totals must conserve");
+        let text = a.render();
+        assert!(text.contains("mean m = 1.0000"));
+        assert!(text.contains("conservation: span costs = 6 passes (metrics: 6) ok"));
+    }
+
+    #[test]
+    fn broken_totals_are_flagged() {
+        let mut file = synthetic();
+        file.footer.passes += 1;
+        let a = analyze(&file);
+        assert!(!a.conservation.passes_match);
+        assert!(!a.conservation.holds());
+        assert!(a.render().contains("MISMATCH"));
+    }
+
+    #[test]
+    fn sampled_traces_skip_conservation() {
+        let mut file = synthetic();
+        file.header.sample_rate = 0.5;
+        let a = analyze(&file);
+        assert!(!a.conservation.applicable);
+        assert!(!a.conservation.holds());
+        assert!(a.render().contains("not applicable"));
+    }
+
+    #[test]
+    fn unresolved_elapsed_becomes_wait() {
+        let mut file = synthetic();
+        // rewrite the locate as unresolved after a 64-tick timeout
+        for s in &mut file.spans {
+            if s.kind == "locate" {
+                s.verdict = Some("unresolved".into());
+                s.elapsed = Some(64);
+            }
+        }
+        let a = analyze(&file);
+        assert_eq!(a.unresolved, 1);
+        assert_eq!((a.transit_ticks, a.wait_ticks), (2, 62));
+    }
+}

@@ -76,6 +76,10 @@ pub enum LiveLocateOutcome {
         addr: NodeId,
         /// The winning advertisement's timestamp.
         stamp: u64,
+        /// The rendezvous nodes that answered with a hit, sorted — the
+        /// realized match-making intersection, mirroring
+        /// [`crate::LocateOutcome::Found`]'s `meets`.
+        meets: Vec<NodeId>,
     },
     /// Every queried node answered and none knew the port.
     NotFound,
@@ -139,6 +143,8 @@ enum LiveMsg {
         addr: NodeId,
         stamp: u64,
         locate_id: u64,
+        /// The answering rendezvous node (for `meets` reconstruction).
+        at: usize,
     },
     Miss {
         locate_id: u64,
@@ -244,6 +250,8 @@ struct PendingLive {
     hits: usize,
     misses: usize,
     best: Option<(NodeId, u64)>,
+    /// Rendezvous nodes that answered with a hit (sorted at completion).
+    hit_nodes: Vec<NodeId>,
     done: Sender<LiveLocateOutcome>,
 }
 
@@ -406,6 +414,7 @@ impl NodeThread {
                         hits: 0,
                         misses: 0,
                         best: None,
+                        hit_nodes: Vec::new(),
                         done,
                     },
                 );
@@ -453,6 +462,7 @@ impl NodeThread {
                         addr: e.addr,
                         stamp: e.stamp,
                         locate_id,
+                        at: self.me,
                     },
                 ),
                 None => self.send(reply_to, LiveMsg::Miss { locate_id }),
@@ -461,9 +471,11 @@ impl NodeThread {
                 addr,
                 stamp,
                 locate_id,
+                at,
             } => {
                 if let Some(p) = self.pending.get_mut(&locate_id) {
                     p.hits += 1;
+                    p.hit_nodes.push(NodeId::new(at as u32));
                     if p.best.is_none_or(|(_, s)| stamp > s) {
                         p.best = Some((addr, stamp));
                     }
@@ -524,9 +536,14 @@ impl NodeThread {
             .get(&id)
             .is_some_and(|p| p.hits + p.misses == p.expected);
         if finished {
-            let p = self.pending.remove(&id).expect("just observed");
+            let mut p = self.pending.remove(&id).expect("just observed");
+            p.hit_nodes.sort_unstable();
             let outcome = match p.best {
-                Some((addr, stamp)) => LiveLocateOutcome::Found { addr, stamp },
+                Some((addr, stamp)) => LiveLocateOutcome::Found {
+                    addr,
+                    stamp,
+                    meets: p.hit_nodes,
+                },
                 None => LiveLocateOutcome::NotFound,
             };
             let _ = p.done.send(outcome);
@@ -986,9 +1003,10 @@ mod tests {
         assert!(s1 < s2 && s2 < s3, "stamps bump monotonically");
         let client = NodeId::new(11);
         match net.locate(client, port, strat.query_set(client)) {
-            LiveLocateOutcome::Found { addr, stamp } => {
+            LiveLocateOutcome::Found { addr, stamp, meets } => {
                 assert_eq!(addr, server);
                 assert_eq!(stamp, s3, "the freshest posting wins");
+                assert!(!meets.is_empty(), "a found locate met at least once");
             }
             other => panic!("expected Found after re-registration, got {other:?}"),
         }

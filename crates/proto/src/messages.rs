@@ -98,6 +98,9 @@ pub enum ProtoMsg {
         stamp: u64,
         /// Echoed locate id.
         locate_id: u64,
+        /// The rendezvous node that answered — lets clients (and the
+        /// trace layer) observe the realized `P ∩ Q` intersection.
+        at: NodeId,
     },
     /// Rendezvous answer: nothing cached for the port.
     Miss {
@@ -209,11 +212,13 @@ impl ProtoMsg {
                 addr,
                 stamp,
                 locate_id,
+                at,
             } => {
                 b.put_u128(port.raw());
                 b.put_u32(addr.raw());
                 b.put_u64(*stamp);
                 b.put_u64(*locate_id);
+                b.put_u32(at.raw());
             }
             ProtoMsg::Miss { port, locate_id } => {
                 b.put_u128(port.raw());
@@ -339,7 +344,7 @@ impl ProtoMsg {
                 })
             }
             6 => {
-                if !need(&buf, 16 + 4 + 8 + 8) {
+                if !need(&buf, 16 + 4 + 8 + 8 + 4) {
                     return None;
                 }
                 Some(ProtoMsg::Hit {
@@ -347,6 +352,7 @@ impl ProtoMsg {
                     addr: NodeId::new(buf.get_u32()),
                     stamp: buf.get_u64(),
                     locate_id: buf.get_u64(),
+                    at: NodeId::new(buf.get_u32()),
                 })
             }
             7 => {
@@ -454,6 +460,7 @@ mod tests {
             addr: NodeId::new(2),
             stamp: 3,
             locate_id: 8,
+            at: NodeId::new(6),
         });
         roundtrip(ProtoMsg::Miss { port, locate_id: 8 });
         roundtrip(ProtoMsg::Request {

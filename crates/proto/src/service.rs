@@ -123,6 +123,32 @@ impl<PM: PortMapped> ServiceNet<PM> {
         }
     }
 
+    /// Like [`ServiceNet::locate`], but also returns the rendezvous nodes
+    /// where the query met the advertisement — the realized `P ∩ Q`
+    /// intersection, `|meets| = m(P,Q)` with fresh postings. Unresolved
+    /// locates that still produced a best address return empty meets.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::NotLocated`] when no rendezvous knows the port.
+    pub fn locate_with_meets(
+        &mut self,
+        client: NodeId,
+        name: &str,
+    ) -> Result<(NodeId, Vec<NodeId>), ServiceError> {
+        let port = Port::from_name(name);
+        let h = self.engine.locate(client, port);
+        self.engine.run();
+        match self.engine.outcome(h) {
+            LocateOutcome::Found { addr, meets, .. } => Ok((addr, meets)),
+            LocateOutcome::Unresolved {
+                best: Some((addr, _)),
+                ..
+            } => Ok((addr, Vec::new())),
+            _ => Err(ServiceError::NotLocated),
+        }
+    }
+
     /// Full client call: locate the service, send `body`, await the reply.
     /// On a stale address (server just migrated away), re-locates once and
     /// retries — the recovery loop of §1.3's query-server example.
@@ -165,6 +191,15 @@ mod tests {
         net.start_service(NodeId::new(3), "adder");
         let got = net.call(NodeId::new(12), "adder", 41).unwrap();
         assert_eq!(got, 42, "the toy service echoes body + 1");
+    }
+
+    #[test]
+    fn locate_with_meets_reports_the_intersection() {
+        let mut net = net(16);
+        net.start_service(NodeId::new(3), "adder");
+        let (addr, meets) = net.locate_with_meets(NodeId::new(12), "adder").unwrap();
+        assert_eq!(addr, NodeId::new(3));
+        assert_eq!(meets.len(), 1, "checkerboard meets at exactly one node");
     }
 
     #[test]

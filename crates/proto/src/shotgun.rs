@@ -35,6 +35,9 @@ struct Pending {
     hits: usize,
     misses: usize,
     best: Option<(NodeId, u64)>,
+    /// Rendezvous nodes that answered with a hit — the realized
+    /// intersection `P ∩ Q`, sorted once the locate completes.
+    hit_nodes: Vec<NodeId>,
     issued_at: SimTime,
     completed_at: Option<SimTime>,
 }
@@ -51,6 +54,10 @@ pub enum LocateOutcome {
         stamp: u64,
         /// Ticks from issue to the final answer.
         elapsed: SimTime,
+        /// The rendezvous nodes that answered with a hit, sorted — the
+        /// realized match-making intersection, `|meets| = m(P,Q)` when
+        /// postings are fresh.
+        meets: Vec<NodeId>,
     },
     /// Every queried node answered and none knew the port.
     NotFound {
@@ -189,29 +196,36 @@ impl Node<ProtoMsg> for NsNode {
                 reply_to,
                 locate_id,
             } => match self.cache.lookup(port) {
-                Some(e) => api.send(
-                    reply_to,
-                    ProtoMsg::Hit {
-                        port,
-                        addr: e.addr,
-                        stamp: e.stamp,
-                        locate_id,
-                    },
-                ),
+                Some(e) => {
+                    let at = api.me();
+                    api.send(
+                        reply_to,
+                        ProtoMsg::Hit {
+                            port,
+                            addr: e.addr,
+                            stamp: e.stamp,
+                            locate_id,
+                            at,
+                        },
+                    )
+                }
                 None => api.send(reply_to, ProtoMsg::Miss { port, locate_id }),
             },
             ProtoMsg::Hit {
                 addr,
                 stamp,
                 locate_id,
+                at,
                 ..
             } => {
                 if let Some(p) = self.pending.get_mut(&locate_id) {
                     p.hits += 1;
+                    p.hit_nodes.push(at);
                     if p.best.is_none_or(|(_, s)| stamp > s) {
                         p.best = Some((addr, stamp));
                     }
                     if p.hits + p.misses == p.expected {
+                        p.hit_nodes.sort_unstable();
                         p.completed_at = Some(api.now());
                     }
                 }
@@ -220,6 +234,7 @@ impl Node<ProtoMsg> for NsNode {
                 if let Some(p) = self.pending.get_mut(&locate_id) {
                     p.misses += 1;
                     if p.hits + p.misses == p.expected {
+                        p.hit_nodes.sort_unstable();
                         p.completed_at = Some(api.now());
                     }
                 }
@@ -325,6 +340,20 @@ impl<PM: PortMapped> ShotgunEngine<PM> {
     /// Accumulated metrics (message passes etc.).
     pub fn metrics(&self) -> &Metrics {
         self.sim.metrics()
+    }
+
+    /// The memoized query set `Q(client, port)` this engine would use for
+    /// a locate — exposed so tracing layers can enumerate the fan-out
+    /// without duplicating the interner.
+    pub fn query_targets(&mut self, client: NodeId, port: Port) -> TargetSet {
+        self.interner.query_set(&self.resolver, client, port)
+    }
+
+    /// The memoized post set `P(at, port)` this engine would use for a
+    /// registration — the tracing-layer counterpart of
+    /// [`ShotgunEngine::query_targets`].
+    pub fn post_targets(&mut self, at: NodeId, port: Port) -> TargetSet {
+        self.interner.post_set(&self.resolver, at, port)
     }
 
     fn next_stamp(&mut self) -> u64 {
@@ -484,6 +513,7 @@ impl<PM: PortMapped> ShotgunEngine<PM> {
                     addr,
                     stamp,
                     elapsed: done - p.issued_at,
+                    meets: p.hit_nodes.clone(),
                 },
                 None => LocateOutcome::NotFound {
                     elapsed: done - p.issued_at,
@@ -545,7 +575,17 @@ mod tests {
         let h = eng.locate(NodeId::new(12), p);
         eng.run();
         match eng.outcome(h) {
-            LocateOutcome::Found { addr, .. } => assert_eq!(addr, NodeId::new(3)),
+            LocateOutcome::Found { addr, meets, .. } => {
+                assert_eq!(addr, NodeId::new(3));
+                assert_eq!(
+                    meets.len(),
+                    1,
+                    "checkerboard row ∩ column meets at exactly one node"
+                );
+                let q = mm_core::Strategy::query_set(eng.resolver(), NodeId::new(12));
+                let p = mm_core::Strategy::post_set(eng.resolver(), NodeId::new(3));
+                assert!(q.contains(&meets[0]) && p.contains(&meets[0]));
+            }
             other => panic!("expected Found, got {other:?}"),
         }
     }

@@ -184,7 +184,14 @@ pub struct Sim<M, N> {
     metrics: Metrics,
     /// Handler-op buffer reused across `step` calls (no per-event `Vec`).
     scratch: Vec<Op<M>>,
+    /// Log₂ histogram of queue depth, sampled at every push: bucket 0
+    /// holds depth 0, bucket `k > 0` holds depths in `[2^(k-1), 2^k)`.
+    /// Identical across queue implementations (same pending-event set).
+    depth_buckets: [u64; QUEUE_DEPTH_BUCKETS],
 }
+
+/// Number of log₂ queue-depth buckets tracked by [`Sim`].
+pub const QUEUE_DEPTH_BUCKETS: usize = 65;
 
 impl<M: Clone, N: Node<M>> Sim<M, N> {
     /// Creates a simulator over `graph` with one handler per node, using
@@ -225,6 +232,7 @@ impl<M: Clone, N: Node<M>> Sim<M, N> {
             cost_model,
             metrics: Metrics::new(n),
             scratch: Vec::new(),
+            depth_buckets: [0; QUEUE_DEPTH_BUCKETS],
         }
     }
 
@@ -321,6 +329,13 @@ impl<M: Clone, N: Node<M>> Sim<M, N> {
         if depth > self.metrics.peak_queue_depth {
             self.metrics.peak_queue_depth = depth;
         }
+        self.depth_buckets[(64 - depth.leading_zeros()) as usize] += 1;
+    }
+
+    /// Cumulative queue-depth histogram (one observation per event
+    /// push). Snapshot and subtract to attribute pressure to a phase.
+    pub fn queue_depth_buckets(&self) -> &[u64; QUEUE_DEPTH_BUCKETS] {
+        &self.depth_buckets
     }
 
     /// Runs until the event queue drains; returns the final time.
@@ -806,5 +821,16 @@ mod tests {
     #[should_panic(expected = "one handler per graph node")]
     fn node_count_mismatch_panics() {
         let _ = Sim::new(gen::ring(3), recorders(2), CostModel::Hops);
+    }
+
+    #[test]
+    fn queue_depth_histogram_counts_every_push() {
+        let g = gen::complete(4);
+        let mut sim = Sim::new(g, recorders(4), CostModel::Uniform);
+        sim.inject(nid(1), nid(0), Msg::Ping); // push at depth 1
+        sim.run(); // the pong is pushed at depth 1 again
+        let buckets = sim.queue_depth_buckets();
+        assert_eq!(buckets.iter().sum::<u64>(), 2, "one sample per push");
+        assert_eq!(buckets[1], 2, "both pushes saw depth 1");
     }
 }

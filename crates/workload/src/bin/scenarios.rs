@@ -26,8 +26,29 @@
 //!
 //! Re-running with identical arguments reproduces byte-identical output
 //! (modulo the `--pretty` flag, which only reformats).
+//!
+//! # Observability
+//!
+//! ```text
+//! scenarios --n 256 --scenario steady-state --trace out.jsonl
+//! scenarios --n 256 --scenario steady-state --trace out.jsonl --runtime live
+//! scenarios trace out.jsonl
+//! ```
+//!
+//! `--trace FILE` records every operation's causal span tree (posts,
+//! locate fan-outs, follow-up requests) to FILE as JSONL; on churn-free
+//! scenarios the file is byte-identical across `--queue` implementations
+//! *and* across `--runtime sim|live` at equal seeds. `--trace-rate R`
+//! head-samples traces deterministically (a sampled file is an exact
+//! subset of the full one). `scenarios trace FILE` analyzes a recorded
+//! file: measured `m(P,Q)` distribution, latency attribution, and the
+//! span-vs-counters conservation check (exit 1 on violation). `--obs`
+//! adds per-phase counter/histogram snapshots to the JSON report,
+//! `--throughput` adds wall-clock events/sec, and `--verbose` restores
+//! the per-scenario stderr progress lines.
 
 use mm_core::strategies::{Broadcast, Checkerboard, HashLocate, PortMapped};
+use mm_obs::{TraceConfig, TraceFile};
 use mm_sim::{CostModel, QueueKind};
 use mm_topo::{gen, Graph};
 use mm_workload::{
@@ -68,6 +89,16 @@ struct Args {
     window: u64,
     pretty: bool,
     records: bool,
+    /// `--trace FILE`: write the causal span trace as JSONL.
+    trace: Option<String>,
+    /// `--trace-rate R`: deterministic head-sampling rate in `[0, 1]`.
+    trace_rate: f64,
+    /// `--obs`: per-phase metrics-registry snapshots in the JSON.
+    obs: bool,
+    /// `--throughput`: wall-clock events/sec per phase in the JSON.
+    throughput: bool,
+    /// `--verbose`: per-scenario progress lines on stderr.
+    verbose: bool,
 }
 
 fn usage() -> ! {
@@ -77,7 +108,11 @@ fn usage() -> ! {
          [--topology complete|grid|ring|hypercube] [--cost uniform|hops] \
          [--queue calendar|btree] [--runtime sim|live] \
          [--clients N] [--think zero|fixed:T|exp:M] [--retries R] \
-         [--backoff B] [--window W] [--pretty] [--records]\n\
+         [--backoff B] [--window W] [--pretty] [--records] \
+         [--trace FILE] [--trace-rate R] [--obs] [--throughput] [--verbose]\n\
+         \nusage: scenarios trace FILE    (analyze a recorded trace: \
+         measured m(P,Q),\nlatency attribution, conservation check — \
+         exit 1 on violation)\n\
          \n--runtime live drives the same specs through the threaded \
          mm-proto LiveNet runtime\n(complete network, uniform cost, \
          n <= {LIVE_THREAD_LIMIT}) and reports the same schema.\n\
@@ -126,6 +161,11 @@ fn parse_args() -> Args {
         window: 250,
         pretty: false,
         records: false,
+        trace: None,
+        trace_rate: 1.0,
+        obs: false,
+        throughput: false,
+        verbose: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -180,6 +220,17 @@ fn parse_args() -> Args {
             "--window" => args.window = value(&argv, &mut i).parse().unwrap_or_else(|_| usage()),
             "--pretty" => args.pretty = true,
             "--records" => args.records = true,
+            "--trace" => args.trace = Some(value(&argv, &mut i)),
+            "--trace-rate" => {
+                args.trace_rate = value(&argv, &mut i)
+                    .parse()
+                    .ok()
+                    .filter(|r: &f64| (0.0..=1.0).contains(r))
+                    .unwrap_or_else(|| usage());
+            }
+            "--obs" => args.obs = true,
+            "--throughput" => args.throughput = true,
+            "--verbose" => args.verbose = true,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -204,7 +255,33 @@ fn parse_args() -> Args {
             std::process::exit(2);
         }
     }
+    // a trace file records ONE run: requiring a single scenario × size
+    // keeps the header/footer unambiguous and the file analyzable
+    if args.trace.is_some() && (args.scenario == "all" || args.ns.len() != 1) {
+        eprintln!("error: --trace needs a single --scenario and a single --n");
+        std::process::exit(2);
+    }
     args
+}
+
+/// The `scenarios trace FILE` subcommand: parse, analyze, render; exit 1
+/// when the conservation check is applicable but violated.
+fn trace_cmd(path: &str) -> ! {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: reading {path}: {e}");
+        std::process::exit(2);
+    });
+    let file = TraceFile::from_jsonl(&text).unwrap_or_else(|e| {
+        eprintln!("error: parsing {path}: {e}");
+        std::process::exit(2);
+    });
+    let analysis = mm_obs::analyze(&file);
+    print!("{}", analysis.render());
+    if analysis.conservation.applicable && !analysis.conservation.holds() {
+        eprintln!("error: span costs do not reproduce the run's message counters");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
 }
 
 fn build_graph(topology: &str, n: usize, cost: CostModel) -> Graph {
@@ -267,7 +344,7 @@ fn build_spec(args: &Args, name: &str, n: usize) -> mm_workload::Workload {
     spec
 }
 
-fn run_one(args: &Args, name: &str, n: usize) -> ScenarioReport {
+fn run_one(args: &Args, name: &str, n: usize) -> (ScenarioReport, Option<TraceFile>) {
     if args.runtime == Runtime::Live {
         return run_one_live(args, name, n);
     }
@@ -287,16 +364,62 @@ fn run_one(args: &Args, name: &str, n: usize) -> ScenarioReport {
     }
 }
 
-fn run_one_live(args: &Args, name: &str, n: usize) -> ScenarioReport {
+fn run_one_live(args: &Args, name: &str, n: usize) -> (ScenarioReport, Option<TraceFile>) {
     // incompatible flag combinations were rejected in parse_args
     let spec = build_spec(args, name, n);
+    let mut runner = match args.strategy.as_str() {
+        "checkerboard" => LiveScenarioRunner::new(spec, n, Checkerboard::new(n), "checkerboard"),
+        _ => return run_one_live_other(args, spec, n),
+    };
+    apply_obs_live(&mut runner, args);
+    runner.run_traced()
+}
+
+/// Monomorphized tail of [`run_one_live`] for the non-default strategies
+/// (each [`LiveScenarioRunner<PM>`] is a distinct type).
+fn run_one_live_other(
+    args: &Args,
+    spec: mm_workload::Workload,
+    n: usize,
+) -> (ScenarioReport, Option<TraceFile>) {
     match args.strategy.as_str() {
-        "checkerboard" => {
-            LiveScenarioRunner::new(spec, n, Checkerboard::new(n), "checkerboard").run()
+        "broadcast" => {
+            let mut runner = LiveScenarioRunner::new(spec, n, Broadcast::new(n), "broadcast");
+            apply_obs_live(&mut runner, args);
+            runner.run_traced()
         }
-        "broadcast" => LiveScenarioRunner::new(spec, n, Broadcast::new(n), "broadcast").run(),
-        "hash" => LiveScenarioRunner::new(spec, n, HashLocate::new(n, 3.min(n)), "hash").run(),
+        "hash" => {
+            let mut runner = LiveScenarioRunner::new(spec, n, HashLocate::new(n, 3.min(n)), "hash");
+            apply_obs_live(&mut runner, args);
+            runner.run_traced()
+        }
         _ => usage(),
+    }
+}
+
+/// Applies the observability flags to a simulator runner.
+fn apply_obs<PM: PortMapped>(runner: &mut ScenarioRunner<PM>, args: &Args) {
+    if args.trace.is_some() {
+        runner.set_trace(TraceConfig::with_rate(args.seed, args.trace_rate));
+    }
+    if args.obs {
+        runner.enable_obs();
+    }
+    if args.throughput {
+        runner.enable_throughput();
+    }
+}
+
+/// Applies the observability flags to a live runner.
+fn apply_obs_live<PM: PortMapped>(runner: &mut LiveScenarioRunner<PM>, args: &Args) {
+    if args.trace.is_some() {
+        runner.set_trace(TraceConfig::with_rate(args.seed, args.trace_rate));
+    }
+    if args.obs {
+        runner.enable_obs();
+    }
+    if args.throughput {
+        runner.enable_throughput();
     }
 }
 
@@ -306,11 +429,22 @@ fn run_spec<PM: PortMapped>(
     resolver: PM,
     args: &Args,
     label: &str,
-) -> ScenarioReport {
-    ScenarioRunner::with_queue(spec, graph, resolver, args.cost, label, args.queue).run()
+) -> (ScenarioReport, Option<TraceFile>) {
+    let mut runner =
+        ScenarioRunner::with_queue(spec, graph, resolver, args.cost, label, args.queue);
+    apply_obs(&mut runner, args);
+    runner.run_traced()
 }
 
 fn main() {
+    // `scenarios trace FILE` — the analysis subcommand
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("trace") {
+        match argv.as_slice() {
+            [_, path] => trace_cmd(path),
+            _ => usage(),
+        }
+    }
     let args = parse_args();
     // "all" stays the open-loop five (their concatenated JSON is a
     // compatibility surface); the closed-loop library is addressed by name
@@ -332,21 +466,35 @@ fn main() {
     }
 
     let mut reports = Vec::new();
+    let mut trace_out: Option<TraceFile> = None;
     for &n in &args.ns {
         for name in &names {
-            eprintln!("running {name} at n={n} (seed {}) ...", args.seed);
+            if args.verbose {
+                eprintln!("running {name} at n={n} (seed {}) ...", args.seed);
+            }
             let t0 = Instant::now();
-            let report = run_one(&args, name, n);
+            let (report, trace) = run_one(&args, name, n);
             let wall = t0.elapsed().as_secs_f64();
-            // wall-clock throughput goes to stderr only: stdout JSON must
-            // stay byte-identical across equal-seed runs
-            let events = report.events_executed();
-            eprintln!(
-                "  {events} events in {wall:.3}s ({:.0} events/sec), peak queue depth {}",
-                events as f64 / wall.max(1e-9),
-                report.peak_queue_depth(),
-            );
+            if args.verbose {
+                // wall-clock throughput goes to stderr only: stdout JSON
+                // must stay byte-identical across equal-seed runs
+                let events = report.events_executed();
+                eprintln!(
+                    "  {events} events in {wall:.3}s ({:.0} events/sec), peak queue depth {}",
+                    events as f64 / wall.max(1e-9),
+                    report.peak_queue_depth(),
+                );
+            }
+            if trace.is_some() {
+                trace_out = trace;
+            }
             reports.push(report);
+        }
+    }
+    if let (Some(path), Some(file)) = (&args.trace, &trace_out) {
+        if let Err(e) = std::fs::write(path, file.to_jsonl()) {
+            eprintln!("error: writing {path}: {e}");
+            std::process::exit(1);
         }
     }
 

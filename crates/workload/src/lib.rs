@@ -62,6 +62,7 @@
 
 mod clients;
 pub mod live_runner;
+mod observe;
 pub mod report;
 pub mod runner;
 pub mod scenarios;

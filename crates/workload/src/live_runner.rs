@@ -41,21 +41,27 @@
 //! conformance suite enforces.
 
 use crate::clients::{ClientPool, OpDriver};
+use crate::observe::{
+    emit_locate_spans, emit_post_spans, emit_request_span, finish_trace, observe_locate,
+    virtual_elapsed,
+};
 use crate::report::{
     build_closed_loop, build_phase_report, predict_passes_per_locate, Acc, LocateRecord,
-    LocateVerdict, ScenarioReport,
+    LocateVerdict, PhaseReport, ScenarioReport,
 };
 use crate::spec::{ChurnAction, Workload};
 use crate::timeline::{draw_arrival, resolve_churn, Event, ResolvedChurn, Timeline};
 use crate::traffic::PopularitySampler;
 use mm_core::strategies::PortMapped;
 use mm_core::Port;
+use mm_obs::{Registry, TraceConfig, TraceFile, Tracer};
 use mm_proto::live::{LiveLocateOutcome, LiveNet, LiveRequestOutcome};
 use mm_proto::TargetInterner;
-use mm_sim::SimTime;
+use mm_sim::{Metrics, SimTime};
 use mm_topo::NodeId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::time::Instant;
 
 /// The thread network's [`OpDriver`]. The live locate call is synchronous
 /// (lock-step), so `issue` runs the whole operation immediately and banks
@@ -74,6 +80,8 @@ struct LiveDriver<'a, PM: PortMapped> {
     homes: &'a [NodeId],
     op_timeout: SimTime,
     pending: &'a mut Vec<(LocateVerdict, Option<NodeId>, SimTime)>,
+    tracer: &'a mut Option<Tracer>,
+    registry: &'a mut Option<Registry>,
 }
 
 impl<PM: PortMapped> OpDriver for LiveDriver<'_, PM> {
@@ -81,15 +89,23 @@ impl<PM: PortMapped> OpDriver for LiveDriver<'_, PM> {
         let port = self.ports[port_idx];
         let targets = self.interner.query_set(self.resolver, client, port);
         let solo = targets.len() == 1 && targets.contains(client);
-        let (verdict, addr, elapsed) = match self.net.locate(client, port, targets) {
-            LiveLocateOutcome::Found { addr, .. } => {
-                (LocateVerdict::Hit, Some(addr), if solo { 0 } else { 2 })
-            }
-            LiveLocateOutcome::NotFound => (LocateVerdict::Miss, None, if solo { 0 } else { 2 }),
-            LiveLocateOutcome::Unresolved { .. } => {
-                (LocateVerdict::Unresolved, None, self.op_timeout)
-            }
+        let (verdict, addr, meets) = match self.net.locate(client, port, targets.clone()) {
+            LiveLocateOutcome::Found { addr, meets, .. } => (LocateVerdict::Hit, Some(addr), meets),
+            LiveLocateOutcome::NotFound => (LocateVerdict::Miss, None, Vec::new()),
+            LiveLocateOutcome::Unresolved { .. } => (LocateVerdict::Unresolved, None, Vec::new()),
         };
+        let elapsed = virtual_elapsed(solo, verdict, self.op_timeout);
+        if let Some(reg) = self.registry.as_mut() {
+            observe_locate(reg, verdict, elapsed, targets.len(), meets.len());
+        }
+        if let Some(tr) = self.tracer.as_mut() {
+            // same allocation point as the simulator driver: inside the
+            // shared pool code, so the ids line up attempt for attempt
+            let trace = tr.next_trace_id();
+            emit_locate_spans(
+                tr, trace, client, port_idx, &targets, &meets, verdict, elapsed, now,
+            );
+        }
         let done = now + elapsed;
         let token = self.pending.len() as u64;
         self.pending.push((verdict, addr, done));
@@ -143,6 +159,14 @@ pub struct LiveScenarioRunner<PM: PortMapped> {
     /// issue time together with its modelled virtual completion tick and
     /// replayed when the pool polls.
     pending: Vec<(LocateVerdict, Option<NodeId>, SimTime)>,
+    /// Deterministic causal tracer (`None` = tracing off, the default).
+    tracer: Option<Tracer>,
+    /// Metrics registry (`None` = observability off, the default).
+    registry: Option<Registry>,
+    /// Measure wall-clock events/sec per phase into the report.
+    wallclock: bool,
+    /// Echo of the trace config's sampling rate for the file header.
+    sample_rate: f64,
 }
 
 impl<PM: PortMapped> LiveScenarioRunner<PM> {
@@ -181,8 +205,41 @@ impl<PM: PortMapped> LiveScenarioRunner<PM> {
             next_arrival: 0,
             strategy: strategy.to_string(),
             pending: Vec::new(),
+            tracer: None,
+            registry: None,
+            wallclock: false,
+            sample_rate: 1.0,
             spec,
         }
+    }
+
+    /// Enables deterministic causal tracing — same trace-id allocation
+    /// order and span fields as the simulator runner, so churn-free specs
+    /// produce byte-identical files across the runtimes. Collect the
+    /// sealed file with [`LiveScenarioRunner::run_traced`].
+    pub fn set_trace(&mut self, cfg: TraceConfig) {
+        self.sample_rate = cfg.sample_rate.clamp(0.0, 1.0);
+        self.tracer = Some(Tracer::new(cfg));
+    }
+
+    /// Enables the metrics registry: per-phase counter/histogram
+    /// snapshots appear under the report's `obs` key. (No queue-depth
+    /// histogram here — the live runtime has no global event queue.)
+    pub fn enable_obs(&mut self) {
+        self.registry = Some(Registry::new());
+    }
+
+    /// Enables wall-clock events/sec measurement per phase.
+    pub fn enable_throughput(&mut self) {
+        self.wallclock = true;
+    }
+
+    /// Like [`LiveScenarioRunner::run`], additionally returning the
+    /// sealed trace file when [`LiveScenarioRunner::set_trace`] was
+    /// called.
+    pub fn run_traced(self) -> (ScenarioReport, Option<TraceFile>) {
+        let (report, _, trace) = self.run_all();
+        (report, trace)
     }
 
     fn n(&self) -> usize {
@@ -202,7 +259,62 @@ impl<PM: PortMapped> LiveScenarioRunner<PM> {
     /// Like [`LiveScenarioRunner::run`], additionally returning the
     /// per-operation verdict log (one [`LocateRecord`] per primary
     /// arrival, in arrival order) for cross-runtime conformance checks.
-    pub fn run_logged(mut self) -> (ScenarioReport, Vec<LocateRecord>) {
+    pub fn run_logged(self) -> (ScenarioReport, Vec<LocateRecord>) {
+        let (report, log, _) = self.run_all();
+        (report, log)
+    }
+
+    /// Emits the setup-post causal trees (trace ids `0..ports`, virtual
+    /// tick 0) — identical to the simulator runner's.
+    fn trace_setup_posts(&mut self) {
+        if self.tracer.is_none() {
+            return;
+        }
+        for i in 0..self.spec.ports {
+            let home = self.homes[i];
+            let targets = self.interner.post_set(&self.resolver, home, self.ports[i]);
+            let tr = self.tracer.as_mut().expect("checked above");
+            let trace = tr.next_trace_id();
+            emit_post_spans(tr, trace, home, i, &targets, 0);
+        }
+    }
+
+    /// Finishes a phase's observability: wall-clock throughput and the
+    /// registry snapshot.
+    fn finish_phase_obs(&mut self, report: &mut PhaseReport, events_delta: u64, wall: Instant) {
+        if self.wallclock {
+            let secs = wall.elapsed().as_secs_f64();
+            report.throughput = Some(if secs > 0.0 {
+                events_delta as f64 / secs
+            } else {
+                0.0
+            });
+        }
+        if let Some(reg) = self.registry.as_mut() {
+            report.obs = Some(reg.snapshot_and_reset());
+        }
+    }
+
+    /// Seals the tracer (when present); `totals` must be captured from
+    /// the network *before* shutdown.
+    fn seal_trace(&mut self, totals: &Metrics) -> Option<TraceFile> {
+        finish_trace(
+            self.tracer.take(),
+            &self.spec.name,
+            &self.strategy,
+            self.n() as u64,
+            self.spec.seed,
+            self.spec.ports as u64,
+            self.sample_rate,
+            totals.sends,
+            totals.message_passes,
+        )
+    }
+
+    /// The single execution path behind [`LiveScenarioRunner::run`] /
+    /// [`LiveScenarioRunner::run_logged`] /
+    /// [`LiveScenarioRunner::run_traced`].
+    fn run_all(mut self) -> (ScenarioReport, Vec<LocateRecord>, Option<TraceFile>) {
         if self.spec.clients.is_some() {
             return self.run_logged_closed();
         }
@@ -217,6 +329,7 @@ impl<PM: PortMapped> LiveScenarioRunner<PM> {
             let port = self.ports[i];
             self.register(home, port);
         }
+        self.trace_setup_posts();
 
         // --- the identical deterministic timeline ---
         let timeline = Timeline::compile(&self.spec, &mut self.rng);
@@ -226,6 +339,7 @@ impl<PM: PortMapped> LiveScenarioRunner<PM> {
         let mut next = 0usize;
         for (start, end, name) in timeline.phase_bounds.iter() {
             let before = self.net.metrics();
+            let wall = Instant::now();
             self.acc = Acc::default();
             while next < timeline.events.len() && timeline.events[next].0 < *end {
                 let (t, ev) = timeline.events[next].clone();
@@ -233,18 +347,17 @@ impl<PM: PortMapped> LiveScenarioRunner<PM> {
                 self.apply(t, ev);
             }
             let after = self.net.metrics();
-            reports.push(build_phase_report(
-                name,
-                *start,
-                *end,
-                &self.acc,
-                &after.delta(&before),
-            ));
+            let delta = after.delta(&before);
+            let mut report = build_phase_report(name, *start, *end, &self.acc, &delta);
+            self.finish_phase_obs(&mut report, delta.events_executed, wall);
+            reports.push(report);
         }
+        let totals = self.net.metrics();
+        let trace = self.seal_trace(&totals);
         self.net.shutdown();
 
         let report = self.assemble(None, timeline.horizon, predicted, reports, None);
-        (report, std::mem::take(&mut self.op_log))
+        (report, std::mem::take(&mut self.op_log), trace)
     }
 
     /// The closed-loop twin of [`LiveScenarioRunner::run_logged`]: the
@@ -257,7 +370,7 @@ impl<PM: PortMapped> LiveScenarioRunner<PM> {
     /// for unresolved), which on churn-free scenarios is exactly the
     /// simulator's measured elapsed — so latency percentiles match
     /// byte-for-byte across the runtimes.
-    fn run_logged_closed(mut self) -> (ScenarioReport, Vec<LocateRecord>) {
+    fn run_logged_closed(mut self) -> (ScenarioReport, Vec<LocateRecord>, Option<TraceFile>) {
         let predicted = predict_passes_per_locate(&self.resolver, self.n(), &self.ports);
         for i in 0..self.spec.ports {
             let home = NodeId::from(self.rng.gen_range(0..self.n()));
@@ -265,6 +378,7 @@ impl<PM: PortMapped> LiveScenarioRunner<PM> {
             let port = self.ports[i];
             self.register(home, port);
         }
+        self.trace_setup_posts();
 
         let timeline = Timeline::compile(&self.spec, &mut self.rng);
         let model = self.spec.clients.expect("closed-loop path");
@@ -276,6 +390,7 @@ impl<PM: PortMapped> LiveScenarioRunner<PM> {
         let last = timeline.phase_bounds.len() - 1;
         for (pi, (start, end, name)) in timeline.phase_bounds.iter().enumerate() {
             let before = self.net.metrics();
+            let wall = Instant::now();
             self.acc = Acc::default();
             loop {
                 let ev_t = timeline.events.get(next).map(|e| e.0).filter(|t| t < end);
@@ -295,8 +410,8 @@ impl<PM: PortMapped> LiveScenarioRunner<PM> {
                             self.next_arrival += 1;
                             pool.offer(t, arrival);
                         }
-                        Event::Refresh => self.refresh_all(),
-                        Event::Churn(action) => self.apply_churn(action),
+                        Event::Refresh => self.refresh_all(t),
+                        Event::Churn(action) => self.apply_churn(t, action),
                     }
                 }
                 self.service_pool(&mut pool, t);
@@ -309,14 +424,13 @@ impl<PM: PortMapped> LiveScenarioRunner<PM> {
                 }
             }
             let after = self.net.metrics();
-            reports.push(build_phase_report(
-                name,
-                *start,
-                *end,
-                &self.acc,
-                &after.delta(&before),
-            ));
+            let delta = after.delta(&before);
+            let mut report = build_phase_report(name, *start, *end, &self.acc, &delta);
+            self.finish_phase_obs(&mut report, delta.events_executed, wall);
+            reports.push(report);
         }
+        let totals = self.net.metrics();
+        let trace = self.seal_trace(&totals);
         self.net.shutdown();
 
         let records = pool.into_records();
@@ -336,7 +450,7 @@ impl<PM: PortMapped> LiveScenarioRunner<PM> {
         // after later arrivals); the documented contract is arrival order
         let mut log = std::mem::take(&mut self.op_log);
         log.sort_by_key(|r| r.arrival);
-        (report, log)
+        (report, log, trace)
     }
 
     /// One [`ClientPool::service`] call with the thread network behind the
@@ -350,6 +464,8 @@ impl<PM: PortMapped> LiveScenarioRunner<PM> {
             homes: &self.homes,
             op_timeout: self.spec.op_timeout,
             pending: &mut self.pending,
+            tracer: &mut self.tracer,
+            registry: &mut self.registry,
         };
         pool.service(
             now,
@@ -404,9 +520,40 @@ impl<PM: PortMapped> LiveScenarioRunner<PM> {
                 self.next_arrival += 1;
                 self.locate_and_classify(t, arrival, client, port_idx);
             }
-            Event::Refresh => self.refresh_all(),
-            Event::Churn(action) => self.apply_churn(action),
+            Event::Refresh => self.refresh_all(t),
+            Event::Churn(action) => self.apply_churn(t, action),
         }
+    }
+
+    /// Feeds one classified locate into the tracer/registry using the
+    /// virtual-timing law (never wall clocks — the trace must be
+    /// byte-identical to the simulator's on churn-free specs). Returns the
+    /// virtual elapsed and fan-out width for the follow-up request span.
+    fn observe_locate_verdict(
+        &mut self,
+        trace: Option<u64>,
+        client: NodeId,
+        port_idx: usize,
+        issued: SimTime,
+        verdict: LocateVerdict,
+        meets: &[NodeId],
+    ) -> (u64, u32) {
+        if self.tracer.is_none() && self.registry.is_none() {
+            return (0, 0);
+        }
+        let port = self.ports[port_idx];
+        let targets = self.interner.query_set(&self.resolver, client, port);
+        let solo = targets.len() == 1 && targets.contains(client);
+        let elapsed = virtual_elapsed(solo, verdict, self.spec.op_timeout);
+        if let Some(reg) = self.registry.as_mut() {
+            observe_locate(reg, verdict, elapsed, targets.len(), meets.len());
+        }
+        if let (Some(tr), Some(trace)) = (self.tracer.as_mut(), trace) {
+            emit_locate_spans(
+                tr, trace, client, port_idx, &targets, meets, verdict, elapsed, issued,
+            );
+        }
+        (elapsed, targets.len() as u32)
     }
 
     /// One full client interaction: locate, classify, and (when the spec
@@ -416,7 +563,12 @@ impl<PM: PortMapped> LiveScenarioRunner<PM> {
     fn locate_and_classify(&mut self, t: SimTime, arrival: u64, client: NodeId, port_idx: usize) {
         let port = self.ports[port_idx];
         self.acc.issued += 1;
-        let (verdict, addr) = self.locate_once(client, port_idx);
+        // same allocation point as the simulator runner: at the arrival,
+        // before the operation runs
+        let trace = self.tracer.as_mut().map(Tracer::next_trace_id);
+        let (verdict, addr, meets) = self.locate_once(client, port_idx);
+        let (elapsed, fanout) =
+            self.observe_locate_verdict(trace, client, port_idx, t, verdict, &meets);
         self.op_log.push(LocateRecord {
             arrival,
             at: t,
@@ -429,6 +581,10 @@ impl<PM: PortMapped> LiveScenarioRunner<PM> {
         if !self.spec.request_after_locate {
             return;
         }
+        if let Some(trace) = trace {
+            let tr = self.tracer.as_mut().expect("trace id implies tracer");
+            emit_request_span(tr, trace, fanout + 1, client, addr, port_idx, t + elapsed);
+        }
         match self.net.request(client, addr, port, 1) {
             Some(LiveRequestOutcome::Replied { .. }) => self.acc.requests_ok += 1,
             Some(LiveRequestOutcome::StaleAddress) => {
@@ -437,7 +593,10 @@ impl<PM: PortMapped> LiveScenarioRunner<PM> {
                 // kept for parity with the simulator's recovery loop.
                 self.acc.stale_requests += 1;
                 self.acc.issued += 1;
-                let (retry_verdict, retry_addr) = self.locate_once(client, port_idx);
+                let (retry_verdict, retry_addr, retry_meets) = self.locate_once(client, port_idx);
+                // stale-recovery retries stay out of the trace (no id), but
+                // feed the registry, as in the simulator runner
+                self.observe_locate_verdict(None, client, port_idx, t, retry_verdict, &retry_meets);
                 if retry_verdict == LocateVerdict::Hit {
                     if retry_addr == Some(self.homes[port_idx]) {
                         self.acc.recoveries += 1;
@@ -456,35 +615,44 @@ impl<PM: PortMapped> LiveScenarioRunner<PM> {
     }
 
     /// Issues one locate and folds its verdict into the accumulator.
-    fn locate_once(&mut self, client: NodeId, port_idx: usize) -> (LocateVerdict, Option<NodeId>) {
+    fn locate_once(
+        &mut self,
+        client: NodeId,
+        port_idx: usize,
+    ) -> (LocateVerdict, Option<NodeId>, Vec<NodeId>) {
         let port = self.ports[port_idx];
         let targets = self.interner.query_set(&self.resolver, client, port);
         self.acc.completed += 1;
         match self.net.locate(client, port, targets) {
-            LiveLocateOutcome::Found { addr, .. } => {
+            LiveLocateOutcome::Found { addr, meets, .. } => {
                 self.acc.hits += 1;
                 if addr != self.homes[port_idx] {
                     self.acc.stale_results += 1;
                 }
-                (LocateVerdict::Hit, Some(addr))
+                (LocateVerdict::Hit, Some(addr), meets)
             }
             LiveLocateOutcome::NotFound => {
                 self.acc.misses += 1;
-                (LocateVerdict::Miss, None)
+                (LocateVerdict::Miss, None, Vec::new())
             }
             LiveLocateOutcome::Unresolved { .. } => {
                 self.acc.unresolved += 1;
-                (LocateVerdict::Unresolved, None)
+                (LocateVerdict::Unresolved, None, Vec::new())
             }
         }
     }
 
-    fn refresh_all(&mut self) {
+    fn refresh_all(&mut self, t: SimTime) {
         for i in 0..self.homes.len() {
             let home = self.homes[i];
             if !self.crashed[home.index()] {
                 let port = self.ports[i];
                 self.register(home, port);
+                if let Some(tr) = self.tracer.as_mut() {
+                    let targets = self.interner.post_set(&self.resolver, home, port);
+                    let trace = tr.next_trace_id();
+                    emit_post_spans(tr, trace, home, i, &targets, t);
+                }
             }
         }
     }
@@ -510,7 +678,7 @@ impl<PM: PortMapped> LiveScenarioRunner<PM> {
         }
     }
 
-    fn apply_churn(&mut self, action: ChurnAction) {
+    fn apply_churn(&mut self, t: SimTime, action: ChurnAction) {
         let resolved = resolve_churn(
             &action,
             &mut self.rng,
@@ -535,7 +703,7 @@ impl<PM: PortMapped> LiveScenarioRunner<PM> {
                         self.net.clear_cache(NodeId::from(vi));
                     }
                 }
-                ResolvedChurn::RefreshAll => self.refresh_all(),
+                ResolvedChurn::RefreshAll => self.refresh_all(t),
             }
         }
     }

@@ -96,6 +96,19 @@ pub struct PhaseReport {
     /// reports serialize without this key, byte-for-byte as before.
     #[serde(skip_serializing_if = "Option::is_none", default)]
     pub closed_loop: Option<ClosedLoopStats>,
+    /// Wall-clock runtime events per second for this phase, present only
+    /// when the runner was asked to measure it (`--throughput`) — default
+    /// reports serialize without this key, byte-for-byte as before. Not
+    /// deterministic (it measures the host), so it is never part of any
+    /// byte-identity contract.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub throughput: Option<f64>,
+    /// Per-phase metrics-registry snapshot (latency / fan-out / meet
+    /// histograms, queue-depth buckets on the simulator), present only
+    /// when observability is enabled (`--obs`). Same schema seam as
+    /// `closed_loop`: absent means byte-identical legacy JSON.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub obs: Option<mm_obs::RegistrySnapshot>,
 }
 
 /// Per-phase closed-loop measurements, built from the client pool's
@@ -360,6 +373,8 @@ pub(crate) fn build_phase_report(
             loads.iter().sum::<f64>() / loads.len() as f64
         },
         closed_loop: None,
+        throughput: None,
+        obs: None,
     }
 }
 

@@ -16,12 +16,17 @@
 //! [`crate::timeline`]) so the two runtimes are differential-testable.
 
 use crate::clients::{ClientPool, OpDriver};
+use crate::observe::{
+    emit_locate_spans, emit_post_spans, emit_request_span, finish_trace, observe_locate,
+    virtual_elapsed,
+};
 use crate::report::{build_closed_loop, build_phase_report, predict_passes_per_locate, Acc};
 use crate::spec::{ChurnAction, Workload};
 use crate::timeline::{draw_arrival, resolve_churn, Event, ResolvedChurn, Timeline};
 use crate::traffic::PopularitySampler;
 use mm_core::strategies::PortMapped;
 use mm_core::Port;
+use mm_obs::{Registry, TraceConfig, TraceFile, Tracer, HIST_BUCKETS};
 use mm_proto::service::ServiceNet;
 use mm_proto::shotgun::RequestOutcome;
 use mm_proto::{LocateHandle, LocateOutcome, ShotgunEngine};
@@ -29,6 +34,8 @@ use mm_sim::{CostModel, QueueKind, SimTime};
 use mm_topo::{Graph, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::time::Instant;
 
 pub use crate::report::{LocateRecord, LocateVerdict, PhaseReport, ScenarioReport};
 
@@ -45,6 +52,9 @@ enum Op {
         arrival: Option<u64>,
         /// This locate is the retry after a stale request bounce.
         retry: bool,
+        /// Causal-trace id allocated at dispatch; `None` when tracing is
+        /// off or the operation is an untraced stale-recovery retry.
+        trace: Option<u64>,
     },
     Request {
         client: NodeId,
@@ -67,11 +77,24 @@ struct SimDriver<'a, PM: PortMapped> {
     homes: &'a [NodeId],
     t0: SimTime,
     op_timeout: SimTime,
+    tracer: &'a mut Option<Tracer>,
+    registry: &'a mut Option<Registry>,
+    /// Observability side table, engine locate id → (trace id, port
+    /// index). The pool polls without the port, and the simulator only
+    /// learns the verdict at poll time, so dispatch-time facts ride here
+    /// until the unique successful poll emits the spans.
+    traced: &'a mut HashMap<u64, (Option<u64>, usize)>,
 }
 
 impl<PM: PortMapped> OpDriver for SimDriver<'_, PM> {
     fn issue(&mut self, _now: SimTime, client: NodeId, port_idx: usize) -> (u64, Option<SimTime>) {
         let handle = self.net.engine_mut().locate(client, self.ports[port_idx]);
+        if self.tracer.is_some() || self.registry.is_some() {
+            // allocated inside the shared pool code path, so the live
+            // driver allocates the identical id for the identical attempt
+            let trace = self.tracer.as_mut().map(Tracer::next_trace_id);
+            self.traced.insert(handle.id, (trace, port_idx));
+        }
         // no wake-up hint: the verdict tick is only knowable by polling
         (handle.id, None)
     }
@@ -86,20 +109,53 @@ impl<PM: PortMapped> OpDriver for SimDriver<'_, PM> {
         // idempotent: make sure every event due at `now` has executed
         // (an operation issued this tick may complete this tick)
         self.net.engine_mut().run_until(self.t0 + now);
-        match self
+        let outcome = self
             .net
             .engine()
-            .outcome(LocateHandle { client, id: token })
-        {
-            LocateOutcome::Found { addr, elapsed, .. } => {
-                Some((LocateVerdict::Hit, Some(addr), issued + elapsed))
+            .outcome(LocateHandle { client, id: token });
+        let (result, meets) = match outcome {
+            LocateOutcome::Found {
+                addr,
+                elapsed,
+                meets,
+                ..
+            } => (
+                Some((LocateVerdict::Hit, Some(addr), issued + elapsed)),
+                meets,
+            ),
+            LocateOutcome::NotFound { elapsed } => (
+                Some((LocateVerdict::Miss, None, issued + elapsed)),
+                Vec::new(),
+            ),
+            LocateOutcome::Unresolved { .. } => (
+                (now.saturating_sub(issued) >= self.op_timeout).then_some((
+                    LocateVerdict::Unresolved,
+                    None,
+                    issued + self.op_timeout,
+                )),
+                Vec::new(),
+            ),
+        };
+        if let Some((verdict, _, _)) = result {
+            // the pool reads each verdict exactly once; emit here
+            if let Some((trace, port_idx)) = self.traced.remove(&token) {
+                let targets = self
+                    .net
+                    .engine_mut()
+                    .query_targets(client, self.ports[port_idx]);
+                let solo = targets.len() == 1 && targets.contains(client);
+                let elapsed = virtual_elapsed(solo, verdict, self.op_timeout);
+                if let Some(reg) = self.registry.as_mut() {
+                    observe_locate(reg, verdict, elapsed, targets.len(), meets.len());
+                }
+                if let (Some(tr), Some(trace)) = (self.tracer.as_mut(), trace) {
+                    emit_locate_spans(
+                        tr, trace, client, port_idx, &targets, &meets, verdict, elapsed, issued,
+                    );
+                }
             }
-            LocateOutcome::NotFound { elapsed } => {
-                Some((LocateVerdict::Miss, None, issued + elapsed))
-            }
-            LocateOutcome::Unresolved { .. } => (now.saturating_sub(issued) >= self.op_timeout)
-                .then_some((LocateVerdict::Unresolved, None, issued + self.op_timeout)),
         }
+        result
     }
 
     fn home(&self, port_idx: usize) -> NodeId {
@@ -141,6 +197,16 @@ pub struct ScenarioRunner<PM: PortMapped> {
     strategy: String,
     topology: String,
     cost_label: String,
+    /// Deterministic causal tracer (`None` = tracing off, the default).
+    tracer: Option<Tracer>,
+    /// Metrics registry (`None` = observability off, the default).
+    registry: Option<Registry>,
+    /// Measure wall-clock events/sec per phase into the report.
+    wallclock: bool,
+    /// Echo of the trace config's sampling rate for the file header.
+    sample_rate: f64,
+    /// Closed-loop observability side table (see [`SimDriver::traced`]).
+    traced: HashMap<u64, (Option<u64>, usize)>,
 }
 
 impl<PM: PortMapped> ScenarioRunner<PM> {
@@ -234,9 +300,41 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
                 CostModel::Uniform => "uniform".to_string(),
                 CostModel::Hops => "hops".to_string(),
             },
+            tracer: None,
+            registry: None,
+            wallclock: false,
+            sample_rate: 1.0,
+            traced: HashMap::new(),
             spec,
             net,
         }
+    }
+
+    /// Enables deterministic causal tracing: every workload operation
+    /// gets a trace id at dispatch and its fan-out becomes span records.
+    /// Collect the sealed file with [`ScenarioRunner::run_traced`].
+    pub fn set_trace(&mut self, cfg: TraceConfig) {
+        self.sample_rate = cfg.sample_rate.clamp(0.0, 1.0);
+        self.tracer = Some(Tracer::new(cfg));
+    }
+
+    /// Enables the metrics registry: per-phase counter/histogram
+    /// snapshots appear under the report's `obs` key.
+    pub fn enable_obs(&mut self) {
+        self.registry = Some(Registry::new());
+    }
+
+    /// Enables wall-clock events/sec measurement per phase (host-speed
+    /// dependent, so never part of any byte-identity contract).
+    pub fn enable_throughput(&mut self) {
+        self.wallclock = true;
+    }
+
+    /// Like [`ScenarioRunner::run`], additionally returning the sealed
+    /// trace file when [`ScenarioRunner::set_trace`] was called.
+    pub fn run_traced(self) -> (ScenarioReport, Option<TraceFile>) {
+        let (report, _, trace) = self.run_all();
+        (report, trace)
     }
 
     fn eng(&mut self) -> &mut ShotgunEngine<PM> {
@@ -276,7 +374,83 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
     /// Like [`ScenarioRunner::run`], additionally returning the
     /// per-operation verdict log (one [`LocateRecord`] per primary
     /// arrival, in arrival order) for cross-runtime conformance checks.
-    pub fn run_logged(mut self) -> (ScenarioReport, Vec<LocateRecord>) {
+    pub fn run_logged(self) -> (ScenarioReport, Vec<LocateRecord>) {
+        let (report, log, _) = self.run_all();
+        (report, log)
+    }
+
+    /// Emits the setup-post causal trees (trace ids `0..ports`, virtual
+    /// tick 0) once the homes are placed.
+    fn trace_setup_posts(&mut self) {
+        if self.tracer.is_none() {
+            return;
+        }
+        for i in 0..self.spec.ports {
+            let home = self.homes[i];
+            let targets = self.net.engine_mut().post_targets(home, self.ports[i]);
+            let tr = self.tracer.as_mut().expect("checked above");
+            let trace = tr.next_trace_id();
+            emit_post_spans(tr, trace, home, i, &targets, 0);
+        }
+    }
+
+    /// Copies the simulator's cumulative queue-depth histogram when the
+    /// registry wants per-phase deltas.
+    fn queue_depth_snapshot(&self) -> Option<[u64; HIST_BUCKETS]> {
+        self.registry
+            .as_ref()
+            .map(|_| *self.net.engine().sim().queue_depth_buckets())
+    }
+
+    /// Finishes a phase's observability: wall-clock throughput and the
+    /// registry snapshot (with the phase's queue-depth bucket delta).
+    fn finish_phase_obs(
+        &mut self,
+        report: &mut PhaseReport,
+        events_delta: u64,
+        wall: Instant,
+        qd_before: Option<[u64; HIST_BUCKETS]>,
+    ) {
+        if self.wallclock {
+            let secs = wall.elapsed().as_secs_f64();
+            report.throughput = Some(if secs > 0.0 {
+                events_delta as f64 / secs
+            } else {
+                0.0
+            });
+        }
+        if let Some(reg) = self.registry.as_mut() {
+            if let Some(before) = qd_before {
+                let now = *self.net.engine().sim().queue_depth_buckets();
+                let mut delta = [0u64; HIST_BUCKETS];
+                for (d, (a, b)) in delta.iter_mut().zip(now.iter().zip(before.iter())) {
+                    *d = a - b;
+                }
+                reg.observe_buckets("queue_depth", &delta);
+            }
+            report.obs = Some(reg.snapshot_and_reset());
+        }
+    }
+
+    /// Seals the tracer (when present) with the run's cumulative metrics.
+    fn seal_trace(&mut self) -> Option<TraceFile> {
+        let totals = self.net.engine().metrics().clone();
+        finish_trace(
+            self.tracer.take(),
+            &self.spec.name,
+            &self.strategy,
+            self.n() as u64,
+            self.spec.seed,
+            self.spec.ports as u64,
+            self.sample_rate,
+            totals.sends,
+            totals.message_passes,
+        )
+    }
+
+    /// The single execution path behind [`ScenarioRunner::run`] /
+    /// [`ScenarioRunner::run_logged`] / [`ScenarioRunner::run_traced`].
+    fn run_all(mut self) -> (ScenarioReport, Vec<LocateRecord>, Option<TraceFile>) {
         if self.spec.clients.is_some() {
             return self.run_logged_closed();
         }
@@ -290,6 +464,7 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
             let port = self.ports[i];
             self.eng().register_server(home, port);
         }
+        self.trace_setup_posts();
         let t0 = self.t0;
         self.eng().run_until(t0);
 
@@ -304,13 +479,15 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
         let last = timeline.phase_bounds.len() - 1;
         for (pi, (start, end, name)) in timeline.phase_bounds.iter().enumerate() {
             let before = self.net.engine().metrics().clone();
+            let wall = Instant::now();
+            let qd_before = self.queue_depth_snapshot();
             self.acc = Acc::default();
             while next < timeline.events.len() && timeline.events[next].0 < *end {
                 let (t, ev) = timeline.events[next].clone();
                 next += 1;
                 self.eng().run_until(t0 + t);
                 self.drain(t0 + t, false);
-                self.apply(ev);
+                self.apply(t, ev);
             }
             // close the phase; the final phase also absorbs the drain
             // window so straggling operations get their verdict
@@ -322,19 +499,17 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
             self.eng().run_until(close);
             self.drain(close, pi == last);
             let after = self.net.engine().metrics().clone();
-            reports.push(build_phase_report(
-                name,
-                *start,
-                *end,
-                &self.acc,
-                &after.delta(&before),
-            ));
+            let delta = after.delta(&before);
+            let mut report = build_phase_report(name, *start, *end, &self.acc, &delta);
+            self.finish_phase_obs(&mut report, delta.events_executed, wall, qd_before);
+            reports.push(report);
         }
 
+        let trace = self.seal_trace();
         let report = self.assemble(None, timeline.horizon, predicted, reports, None);
         let mut log = std::mem::take(&mut self.op_log);
         log.sort_by_key(|r| r.arrival);
-        (report, log)
+        (report, log, trace)
     }
 
     /// The closed-loop twin of [`ScenarioRunner::run_logged`]: timeline
@@ -344,7 +519,7 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
     /// think-pause expiries) in virtual-time order. The pool makes every
     /// random decision, so the live runner — which drives the identical
     /// pool code — consumes the RNG in the same order.
-    fn run_logged_closed(mut self) -> (ScenarioReport, Vec<LocateRecord>) {
+    fn run_logged_closed(mut self) -> (ScenarioReport, Vec<LocateRecord>, Option<TraceFile>) {
         let predicted =
             predict_passes_per_locate(self.net.engine().resolver(), self.n(), &self.ports);
         for i in 0..self.spec.ports {
@@ -353,6 +528,7 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
             let port = self.ports[i];
             self.eng().register_server(home, port);
         }
+        self.trace_setup_posts();
         let t0 = self.t0;
         self.eng().run_until(t0);
 
@@ -366,6 +542,8 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
         let last = timeline.phase_bounds.len() - 1;
         for (pi, (start, end, name)) in timeline.phase_bounds.iter().enumerate() {
             let before = self.net.engine().metrics().clone();
+            let wall = Instant::now();
+            let qd_before = self.queue_depth_snapshot();
             self.acc = Acc::default();
             loop {
                 let ev_t = timeline.events.get(next).map(|e| e.0).filter(|t| t < end);
@@ -387,8 +565,8 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
                             self.next_arrival += 1;
                             pool.offer(t, arrival);
                         }
-                        Event::Refresh => self.refresh_all(),
-                        Event::Churn(action) => self.apply_churn(action),
+                        Event::Refresh => self.refresh_all(t),
+                        Event::Churn(action) => self.apply_churn(t, action),
                     }
                 }
                 // dispatch whatever this tick freed or offered
@@ -409,13 +587,10 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
                 self.eng().run_until(t0 + drain_end);
             }
             let after = self.net.engine().metrics().clone();
-            reports.push(build_phase_report(
-                name,
-                *start,
-                *end,
-                &self.acc,
-                &after.delta(&before),
-            ));
+            let delta = after.delta(&before);
+            let mut report = build_phase_report(name, *start, *end, &self.acc, &delta);
+            self.finish_phase_obs(&mut report, delta.events_executed, wall, qd_before);
+            reports.push(report);
         }
 
         let records = pool.into_records();
@@ -424,6 +599,7 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
         for (report, stats) in reports.iter_mut().zip(phase_stats) {
             report.closed_loop = Some(stats);
         }
+        let trace = self.seal_trace();
         let report = self.assemble(
             Some(model.clients as u64),
             horizon,
@@ -433,7 +609,7 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
         );
         let mut log = std::mem::take(&mut self.op_log);
         log.sort_by_key(|r| r.arrival);
-        (report, log)
+        (report, log, trace)
     }
 
     /// One [`ClientPool::service`] call with this runner's engine behind
@@ -445,6 +621,9 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
             homes: &self.homes,
             t0: self.t0,
             op_timeout: self.op_timeout,
+            tracer: &mut self.tracer,
+            registry: &mut self.registry,
+            traced: &mut self.traced,
         };
         pool.service(
             now,
@@ -486,7 +665,7 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
     /// random draws go through the shared decision layer
     /// ([`draw_arrival`]/[`resolve_churn`]) so the RNG-consumption order
     /// is provably identical to the live runner's.
-    fn apply(&mut self, ev: Event) {
+    fn apply(&mut self, t: SimTime, ev: Event) {
         match ev {
             Event::Arrival => {
                 let Some((client, port_idx)) =
@@ -499,31 +678,40 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
                 let handle = self.eng().locate(client, port);
                 let arrival = self.next_arrival;
                 self.next_arrival += 1;
+                // trace ids bind to spec-level arrivals at dispatch, in
+                // timeline order — the same order the live runner sees
+                let trace = self.tracer.as_mut().map(Tracer::next_trace_id);
                 self.in_flight.push(Op::Locate {
                     handle,
                     port_idx,
                     issued_at,
                     arrival: Some(arrival),
                     retry: false,
+                    trace,
                 });
                 self.acc.issued += 1;
             }
-            Event::Refresh => self.refresh_all(),
-            Event::Churn(action) => self.apply_churn(action),
+            Event::Refresh => self.refresh_all(t),
+            Event::Churn(action) => self.apply_churn(t, action),
         }
     }
 
-    fn refresh_all(&mut self) {
+    fn refresh_all(&mut self, t: SimTime) {
         for i in 0..self.homes.len() {
             let home = self.homes[i];
             if !self.crashed[home.index()] {
                 let port = self.ports[i];
                 self.eng().register_server(home, port);
+                if let Some(tr) = self.tracer.as_mut() {
+                    let targets = self.net.engine_mut().post_targets(home, port);
+                    let trace = tr.next_trace_id();
+                    emit_post_spans(tr, trace, home, i, &targets, t);
+                }
             }
         }
     }
 
-    fn apply_churn(&mut self, action: ChurnAction) {
+    fn apply_churn(&mut self, t: SimTime, action: ChurnAction) {
         let resolved = resolve_churn(
             &action,
             &mut self.rng,
@@ -547,7 +735,7 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
                         self.eng().clear_cache(NodeId::from(vi));
                     }
                 }
-                ResolvedChurn::RefreshAll => self.refresh_all(),
+                ResolvedChurn::RefreshAll => self.refresh_all(t),
             }
         }
     }
@@ -573,6 +761,47 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
         }
     }
 
+    /// Feeds one classified locate into the tracer/registry using the
+    /// virtual-timing law (never engine clocks — the trace must be
+    /// byte-identical to the live runtime's). Returns the virtual elapsed
+    /// and fan-out width for the follow-up request span.
+    fn observe_locate_verdict(
+        &mut self,
+        trace: Option<u64>,
+        client: NodeId,
+        port_idx: usize,
+        issued_spec: SimTime,
+        verdict: LocateVerdict,
+        meets: &[NodeId],
+    ) -> (u64, u32) {
+        if self.tracer.is_none() && self.registry.is_none() {
+            return (0, 0);
+        }
+        let targets = self
+            .net
+            .engine_mut()
+            .query_targets(client, self.ports[port_idx]);
+        let solo = targets.len() == 1 && targets.contains(client);
+        let elapsed = virtual_elapsed(solo, verdict, self.op_timeout);
+        if let Some(reg) = self.registry.as_mut() {
+            observe_locate(reg, verdict, elapsed, targets.len(), meets.len());
+        }
+        if let (Some(tr), Some(trace)) = (self.tracer.as_mut(), trace) {
+            emit_locate_spans(
+                tr,
+                trace,
+                client,
+                port_idx,
+                &targets,
+                meets,
+                verdict,
+                elapsed,
+                issued_spec,
+            );
+        }
+        (elapsed, targets.len() as u32)
+    }
+
     /// Classifies finished in-flight operations; `force` settles
     /// everything still pending (end of scenario).
     fn drain(&mut self, now: SimTime, force: bool) {
@@ -583,6 +812,9 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
             addr: NodeId,
             port_idx: usize,
             after_retry: bool,
+            /// `(trace id, request-issue tick, locate fan-out)` when the
+            /// parent locate was traced.
+            trace_info: Option<(u64, SimTime, u32)>,
         }
         let mut requests: Vec<Followup> = Vec::new();
         let mut relocates: Vec<(NodeId, usize)> = Vec::new();
@@ -596,8 +828,9 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
                     issued_at,
                     arrival,
                     retry,
+                    trace,
                 } => match self.net.engine().outcome(handle) {
-                    LocateOutcome::Found { addr, .. } => {
+                    LocateOutcome::Found { addr, meets, .. } => {
                         self.acc.completed += 1;
                         self.acc.hits += 1;
                         self.record(
@@ -607,6 +840,15 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
                             issued_at,
                             LocateVerdict::Hit,
                             Some(addr),
+                        );
+                        let issued_spec = issued_at - self.t0;
+                        let (elapsed, fanout) = self.observe_locate_verdict(
+                            trace,
+                            handle.client,
+                            port_idx,
+                            issued_spec,
+                            LocateVerdict::Hit,
+                            &meets,
                         );
                         let fresh = addr == self.homes[port_idx];
                         if !fresh {
@@ -621,6 +863,7 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
                                 addr,
                                 port_idx,
                                 after_retry: retry,
+                                trace_info: trace.map(|tr| (tr, issued_spec + elapsed, fanout)),
                             });
                         }
                     }
@@ -635,6 +878,14 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
                             LocateVerdict::Miss,
                             None,
                         );
+                        self.observe_locate_verdict(
+                            trace,
+                            handle.client,
+                            port_idx,
+                            issued_at - self.t0,
+                            LocateVerdict::Miss,
+                            &[],
+                        );
                     }
                     LocateOutcome::Unresolved { .. } => {
                         if force || now.saturating_sub(issued_at) >= self.op_timeout {
@@ -648,6 +899,14 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
                                 LocateVerdict::Unresolved,
                                 None,
                             );
+                            self.observe_locate_verdict(
+                                trace,
+                                handle.client,
+                                port_idx,
+                                issued_at - self.t0,
+                                LocateVerdict::Unresolved,
+                                &[],
+                            );
                         } else {
                             keep.push(Op::Locate {
                                 handle,
@@ -655,6 +914,7 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
                                 issued_at,
                                 arrival,
                                 retry,
+                                trace,
                             });
                         }
                     }
@@ -701,6 +961,19 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
                 let port = self.ports[f.port_idx];
                 let issued = self.net.engine().now();
                 let id = self.eng().request(f.client, f.addr, port, 1);
+                if let Some((trace, tick, fanout)) = f.trace_info {
+                    if let Some(tr) = self.tracer.as_mut() {
+                        emit_request_span(
+                            tr,
+                            trace,
+                            fanout + 1,
+                            f.client,
+                            f.addr,
+                            f.port_idx,
+                            tick,
+                        );
+                    }
+                }
                 keep.push(Op::Request {
                     client: f.client,
                     request_id: id,
@@ -720,8 +993,12 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
                     handle,
                     port_idx,
                     issued_at: issued,
+                    // stale-recovery retries are timing-dependent, so
+                    // they stay out of the trace (conservation is only
+                    // claimed on churn-free specs, which never retry)
                     arrival: None,
                     retry: true,
+                    trace: None,
                 });
             }
         }

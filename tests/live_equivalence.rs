@@ -122,7 +122,7 @@ fn locate_racing_deregistration_never_tears() {
         let got = live.locate(client, port, Strategy::query_set(&strat, client));
         deregger.join().unwrap();
         match got {
-            LiveLocateOutcome::Found { addr, stamp: s } => {
+            LiveLocateOutcome::Found { addr, stamp: s, .. } => {
                 assert_eq!(addr, server, "a hit must carry the real address");
                 assert_eq!(s, stamp, "a hit must carry the exact posting stamp");
                 outcomes[0] += 1;
@@ -171,7 +171,7 @@ fn reregistration_after_crash_supersedes_monotonically() {
         // every client in the network agrees on the current address
         let client = NodeId::new((round * 11) % n as u32);
         match live.locate(client, port, Strategy::query_set(&strat, client)) {
-            LiveLocateOutcome::Found { addr, stamp } => {
+            LiveLocateOutcome::Found { addr, stamp, .. } => {
                 assert_eq!(addr, home, "round {round}: newest registration wins");
                 assert_eq!(stamp, last_stamp);
             }
@@ -214,7 +214,7 @@ fn locate_racing_crash_then_restore_never_wedges() {
         let got = live.locate(client, port, qs);
         flickerer.join().unwrap();
         match got {
-            LiveLocateOutcome::Found { addr, stamp: s } => {
+            LiveLocateOutcome::Found { addr, stamp: s, .. } => {
                 assert_eq!((addr, s), (server, stamp));
             }
             LiveLocateOutcome::NotFound | LiveLocateOutcome::Unresolved { .. } => {}
@@ -250,7 +250,7 @@ fn locate_racing_crash_is_always_classified() {
         let got = live.locate(client, port, Strategy::query_set(&strat, client));
         crasher.join().unwrap();
         match got {
-            LiveLocateOutcome::Found { addr, stamp: s } => {
+            LiveLocateOutcome::Found { addr, stamp: s, .. } => {
                 assert_eq!((addr, s), (server, stamp));
             }
             LiveLocateOutcome::NotFound | LiveLocateOutcome::Unresolved { .. } => {}

@@ -115,6 +115,20 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+// a Value serializes as itself (lets callers build ad-hoc shapes, e.g.
+// the single-key wrapper objects of JSONL trace headers/footers)
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 macro_rules! impl_unsigned {
     ($($t:ty),*) => {$(
         impl Serialize for $t {

@@ -101,6 +101,212 @@ fn write_bracketed(
     out.push(close);
 }
 
+/// Parses JSON text into the shim's [`Value`] model.
+///
+/// Integers parse as [`Value::U128`] (non-negative) or [`Value::I64`]
+/// (negative); anything with a fraction or exponent parses as
+/// [`Value::F64`]. Object key order is preserved, mirroring the
+/// serializer's insertion-order maps.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed input or trailing garbage.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::custom(format!(
+            "trailing characters at byte {pos} of JSON input"
+        )));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), Error> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(Error::custom(format!(
+            "expected `{}` at byte {} of JSON input",
+            c as char, *pos
+        )))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(Error::custom("unexpected end of JSON input")),
+        Some(b'n') => parse_lit(b, pos, "null", Value::Null),
+        Some(b't') => parse_lit(b, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Value::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Value::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Seq(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Seq(items));
+                    }
+                    _ => return Err(Error::custom("expected `,` or `]` in JSON array")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Map(entries));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                let val = parse_value(b, pos)?;
+                entries.push((key, val));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Map(entries));
+                    }
+                    _ => return Err(Error::custom("expected `,` or `}` in JSON object")),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, Error> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(Error::custom(format!(
+            "invalid JSON literal, expected `{lit}`"
+        )))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err(Error::custom("unterminated JSON string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                let esc = *b
+                    .get(*pos)
+                    .ok_or_else(|| Error::custom("unterminated JSON escape"))?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .ok_or_else(|| Error::custom("truncated \\u escape"))?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex)
+                                .map_err(|_| Error::custom("non-ascii \\u escape"))?,
+                            16,
+                        )
+                        .map_err(|_| Error::custom("invalid \\u escape"))?;
+                        *pos += 4;
+                        // surrogate pairs are not produced by this crate's
+                        // serializer; reject rather than mis-decode
+                        let c = char::from_u32(code)
+                            .ok_or_else(|| Error::custom("invalid \\u code point"))?;
+                        out.push(c);
+                    }
+                    _ => return Err(Error::custom("unknown JSON escape")),
+                }
+            }
+            Some(_) => {
+                // take the full UTF-8 scalar starting here
+                let rest = std::str::from_utf8(&b[*pos..])
+                    .map_err(|_| Error::custom("invalid UTF-8 in JSON string"))?;
+                let c = rest.chars().next().expect("non-empty checked above");
+                if (c as u32) < 0x20 {
+                    return Err(Error::custom("unescaped control character in string"));
+                }
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut float = false;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).expect("ascii number slice");
+    if text.is_empty() || text == "-" {
+        return Err(Error::custom("invalid JSON number"));
+    }
+    if float {
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::custom(format!("invalid JSON number `{text}`")))
+    } else if text.starts_with('-') {
+        text.parse::<i64>()
+            .map(Value::I64)
+            .map_err(|_| Error::custom(format!("integer out of range `{text}`")))
+    } else {
+        text.parse::<u128>()
+            .map(Value::U128)
+            .map_err(|_| Error::custom(format!("integer out of range `{text}`")))
+    }
+}
+
 fn write_string(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
@@ -155,5 +361,46 @@ mod tests {
         assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
         assert_eq!(to_string(&0.1f64).unwrap(), "0.1");
         assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+
+    #[test]
+    fn parser_round_trips_serializer_output() {
+        let v = Value::Map(vec![
+            ("n".into(), Value::U128(1024)),
+            ("neg".into(), Value::I64(-3)),
+            ("rate".into(), Value::F64(0.5)),
+            ("name".into(), Value::Str("steady \"state\"\n".into())),
+            ("xs".into(), Value::Seq(vec![Value::I64(-1), Value::Null])),
+            ("empty".into(), Value::Seq(vec![])),
+            ("flag".into(), Value::Bool(true)),
+        ]);
+        let text = to_string(&Wrap(v.clone())).unwrap();
+        assert_eq!(from_str(&text).unwrap(), v);
+        let pretty = to_string_pretty(&Wrap(v.clone())).unwrap();
+        assert_eq!(from_str(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_exponents() {
+        assert_eq!(from_str(r#""aA\tb""#).unwrap(), Value::Str("aA\tb".into()));
+        assert_eq!(from_str("1e3").unwrap(), Value::F64(1000.0));
+        assert_eq!(from_str("-2.5").unwrap(), Value::F64(-2.5));
+        assert_eq!(
+            from_str(" [1, {\"k\": null}] ").unwrap(),
+            Value::Seq(vec![
+                Value::U128(1),
+                Value::Map(vec![("k".into(), Value::Null)]),
+            ])
+        );
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(from_str("").is_err());
+        assert!(from_str("{").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("nul").is_err());
+        assert!(from_str("1 2").is_err());
+        assert!(from_str("\"unterminated").is_err());
     }
 }
