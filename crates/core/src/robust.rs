@@ -15,6 +15,8 @@
 //! inefficient and has a price tag in number of message passes"* — the
 //! overhead is measurable via `Strategy::average_cost`.
 
+use crate::port::Port;
+use crate::strategies::PortMapped;
 use crate::strategy::{normalize_set, Strategy};
 use mm_topo::NodeId;
 
@@ -127,6 +129,92 @@ pub fn max_tolerated_faults(s: &impl Strategy) -> usize {
     min_overlap.saturating_sub(1)
 }
 
+/// Sampled variant of [`max_tolerated_faults`] for large universes: the
+/// minimum overlap over at most `samples` deterministically-strided
+/// `(i, j)` pairs (stride `7919`, the same discipline the workload layer
+/// uses for its cost predictor). Exact whenever `samples ≥ n²`; for the
+/// homogeneous strategies in this repository the per-pair overlap is
+/// uniform, so even small sample counts reproduce the exact value.
+pub fn max_tolerated_faults_sampled(s: &impl Strategy, samples: usize) -> usize {
+    let n = s.node_count();
+    if n == 0 {
+        return 0;
+    }
+    if samples >= n * n {
+        return max_tolerated_faults(s);
+    }
+    let mut min_overlap = usize::MAX;
+    for k in 0..samples.max(1) {
+        let pair = k.wrapping_mul(7919) % (n * n);
+        let (i, j) = (pair / n, pair % n);
+        let p = s.post_set(NodeId::from(i));
+        let q = s.query_set(NodeId::from(j));
+        min_overlap = min_overlap.min(crate::strategy::intersect_sorted(&p, &q).len());
+    }
+    min_overlap.saturating_sub(1)
+}
+
+/// Port-mapped twin of [`max_tolerated_faults_sampled`], usable by the
+/// workload runners (generic over [`PortMapped`], which covers §5's Hash
+/// Locate as well as every node-based strategy through the blanket impl):
+/// the minimum `#(post ∩ query) − 1` over a deterministic stride-`7919`
+/// sample of `(server, client, port)` triples.
+pub fn max_tolerated_faults_pm(pm: &impl PortMapped, ports: &[Port], samples: usize) -> usize {
+    let n = pm.node_count();
+    if n == 0 || ports.is_empty() {
+        return 0;
+    }
+    let mut min_overlap = usize::MAX;
+    for k in 0..samples.max(1) {
+        let pair = k.wrapping_mul(7919) % (n * n);
+        let (i, j) = (pair / n, pair % n);
+        let port = ports[k % ports.len()];
+        let p = pm.post_set_for(NodeId::from(i), port);
+        let q = pm.query_set_for(NodeId::from(j), port);
+        min_overlap = min_overlap.min(crate::strategy::intersect_sorted(&p, &q).len());
+    }
+    min_overlap.saturating_sub(1)
+}
+
+/// Port-mapped, sampled twin of [`survival_fraction`]: over a
+/// deterministic stride-`7919` sample of alive `(server, client, port)`
+/// triples, the fraction whose rendezvous overlap retains at least one
+/// alive node. `1.0` (vacuously) when nobody is alive.
+pub fn survival_fraction_pm(
+    pm: &impl PortMapped,
+    ports: &[Port],
+    crashed: &[bool],
+    samples: usize,
+) -> f64 {
+    let n = pm.node_count();
+    if n == 0 || ports.is_empty() {
+        return 1.0;
+    }
+    let alive: Vec<usize> = (0..n)
+        .filter(|&v| !crashed.get(v).copied().unwrap_or(false))
+        .collect();
+    if alive.is_empty() {
+        return 1.0;
+    }
+    let m = alive.len();
+    let total = samples.max(1);
+    let mut ok = 0usize;
+    for k in 0..total {
+        let pair = k.wrapping_mul(7919) % (m * m);
+        let (i, j) = (alive[pair / m], alive[pair % m]);
+        let port = ports[k % ports.len()];
+        let p = pm.post_set_for(NodeId::from(i), port);
+        let q = pm.query_set_for(NodeId::from(j), port);
+        if crate::strategy::intersect_sorted(&p, &q)
+            .iter()
+            .any(|r| !crashed[r.index()])
+        {
+            ok += 1;
+        }
+    }
+    ok as f64 / total as f64
+}
+
 /// Fraction of alive (server, client) pairs that can still rendezvous
 /// after `crashed` nodes go down — the experiment E16 metric.
 pub fn survival_fraction(s: &impl Strategy, crashed: &[NodeId]) -> f64 {
@@ -223,5 +311,40 @@ mod tests {
     #[should_panic(expected = "replication must be in 1..=n")]
     fn replication_bounds() {
         let _ = Replicated::new(Checkerboard::new(4), 5);
+    }
+
+    #[test]
+    fn sampled_matches_exact_on_homogeneous_strategies() {
+        let ports: Vec<Port> = (0..4u128).map(Port::new).collect();
+        for r in 1..=3usize {
+            let s = Replicated::new(Checkerboard::new(36), r);
+            let exact = max_tolerated_faults(&s);
+            assert_eq!(max_tolerated_faults_sampled(&s, 48), exact, "r={r}");
+            assert_eq!(max_tolerated_faults_pm(&s, &ports, 48), exact, "r={r}");
+        }
+        // Hash Locate with r replicas tolerates r − 1 rendezvous crashes
+        let h = crate::strategies::HashLocate::new(36, 3);
+        assert_eq!(max_tolerated_faults_pm(&h, &ports, 48), 2);
+    }
+
+    #[test]
+    fn sampled_survival_tracks_the_exact_metric() {
+        let ports: Vec<Port> = (0..4u128).map(Port::new).collect();
+        let s = Checkerboard::new(16);
+        let mut crashed = vec![false; 16];
+        crashed[5] = true;
+        let exact = survival_fraction(&s, &[NodeId::new(5)]);
+        let sampled = survival_fraction_pm(&s, &ports, &crashed, 16 * 16);
+        // the exact metric samples only alive pairs of a 15-node world;
+        // the pm sampler covers all alive (i, j) — both see a small dent
+        assert!(sampled < 1.0 && exact < 1.0);
+        assert!((sampled - exact).abs() < 0.1, "{sampled} vs {exact}");
+        let r = Replicated::new(Checkerboard::new(16), 2);
+        assert_eq!(survival_fraction_pm(&r, &ports, &crashed, 64), 1.0);
+        assert_eq!(
+            survival_fraction_pm(&s, &ports, &[true; 16], 64),
+            1.0,
+            "vacuous when everyone is down"
+        );
     }
 }

@@ -9,6 +9,9 @@
 //!   are made or updated whenever a message is received from a server
 //!   process with its address. We can timestamp the messages to determine
 //!   which addresses are out of date in case of a conflict."*
+//! * [`fault`] — Byzantine fault profiles (drop-posts, stale-address,
+//!   forged-address, refuse-match) injectable into either runtime's
+//!   protocol handlers; the hostile-world layer on top of fail-stop churn.
 //! * [`shotgun`] — the Shotgun Locate engine: servers post at `P(i)`,
 //!   clients query `Q(j)`, rendezvous nodes answer from their caches.
 //!   Generic over [`mm_core::strategies::PortMapped`], so the same engine
@@ -27,6 +30,7 @@
 //!   differential-tested against [`shotgun`].
 
 pub mod cache;
+pub mod fault;
 pub mod hash_locate;
 pub mod intern;
 pub mod lighthouse;
@@ -37,6 +41,7 @@ pub mod service;
 pub mod shotgun;
 
 pub use cache::Cache;
+pub use fault::{FaultProfile, FORGED_STAMP};
 pub use intern::TargetInterner;
 pub use live::{LiveLocateOutcome, LiveNet, LiveRequestOutcome};
 pub use messages::ProtoMsg;

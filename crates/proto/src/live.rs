@@ -42,6 +42,7 @@
 //! the simulator's client timeout without wall-clock flakiness.
 
 use crate::cache::Cache;
+use crate::fault::{FaultProfile, FORGED_STAMP};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use mm_core::Port;
 use mm_sim::{Metrics, TargetSet};
@@ -80,6 +81,10 @@ pub enum LiveLocateOutcome {
         /// realized match-making intersection, mirroring
         /// [`crate::LocateOutcome::Found`]'s `meets`.
         meets: Vec<NodeId>,
+        /// Hit answers whose address disagreed with the winner — the
+        /// client's lie-detection signal, mirroring
+        /// [`crate::LocateOutcome::Found`]'s `dissent`.
+        dissent: usize,
     },
     /// Every queried node answered and none knew the port.
     NotFound,
@@ -93,6 +98,10 @@ pub enum LiveLocateOutcome {
         missing: usize,
         /// Best address seen so far, if any hit arrived.
         best: Option<(NodeId, u64)>,
+        /// Hit answers received so far that disagree with `best` — lets a
+        /// client that salvages a partial answer at timeout still run its
+        /// lie detection.
+        dissent: usize,
     },
 }
 
@@ -207,6 +216,12 @@ enum LiveMsg {
     Barrier {
         ack: Sender<()>,
     },
+    /// Assigns a Byzantine behavior profile (see [`FaultProfile`]) —
+    /// control plane, so it is free and effective even while crashed.
+    SetFault {
+        profile: FaultProfile,
+        ack: Sender<()>,
+    },
     /// Force-completes a pending locate with its partial state — the
     /// driver-side stand-in for the simulator's client timeout.
     FinishLocate {
@@ -247,12 +262,33 @@ impl LiveCounters {
 
 struct PendingLive {
     expected: usize,
-    hits: usize,
     misses: usize,
-    best: Option<(NodeId, u64)>,
-    /// Rendezvous nodes that answered with a hit (sorted at completion).
-    hit_nodes: Vec<NodeId>,
+    /// Hit answers as `(answering node, advertised addr, stamp)`, in
+    /// arrival order — mailboxes do not preserve fan-out order, so the
+    /// winner is chosen at completion by [`PendingLive::best`].
+    answers: Vec<(NodeId, NodeId, u64)>,
     done: Sender<LiveLocateOutcome>,
+}
+
+impl PendingLive {
+    /// The winning advertisement: newest stamp, ties broken by lowest
+    /// answering node — the same deterministic rule as the simulator's
+    /// `Pending::best`, so both runtimes classify identically regardless
+    /// of reply arrival order.
+    fn best(&self) -> Option<(NodeId, u64)> {
+        self.answers
+            .iter()
+            .max_by(|a, b| a.2.cmp(&b.2).then(b.0.cmp(&a.0)))
+            .map(|&(_, addr, stamp)| (addr, stamp))
+    }
+
+    /// Hit answers that disagree with the winning address.
+    fn dissent(&self) -> usize {
+        match self.best() {
+            Some((winner, _)) => self.answers.iter().filter(|a| a.1 != winner).count(),
+            None => 0,
+        }
+    }
 }
 
 struct NodeThread {
@@ -261,6 +297,7 @@ struct NodeThread {
     peers: Vec<Sender<LiveMsg>>,
     counters: Arc<LiveCounters>,
     crashed: bool,
+    fault: FaultProfile,
     cache: Cache,
     served: BTreeSet<Port>,
     pending: HashMap<u64, PendingLive>,
@@ -326,13 +363,19 @@ impl NodeThread {
                     let _ = ack.send(());
                     continue;
                 }
+                LiveMsg::SetFault { profile, ack } => {
+                    self.fault = profile;
+                    let _ = ack.send(());
+                    continue;
+                }
                 LiveMsg::FinishLocate { locate_id } => {
                     if let Some(p) = self.pending.remove(&locate_id) {
                         let _ = p.done.send(LiveLocateOutcome::Unresolved {
-                            hits: p.hits,
+                            hits: p.answers.len(),
                             misses: p.misses,
-                            missing: p.expected - p.hits - p.misses,
-                            best: p.best,
+                            missing: p.expected - p.answers.len() - p.misses,
+                            best: p.best(),
+                            dissent: p.dissent(),
                         });
                     }
                     continue;
@@ -364,6 +407,7 @@ impl NodeThread {
                         misses: 0,
                         missing: targets.len(),
                         best: None,
+                        dissent: 0,
                     });
                 }
                 LiveMsg::DoRequest { done, .. } => {
@@ -411,10 +455,8 @@ impl NodeThread {
                     locate_id,
                     PendingLive {
                         expected: targets.len(),
-                        hits: 0,
                         misses: 0,
-                        best: None,
-                        hit_nodes: Vec::new(),
+                        answers: Vec::new(),
                         done,
                     },
                 );
@@ -445,27 +487,54 @@ impl NodeThread {
                     },
                 );
             }
-            LiveMsg::Post { port, addr, stamp } => {
-                self.cache.insert(port, addr, stamp);
-            }
+            LiveMsg::Post { port, addr, stamp } => match self.fault {
+                // broken storage: the posting is silently lost — the same
+                // arm as the simulator's NsNode, re-hosted on threads
+                FaultProfile::DropPosts => {}
+                FaultProfile::StaleAddress => {
+                    if self.cache.lookup(port).is_none() {
+                        self.cache.insert(port, addr, stamp);
+                    }
+                }
+                _ => {
+                    self.cache.insert(port, addr, stamp);
+                }
+            },
             LiveMsg::Unpost { port, stamp } => {
-                self.cache.remove(port, stamp);
+                if !matches!(
+                    self.fault,
+                    FaultProfile::DropPosts | FaultProfile::StaleAddress
+                ) {
+                    self.cache.remove(port, stamp);
+                }
             }
             LiveMsg::Query {
                 port,
                 reply_to,
                 locate_id,
-            } => match self.cache.lookup(port) {
-                Some(e) => self.send(
+            } => match self.fault {
+                FaultProfile::ForgedAddress => self.send(
                     reply_to,
                     LiveMsg::Hit {
-                        addr: e.addr,
-                        stamp: e.stamp,
+                        addr: NodeId::new(self.me as u32),
+                        stamp: FORGED_STAMP,
                         locate_id,
                         at: self.me,
                     },
                 ),
-                None => self.send(reply_to, LiveMsg::Miss { locate_id }),
+                FaultProfile::RefuseMatch => self.send(reply_to, LiveMsg::Miss { locate_id }),
+                _ => match self.cache.lookup(port) {
+                    Some(e) => self.send(
+                        reply_to,
+                        LiveMsg::Hit {
+                            addr: e.addr,
+                            stamp: e.stamp,
+                            locate_id,
+                            at: self.me,
+                        },
+                    ),
+                    None => self.send(reply_to, LiveMsg::Miss { locate_id }),
+                },
             },
             LiveMsg::Hit {
                 addr,
@@ -474,11 +543,7 @@ impl NodeThread {
                 at,
             } => {
                 if let Some(p) = self.pending.get_mut(&locate_id) {
-                    p.hits += 1;
-                    p.hit_nodes.push(NodeId::new(at as u32));
-                    if p.best.is_none_or(|(_, s)| stamp > s) {
-                        p.best = Some((addr, stamp));
-                    }
+                    p.answers.push((NodeId::new(at as u32), addr, stamp));
                     self.maybe_finish(locate_id);
                 }
             }
@@ -524,6 +589,7 @@ impl NodeThread {
             | LiveMsg::Restore { .. }
             | LiveMsg::ClearCache { .. }
             | LiveMsg::Barrier { .. }
+            | LiveMsg::SetFault { .. }
             | LiveMsg::FinishLocate { .. }
             | LiveMsg::FinishRequest { .. }
             | LiveMsg::Shutdown => unreachable!("control messages are handled in run()"),
@@ -534,16 +600,20 @@ impl NodeThread {
         let finished = self
             .pending
             .get(&id)
-            .is_some_and(|p| p.hits + p.misses == p.expected);
+            .is_some_and(|p| p.answers.len() + p.misses == p.expected);
         if finished {
-            let mut p = self.pending.remove(&id).expect("just observed");
-            p.hit_nodes.sort_unstable();
-            let outcome = match p.best {
-                Some((addr, stamp)) => LiveLocateOutcome::Found {
-                    addr,
-                    stamp,
-                    meets: p.hit_nodes,
-                },
+            let p = self.pending.remove(&id).expect("just observed");
+            let outcome = match p.best() {
+                Some((addr, stamp)) => {
+                    let mut meets: Vec<NodeId> = p.answers.iter().map(|a| a.0).collect();
+                    meets.sort_unstable();
+                    LiveLocateOutcome::Found {
+                        addr,
+                        stamp,
+                        meets,
+                        dissent: p.dissent(),
+                    }
+                }
                 None => LiveLocateOutcome::NotFound,
             };
             let _ = p.done.send(outcome);
@@ -587,6 +657,7 @@ impl LiveNet {
                 peers: senders.clone(),
                 counters: Arc::clone(&counters),
                 crashed: false,
+                fault: FaultProfile::Honest,
                 cache: Cache::new(),
                 served: BTreeSet::new(),
                 pending: HashMap::new(),
@@ -759,6 +830,14 @@ impl LiveNet {
     /// Empties a node's rendezvous cache (works on crashed nodes too).
     pub fn clear_cache(&self, v: NodeId) {
         self.control(v, |ack| LiveMsg::ClearCache { ack });
+    }
+
+    /// Assigns an adversarial behavior profile to a node (see
+    /// [`FaultProfile`]) — the live counterpart of
+    /// [`crate::ShotgunEngine::set_fault`]. Synchronous: on return every
+    /// later protocol message at the node sees the new profile.
+    pub fn set_fault(&self, v: NodeId, profile: FaultProfile) {
+        self.control(v, |ack| LiveMsg::SetFault { profile, ack });
     }
 
     /// Locates `port` from `client` by querying `targets` (the strategy's
@@ -957,6 +1036,59 @@ mod tests {
     }
 
     #[test]
+    fn live_refuse_match_severs_the_singleton_rendezvous() {
+        let n = 16;
+        let strat = Checkerboard::new(n);
+        let net = LiveNet::new(n);
+        let port = Port::from_name("svc");
+        let server = NodeId::new(3);
+        let client = NodeId::new(12);
+        let rdv = strat.rendezvous(server, client);
+        assert_eq!(rdv.len(), 1);
+        net.set_fault(rdv[0], FaultProfile::RefuseMatch);
+        net.register_server(server, port, strat.post_set(server));
+        assert_eq!(
+            net.locate(client, port, strat.query_set(client)),
+            LiveLocateOutcome::NotFound
+        );
+        // refuse-match still *stores* posts: healing the node heals the pair
+        net.set_fault(rdv[0], FaultProfile::Honest);
+        assert_eq!(
+            net.locate_addr(client, port, strat.query_set(client)),
+            Some(server)
+        );
+        net.shutdown();
+    }
+
+    #[test]
+    fn live_forged_address_is_flagged_by_dissent() {
+        use mm_core::strategies::Broadcast;
+        let n = 16;
+        let strat = Broadcast::new(n);
+        let net = LiveNet::new(n);
+        let port = Port::from_name("svc");
+        let server = NodeId::new(3);
+        net.register_server(server, port, strat.post_set(server));
+        let liar = NodeId::new(7);
+        net.set_fault(liar, FaultProfile::ForgedAddress);
+        let client = NodeId::new(0);
+        match net.locate(client, port, strat.query_set(client)) {
+            LiveLocateOutcome::Found {
+                addr,
+                stamp,
+                dissent,
+                ..
+            } => {
+                assert_eq!(addr, liar, "the forged stamp out-bids honesty");
+                assert_eq!(stamp, FORGED_STAMP);
+                assert!(dissent >= 1, "the honest hit disagrees: lie is detectable");
+            }
+            other => panic!("expected a (detectable) forged hit, got {other:?}"),
+        }
+        net.shutdown();
+    }
+
+    #[test]
     fn live_message_count_matches_model() {
         // #P posts + #Q queries + #Q replies, self-messages free
         let n = 16;
@@ -1003,7 +1135,9 @@ mod tests {
         assert!(s1 < s2 && s2 < s3, "stamps bump monotonically");
         let client = NodeId::new(11);
         match net.locate(client, port, strat.query_set(client)) {
-            LiveLocateOutcome::Found { addr, stamp, meets } => {
+            LiveLocateOutcome::Found {
+                addr, stamp, meets, ..
+            } => {
                 assert_eq!(addr, server);
                 assert_eq!(stamp, s3, "the freshest posting wins");
                 assert!(!meets.is_empty(), "a found locate met at least once");

@@ -20,6 +20,7 @@
 //! fresh posting necessarily intersects the client's query set).
 
 use crate::cache::Cache;
+use crate::fault::{FaultProfile, FORGED_STAMP};
 use crate::intern::TargetInterner;
 use crate::messages::ProtoMsg;
 use mm_core::strategies::PortMapped;
@@ -32,14 +33,34 @@ use std::collections::{BTreeSet, HashMap};
 #[derive(Debug, Clone, Default)]
 struct Pending {
     expected: usize,
-    hits: usize,
     misses: usize,
-    best: Option<(NodeId, u64)>,
-    /// Rendezvous nodes that answered with a hit — the realized
-    /// intersection `P ∩ Q`, sorted once the locate completes.
-    hit_nodes: Vec<NodeId>,
+    /// Hit answers as `(answering node, advertised addr, stamp)`, in
+    /// arrival order. The winner is chosen at read time by
+    /// [`Pending::best`], so arrival order never influences the verdict.
+    answers: Vec<(NodeId, NodeId, u64)>,
     issued_at: SimTime,
     completed_at: Option<SimTime>,
+}
+
+impl Pending {
+    /// The winning advertisement: newest stamp, ties broken by lowest
+    /// answering node — deterministic regardless of reply arrival order
+    /// (the live runtime's mailboxes do not preserve it).
+    fn best(&self) -> Option<(NodeId, u64)> {
+        self.answers
+            .iter()
+            .max_by(|a, b| a.2.cmp(&b.2).then(b.0.cmp(&a.0)))
+            .map(|&(_, addr, stamp)| (addr, stamp))
+    }
+
+    /// Hit answers that disagree with the winning address — the client's
+    /// cross-check signal for Byzantine forgeries.
+    fn dissent(&self) -> usize {
+        match self.best() {
+            Some((winner, _)) => self.answers.iter().filter(|a| a.1 != winner).count(),
+            None => 0,
+        }
+    }
 }
 
 /// The state of a finished (or still-running) locate.
@@ -58,6 +79,10 @@ pub enum LocateOutcome {
         /// realized match-making intersection, `|meets| = m(P,Q)` when
         /// postings are fresh.
         meets: Vec<NodeId>,
+        /// Hit answers whose address disagreed with the winner. Zero on
+        /// honest fresh runs; nonzero whenever stale caches or Byzantine
+        /// forgeries were out-voted — the client's lie-detection signal.
+        dissent: usize,
     },
     /// Every queried node answered and none knew the port.
     NotFound {
@@ -75,6 +100,10 @@ pub enum LocateOutcome {
         missing: usize,
         /// Best address seen so far, if any hit arrived.
         best: Option<(NodeId, u64)>,
+        /// Hit answers received so far that disagree with `best` — lets a
+        /// client that salvages a partial answer at timeout still run its
+        /// lie detection.
+        dissent: usize,
     },
 }
 
@@ -124,6 +153,8 @@ pub struct NsNode {
     pub cache: Cache,
     /// Ports served by a process on this node.
     pub served: BTreeSet<Port>,
+    /// Adversarial behavior profile (default: honest).
+    pub fault: FaultProfile,
     pending: HashMap<u64, Pending>,
     requests: HashMap<u64, (SimTime, Option<RequestOutcome>)>,
 }
@@ -185,32 +216,63 @@ impl Node<ProtoMsg> for NsNode {
                     },
                 );
             }
-            ProtoMsg::Post { port, addr, stamp } => {
-                self.cache.insert(port, addr, stamp);
-            }
+            ProtoMsg::Post { port, addr, stamp } => match self.fault {
+                // broken storage: the posting is silently lost
+                FaultProfile::DropPosts => {}
+                // pin the first posting; later (fresher) posts are ignored
+                FaultProfile::StaleAddress => {
+                    if self.cache.lookup(port).is_none() {
+                        self.cache.insert(port, addr, stamp);
+                    }
+                }
+                _ => {
+                    self.cache.insert(port, addr, stamp);
+                }
+            },
             ProtoMsg::Unpost { port, stamp, .. } => {
-                self.cache.remove(port, stamp);
+                if !matches!(
+                    self.fault,
+                    FaultProfile::DropPosts | FaultProfile::StaleAddress
+                ) {
+                    self.cache.remove(port, stamp);
+                }
             }
             ProtoMsg::Query {
                 port,
                 reply_to,
                 locate_id,
-            } => match self.cache.lookup(port) {
-                Some(e) => {
-                    let at = api.me();
-                    api.send(
+            } => {
+                let at = api.me();
+                match self.fault {
+                    // forge a hit for every port, stamped to out-bid honesty
+                    FaultProfile::ForgedAddress => api.send(
                         reply_to,
                         ProtoMsg::Hit {
                             port,
-                            addr: e.addr,
-                            stamp: e.stamp,
+                            addr: at,
+                            stamp: FORGED_STAMP,
                             locate_id,
                             at,
                         },
-                    )
+                    ),
+                    FaultProfile::RefuseMatch => {
+                        api.send(reply_to, ProtoMsg::Miss { port, locate_id })
+                    }
+                    _ => match self.cache.lookup(port) {
+                        Some(e) => api.send(
+                            reply_to,
+                            ProtoMsg::Hit {
+                                port,
+                                addr: e.addr,
+                                stamp: e.stamp,
+                                locate_id,
+                                at,
+                            },
+                        ),
+                        None => api.send(reply_to, ProtoMsg::Miss { port, locate_id }),
+                    },
                 }
-                None => api.send(reply_to, ProtoMsg::Miss { port, locate_id }),
-            },
+            }
             ProtoMsg::Hit {
                 addr,
                 stamp,
@@ -219,13 +281,8 @@ impl Node<ProtoMsg> for NsNode {
                 ..
             } => {
                 if let Some(p) = self.pending.get_mut(&locate_id) {
-                    p.hits += 1;
-                    p.hit_nodes.push(at);
-                    if p.best.is_none_or(|(_, s)| stamp > s) {
-                        p.best = Some((addr, stamp));
-                    }
-                    if p.hits + p.misses == p.expected {
-                        p.hit_nodes.sort_unstable();
+                    p.answers.push((at, addr, stamp));
+                    if p.answers.len() + p.misses == p.expected {
                         p.completed_at = Some(api.now());
                     }
                 }
@@ -233,8 +290,7 @@ impl Node<ProtoMsg> for NsNode {
             ProtoMsg::Miss { locate_id, .. } => {
                 if let Some(p) = self.pending.get_mut(&locate_id) {
                     p.misses += 1;
-                    if p.hits + p.misses == p.expected {
-                        p.hit_nodes.sort_unstable();
+                    if p.answers.len() + p.misses == p.expected {
                         p.completed_at = Some(api.now());
                     }
                 }
@@ -508,22 +564,28 @@ impl<PM: PortMapped> ShotgunEngine<PM> {
         let node = self.sim.node(h.client);
         let p = node.pending.get(&h.id).expect("unknown locate handle");
         match p.completed_at {
-            Some(done) => match p.best {
-                Some((addr, stamp)) => LocateOutcome::Found {
-                    addr,
-                    stamp,
-                    elapsed: done - p.issued_at,
-                    meets: p.hit_nodes.clone(),
-                },
+            Some(done) => match p.best() {
+                Some((addr, stamp)) => {
+                    let mut meets: Vec<NodeId> = p.answers.iter().map(|a| a.0).collect();
+                    meets.sort_unstable();
+                    LocateOutcome::Found {
+                        addr,
+                        stamp,
+                        elapsed: done - p.issued_at,
+                        meets,
+                        dissent: p.dissent(),
+                    }
+                }
                 None => LocateOutcome::NotFound {
                     elapsed: done - p.issued_at,
                 },
             },
             None => LocateOutcome::Unresolved {
-                hits: p.hits,
+                hits: p.answers.len(),
                 misses: p.misses,
-                missing: p.expected - p.hits - p.misses,
-                best: p.best,
+                missing: p.expected - p.answers.len() - p.misses,
+                best: p.best(),
+                dissent: p.dissent(),
             },
         }
     }
@@ -552,6 +614,13 @@ impl<PM: PortMapped> ShotgunEngine<PM> {
     /// model lost volatile memory).
     pub fn clear_cache(&mut self, v: NodeId) {
         self.sim.node_mut(v).cache = Cache::new();
+    }
+
+    /// Assigns an adversarial behavior profile to a node (see
+    /// [`FaultProfile`]). Takes effect for all messages the node handles
+    /// from now on; pass [`FaultProfile::Honest`] to heal it.
+    pub fn set_fault(&mut self, v: NodeId, profile: FaultProfile) {
+        self.sim.node_mut(v).fault = profile;
     }
 }
 
@@ -699,6 +768,91 @@ mod tests {
             eng.request_outcome(NodeId::new(1), id),
             Some(RequestOutcome::StaleAddress)
         );
+    }
+
+    #[test]
+    fn forged_address_wins_stamp_but_is_flagged_by_dissent() {
+        let n = 16;
+        let mut eng = ShotgunEngine::new(gen::complete(n), Broadcast::new(n), CostModel::Uniform);
+        let p = port("svc");
+        eng.register_server(NodeId::new(3), p);
+        eng.run();
+        let liar = NodeId::new(7);
+        eng.set_fault(liar, FaultProfile::ForgedAddress);
+        let h = eng.locate(NodeId::new(0), p);
+        eng.run();
+        match eng.outcome(h) {
+            LocateOutcome::Found {
+                addr,
+                stamp,
+                dissent,
+                ..
+            } => {
+                assert_eq!(addr, liar, "the forged stamp out-bids honesty");
+                assert_eq!(stamp, FORGED_STAMP);
+                assert!(dissent >= 1, "the honest hit disagrees: lie is detectable");
+            }
+            other => panic!("expected a (detectable) forged hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drop_posts_and_refuse_match_erode_redundancy() {
+        // checkerboard rendezvous are singletons: one bad rendezvous node
+        // converts a sure hit into a clean miss
+        let n = 16;
+        let strat = Checkerboard::new(n);
+        let server = NodeId::new(3);
+        let client = NodeId::new(12);
+        let rdv = mm_core::Strategy::rendezvous(&strat, server, client);
+        assert_eq!(rdv.len(), 1);
+        for fault in [FaultProfile::DropPosts, FaultProfile::RefuseMatch] {
+            let mut eng =
+                ShotgunEngine::new(gen::complete(n), Checkerboard::new(n), CostModel::Uniform);
+            eng.set_fault(rdv[0], fault);
+            let p = port("svc");
+            eng.register_server(server, p);
+            eng.run();
+            let h = eng.locate(client, p);
+            eng.run();
+            assert!(
+                matches!(eng.outcome(h), LocateOutcome::NotFound { .. }),
+                "{fault:?} at the only rendezvous must sever the pair"
+            );
+        }
+    }
+
+    #[test]
+    fn stale_address_fault_pins_the_first_posting() {
+        use mm_core::strategies::HashLocate;
+        let n = 16;
+        let mut eng =
+            ShotgunEngine::new(gen::complete(n), HashLocate::new(n, 2), CostModel::Uniform);
+        let p = port("svc");
+        let replicas = eng.resolver().rendezvous_nodes(p);
+        for &r in &replicas {
+            eng.set_fault(r, FaultProfile::StaleAddress);
+        }
+        eng.register_server(NodeId::new(2), p);
+        eng.run();
+        eng.migrate_server(p, NodeId::new(2), NodeId::new(13));
+        eng.run();
+        let h = eng.locate(NodeId::new(5), p);
+        eng.run();
+        match eng.outcome(h) {
+            LocateOutcome::Found { addr, dissent, .. } => {
+                assert_eq!(
+                    addr,
+                    NodeId::new(2),
+                    "pinned first posting survives the migration"
+                );
+                assert_eq!(
+                    dissent, 0,
+                    "unanimous staleness is undetectable by cross-check"
+                );
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

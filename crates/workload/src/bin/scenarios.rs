@@ -24,6 +24,16 @@
 //! `flash-crowd-recovery`) carry their own pools. Without `--clients`,
 //! open-loop output stays byte-compatible with the historical schema.
 //!
+//! `--replication F` upgrades the strategy to the paper's §2.4 redundant
+//! criterion — `F+1` superimposed copies via
+//! [`Replicated`](mm_core::robust::Replicated) (for `hash`, `F+1` hash
+//! replicas), tolerating `F` rendezvous crashes per pair — and forces the
+//! `robustness` block into the report so the overhead ("robustness …
+//! has a price tag in number of message passes") is measurable against
+//! the base run. The hostile-world scenarios (`rack-failure`,
+//! `byzantine-liars`, `rendezvous-skew` and their `-closed` twins) carry
+//! that block automatically.
+//!
 //! Re-running with identical arguments reproduces byte-identical output
 //! (modulo the `--pretty` flag, which only reformats).
 //!
@@ -47,6 +57,7 @@
 //! `--throughput` adds wall-clock events/sec, and `--verbose` restores
 //! the per-scenario stderr progress lines.
 
+use mm_core::robust::Replicated;
 use mm_core::strategies::{Broadcast, Checkerboard, HashLocate, PortMapped};
 use mm_obs::{TraceConfig, TraceFile};
 use mm_sim::{CostModel, QueueKind};
@@ -87,6 +98,8 @@ struct Args {
     retries: u32,
     backoff: u64,
     window: u64,
+    /// `--replication F`: tolerated rendezvous faults; 0 = base strategy.
+    replication: u64,
     pretty: bool,
     records: bool,
     /// `--trace FILE`: write the causal span trace as JSONL.
@@ -108,7 +121,7 @@ fn usage() -> ! {
          [--topology complete|grid|ring|hypercube] [--cost uniform|hops] \
          [--queue calendar|btree] [--runtime sim|live] \
          [--clients N] [--think zero|fixed:T|exp:M] [--retries R] \
-         [--backoff B] [--window W] [--pretty] [--records] \
+         [--backoff B] [--window W] [--replication F] [--pretty] [--records] \
          [--trace FILE] [--trace-rate R] [--obs] [--throughput] [--verbose]\n\
          \nusage: scenarios trace FILE    (analyze a recorded trace: \
          measured m(P,Q),\nlatency attribution, conservation check — \
@@ -118,10 +131,14 @@ fn usage() -> ! {
          n <= {LIVE_THREAD_LIMIT}) and reports the same schema.\n\
          --clients N runs the scenario closed-loop: a pool of N clients, \
          latency/queueing-delay\npercentiles and time-series windows in \
-         the JSON ('all' stays the open-loop five).\n\nopen-loop \
-         scenarios: {}\nclosed-loop scenarios: {}",
+         the JSON ('all' stays the open-loop five).\n\
+         --replication F superimposes F+1 strategy copies (paper 2.4: \
+         tolerate F rendezvous\ncrashes per pair) and reports the \
+         robustness block with the measured overhead.\n\nopen-loop \
+         scenarios: {}\nclosed-loop scenarios: {}\nhostile scenarios: {}",
         scenarios::ALL.join(", "),
-        scenarios::CLOSED_LOOP.join(", ")
+        scenarios::CLOSED_LOOP.join(", "),
+        scenarios::HOSTILE.join(", ")
     );
     std::process::exit(2);
 }
@@ -159,6 +176,7 @@ fn parse_args() -> Args {
         retries: 1,
         backoff: 8,
         window: 250,
+        replication: 0,
         pretty: false,
         records: false,
         trace: None,
@@ -218,6 +236,9 @@ fn parse_args() -> Args {
             "--retries" => args.retries = value(&argv, &mut i).parse().unwrap_or_else(|_| usage()),
             "--backoff" => args.backoff = value(&argv, &mut i).parse().unwrap_or_else(|_| usage()),
             "--window" => args.window = value(&argv, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--replication" => {
+                args.replication = value(&argv, &mut i).parse().unwrap_or_else(|_| usage())
+            }
             "--pretty" => args.pretty = true,
             "--records" => args.records = true,
             "--trace" => args.trace = Some(value(&argv, &mut i)),
@@ -344,6 +365,17 @@ fn build_spec(args: &Args, name: &str, n: usize) -> mm_workload::Workload {
     spec
 }
 
+/// The strategy copies `--replication F` superimposes (`F + 1`; 1 = base),
+/// failing fast when the universe is too small to carry them.
+fn replication_factor(args: &Args, n: usize) -> usize {
+    let r = args.replication as usize + 1;
+    if r > n {
+        eprintln!("error: --replication {} needs n >= {r}", args.replication);
+        std::process::exit(2);
+    }
+    r
+}
+
 fn run_one(args: &Args, name: &str, n: usize) -> (ScenarioReport, Option<TraceFile>) {
     if args.runtime == Runtime::Live {
         return run_one_live(args, name, n);
@@ -353,13 +385,28 @@ fn run_one(args: &Args, name: &str, n: usize) -> (ScenarioReport, Option<TraceFi
     // etc.) from the node count actually run, not the requested one
     let n = graph.node_count();
     let spec = build_spec(args, name, n);
-    match args.strategy.as_str() {
-        "checkerboard" => run_spec(spec, graph, Checkerboard::new(n), args, "checkerboard"),
-        "broadcast" => run_spec(spec, graph, Broadcast::new(n), args, "broadcast"),
-        "hash" => {
-            let replication = 3.min(n);
-            run_spec(spec, graph, HashLocate::new(n, replication), args, "hash")
+    let r = replication_factor(args, n);
+    match (args.strategy.as_str(), r) {
+        ("checkerboard", 1) => run_spec(spec, graph, Checkerboard::new(n), args, "checkerboard"),
+        ("checkerboard", _) => {
+            let s = Replicated::new(Checkerboard::new(n), r);
+            run_spec(spec, graph, s, args, &format!("checkerboard-r{r}"))
         }
+        ("broadcast", 1) => run_spec(spec, graph, Broadcast::new(n), args, "broadcast"),
+        ("broadcast", _) => {
+            let s = Replicated::new(Broadcast::new(n), r);
+            run_spec(spec, graph, s, args, &format!("broadcast-r{r}"))
+        }
+        // Hash Locate's replica count *is* its redundancy level (§5):
+        // `--replication F` raises it from the default 3 to F+1
+        ("hash", 1) => run_spec(spec, graph, HashLocate::new(n, 3.min(n)), args, "hash"),
+        ("hash", _) => run_spec(
+            spec,
+            graph,
+            HashLocate::new(n, r),
+            args,
+            &format!("hash-r{r}"),
+        ),
         _ => usage(),
     }
 }
@@ -367,32 +414,20 @@ fn run_one(args: &Args, name: &str, n: usize) -> (ScenarioReport, Option<TraceFi
 fn run_one_live(args: &Args, name: &str, n: usize) -> (ScenarioReport, Option<TraceFile>) {
     // incompatible flag combinations were rejected in parse_args
     let spec = build_spec(args, name, n);
-    let mut runner = match args.strategy.as_str() {
-        "checkerboard" => LiveScenarioRunner::new(spec, n, Checkerboard::new(n), "checkerboard"),
-        _ => return run_one_live_other(args, spec, n),
-    };
-    apply_obs_live(&mut runner, args);
-    runner.run_traced()
-}
-
-/// Monomorphized tail of [`run_one_live`] for the non-default strategies
-/// (each [`LiveScenarioRunner<PM>`] is a distinct type).
-fn run_one_live_other(
-    args: &Args,
-    spec: mm_workload::Workload,
-    n: usize,
-) -> (ScenarioReport, Option<TraceFile>) {
-    match args.strategy.as_str() {
-        "broadcast" => {
-            let mut runner = LiveScenarioRunner::new(spec, n, Broadcast::new(n), "broadcast");
-            apply_obs_live(&mut runner, args);
-            runner.run_traced()
+    let r = replication_factor(args, n);
+    match (args.strategy.as_str(), r) {
+        ("checkerboard", 1) => run_spec_live(spec, n, Checkerboard::new(n), args, "checkerboard"),
+        ("checkerboard", _) => {
+            let s = Replicated::new(Checkerboard::new(n), r);
+            run_spec_live(spec, n, s, args, &format!("checkerboard-r{r}"))
         }
-        "hash" => {
-            let mut runner = LiveScenarioRunner::new(spec, n, HashLocate::new(n, 3.min(n)), "hash");
-            apply_obs_live(&mut runner, args);
-            runner.run_traced()
+        ("broadcast", 1) => run_spec_live(spec, n, Broadcast::new(n), args, "broadcast"),
+        ("broadcast", _) => {
+            let s = Replicated::new(Broadcast::new(n), r);
+            run_spec_live(spec, n, s, args, &format!("broadcast-r{r}"))
         }
+        ("hash", 1) => run_spec_live(spec, n, HashLocate::new(n, 3.min(n)), args, "hash"),
+        ("hash", _) => run_spec_live(spec, n, HashLocate::new(n, r), args, &format!("hash-r{r}")),
         _ => usage(),
     }
 }
@@ -408,6 +443,9 @@ fn apply_obs<PM: PortMapped>(runner: &mut ScenarioRunner<PM>, args: &Args) {
     if args.throughput {
         runner.enable_throughput();
     }
+    if args.replication > 0 {
+        runner.enable_robustness(args.replication + 1);
+    }
 }
 
 /// Applies the observability flags to a live runner.
@@ -421,6 +459,9 @@ fn apply_obs_live<PM: PortMapped>(runner: &mut LiveScenarioRunner<PM>, args: &Ar
     if args.throughput {
         runner.enable_throughput();
     }
+    if args.replication > 0 {
+        runner.enable_robustness(args.replication + 1);
+    }
 }
 
 fn run_spec<PM: PortMapped>(
@@ -433,6 +474,18 @@ fn run_spec<PM: PortMapped>(
     let mut runner =
         ScenarioRunner::with_queue(spec, graph, resolver, args.cost, label, args.queue);
     apply_obs(&mut runner, args);
+    runner.run_traced()
+}
+
+fn run_spec_live<PM: PortMapped>(
+    spec: mm_workload::Workload,
+    n: usize,
+    resolver: PM,
+    args: &Args,
+    label: &str,
+) -> (ScenarioReport, Option<TraceFile>) {
+    let mut runner = LiveScenarioRunner::new(spec, n, resolver, label);
+    apply_obs_live(&mut runner, args);
     runner.run_traced()
 }
 
@@ -452,7 +505,10 @@ fn main() {
         scenarios::ALL.to_vec()
     } else {
         let known = args.scenario.as_str();
-        if !scenarios::ALL.contains(&known) && !scenarios::CLOSED_LOOP.contains(&known) {
+        if !scenarios::ALL.contains(&known)
+            && !scenarios::CLOSED_LOOP.contains(&known)
+            && !scenarios::HOSTILE.contains(&known)
+        {
             usage();
         }
         vec![known]

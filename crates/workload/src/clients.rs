@@ -51,13 +51,16 @@ pub(crate) trait OpDriver {
     fn issue(&mut self, now: SimTime, client: NodeId, port_idx: usize) -> (u64, Option<SimTime>);
     /// The verdict, once decided by virtual time `now`. `issued` is the
     /// virtual tick this attempt was issued (for timeout classification
-    /// and exact completion-tick reconstruction).
+    /// and exact completion-tick reconstruction); `port_idx` lets hostile
+    /// runs classify the answer against the port's ground truth (fresh /
+    /// stale / forged).
     fn poll(
         &mut self,
         client: NodeId,
         token: u64,
         issued: SimTime,
         now: SimTime,
+        port_idx: usize,
     ) -> Option<(LocateVerdict, Option<NodeId>, SimTime)>;
     /// The port's current true server address (stale-hit accounting).
     fn home(&self, port_idx: usize) -> NodeId;
@@ -217,10 +220,10 @@ impl ClientPool {
                         attempts,
                     } if wake <= now => {
                         let client = self.records[rec].client.expect("dispatched");
-                        match driver.poll(client, token, issued, now) {
+                        let port_idx = self.records[rec].port_idx.expect("dispatched");
+                        match driver.poll(client, token, issued, now, port_idx) {
                             Some((verdict, addr, done_at)) => {
                                 progress = true;
-                                let port_idx = self.records[rec].port_idx.expect("dispatched");
                                 acc.completed += 1;
                                 match verdict {
                                     LocateVerdict::Hit => {
@@ -231,6 +234,12 @@ impl ClientPool {
                                     }
                                     LocateVerdict::Miss => acc.misses += 1,
                                     LocateVerdict::Unresolved => acc.unresolved += 1,
+                                    // Byzantine classifications are final:
+                                    // the retry budget is for unanswered
+                                    // queries, not for answers the client
+                                    // has (or hasn't) seen through
+                                    LocateVerdict::DetectedLie => acc.detected_lie += 1,
+                                    LocateVerdict::FalseMatch => acc.false_match += 1,
                                 }
                                 let retry = verdict == LocateVerdict::Unresolved
                                     && attempts <= self.model.retry_budget
@@ -430,6 +439,7 @@ mod tests {
             token: u64,
             _issued: SimTime,
             now: SimTime,
+            _port_idx: usize,
         ) -> Option<(LocateVerdict, Option<NodeId>, SimTime)> {
             let (verdict, done) = self.outcomes[token as usize];
             if now >= done {

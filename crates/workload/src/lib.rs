@@ -33,7 +33,10 @@
 //!   runtimes, plus the per-operation verdict log they both produce.
 //! * [`scenarios`] — the library: steady-state, flash-crowd,
 //!   rolling-churn, migrate-under-load, cold-vs-warm-cache (open-loop)
-//!   plus overload-ramp and flash-crowd-recovery (closed-loop).
+//!   plus overload-ramp and flash-crowd-recovery (closed-loop), and the
+//!   hostile-world set (rack-failure, byzantine-liars, rendezvous-skew,
+//!   each with a `-closed` twin) exercising correlated crash groups,
+//!   forged-address Byzantine nodes, and adversarial hotspot skew.
 //!
 //! Determinism is a hard contract: every random choice flows from the
 //! spec's seed through one generator in a fixed order, so two runs of the
@@ -72,11 +75,12 @@ pub mod traffic;
 
 pub use live_runner::LiveScenarioRunner;
 pub use report::{
-    ClosedLoopStats, LocateRecord, LocateVerdict, PhaseReport, ScenarioReport, WindowReport,
+    ClosedLoopStats, LocateRecord, LocateVerdict, PhaseReport, RobustnessReport, ScenarioReport,
+    WindowReport,
 };
 pub use runner::ScenarioRunner;
 pub use spec::{
-    ArrivalProcess, ChurnAction, ChurnEvent, ClientModel, Phase, PortPopularity, ThinkTime,
-    Workload,
+    ArrivalProcess, ChurnAction, ChurnEvent, ClientModel, FaultSpec, Phase, PortPopularity,
+    ThinkTime, Workload,
 };
 pub use traffic::PopularitySampler;

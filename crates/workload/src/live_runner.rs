@@ -42,12 +42,12 @@
 
 use crate::clients::{ClientPool, OpDriver};
 use crate::observe::{
-    emit_locate_spans, emit_post_spans, emit_request_span, finish_trace, observe_locate,
-    virtual_elapsed,
+    emit_fault_span, emit_locate_spans, emit_post_spans, emit_request_span, finish_trace,
+    observe_locate, virtual_elapsed,
 };
 use crate::report::{
-    build_closed_loop, build_phase_report, predict_passes_per_locate, Acc, LocateRecord,
-    LocateVerdict, PhaseReport, ScenarioReport,
+    build_closed_loop, build_phase_report, classify_hit, predict_passes_per_locate, Acc,
+    LocateRecord, LocateVerdict, PhaseReport, RobustnessReport, ScenarioReport,
 };
 use crate::spec::{ChurnAction, Workload};
 use crate::timeline::{draw_arrival, resolve_churn, Event, ResolvedChurn, Timeline};
@@ -56,7 +56,7 @@ use mm_core::strategies::PortMapped;
 use mm_core::Port;
 use mm_obs::{Registry, TraceConfig, TraceFile, Tracer};
 use mm_proto::live::{LiveLocateOutcome, LiveNet, LiveRequestOutcome};
-use mm_proto::TargetInterner;
+use mm_proto::{FaultProfile, TargetInterner};
 use mm_sim::{Metrics, SimTime};
 use mm_topo::NodeId;
 use rand::rngs::StdRng;
@@ -78,6 +78,11 @@ struct LiveDriver<'a, PM: PortMapped> {
     resolver: &'a PM,
     ports: &'a [Port],
     homes: &'a [NodeId],
+    /// Byzantine ground truth: `liars[v]` iff node `v` forges addresses.
+    liars: &'a [bool],
+    /// Hostile-world client policy: act on the best partial answer once
+    /// the timeout fires instead of writing the operation off.
+    salvage: bool,
     op_timeout: SimTime,
     pending: &'a mut Vec<(LocateVerdict, Option<NodeId>, SimTime)>,
     tracer: &'a mut Option<Tracer>,
@@ -89,12 +94,36 @@ impl<PM: PortMapped> OpDriver for LiveDriver<'_, PM> {
         let port = self.ports[port_idx];
         let targets = self.interner.query_set(self.resolver, client, port);
         let solo = targets.len() == 1 && targets.contains(client);
+        let mut salvaged = false;
         let (verdict, addr, meets) = match self.net.locate(client, port, targets.clone()) {
-            LiveLocateOutcome::Found { addr, meets, .. } => (LocateVerdict::Hit, Some(addr), meets),
+            LiveLocateOutcome::Found {
+                addr,
+                meets,
+                dissent,
+                ..
+            } => {
+                let verdict = classify_hit(addr, self.homes[port_idx], dissent, self.liars);
+                (verdict, Some(addr), meets)
+            }
             LiveLocateOutcome::NotFound => (LocateVerdict::Miss, None, Vec::new()),
-            LiveLocateOutcome::Unresolved { .. } => (LocateVerdict::Unresolved, None, Vec::new()),
+            // hostile-world clients salvage the best partial answer at
+            // timeout (and still run lie detection on it)
+            LiveLocateOutcome::Unresolved { best, dissent, .. } => {
+                match best.filter(|_| self.salvage) {
+                    Some((addr, _)) => {
+                        salvaged = true;
+                        let verdict = classify_hit(addr, self.homes[port_idx], dissent, self.liars);
+                        (verdict, Some(addr), Vec::new())
+                    }
+                    None => (LocateVerdict::Unresolved, None, Vec::new()),
+                }
+            }
         };
-        let elapsed = virtual_elapsed(solo, verdict, self.op_timeout);
+        let elapsed = if salvaged {
+            self.op_timeout
+        } else {
+            virtual_elapsed(solo, verdict, self.op_timeout)
+        };
         if let Some(reg) = self.registry.as_mut() {
             observe_locate(reg, verdict, elapsed, targets.len(), meets.len());
         }
@@ -118,6 +147,7 @@ impl<PM: PortMapped> OpDriver for LiveDriver<'_, PM> {
         token: u64,
         _issued: SimTime,
         now: SimTime,
+        _port_idx: usize,
     ) -> Option<(LocateVerdict, Option<NodeId>, SimTime)> {
         let (verdict, addr, done) = self.pending[token as usize];
         (now >= done).then_some((verdict, addr, done))
@@ -147,6 +177,15 @@ pub struct LiveScenarioRunner<PM: PortMapped> {
     homes: Vec<NodeId>,
     /// Runner-side crash view (mirrors [`LiveNet`]'s).
     crashed: Vec<bool>,
+    /// Byzantine ground truth for verdict classification: `liars[v]` iff
+    /// the spec gives node `v` a forging fault profile.
+    liars: Vec<bool>,
+    /// Emit the §2.4 robustness block (auto-on for hostile specs).
+    robust: bool,
+    /// Replication factor echoed in the robustness block (1 = base).
+    replication: u64,
+    /// Lowest sampled alive-pair survival fraction seen after any crash.
+    min_survival: f64,
     /// Currently-live nodes, ascending (same draw order as the simulator
     /// runner's).
     live: Vec<NodeId>,
@@ -187,6 +226,16 @@ impl<PM: PortMapped> LiveScenarioRunner<PM> {
             resolver.node_count(),
             "resolver universe must match the network"
         );
+        assert!(
+            spec.faults.iter().all(|f| f.node_index < n),
+            "fault node_index out of range for n = {n}"
+        );
+        let mut liars = vec![false; n];
+        for f in &spec.faults {
+            if f.fault == FaultProfile::ForgedAddress {
+                liars[f.node_index] = true;
+            }
+        }
         let sampler = PopularitySampler::new(spec.ports, spec.popularity);
         LiveScenarioRunner {
             net: LiveNet::new(n),
@@ -199,6 +248,10 @@ impl<PM: PortMapped> LiveScenarioRunner<PM> {
                 .collect(),
             homes: Vec::new(),
             crashed: vec![false; n],
+            liars,
+            robust: spec.hostile(),
+            replication: 1,
+            min_survival: 1.0,
             live: (0..n).map(NodeId::from).collect(),
             acc: Acc::default(),
             op_log: Vec::new(),
@@ -232,6 +285,45 @@ impl<PM: PortMapped> LiveScenarioRunner<PM> {
     /// Enables wall-clock events/sec measurement per phase.
     pub fn enable_throughput(&mut self) {
         self.wallclock = true;
+    }
+
+    /// Forces the §2.4 robustness block into the report (hostile specs
+    /// enable it automatically); `replication` is echoed as the factor of
+    /// the arrangement under test (1 = base).
+    pub fn enable_robustness(&mut self, replication: u64) {
+        self.robust = true;
+        self.replication = replication.max(1);
+    }
+
+    /// Installs the spec's Byzantine fault profiles — before any posting,
+    /// so the world is hostile from tick 0 (a stale-address fault pins the
+    /// *setup* posting). Hostile traces get one `fault` span per profile
+    /// ahead of the setup-post trees, in the same order as the simulator
+    /// runner's.
+    fn apply_faults(&mut self) {
+        let faults = self.spec.faults.clone();
+        for f in &faults {
+            let node = NodeId::from(f.node_index);
+            self.net.set_fault(node, f.fault);
+            if let Some(tr) = self.tracer.as_mut() {
+                let trace = tr.next_trace_id();
+                emit_fault_span(tr, trace, node, f.fault.label());
+            }
+        }
+    }
+
+    /// Folds the current crash pattern into the run's minimum sampled
+    /// survival fraction (robustness reporting only).
+    fn observe_survival(&mut self) {
+        if self.robust {
+            let sf = mm_core::robust::survival_fraction_pm(
+                &self.resolver,
+                &self.ports,
+                &self.crashed,
+                64,
+            );
+            self.min_survival = self.min_survival.min(sf);
+        }
     }
 
     /// Like [`LiveScenarioRunner::run`], additionally returning the
@@ -320,9 +412,11 @@ impl<PM: PortMapped> LiveScenarioRunner<PM> {
         }
         let predicted = predict_passes_per_locate(&self.resolver, self.n(), &self.ports);
 
-        // --- setup: place one server per port (same RNG draws as the
-        // simulator runner; LiveNet::register_server blocks until the
-        // postings are observable, the analogue of `run_until(t0)`) ---
+        // --- setup: install faults, then place one server per port (same
+        // RNG draws as the simulator runner; LiveNet::register_server
+        // blocks until the postings are observable, the analogue of
+        // `run_until(t0)`) ---
+        self.apply_faults();
         for i in 0..self.spec.ports {
             let home = NodeId::from(self.rng.gen_range(0..self.n()));
             self.homes.push(home);
@@ -348,7 +442,8 @@ impl<PM: PortMapped> LiveScenarioRunner<PM> {
             }
             let after = self.net.metrics();
             let delta = after.delta(&before);
-            let mut report = build_phase_report(name, *start, *end, &self.acc, &delta);
+            let mut report =
+                build_phase_report(name, *start, *end, &self.acc, &delta, self.spec.hostile());
             self.finish_phase_obs(&mut report, delta.events_executed, wall);
             reports.push(report);
         }
@@ -372,6 +467,7 @@ impl<PM: PortMapped> LiveScenarioRunner<PM> {
     /// byte-for-byte across the runtimes.
     fn run_logged_closed(mut self) -> (ScenarioReport, Vec<LocateRecord>, Option<TraceFile>) {
         let predicted = predict_passes_per_locate(&self.resolver, self.n(), &self.ports);
+        self.apply_faults();
         for i in 0..self.spec.ports {
             let home = NodeId::from(self.rng.gen_range(0..self.n()));
             self.homes.push(home);
@@ -425,7 +521,8 @@ impl<PM: PortMapped> LiveScenarioRunner<PM> {
             }
             let after = self.net.metrics();
             let delta = after.delta(&before);
-            let mut report = build_phase_report(name, *start, *end, &self.acc, &delta);
+            let mut report =
+                build_phase_report(name, *start, *end, &self.acc, &delta, self.spec.hostile());
             self.finish_phase_obs(&mut report, delta.events_executed, wall);
             reports.push(report);
         }
@@ -462,6 +559,8 @@ impl<PM: PortMapped> LiveScenarioRunner<PM> {
             resolver: &self.resolver,
             ports: &self.ports,
             homes: &self.homes,
+            liars: &self.liars,
+            salvage: self.spec.hostile(),
             op_timeout: self.spec.op_timeout,
             pending: &mut self.pending,
             tracer: &mut self.tracer,
@@ -500,6 +599,16 @@ impl<PM: PortMapped> LiveScenarioRunner<PM> {
             predicted_passes_per_locate: predicted,
             phases,
             windows,
+            robustness: self.robust.then(|| RobustnessReport {
+                max_tolerated_faults: mm_core::robust::max_tolerated_faults_pm(
+                    &self.resolver,
+                    &self.ports,
+                    64,
+                ) as u64,
+                min_survival_fraction: self.min_survival,
+                byzantine_nodes: self.spec.faults.len() as u64,
+                replication: self.replication,
+            }),
         }
     }
 
@@ -529,6 +638,7 @@ impl<PM: PortMapped> LiveScenarioRunner<PM> {
     /// virtual-timing law (never wall clocks — the trace must be
     /// byte-identical to the simulator's on churn-free specs). Returns the
     /// virtual elapsed and fan-out width for the follow-up request span.
+    #[allow(clippy::too_many_arguments)]
     fn observe_locate_verdict(
         &mut self,
         trace: Option<u64>,
@@ -537,6 +647,7 @@ impl<PM: PortMapped> LiveScenarioRunner<PM> {
         issued: SimTime,
         verdict: LocateVerdict,
         meets: &[NodeId],
+        salvaged: bool,
     ) -> (u64, u32) {
         if self.tracer.is_none() && self.registry.is_none() {
             return (0, 0);
@@ -544,7 +655,13 @@ impl<PM: PortMapped> LiveScenarioRunner<PM> {
         let port = self.ports[port_idx];
         let targets = self.interner.query_set(&self.resolver, client, port);
         let solo = targets.len() == 1 && targets.contains(client);
-        let elapsed = virtual_elapsed(solo, verdict, self.spec.op_timeout);
+        // a salvaged verdict was decided by the client's own timeout, not
+        // by the slowest reply — its elapsed is the full wait
+        let elapsed = if salvaged {
+            self.spec.op_timeout
+        } else {
+            virtual_elapsed(solo, verdict, self.spec.op_timeout)
+        };
         if let Some(reg) = self.registry.as_mut() {
             observe_locate(reg, verdict, elapsed, targets.len(), meets.len());
         }
@@ -566,9 +683,9 @@ impl<PM: PortMapped> LiveScenarioRunner<PM> {
         // same allocation point as the simulator runner: at the arrival,
         // before the operation runs
         let trace = self.tracer.as_mut().map(Tracer::next_trace_id);
-        let (verdict, addr, meets) = self.locate_once(client, port_idx);
+        let (verdict, addr, meets, salvaged) = self.locate_once(client, port_idx);
         let (elapsed, fanout) =
-            self.observe_locate_verdict(trace, client, port_idx, t, verdict, &meets);
+            self.observe_locate_verdict(trace, client, port_idx, t, verdict, &meets, salvaged);
         self.op_log.push(LocateRecord {
             arrival,
             at: t,
@@ -578,7 +695,9 @@ impl<PM: PortMapped> LiveScenarioRunner<PM> {
             addr,
         });
         let Some(addr) = addr else { return };
-        if !self.spec.request_after_locate {
+        if !self.spec.request_after_locate || verdict == LocateVerdict::DetectedLie {
+            // a detected lie is final: the client rejects the address and
+            // never calls it, exactly as in the simulator's drain
             return;
         }
         if let Some(trace) = trace {
@@ -593,12 +712,23 @@ impl<PM: PortMapped> LiveScenarioRunner<PM> {
                 // kept for parity with the simulator's recovery loop.
                 self.acc.stale_requests += 1;
                 self.acc.issued += 1;
-                let (retry_verdict, retry_addr, retry_meets) = self.locate_once(client, port_idx);
+                let (retry_verdict, retry_addr, retry_meets, retry_salvaged) =
+                    self.locate_once(client, port_idx);
                 // stale-recovery retries stay out of the trace (no id), but
                 // feed the registry, as in the simulator runner
-                self.observe_locate_verdict(None, client, port_idx, t, retry_verdict, &retry_meets);
-                if retry_verdict == LocateVerdict::Hit {
-                    if retry_addr == Some(self.homes[port_idx]) {
+                self.observe_locate_verdict(
+                    None,
+                    client,
+                    port_idx,
+                    t,
+                    retry_verdict,
+                    &retry_meets,
+                    retry_salvaged,
+                );
+                if retry_verdict != LocateVerdict::DetectedLie {
+                    if retry_verdict == LocateVerdict::Hit
+                        && retry_addr == Some(self.homes[port_idx])
+                    {
                         self.acc.recoveries += 1;
                     }
                     if let Some(a) = retry_addr {
@@ -615,31 +745,74 @@ impl<PM: PortMapped> LiveScenarioRunner<PM> {
     }
 
     /// Issues one locate and folds its verdict into the accumulator.
+    /// The trailing `bool` marks a salvaged verdict (hostile-world policy:
+    /// the best partial answer, adopted at timeout).
     fn locate_once(
         &mut self,
         client: NodeId,
         port_idx: usize,
-    ) -> (LocateVerdict, Option<NodeId>, Vec<NodeId>) {
+    ) -> (LocateVerdict, Option<NodeId>, Vec<NodeId>, bool) {
         let port = self.ports[port_idx];
         let targets = self.interner.query_set(&self.resolver, client, port);
         self.acc.completed += 1;
         match self.net.locate(client, port, targets) {
-            LiveLocateOutcome::Found { addr, meets, .. } => {
+            LiveLocateOutcome::Found {
+                addr,
+                meets,
+                dissent,
+                ..
+            } => {
+                let verdict = self.classify_and_count(addr, port_idx, dissent);
+                (verdict, Some(addr), meets, false)
+            }
+            LiveLocateOutcome::NotFound => {
+                self.acc.misses += 1;
+                (LocateVerdict::Miss, None, Vec::new(), false)
+            }
+            LiveLocateOutcome::Unresolved { best, dissent, .. } => {
+                match best.filter(|_| self.spec.hostile()) {
+                    // hostile-world clients salvage the best partial
+                    // answer at timeout: a crashed rendezvous must not
+                    // sever an alive pair that a surviving replica still
+                    // serves (§2.4) — lie detection still runs on it
+                    Some((addr, _)) => {
+                        let verdict = self.classify_and_count(addr, port_idx, dissent);
+                        (verdict, Some(addr), Vec::new(), true)
+                    }
+                    None => {
+                        self.acc.unresolved += 1;
+                        (LocateVerdict::Unresolved, None, Vec::new(), false)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Classifies one located address against the port's ground truth and
+    /// folds the verdict into the accumulator.
+    fn classify_and_count(
+        &mut self,
+        addr: NodeId,
+        port_idx: usize,
+        dissent: usize,
+    ) -> LocateVerdict {
+        let verdict = classify_hit(addr, self.homes[port_idx], dissent, &self.liars);
+        match verdict {
+            LocateVerdict::Hit => {
                 self.acc.hits += 1;
                 if addr != self.homes[port_idx] {
                     self.acc.stale_results += 1;
                 }
-                (LocateVerdict::Hit, Some(addr), meets)
             }
-            LiveLocateOutcome::NotFound => {
-                self.acc.misses += 1;
-                (LocateVerdict::Miss, None, Vec::new())
-            }
-            LiveLocateOutcome::Unresolved { .. } => {
-                self.acc.unresolved += 1;
-                (LocateVerdict::Unresolved, None, Vec::new())
-            }
+            // the dissenting honest answer exposed the forgery: the
+            // client discards the address and never calls it
+            LocateVerdict::DetectedLie => self.acc.detected_lie += 1,
+            // the forgery escaped; the follow-up call bounces off the
+            // non-serving liar and the §1.3 loop re-locates
+            LocateVerdict::FalseMatch => self.acc.false_match += 1,
+            _ => unreachable!("classify_hit never yields {verdict:?}"),
         }
+        verdict
     }
 
     fn refresh_all(&mut self, t: SimTime) {
@@ -686,9 +859,13 @@ impl<PM: PortMapped> LiveScenarioRunner<PM> {
             &self.crashed,
             &self.homes,
         );
+        let mut any_crash = false;
         for r in resolved {
             match r {
-                ResolvedChurn::Crash(v) => self.crash_node(v),
+                ResolvedChurn::Crash(v) => {
+                    any_crash = true;
+                    self.crash_node(v)
+                }
                 ResolvedChurn::Restore { node, clear_cache } => {
                     self.restore_node(node, clear_cache)
                 }
@@ -705,6 +882,9 @@ impl<PM: PortMapped> LiveScenarioRunner<PM> {
                 }
                 ResolvedChurn::RefreshAll => self.refresh_all(t),
             }
+        }
+        if any_crash {
+            self.observe_survival();
         }
     }
 }

@@ -35,6 +35,8 @@ fn verdict_label(v: LocateVerdict) -> &'static str {
         LocateVerdict::Hit => "hit",
         LocateVerdict::Miss => "miss",
         LocateVerdict::Unresolved => "unresolved",
+        LocateVerdict::DetectedLie => "detected-lie",
+        LocateVerdict::FalseMatch => "false-match",
     }
 }
 
@@ -166,6 +168,27 @@ pub(crate) fn emit_request_span(
     });
 }
 
+/// Emits the setup-time `fault` span of one injected Byzantine profile: a
+/// root span at the faulty node whose verdict field carries the profile
+/// label. Both runtimes emit these in spec order before any traffic, so a
+/// hostile trace identifies its adversary deterministically.
+pub(crate) fn emit_fault_span(tracer: &mut Tracer, trace: u64, node: NodeId, label: &str) {
+    tracer.record(SpanRecord {
+        trace,
+        span: 0,
+        parent: None,
+        kind: "fault".to_string(),
+        node: u64::from(node.raw()),
+        port: 0,
+        hop: 0,
+        tick: 0,
+        cost: 0,
+        met: None,
+        verdict: Some(label.to_string()),
+        elapsed: None,
+    });
+}
+
 /// Folds one classified locate into the metrics registry: verdict
 /// counters plus the latency / fan-out / meet histograms.
 pub(crate) fn observe_locate(
@@ -180,6 +203,8 @@ pub(crate) fn observe_locate(
             LocateVerdict::Hit => "locates_hit",
             LocateVerdict::Miss => "locates_miss",
             LocateVerdict::Unresolved => "locates_unresolved",
+            LocateVerdict::DetectedLie => "locates_detected_lie",
+            LocateVerdict::FalseMatch => "locates_false_match",
         },
         1,
     );

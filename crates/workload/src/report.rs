@@ -91,6 +91,18 @@ pub struct PhaseReport {
     pub load_max: u64,
     /// Mean per-node deliveries during the phase.
     pub load_mean: f64,
+    /// Completed locates whose winning answer was a Byzantine forgery
+    /// exposed by honest dissent in the same fan-out — the client rejects
+    /// the address. Present only for hostile workloads (specs with fault
+    /// injection); benign reports serialize without this key,
+    /// byte-for-byte as before.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub detected_lie: Option<u64>,
+    /// Completed locates where a forgery won with no honest dissent to
+    /// expose it — the client walked away with a liar's address. Present
+    /// only for hostile workloads.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub false_match: Option<u64>,
     /// Closed-loop latency accounting for this phase, present only when
     /// the workload configures a [`crate::spec::ClientModel`] — open-loop
     /// reports serialize without this key, byte-for-byte as before.
@@ -223,6 +235,29 @@ pub struct ScenarioReport {
     /// Fixed-width time-series windows (closed-loop runs only).
     #[serde(skip_serializing_if = "Option::is_none", default)]
     pub windows: Option<Vec<WindowReport>>,
+    /// Theoretical fault tolerance next to measured survival (hostile
+    /// workloads and `--replication` runs only; benign JSON stays
+    /// byte-identical).
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub robustness: Option<RobustnessReport>,
+}
+
+/// The §2.4 redundancy story attached to one scenario run: what the
+/// arrangement's geometry promises, next to what the run survived.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RobustnessReport {
+    /// Sampled `mm-core::robust` bound: the number of arbitrary node
+    /// faults any (post set, query set) pair tolerates while still
+    /// meeting — `min #(P(i) ∩ Q(j))` − 1 over sampled pairs.
+    pub max_tolerated_faults: u64,
+    /// Lowest sampled survival fraction (alive-pair rendezvous
+    /// reachability) observed immediately after any crash churn during
+    /// the run; 1.0 when no crash ever severed a pair.
+    pub min_survival_fraction: f64,
+    /// Byzantine nodes injected by the spec.
+    pub byzantine_nodes: u64,
+    /// Replication factor of the arrangement under test (1 = base).
+    pub replication: u64,
 }
 
 impl ScenarioReport {
@@ -302,6 +337,8 @@ pub(crate) struct Acc {
     pub recoveries: u64,
     pub requests_ok: u64,
     pub request_timeouts: u64,
+    pub detected_lie: u64,
+    pub false_match: u64,
 }
 
 /// Percentile of a sorted sample, 0.0 when the sample is empty (a
@@ -326,6 +363,7 @@ pub(crate) fn build_phase_report(
     end: SimTime,
     acc: &Acc,
     delta: &Metrics,
+    hostile: bool,
 ) -> PhaseReport {
     let completed = acc.completed;
     let load_max = delta.node_load.iter().copied().max().unwrap_or(0);
@@ -372,6 +410,8 @@ pub(crate) fn build_phase_report(
         } else {
             loads.iter().sum::<f64>() / loads.len() as f64
         },
+        detected_lie: hostile.then_some(acc.detected_lie),
+        false_match: hostile.then_some(acc.false_match),
         closed_loop: None,
         throughput: None,
         obs: None,
@@ -531,6 +571,36 @@ pub enum LocateVerdict {
     Miss,
     /// Some queried node never answered (crashed rendezvous / timeout).
     Unresolved,
+    /// A Byzantine node's forged answer won best-stamp selection, but an
+    /// honest hit in the same fan-out disagreed — the client rejects the
+    /// address (hostile workloads only).
+    DetectedLie,
+    /// A forged answer won with no honest corroboration to expose it: the
+    /// client walks away with a liar's address (hostile workloads only).
+    FalseMatch,
+}
+
+/// Classifies a `Found` locate against the spec's Byzantine ground truth
+/// — the single rule both runtimes and both loop modes share. A fresh
+/// address is a plain hit even if a liar shouted over it (the truth won);
+/// a non-fresh address held by a forging node is a lie, detected exactly
+/// when an honest answer dissented; any other non-fresh address is the
+/// benign stale-cache case, reported as a hit and counted separately.
+pub(crate) fn classify_hit(
+    addr: NodeId,
+    home: NodeId,
+    dissent: usize,
+    liars: &[bool],
+) -> LocateVerdict {
+    if addr != home && liars.get(addr.index()).copied().unwrap_or(false) {
+        if dissent > 0 {
+            LocateVerdict::DetectedLie
+        } else {
+            LocateVerdict::FalseMatch
+        }
+    } else {
+        LocateVerdict::Hit
+    }
 }
 
 /// One primary locate operation as both runtimes saw it. Retries issued
@@ -587,13 +657,50 @@ mod tests {
     fn empty_node_load_yields_zeroed_stats() {
         let acc = Acc::default();
         let delta = Metrics::new(0);
-        let p = build_phase_report("empty", 0, 100, &acc, &delta);
+        let p = build_phase_report("empty", 0, 100, &acc, &delta, false);
         assert_eq!(p.load_p50, 0.0);
         assert_eq!(p.load_p99, 0.0);
         assert_eq!(p.load_max, 0);
         assert_eq!(p.load_mean, 0.0);
         assert_eq!(p.throughput_per_kilotick, 0.0);
         assert_eq!(p.closed_loop, None);
+        assert_eq!(p.detected_lie, None, "benign schema stays untouched");
+        assert_eq!(p.false_match, None);
+    }
+
+    /// Hostile runs surface the Byzantine counters; the fresh/liar/dissent
+    /// classification rule is shared by both runtimes, so pin it here.
+    #[test]
+    fn classify_hit_follows_the_dissent_rule() {
+        let mut liars = vec![false; 8];
+        liars[3] = true;
+        let home = NodeId::new(5);
+        // fresh address: plain hit even if the home were marked a liar
+        assert_eq!(classify_hit(home, home, 0, &liars), LocateVerdict::Hit);
+        // stale-but-honest address: the benign §1.3 case stays a hit
+        assert_eq!(
+            classify_hit(NodeId::new(2), home, 0, &liars),
+            LocateVerdict::Hit
+        );
+        // forged address with an honest dissenting answer: detected
+        assert_eq!(
+            classify_hit(NodeId::new(3), home, 1, &liars),
+            LocateVerdict::DetectedLie
+        );
+        // forged address, no dissent: the lie escapes
+        assert_eq!(
+            classify_hit(NodeId::new(3), home, 0, &liars),
+            LocateVerdict::FalseMatch
+        );
+        let acc = Acc {
+            completed: 4,
+            detected_lie: 2,
+            false_match: 1,
+            ..Acc::default()
+        };
+        let p = build_phase_report("assault", 0, 100, &acc, &Metrics::new(4), true);
+        assert_eq!(p.detected_lie, Some(2));
+        assert_eq!(p.false_match, Some(1));
     }
 
     #[test]

@@ -17,10 +17,13 @@
 
 use crate::clients::{ClientPool, OpDriver};
 use crate::observe::{
-    emit_locate_spans, emit_post_spans, emit_request_span, finish_trace, observe_locate,
-    virtual_elapsed,
+    emit_fault_span, emit_locate_spans, emit_post_spans, emit_request_span, finish_trace,
+    observe_locate, virtual_elapsed,
 };
-use crate::report::{build_closed_loop, build_phase_report, predict_passes_per_locate, Acc};
+use crate::report::{
+    build_closed_loop, build_phase_report, classify_hit, predict_passes_per_locate, Acc,
+    RobustnessReport,
+};
 use crate::spec::{ChurnAction, Workload};
 use crate::timeline::{draw_arrival, resolve_churn, Event, ResolvedChurn, Timeline};
 use crate::traffic::PopularitySampler;
@@ -29,7 +32,7 @@ use mm_core::Port;
 use mm_obs::{Registry, TraceConfig, TraceFile, Tracer, HIST_BUCKETS};
 use mm_proto::service::ServiceNet;
 use mm_proto::shotgun::RequestOutcome;
-use mm_proto::{LocateHandle, LocateOutcome, ShotgunEngine};
+use mm_proto::{FaultProfile, LocateHandle, LocateOutcome, ShotgunEngine};
 use mm_sim::{CostModel, QueueKind, SimTime};
 use mm_topo::{Graph, NodeId};
 use rand::rngs::StdRng;
@@ -75,6 +78,11 @@ struct SimDriver<'a, PM: PortMapped> {
     net: &'a mut ServiceNet<PM>,
     ports: &'a [Port],
     homes: &'a [NodeId],
+    /// Byzantine ground truth: `liars[v]` iff node `v` forges addresses.
+    liars: &'a [bool],
+    /// Hostile-world client policy: act on the best partial answer once
+    /// the timeout fires instead of writing the operation off.
+    salvage: bool,
     t0: SimTime,
     op_timeout: SimTime,
     tracer: &'a mut Option<Tracer>,
@@ -105,6 +113,7 @@ impl<PM: PortMapped> OpDriver for SimDriver<'_, PM> {
         token: u64,
         issued: SimTime,
         now: SimTime,
+        port_idx: usize,
     ) -> Option<(LocateVerdict, Option<NodeId>, SimTime)> {
         // idempotent: make sure every event due at `now` has executed
         // (an operation issued this tick may complete this tick)
@@ -118,25 +127,33 @@ impl<PM: PortMapped> OpDriver for SimDriver<'_, PM> {
                 addr,
                 elapsed,
                 meets,
+                dissent,
                 ..
-            } => (
-                Some((LocateVerdict::Hit, Some(addr), issued + elapsed)),
-                meets,
-            ),
+            } => {
+                let verdict = classify_hit(addr, self.homes[port_idx], dissent, self.liars);
+                (Some((verdict, Some(addr), issued + elapsed)), meets)
+            }
             LocateOutcome::NotFound { elapsed } => (
                 Some((LocateVerdict::Miss, None, issued + elapsed)),
                 Vec::new(),
             ),
-            LocateOutcome::Unresolved { .. } => (
-                (now.saturating_sub(issued) >= self.op_timeout).then_some((
-                    LocateVerdict::Unresolved,
-                    None,
-                    issued + self.op_timeout,
-                )),
+            LocateOutcome::Unresolved { best, dissent, .. } => (
+                (now.saturating_sub(issued) >= self.op_timeout).then(|| {
+                    match best.filter(|_| self.salvage) {
+                        // hostile-world clients salvage the best partial
+                        // answer at timeout (and still run lie detection)
+                        Some((addr, _)) => (
+                            classify_hit(addr, self.homes[port_idx], dissent, self.liars),
+                            Some(addr),
+                            issued + self.op_timeout,
+                        ),
+                        None => (LocateVerdict::Unresolved, None, issued + self.op_timeout),
+                    }
+                }),
                 Vec::new(),
             ),
         };
-        if let Some((verdict, _, _)) = result {
+        if let Some((verdict, _, completed)) = result {
             // the pool reads each verdict exactly once; emit here
             if let Some((trace, port_idx)) = self.traced.remove(&token) {
                 let targets = self
@@ -144,7 +161,15 @@ impl<PM: PortMapped> OpDriver for SimDriver<'_, PM> {
                     .engine_mut()
                     .query_targets(client, self.ports[port_idx]);
                 let solo = targets.len() == 1 && targets.contains(client);
-                let elapsed = virtual_elapsed(solo, verdict, self.op_timeout);
+                // a salvaged verdict waited out the full timeout; the
+                // virtual law only knows decisive completions
+                let elapsed = if completed - issued >= self.op_timeout
+                    && verdict != LocateVerdict::Unresolved
+                {
+                    self.op_timeout
+                } else {
+                    virtual_elapsed(solo, verdict, self.op_timeout)
+                };
                 if let Some(reg) = self.registry.as_mut() {
                     observe_locate(reg, verdict, elapsed, targets.len(), meets.len());
                 }
@@ -177,6 +202,15 @@ pub struct ScenarioRunner<PM: PortMapped> {
     homes: Vec<NodeId>,
     /// Runner-side crash view (mirrors the simulator).
     crashed: Vec<bool>,
+    /// Byzantine ground truth for verdict classification: `liars[v]` iff
+    /// the spec gives node `v` a forging fault profile.
+    liars: Vec<bool>,
+    /// Emit the §2.4 robustness block (auto-on for hostile specs).
+    robust: bool,
+    /// Replication factor echoed in the robustness block (1 = base).
+    replication: u64,
+    /// Lowest sampled alive-pair survival fraction seen after any crash.
+    min_survival: f64,
     /// Currently-live nodes, ascending — kept incrementally in sync with
     /// `crashed` so the per-arrival client draw is O(log n), not O(n).
     live: Vec<NodeId>,
@@ -256,6 +290,16 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
         }
         let n = graph.node_count();
         assert!(n > 0, "empty graph");
+        assert!(
+            spec.faults.iter().all(|f| f.node_index < n),
+            "fault node_index out of range for n = {n}"
+        );
+        let mut liars = vec![false; n];
+        for f in &spec.faults {
+            if f.fault == FaultProfile::ForgedAddress {
+                liars[f.node_index] = true;
+            }
+        }
         let topology = graph.name().to_string();
         let sampler = PopularitySampler::new(spec.ports, spec.popularity);
         let net = ServiceNet::with_queue(graph, resolver, cost_model, queue);
@@ -287,6 +331,10 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
                 .collect(),
             homes: Vec::new(),
             crashed: vec![false; n],
+            liars,
+            robust: spec.hostile(),
+            replication: 1,
+            min_survival: 1.0,
             live: (0..n).map(NodeId::from).collect(),
             in_flight: Vec::new(),
             acc: Acc::default(),
@@ -328,6 +376,44 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
     /// dependent, so never part of any byte-identity contract).
     pub fn enable_throughput(&mut self) {
         self.wallclock = true;
+    }
+
+    /// Forces the §2.4 robustness block into the report (hostile specs
+    /// enable it automatically); `replication` is echoed as the factor of
+    /// the arrangement under test (1 = base).
+    pub fn enable_robustness(&mut self, replication: u64) {
+        self.robust = true;
+        self.replication = replication.max(1);
+    }
+
+    /// Installs the spec's Byzantine fault profiles — before any posting,
+    /// so the world is hostile from tick 0 (a stale-address fault pins the
+    /// *setup* posting). Hostile traces get one `fault` span per profile
+    /// ahead of the setup-post trees.
+    fn apply_faults(&mut self) {
+        let faults = self.spec.faults.clone();
+        for f in &faults {
+            let node = NodeId::from(f.node_index);
+            self.eng().set_fault(node, f.fault);
+            if let Some(tr) = self.tracer.as_mut() {
+                let trace = tr.next_trace_id();
+                emit_fault_span(tr, trace, node, f.fault.label());
+            }
+        }
+    }
+
+    /// Folds the current crash pattern into the run's minimum sampled
+    /// survival fraction (robustness reporting only).
+    fn observe_survival(&mut self) {
+        if self.robust {
+            let sf = mm_core::robust::survival_fraction_pm(
+                self.net.engine().resolver(),
+                &self.ports,
+                &self.crashed,
+                64,
+            );
+            self.min_survival = self.min_survival.min(sf);
+        }
     }
 
     /// Like [`ScenarioRunner::run`], additionally returning the sealed
@@ -457,7 +543,8 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
         let predicted =
             predict_passes_per_locate(self.net.engine().resolver(), self.n(), &self.ports);
 
-        // --- setup: place one server per port, let postings settle ---
+        // --- setup: install faults, place one server per port, settle ---
+        self.apply_faults();
         for i in 0..self.spec.ports {
             let home = NodeId::from(self.rng.gen_range(0..self.n()));
             self.homes.push(home);
@@ -500,7 +587,8 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
             self.drain(close, pi == last);
             let after = self.net.engine().metrics().clone();
             let delta = after.delta(&before);
-            let mut report = build_phase_report(name, *start, *end, &self.acc, &delta);
+            let mut report =
+                build_phase_report(name, *start, *end, &self.acc, &delta, self.spec.hostile());
             self.finish_phase_obs(&mut report, delta.events_executed, wall, qd_before);
             reports.push(report);
         }
@@ -522,6 +610,7 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
     fn run_logged_closed(mut self) -> (ScenarioReport, Vec<LocateRecord>, Option<TraceFile>) {
         let predicted =
             predict_passes_per_locate(self.net.engine().resolver(), self.n(), &self.ports);
+        self.apply_faults();
         for i in 0..self.spec.ports {
             let home = NodeId::from(self.rng.gen_range(0..self.n()));
             self.homes.push(home);
@@ -588,7 +677,8 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
             }
             let after = self.net.engine().metrics().clone();
             let delta = after.delta(&before);
-            let mut report = build_phase_report(name, *start, *end, &self.acc, &delta);
+            let mut report =
+                build_phase_report(name, *start, *end, &self.acc, &delta, self.spec.hostile());
             self.finish_phase_obs(&mut report, delta.events_executed, wall, qd_before);
             reports.push(report);
         }
@@ -619,6 +709,8 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
             net: &mut self.net,
             ports: &self.ports,
             homes: &self.homes,
+            liars: &self.liars,
+            salvage: self.spec.hostile(),
             t0: self.t0,
             op_timeout: self.op_timeout,
             tracer: &mut self.tracer,
@@ -658,6 +750,16 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
             predicted_passes_per_locate: predicted,
             phases,
             windows,
+            robustness: self.robust.then(|| RobustnessReport {
+                max_tolerated_faults: mm_core::robust::max_tolerated_faults_pm(
+                    self.net.engine().resolver(),
+                    &self.ports,
+                    64,
+                ) as u64,
+                min_survival_fraction: self.min_survival,
+                byzantine_nodes: self.spec.faults.len() as u64,
+                replication: self.replication,
+            }),
         }
     }
 
@@ -719,9 +821,13 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
             &self.crashed,
             &self.homes,
         );
+        let mut any_crash = false;
         for r in resolved {
             match r {
-                ResolvedChurn::Crash(v) => self.crash_node(v),
+                ResolvedChurn::Crash(v) => {
+                    any_crash = true;
+                    self.crash_node(v)
+                }
                 ResolvedChurn::Restore { node, clear_cache } => {
                     self.restore_node(node, clear_cache)
                 }
@@ -737,6 +843,9 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
                 }
                 ResolvedChurn::RefreshAll => self.refresh_all(t),
             }
+        }
+        if any_crash {
+            self.observe_survival();
         }
     }
 
@@ -765,6 +874,7 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
     /// virtual-timing law (never engine clocks — the trace must be
     /// byte-identical to the live runtime's). Returns the virtual elapsed
     /// and fan-out width for the follow-up request span.
+    #[allow(clippy::too_many_arguments)]
     fn observe_locate_verdict(
         &mut self,
         trace: Option<u64>,
@@ -773,6 +883,7 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
         issued_spec: SimTime,
         verdict: LocateVerdict,
         meets: &[NodeId],
+        salvaged: bool,
     ) -> (u64, u32) {
         if self.tracer.is_none() && self.registry.is_none() {
             return (0, 0);
@@ -782,7 +893,13 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
             .engine_mut()
             .query_targets(client, self.ports[port_idx]);
         let solo = targets.len() == 1 && targets.contains(client);
-        let elapsed = virtual_elapsed(solo, verdict, self.op_timeout);
+        // a salvaged verdict was decided by the client's own timeout, not
+        // by the slowest reply — its elapsed is the full wait
+        let elapsed = if salvaged {
+            self.op_timeout
+        } else {
+            virtual_elapsed(solo, verdict, self.op_timeout)
+        };
         if let Some(reg) = self.registry.as_mut() {
             observe_locate(reg, verdict, elapsed, targets.len(), meets.len());
         }
@@ -830,34 +947,52 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
                     retry,
                     trace,
                 } => match self.net.engine().outcome(handle) {
-                    LocateOutcome::Found { addr, meets, .. } => {
+                    LocateOutcome::Found {
+                        addr,
+                        meets,
+                        dissent,
+                        ..
+                    } => {
                         self.acc.completed += 1;
-                        self.acc.hits += 1;
-                        self.record(
-                            arrival,
-                            handle,
-                            port_idx,
-                            issued_at,
-                            LocateVerdict::Hit,
-                            Some(addr),
-                        );
+                        let fresh = addr == self.homes[port_idx];
+                        let verdict =
+                            classify_hit(addr, self.homes[port_idx], dissent, &self.liars);
+                        self.record(arrival, handle, port_idx, issued_at, verdict, Some(addr));
                         let issued_spec = issued_at - self.t0;
                         let (elapsed, fanout) = self.observe_locate_verdict(
                             trace,
                             handle.client,
                             port_idx,
                             issued_spec,
-                            LocateVerdict::Hit,
+                            verdict,
                             &meets,
+                            false,
                         );
-                        let fresh = addr == self.homes[port_idx];
-                        if !fresh {
-                            self.acc.stale_results += 1;
+                        match verdict {
+                            LocateVerdict::Hit => {
+                                self.acc.hits += 1;
+                                if !fresh {
+                                    self.acc.stale_results += 1;
+                                }
+                                if retry && fresh {
+                                    self.acc.recoveries += 1;
+                                }
+                            }
+                            LocateVerdict::DetectedLie => {
+                                // the dissenting honest answer exposed the
+                                // forgery: the client discards the address
+                                // and never calls it
+                                self.acc.detected_lie += 1;
+                            }
+                            LocateVerdict::FalseMatch => {
+                                // the forgery escaped; the follow-up call
+                                // below bounces off the non-serving liar
+                                // and the §1.3 loop re-locates
+                                self.acc.false_match += 1;
+                            }
+                            _ => unreachable!("classify_hit never yields {verdict:?}"),
                         }
-                        if retry && fresh {
-                            self.acc.recoveries += 1;
-                        }
-                        if self.spec.request_after_locate {
+                        if self.spec.request_after_locate && verdict != LocateVerdict::DetectedLie {
                             requests.push(Followup {
                                 client: handle.client,
                                 addr,
@@ -885,28 +1020,86 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
                             issued_at - self.t0,
                             LocateVerdict::Miss,
                             &[],
+                            false,
                         );
                     }
-                    LocateOutcome::Unresolved { .. } => {
+                    LocateOutcome::Unresolved { best, dissent, .. } => {
                         if force || now.saturating_sub(issued_at) >= self.op_timeout {
                             self.acc.completed += 1;
-                            self.acc.unresolved += 1;
-                            self.record(
-                                arrival,
-                                handle,
-                                port_idx,
-                                issued_at,
-                                LocateVerdict::Unresolved,
-                                None,
-                            );
-                            self.observe_locate_verdict(
-                                trace,
-                                handle.client,
-                                port_idx,
-                                issued_at - self.t0,
-                                LocateVerdict::Unresolved,
-                                &[],
-                            );
+                            if let Some((addr, _)) = best.filter(|_| self.spec.hostile()) {
+                                // hostile-world clients salvage the best
+                                // partial answer at timeout: a crashed
+                                // rendezvous must not sever an alive pair
+                                // that a surviving replica still serves
+                                // (§2.4) — and the salvaged address still
+                                // runs the lie detection
+                                let fresh = addr == self.homes[port_idx];
+                                let verdict =
+                                    classify_hit(addr, self.homes[port_idx], dissent, &self.liars);
+                                self.record(
+                                    arrival,
+                                    handle,
+                                    port_idx,
+                                    issued_at,
+                                    verdict,
+                                    Some(addr),
+                                );
+                                self.observe_locate_verdict(
+                                    trace,
+                                    handle.client,
+                                    port_idx,
+                                    issued_at - self.t0,
+                                    verdict,
+                                    &[],
+                                    true,
+                                );
+                                match verdict {
+                                    LocateVerdict::Hit => {
+                                        self.acc.hits += 1;
+                                        if !fresh {
+                                            self.acc.stale_results += 1;
+                                        }
+                                        if retry && fresh {
+                                            self.acc.recoveries += 1;
+                                        }
+                                    }
+                                    LocateVerdict::DetectedLie => self.acc.detected_lie += 1,
+                                    LocateVerdict::FalseMatch => self.acc.false_match += 1,
+                                    _ => unreachable!("classify_hit never yields {verdict:?}"),
+                                }
+                                if self.spec.request_after_locate
+                                    && verdict != LocateVerdict::DetectedLie
+                                {
+                                    requests.push(Followup {
+                                        client: handle.client,
+                                        addr,
+                                        port_idx,
+                                        after_retry: retry,
+                                        trace_info: trace.map(|tr| {
+                                            (tr, issued_at - self.t0 + self.op_timeout, 0)
+                                        }),
+                                    });
+                                }
+                            } else {
+                                self.acc.unresolved += 1;
+                                self.record(
+                                    arrival,
+                                    handle,
+                                    port_idx,
+                                    issued_at,
+                                    LocateVerdict::Unresolved,
+                                    None,
+                                );
+                                self.observe_locate_verdict(
+                                    trace,
+                                    handle.client,
+                                    port_idx,
+                                    issued_at - self.t0,
+                                    LocateVerdict::Unresolved,
+                                    &[],
+                                    false,
+                                );
+                            }
                         } else {
                             keep.push(Op::Locate {
                                 handle,
@@ -1204,6 +1397,7 @@ mod tests {
             request_after_locate: false,
             op_timeout: 32,
             clients: None,
+            faults: vec![],
         };
         let r = ScenarioRunner::new(
             spec,

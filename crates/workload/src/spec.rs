@@ -14,6 +14,7 @@
 //! decision (port choice, client choice, arrival spacing, churn targets)
 //! is drawn from one generator in a fixed order.
 
+use mm_proto::FaultProfile;
 use mm_sim::SimTime;
 
 /// How locate demand is spread over the port space.
@@ -28,6 +29,14 @@ pub enum PortPopularity {
     Zipf {
         /// The skew exponent `s > 0`; `s ≈ 1` is classic web-like skew.
         exponent: f64,
+    },
+    /// Adversarial skew: *every* locate targets the same port, aiming the
+    /// whole offered load at that port's rendezvous row. The degenerate
+    /// limit of Zipf that a load balancer cannot help with — the paper's
+    /// grid strategies concentrate such load on `√n` nodes.
+    Hotspot {
+        /// The pinned port (index into the workload's port space).
+        port: usize,
     },
 }
 
@@ -163,6 +172,26 @@ pub enum ChurnAction {
     /// Immediately re-posts every service at its current address
     /// (operator-triggered refresh, complementing the periodic cadence).
     RefreshAll,
+    /// Crashes an explicit set of nodes atomically (same tick, one event):
+    /// a correlated failure — a rack, a grid row, a decomposition part —
+    /// rather than independent random deaths. Node indices are resolved
+    /// against the run topology; already-crashed members are skipped.
+    CrashGroup {
+        /// Node indices to take down together (ascending by convention;
+        /// the resolver sorts and dedups defensively).
+        nodes: Vec<usize>,
+    },
+}
+
+/// A node pinned to an adversarial behavior for the whole run (applied
+/// before the first tick). Fail-stop churn composes on top: a Byzantine
+/// node can still crash and restore, keeping its profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Node index in the run topology.
+    pub node_index: usize,
+    /// The behavior (see [`FaultProfile`]).
+    pub fault: FaultProfile,
 }
 
 /// A complete seeded scenario description.
@@ -195,12 +224,31 @@ pub struct Workload {
     /// behaviour (arrivals are issued the tick they are offered,
     /// regardless of how many operations are already in flight).
     pub clients: Option<ClientModel>,
+    /// Byzantine node assignments, applied before the first tick. Empty
+    /// for every benign workload — the hostile-world scenarios populate
+    /// it with explicit, seed-derived node lists so the runner draws
+    /// nothing from its own generator.
+    pub faults: Vec<FaultSpec>,
 }
 
 impl Workload {
     /// Total scheduled horizon: the sum of phase durations.
     pub fn horizon(&self) -> SimTime {
         self.phases.iter().map(|p| p.duration).sum()
+    }
+
+    /// `true` when the workload exercises the hostile-world layer:
+    /// Byzantine faults, correlated crash groups, or adversarial hotspot
+    /// skew. Hostile runs carry extra verdict columns and a robustness
+    /// block in their reports; benign runs keep the legacy byte-exact
+    /// report shape.
+    pub fn hostile(&self) -> bool {
+        !self.faults.is_empty()
+            || matches!(self.popularity, PortPopularity::Hotspot { .. })
+            || self
+                .churn
+                .iter()
+                .any(|e| matches!(e.action, ChurnAction::CrashGroup { .. }))
     }
 
     /// Sanity-checks the spec.
@@ -232,11 +280,19 @@ impl Workload {
                 return Err(format!("phase {:?}: duration must be > 0", p.name));
             }
         }
-        if let PortPopularity::Zipf { exponent } = self.popularity {
-            // NaN exponents must fail too
-            if exponent.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
-                return Err("Zipf exponent must be > 0".into());
+        match self.popularity {
+            PortPopularity::Zipf { exponent } => {
+                // NaN exponents must fail too
+                if exponent.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+                    return Err("Zipf exponent must be > 0".into());
+                }
             }
+            PortPopularity::Hotspot { port } => {
+                if port >= self.ports {
+                    return Err(format!("hotspot pins port {port} of {}", self.ports));
+                }
+            }
+            PortPopularity::Uniform => {}
         }
         let horizon = self.horizon();
         for e in &self.churn {
@@ -246,13 +302,29 @@ impl Workload {
                     e.at
                 ));
             }
-            if let ChurnAction::CrashServer { port_index }
-            | ChurnAction::MigrateRandom { port_index } = e.action
-            {
-                if port_index >= self.ports {
+            match &e.action {
+                ChurnAction::CrashServer { port_index }
+                | ChurnAction::MigrateRandom { port_index }
+                    if *port_index >= self.ports =>
+                {
                     return Err(format!(
                         "churn references port {port_index} of {}",
                         self.ports
+                    ));
+                }
+                ChurnAction::CrashGroup { nodes } if nodes.is_empty() => {
+                    return Err(format!("churn at t={}: empty crash group", e.at));
+                }
+                _ => {}
+            }
+        }
+        {
+            let mut seen = std::collections::BTreeSet::new();
+            for f in &self.faults {
+                if !seen.insert(f.node_index) {
+                    return Err(format!(
+                        "node {} assigned more than one fault profile",
+                        f.node_index
                     ));
                 }
             }
@@ -303,6 +375,7 @@ mod tests {
             request_after_locate: false,
             op_timeout: 32,
             clients: None,
+            faults: vec![],
         }
     }
 
@@ -347,6 +420,40 @@ mod tests {
             action: ChurnAction::MigrateRandom { port_index: 7 },
         });
         assert!(w.validate().is_err(), "port index out of range");
+    }
+
+    #[test]
+    fn hostile_spec_validation() {
+        let mut w = minimal();
+        assert!(!w.hostile());
+        w.popularity = PortPopularity::Hotspot { port: 1 };
+        assert!(w.hostile());
+        assert!(w.validate().is_ok());
+        w.popularity = PortPopularity::Hotspot { port: 2 };
+        assert!(w.validate().is_err(), "hotspot port out of range");
+
+        let mut w = minimal();
+        w.churn.push(ChurnEvent {
+            at: 10,
+            action: ChurnAction::CrashGroup { nodes: vec![] },
+        });
+        assert!(w.validate().is_err(), "empty crash group");
+        w.churn[0].action = ChurnAction::CrashGroup { nodes: vec![0, 1] };
+        assert!(w.hostile());
+        assert!(w.validate().is_ok());
+
+        let mut w = minimal();
+        w.faults.push(FaultSpec {
+            node_index: 3,
+            fault: FaultProfile::ForgedAddress,
+        });
+        assert!(w.hostile());
+        assert!(w.validate().is_ok());
+        w.faults.push(FaultSpec {
+            node_index: 3,
+            fault: FaultProfile::RefuseMatch,
+        });
+        assert!(w.validate().is_err(), "duplicate fault assignment");
     }
 
     #[test]

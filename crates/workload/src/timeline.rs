@@ -179,6 +179,22 @@ pub(crate) fn resolve_churn(
         }
         ChurnAction::ClearAllCaches => vec![ResolvedChurn::ClearAllCaches],
         ChurnAction::RefreshAll => vec![ResolvedChurn::RefreshAll],
+        ChurnAction::CrashGroup { ref nodes } => {
+            // correlated failure: the spec already names the victims, so
+            // nothing is drawn — members already down are skipped, and the
+            // ascending order makes the execution sequence canonical
+            let mut victims: Vec<usize> = nodes
+                .iter()
+                .copied()
+                .filter(|&vi| vi < crashed.len() && !crashed[vi])
+                .collect();
+            victims.sort_unstable();
+            victims.dedup();
+            victims
+                .into_iter()
+                .map(|vi| ResolvedChurn::Crash(NodeId::from(vi)))
+                .collect()
+        }
     }
 }
 
@@ -240,6 +256,34 @@ mod tests {
         };
         assert_eq!(*from, NodeId::new(2));
         assert_ne!(to, from);
+    }
+
+    #[test]
+    fn crash_group_is_rng_free_and_skips_the_dead() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let live: Vec<NodeId> = (0..8usize).map(NodeId::from).collect();
+        let mut crashed = vec![false; 8];
+        crashed[5] = true;
+        let homes = vec![NodeId::new(2)];
+        let before = rng.clone();
+        let out = resolve_churn(
+            &ChurnAction::CrashGroup {
+                nodes: vec![6, 5, 4, 6],
+            },
+            &mut rng,
+            &live,
+            &crashed,
+            &homes,
+        );
+        assert_eq!(rng, before, "correlated kills draw nothing");
+        assert_eq!(
+            out,
+            vec![
+                ResolvedChurn::Crash(NodeId::new(4)),
+                ResolvedChurn::Crash(NodeId::new(6)),
+            ],
+            "ascending, deduped, already-dead member skipped"
+        );
     }
 
     #[test]

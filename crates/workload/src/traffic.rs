@@ -14,6 +14,11 @@ use rand::Rng;
 pub struct PopularitySampler {
     /// `cdf[i]` = P(port ≤ i); strictly increasing to 1.0.
     cdf: Vec<f64>,
+    /// Adversarial hotspot: every draw resolves to this port. The draw
+    /// still consumes one RNG coordinate so hostile and benign specs keep
+    /// the same consumption order (and the CDF float edge cases at the
+    /// pinned index never matter).
+    pinned: Option<usize>,
 }
 
 impl PopularitySampler {
@@ -21,9 +26,11 @@ impl PopularitySampler {
     ///
     /// # Panics
     ///
-    /// Panics if `ports == 0` or a Zipf exponent is not positive.
+    /// Panics if `ports == 0`, a Zipf exponent is not positive, or a
+    /// hotspot pins a port outside the space.
     pub fn new(ports: usize, popularity: PortPopularity) -> Self {
         assert!(ports > 0, "need at least one port");
+        let mut pinned = None;
         let weights: Vec<f64> = match popularity {
             PortPopularity::Uniform => vec![1.0; ports],
             PortPopularity::Zipf { exponent } => {
@@ -31,6 +38,11 @@ impl PopularitySampler {
                 (0..ports)
                     .map(|i| 1.0 / ((i + 1) as f64).powf(exponent))
                     .collect()
+            }
+            PortPopularity::Hotspot { port } => {
+                assert!(port < ports, "hotspot port out of range");
+                pinned = Some(port);
+                vec![1.0; ports]
             }
         };
         let total: f64 = weights.iter().sum();
@@ -47,12 +59,16 @@ impl PopularitySampler {
         // the least-popular port (every draw above the accumulated total
         // clamps to the final index). Pin the tail exactly.
         *cdf.last_mut().expect("at least one port") = 1.0;
-        PopularitySampler { cdf }
+        PopularitySampler { cdf, pinned }
     }
 
     /// Draws one port index.
     pub fn sample(&self, rng: &mut StdRng) -> usize {
-        self.index_for(unit_f64(rng))
+        let u = unit_f64(rng);
+        match self.pinned {
+            Some(port) => port,
+            None => self.index_for(u),
+        }
     }
 
     /// The port index owning the CDF coordinate `u ∈ [0, 1)`: the first
@@ -264,6 +280,19 @@ mod tests {
         // the head's slice is wide under Zipf: mid-head draws stay put
         assert_eq!(s.index_for(s.cdf[0] / 2.0), 0);
         assert_eq!(s.index_for(s.cdf[0]), 0, "exact hit resolves to owner");
+    }
+
+    #[test]
+    fn hotspot_pins_every_draw_but_still_consumes_the_rng() {
+        let s = PopularitySampler::new(8, PortPopularity::Hotspot { port: 5 });
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut benign = StdRng::seed_from_u64(9);
+        let u = PopularitySampler::new(8, PortPopularity::Uniform);
+        for _ in 0..64 {
+            assert_eq!(s.sample(&mut rng), 5);
+            u.sample(&mut benign);
+        }
+        assert_eq!(rng, benign, "hostile skew must not shift the draw sequence");
     }
 
     #[test]

@@ -108,6 +108,32 @@ proptest! {
         GridRowColumn::new(p, q).validate().unwrap();
     }
 
+    /// The §2.4 *redundant* criterion is a contract, not a tendency:
+    /// `Replicated(base, r)` guarantees `#(P(i) ∩ Q(j)) ≥ r = f + 1` for
+    /// every pair, because the `r` cyclic shifts of any base rendezvous
+    /// node are distinct mod n ((r−1)·⌊n/r⌋ < n). Checked for arbitrary
+    /// universes — including non-square n, where the grid wraps — and
+    /// arbitrary pairs.
+    #[test]
+    fn replicated_redundancy_contract(
+        n in 2usize..200,
+        r in 1usize..6,
+        i in any::<usize>(),
+        j in any::<usize>(),
+    ) {
+        use match_making::core::robust::Replicated;
+        let r = r.min(n);
+        let s = Replicated::new(Checkerboard::new(n), r);
+        let p = s.post_set(NodeId::from(i % n));
+        let q = s.query_set(NodeId::from(j % n));
+        let meet = intersect_sorted(&p, &q);
+        prop_assert!(
+            meet.len() >= r,
+            "n={n} r={r}: #(P ∩ Q) = {} < f + 1",
+            meet.len()
+        );
+    }
+
     /// Proposition 2 holds for every checkerboard/blocks instance: the
     /// average cost never beats (2/n)·Σ√k_i.
     #[test]
@@ -244,6 +270,33 @@ fn weighted_split_beats_grid_search() {
                     "integer ({p},{q}) beats optimum at n={n}, alpha={alpha}"
                 );
             }
+        }
+    }
+}
+
+/// Over-replication must fail loudly at construction, not corrupt the
+/// arrangement: `Replicated::new` rejects every `replication > n` with
+/// the documented panic message (deterministic sweep, `catch_unwind`).
+#[test]
+fn replication_beyond_universe_panics_gracefully() {
+    use match_making::core::robust::Replicated;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    for n in [1usize, 2, 4, 9, 33] {
+        for extra in [1usize, 2, 100] {
+            let r = n + extra;
+            let err = catch_unwind(AssertUnwindSafe(|| {
+                Replicated::new(Checkerboard::new(n), r)
+            }))
+            .expect_err("replication > n must panic");
+            let msg = err
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| err.downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            assert!(
+                msg.contains("replication must be in 1..=n"),
+                "n={n} r={r}: unexpected panic {msg:?}"
+            );
         }
     }
 }

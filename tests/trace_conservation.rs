@@ -71,6 +71,7 @@ fn random_spec(
         request_after_locate: false,
         op_timeout,
         clients: None,
+        faults: vec![],
     }
 }
 
