@@ -1,10 +1,21 @@
 //! Summary statistics over experiment samples.
+//!
+//! This module is the **single** percentile implementation in the
+//! workspace: `mm-workload`'s per-phase reports and the campaign
+//! aggregation pipeline both interpolate through [`percentile_sorted`] /
+//! [`percentile_or_zero`], so a campaign table can never disagree with
+//! the per-run report it was joined from (the two used to carry
+//! independently written interpolations — see `tests/stats_consistency.rs`
+//! for the cross-crate pin).
 
 /// Mean / variance / percentiles of a sample set.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Summary {
-    /// Number of samples.
+    /// Number of samples that entered the statistics (NaNs excluded).
     pub count: usize,
+    /// Samples dropped because they were NaN. A single bad run must not
+    /// kill a whole aggregation, but it must not vanish silently either.
+    pub dropped_nan: usize,
     /// Arithmetic mean.
     pub mean: f64,
     /// Sample standard deviation (Bessel-corrected; 0 for < 2 samples).
@@ -17,31 +28,40 @@ pub struct Summary {
     pub median: f64,
     /// 95th percentile.
     pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
 }
 
 impl Summary {
-    /// Summarizes `samples`. Returns `None` for an empty slice.
+    /// Summarizes `samples`, ignoring (but counting) NaN values.
+    ///
+    /// Returns `None` when no non-NaN sample remains — an empty slice or
+    /// an all-NaN one. Infinities are legal samples (they sort to the
+    /// extremes); only NaN, which has no order, is dropped.
     pub fn of(samples: &[f64]) -> Option<Summary> {
-        if samples.is_empty() {
+        let mut sorted: Vec<f64> = samples.iter().copied().filter(|x| !x.is_nan()).collect();
+        let dropped_nan = samples.len() - sorted.len();
+        if sorted.is_empty() {
             return None;
         }
-        let count = samples.len();
-        let mean = samples.iter().sum::<f64>() / count as f64;
+        let count = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / count as f64;
         let var = if count > 1 {
-            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (count as f64 - 1.0)
+            sorted.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (count as f64 - 1.0)
         } else {
             0.0
         };
-        let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not be NaN"));
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaNs were filtered"));
         Some(Summary {
             count,
+            dropped_nan,
             mean,
             stddev: var.sqrt(),
             min: sorted[0],
             max: sorted[count - 1],
             median: percentile_sorted(&sorted, 0.5),
             p95: percentile_sorted(&sorted, 0.95),
+            p99: percentile_sorted(&sorted, 0.99),
         })
     }
 
@@ -79,6 +99,19 @@ pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
     sorted[lo] * (1.0 - frac) + sorted[hi] * frac
 }
 
+/// [`percentile_sorted`] with the empty case mapped to `0.0` instead of a
+/// panic — a zero-node metrics snapshot or a phase with no closed-loop
+/// operations must yield zeroed stats. This is the variant the workload
+/// reports use; keeping it here next to the interpolation it wraps is
+/// what stops a second, drifting implementation from growing elsewhere.
+pub fn percentile_or_zero(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        0.0
+    } else {
+        percentile_sorted(sorted, q)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,6 +120,7 @@ mod tests {
     fn basic_summary() {
         let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
         assert_eq!(s.count, 5);
+        assert_eq!(s.dropped_nan, 0);
         assert!((s.mean - 3.0).abs() < 1e-12);
         assert!((s.median - 3.0).abs() < 1e-12);
         assert_eq!(s.min, 1.0);
@@ -102,6 +136,29 @@ mod tests {
         assert_eq!(s.stddev, 0.0);
         assert_eq!(s.ci95(), 0.0);
         assert_eq!(s.p95, 7.0);
+        assert_eq!(s.p99, 7.0);
+    }
+
+    /// Satellite regression: one NaN sample used to panic the whole
+    /// summary through the sort comparator. Now it is filtered and
+    /// counted, and the remaining statistics are exactly the NaN-free
+    /// ones.
+    #[test]
+    fn nan_samples_are_dropped_and_counted() {
+        let s = Summary::of(&[2.0, f64::NAN, 4.0, 6.0, f64::NAN]).unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.dropped_nan, 2);
+        assert_eq!(s, {
+            let mut clean = Summary::of(&[2.0, 4.0, 6.0]).unwrap();
+            clean.dropped_nan = 2;
+            clean
+        });
+        // all-NaN collapses to None, same as empty — not a zeroed ghost
+        assert_eq!(Summary::of(&[f64::NAN, f64::NAN]), None);
+        // infinities are ordered values, not NaNs: they stay
+        let inf = Summary::of(&[1.0, f64::INFINITY]).unwrap();
+        assert_eq!(inf.dropped_nan, 0);
+        assert_eq!(inf.max, f64::INFINITY);
     }
 
     #[test]
@@ -110,6 +167,18 @@ mod tests {
         assert!((percentile_sorted(&sorted, 0.25) - 2.5).abs() < 1e-12);
         assert_eq!(percentile_sorted(&sorted, 0.0), 0.0);
         assert_eq!(percentile_sorted(&sorted, 1.0), 10.0);
+    }
+
+    #[test]
+    fn percentile_or_zero_matches_sorted_when_nonempty() {
+        assert_eq!(percentile_or_zero(&[], 0.5), 0.0);
+        let sorted = [1.0, 3.0, 5.0, 9.0];
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(
+                percentile_or_zero(&sorted, q),
+                percentile_sorted(&sorted, q)
+            );
+        }
     }
 
     #[test]

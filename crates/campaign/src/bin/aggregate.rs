@@ -1,0 +1,96 @@
+//! Campaign aggregation driver: joins a directory of per-run JSON into
+//! theory-vs-measured tables and the deterministic `BENCH_8.json`
+//! trajectory entry.
+//!
+//! ```text
+//! aggregate runs/
+//! aggregate runs/ --markdown
+//! aggregate runs/ --bench-out BENCH_8.json
+//! aggregate runs/ --check BENCH_8.json
+//! ```
+//!
+//! Output is a pure function of run *content* — shuffled, renamed or
+//! re-ordered run files aggregate identically. Exit status: 0 clean;
+//! 1 on a determinism violation (runs that must be byte-identical
+//! disagree) or when `--check` finds the deterministic event counts
+//! drifted from the committed snapshot; 2 on invalid invocation.
+
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: aggregate RUN_DIR [--markdown] [--bench-out FILE] [--check FILE]\n\n\
+         default output: theory-vs-measured table + scaling fits (stdout)\n\
+         --markdown   render the table as a markdown body instead\n\
+         --bench-out  write the deterministic BENCH_8-format trajectory entry\n\
+         --check      exit 1 when deterministic counts drift from a committed snapshot"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut dir: Option<PathBuf> = None;
+    let mut markdown = false;
+    let mut bench_out: Option<PathBuf> = None;
+    let mut check: Option<PathBuf> = None;
+    let mut i = 0;
+    let value = |argv: &[String], i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--markdown" => markdown = true,
+            "--bench-out" => bench_out = Some(PathBuf::from(value(&argv, &mut i))),
+            "--check" => check = Some(PathBuf::from(value(&argv, &mut i))),
+            "--help" | "-h" => usage(),
+            flag if flag.starts_with("--") => usage(),
+            positional if dir.is_none() => dir = Some(PathBuf::from(positional)),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let Some(dir) = dir else { usage() };
+    let agg = mm_campaign::agg::load_dir(&dir).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    if !agg.violations.is_empty() {
+        for v in &agg.violations {
+            eprintln!("error: determinism violation: {v}");
+        }
+        std::process::exit(1);
+    }
+    eprintln!(
+        "aggregate: {} unique runs from {} files",
+        agg.unique.len(),
+        agg.replicas()
+    );
+    if markdown {
+        print!("{}", agg.markdown());
+    } else {
+        print!("{}", agg.render());
+    }
+    if let Some(path) = bench_out {
+        if let Err(e) = std::fs::write(&path, agg.bench_json()) {
+            eprintln!("error: writing {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("aggregate: wrote {}", path.display());
+    }
+    if let Some(path) = check {
+        let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("error: reading {}: {e}", path.display());
+            std::process::exit(2);
+        });
+        if let Err(drift) = agg.check(&committed) {
+            eprintln!(
+                "error: deterministic counts drifted from {}:\n{drift}",
+                path.display()
+            );
+            std::process::exit(1);
+        }
+        eprintln!("aggregate: deterministic counts match {}", path.display());
+    }
+}

@@ -1,0 +1,174 @@
+//! The parallel campaign executor: a shared work queue drained by scoped
+//! worker threads, one JSON file per run.
+//!
+//! Parallelism cannot be allowed to cost determinism, so the design keeps
+//! the two orthogonal: workers race only for *which run they pick up*,
+//! never inside a run. Each run is an independent, seeded, deterministic
+//! simulation executed through [`mm_workload::drive`] — the same code
+//! path as the `scenarios` binary — and lands in its own file named by
+//! the run's canonical label. The resulting directory is a pure function
+//! of the expanded paramset, whatever the thread interleaving was.
+
+use crossbeam::channel;
+use mm_workload::drive::{self, RunConfig};
+use std::path::{Path, PathBuf};
+
+/// What one [`execute`] call did.
+#[derive(Debug)]
+pub struct ExecReport {
+    /// Files written, in expansion order (not completion order).
+    pub written: Vec<PathBuf>,
+    /// Failed runs as `(label, error)`, in expansion order.
+    pub failures: Vec<(String, String)>,
+}
+
+impl ExecReport {
+    /// `true` when every run produced its file.
+    pub fn all_ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Runs every config, `jobs` at a time, writing
+/// `<out_dir>/<label>.json` per run — each file byte-identical to the
+/// stdout of the equivalent single `scenarios` invocation.
+///
+/// Worker threads pull from one shared MPMC channel, so a slow run never
+/// idles the pool the way static slicing would. `verbose` prints a
+/// completion line per run to stderr (completion order, which is the one
+/// nondeterministic thing here and is why it is *not* part of any
+/// artifact).
+///
+/// # Errors
+///
+/// An error creating the output directory or spawning workers; per-run
+/// failures are collected in the report instead, so one bad cell cannot
+/// discard a half-finished campaign.
+pub fn execute(
+    configs: &[RunConfig],
+    out_dir: &Path,
+    jobs: usize,
+    verbose: bool,
+) -> Result<ExecReport, String> {
+    std::fs::create_dir_all(out_dir).map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
+    let total = configs.len();
+    let workers = jobs.max(1).min(total.max(1));
+
+    let (tx, rx) = channel::unbounded();
+    for (idx, cfg) in configs.iter().enumerate() {
+        tx.send((idx, cfg.clone())).expect("receiver is alive");
+    }
+    drop(tx); // disconnect: workers drain the queue and stop
+
+    // (idx, label, outcome) per run, gathered from each worker's return
+    // value and re-sorted into expansion order afterwards
+    let mut outcomes: Vec<(usize, String, Result<PathBuf, String>)> =
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let rx = rx.clone();
+                    s.spawn(move || {
+                        let mut done = Vec::new();
+                        for (idx, cfg) in rx.iter() {
+                            let label = cfg.label();
+                            let outcome = run_to_file(&cfg, out_dir);
+                            if verbose {
+                                match &outcome {
+                                    Ok(_) => eprintln!("campaign: [{}/{total}] {label}", idx + 1),
+                                    Err(e) => {
+                                        eprintln!("campaign: [{}/{total}] {label}: {e}", idx + 1)
+                                    }
+                                }
+                            }
+                            done.push((idx, label, outcome));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap_or_default())
+                .collect()
+        });
+    outcomes.sort_by_key(|(idx, _, _)| *idx);
+    if outcomes.len() != total {
+        // only possible if a worker panicked mid-queue; the runs it had
+        // claimed are lost and must be reported, not silently dropped
+        let seen: Vec<usize> = outcomes.iter().map(|(i, _, _)| *i).collect();
+        let lost: Vec<String> = (0..total)
+            .filter(|i| !seen.contains(i))
+            .map(|i| configs[i].label())
+            .collect();
+        return Err(format!("worker panic lost runs: {}", lost.join(", ")));
+    }
+
+    let mut report = ExecReport {
+        written: Vec::new(),
+        failures: Vec::new(),
+    };
+    for (_, label, outcome) in outcomes {
+        match outcome {
+            Ok(path) => report.written.push(path),
+            Err(e) => report.failures.push((label, e)),
+        }
+    }
+    Ok(report)
+}
+
+/// One run, one file: exactly the bytes `scenarios … > file` would leave.
+fn run_to_file(cfg: &RunConfig, out_dir: &Path) -> Result<PathBuf, String> {
+    let report = drive::run(cfg)?;
+    let path = out_dir.join(format!("{}.json", cfg.label()));
+    let json = drive::reports_to_json(&[report], false);
+    std::fs::write(&path, json).map_err(|e| format!("writing {}: {e}", path.display()))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mm-campaign-exec-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn parallel_files_equal_serial_runs() {
+        let configs: Vec<RunConfig> = [7u64, 11, 13]
+            .iter()
+            .map(|&seed| RunConfig::new("steady-state", 32, seed))
+            .collect();
+        let dir = scratch("parallel");
+        let rep = execute(&configs, &dir, 3, false).unwrap();
+        assert!(rep.all_ok());
+        assert_eq!(rep.written.len(), 3);
+        for (cfg, path) in configs.iter().zip(&rep.written) {
+            let got = std::fs::read_to_string(path).unwrap();
+            let want = drive::reports_to_json(&[drive::run(cfg).unwrap()], false);
+            assert_eq!(
+                got,
+                want,
+                "{}: campaign file differs from direct run",
+                cfg.label()
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn per_run_failures_do_not_abort_the_campaign() {
+        let good = RunConfig::new("steady-state", 32, 7);
+        let bad = RunConfig::new("no-such-scenario", 32, 7);
+        let dir = scratch("failures");
+        let rep = execute(&[good.clone(), bad], &dir, 2, false).unwrap();
+        assert_eq!(rep.written.len(), 1);
+        assert_eq!(rep.failures.len(), 1);
+        assert!(rep.failures[0].0.starts_with("no-such-scenario"));
+        assert!(dir.join(format!("{}.json", good.label())).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

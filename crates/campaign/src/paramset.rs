@@ -1,0 +1,163 @@
+//! Declarative paramsets: an experiment ID expands to a cross-product of
+//! run configurations.
+//!
+//! Expansion order is part of the contract — nested loops over
+//! `scenario → n → strategy → queue → runtime → seed`, each axis in its
+//! declared order — so run indices, progress lines and file listings are
+//! stable across machines and re-runs. The *results* are order-free
+//! anyway (each run is an independent deterministic simulation keyed by
+//! its own config), but a stable expansion makes campaigns diffable.
+
+use mm_sim::QueueKind;
+use mm_workload::drive::RunConfig;
+use mm_workload::RuntimeKind;
+
+/// A named cross-product of run axes. All axes are static: the
+/// experiment library is code, reviewed like code, not a config file
+/// that can silently drift from what a paper table claims.
+#[derive(Debug, Clone, Copy)]
+pub struct Experiment {
+    /// The ID the CLI addresses this experiment by.
+    pub id: &'static str,
+    /// One-line description for `campaign --list`.
+    pub description: &'static str,
+    /// Scenario axis (library workload names).
+    pub scenarios: &'static [&'static str],
+    /// Network-size axis.
+    pub ns: &'static [usize],
+    /// Strategy axis.
+    pub strategies: &'static [&'static str],
+    /// Event-queue axis. More than one entry turns the campaign into a
+    /// conformance experiment: the aggregator requires runs differing
+    /// only in queue to be byte-identical.
+    pub queues: &'static [QueueKind],
+    /// Runtime axis; like `queues`, multiple entries assert conformance.
+    pub runtimes: &'static [RuntimeKind],
+    /// Seed axis (independent trials per cell).
+    pub seeds: &'static [u64],
+}
+
+impl Experiment {
+    /// The number of runs the experiment expands to.
+    pub fn runs(&self) -> usize {
+        self.scenarios.len()
+            * self.ns.len()
+            * self.strategies.len()
+            * self.queues.len()
+            * self.runtimes.len()
+            * self.seeds.len()
+    }
+
+    /// Expands the cross-product in the canonical order.
+    pub fn expand(&self) -> Vec<RunConfig> {
+        let mut out = Vec::with_capacity(self.runs());
+        for &scenario in self.scenarios {
+            for &n in self.ns {
+                for &strategy in self.strategies {
+                    for &queue in self.queues {
+                        for &runtime in self.runtimes {
+                            for &seed in self.seeds {
+                                let mut cfg = RunConfig::new(scenario, n, seed);
+                                cfg.strategy = strategy.to_string();
+                                cfg.queue = queue;
+                                cfg.runtime = runtime;
+                                out.push(cfg);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The experiment library.
+pub const EXPERIMENTS: &[Experiment] = &[
+    Experiment {
+        id: "core-matrix",
+        description: "open-loop core: 2 scenarios x {64,256} x {checkerboard,hash} x 2 seeds (16 runs)",
+        scenarios: &["steady-state", "flash-crowd"],
+        ns: &[64, 256],
+        strategies: &["checkerboard", "hash"],
+        queues: &[QueueKind::Calendar],
+        runtimes: &[RuntimeKind::Sim],
+        seeds: &[7, 11],
+    },
+    Experiment {
+        id: "ci-smoke",
+        description: "small CI gate: 2 scenarios x {64,128} x checkerboard x 2 seeds (8 runs)",
+        scenarios: &["steady-state", "flash-crowd"],
+        ns: &[64, 128],
+        strategies: &["checkerboard"],
+        queues: &[QueueKind::Calendar],
+        runtimes: &[RuntimeKind::Sim],
+        seeds: &[7, 11],
+    },
+    Experiment {
+        id: "conformance",
+        description: "byte-identity gate: steady-state x 64, queues must agree per runtime (4 runs, 2 unique)",
+        scenarios: &["steady-state"],
+        ns: &[64],
+        strategies: &["checkerboard"],
+        queues: &[QueueKind::Calendar, QueueKind::BTree],
+        runtimes: &[RuntimeKind::Sim, RuntimeKind::Live],
+        seeds: &[7],
+    },
+    Experiment {
+        id: "strategy-scaling",
+        description: "scaling fit: steady-state x {64,256,1024} x {checkerboard,hash,broadcast} (9 runs)",
+        scenarios: &["steady-state"],
+        ns: &[64, 256, 1024],
+        strategies: &["checkerboard", "hash", "broadcast"],
+        queues: &[QueueKind::Calendar],
+        runtimes: &[RuntimeKind::Sim],
+        seeds: &[7],
+    },
+];
+
+/// Looks an experiment up by ID.
+pub fn by_id(id: &str) -> Option<&'static Experiment> {
+    EXPERIMENTS.iter().find(|e| e.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_matrix_expands_to_sixteen_unique_labels() {
+        let e = by_id("core-matrix").unwrap();
+        let runs = e.expand();
+        assert_eq!(runs.len(), 16);
+        assert_eq!(runs.len(), e.runs());
+        let mut labels: Vec<String> = runs.iter().map(|c| c.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), 16, "labels must be unique");
+    }
+
+    #[test]
+    fn expansion_order_is_stable() {
+        let e = by_id("ci-smoke").unwrap();
+        let first = e.expand();
+        let again = e.expand();
+        assert_eq!(first, again);
+        // scenario is the outermost axis
+        assert_eq!(first[0].scenario, "steady-state");
+        assert_eq!(first.last().unwrap().scenario, "flash-crowd");
+        // seed is the innermost axis
+        assert_eq!(first[0].seed, 7);
+        assert_eq!(first[1].seed, 11);
+    }
+
+    #[test]
+    fn every_library_experiment_is_well_formed() {
+        for e in EXPERIMENTS {
+            assert!(e.runs() > 0, "{}: empty cross-product", e.id);
+            assert_eq!(e.expand().len(), e.runs(), "{}", e.id);
+            assert!(by_id(e.id).is_some());
+        }
+        assert!(by_id("no-such-experiment").is_none());
+    }
+}

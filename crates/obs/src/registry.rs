@@ -57,7 +57,11 @@ impl Histogram {
             self.max = v;
         }
         self.count += 1;
-        self.sum += v;
+        // the sum saturates rather than wrapping: two observations of
+        // u64::MAX are already past the representable range, and a pinned
+        // ceiling is a legible answer where a wrapped sum is silent
+        // nonsense (campaign tables read these histograms)
+        self.sum = self.sum.saturating_add(v);
         self.buckets[bucket_of(v)] += 1;
     }
 }
@@ -172,7 +176,9 @@ impl Registry {
                 h.max = rep;
             }
             h.count += c;
-            h.sum += rep * c;
+            // same saturation rule as `observe`: the top bucket's
+            // representative is 2^63, so even c = 2 would wrap a plain add
+            h.sum = h.sum.saturating_add(rep.saturating_mul(c));
             h.buckets[idx] += c;
         }
     }
@@ -242,6 +248,66 @@ mod tests {
         assert_eq!(bucket_lo(1), 1);
         assert_eq!(bucket_lo(2), 2);
         assert_eq!(bucket_lo(3), 4);
+    }
+
+    /// Satellite pin (PR 8): the documented bucketing contract is
+    /// `bucket 0 = {0}`, `bucket k = [2^(k-1), 2^k)` — so every exact
+    /// power of two `2^j` opens bucket `j + 1`, it never lands in the
+    /// bucket that *ends* at it. Campaign tables read these histograms;
+    /// an off-by-one here would silently halve or double every boundary
+    /// sample's reported magnitude.
+    #[test]
+    fn every_power_of_two_opens_its_bucket() {
+        for j in 0..64u32 {
+            let v = 1u64 << j;
+            let idx = bucket_of(v);
+            assert_eq!(idx, j as usize + 1, "2^{j} must open bucket {}", j + 1);
+            assert_eq!(bucket_lo(idx), v, "2^{j} is its bucket's lower bound");
+            // one below the power belongs to the previous bucket
+            // (except v = 1, where v - 1 = 0 is the dedicated zero bucket)
+            assert_eq!(bucket_of(v - 1), if v == 1 { 0 } else { j as usize });
+        }
+        // the top bucket [2^63, 2^64) is last and holds u64::MAX
+        assert_eq!(bucket_of(u64::MAX), HIST_BUCKETS - 1);
+        assert_eq!(bucket_lo(HIST_BUCKETS - 1), 1u64 << 63);
+    }
+
+    /// Observations at the extremes of the domain: v = 0 stays out of the
+    /// power buckets, v = u64::MAX lands in the top bucket, and repeated
+    /// maximal observations saturate the sum instead of wrapping it to a
+    /// small, plausible-looking lie.
+    #[test]
+    fn extreme_observations_bucket_and_saturate() {
+        let mut r = Registry::new();
+        r.observe("edge", 0);
+        r.observe("edge", 1);
+        r.observe("edge", u64::MAX);
+        r.observe("edge", u64::MAX); // would wrap a plain `sum += v`
+        let s = r.snapshot_and_reset();
+        let h = s.histogram("edge").unwrap();
+        assert_eq!(h.count, 4);
+        assert_eq!((h.min, h.max), (0, u64::MAX));
+        assert_eq!(h.sum, u64::MAX, "sum pins at the ceiling, no wrap");
+        assert_eq!(h.buckets.len(), 3);
+        assert_eq!((h.buckets[0].lo, h.buckets[0].count), (0, 1));
+        assert_eq!((h.buckets[1].lo, h.buckets[1].count), (1, 1));
+        assert_eq!((h.buckets[2].lo, h.buckets[2].count), (1u64 << 63, 2));
+    }
+
+    /// The raw-bucket merge path must saturate the same way: the top
+    /// bucket's representative is 2^63, so two merged counts overflow a
+    /// plain `rep * c` product.
+    #[test]
+    fn raw_bucket_merge_saturates_the_top_bucket() {
+        let mut counts = [0u64; HIST_BUCKETS];
+        counts[HIST_BUCKETS - 1] = 3;
+        let mut r = Registry::new();
+        r.observe_buckets("deep", &counts);
+        let s = r.snapshot_and_reset();
+        let h = s.histogram("deep").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, u64::MAX);
+        assert_eq!((h.min, h.max), (1u64 << 63, 1u64 << 63));
     }
 
     #[test]

@@ -167,9 +167,24 @@ impl<T> CalendarQueue<T> {
     }
 
     /// Moves every overflow event that now fits the window into its bucket.
+    ///
+    /// The window is `[cursor, cursor + span)`. Near the top of the time
+    /// domain `cursor + span` overflows `u64`; a saturating add would pin
+    /// the horizon at `u64::MAX` and the strict `<` comparison would then
+    /// refuse to migrate an event scheduled *at* `u64::MAX` forever — the
+    /// queue would report itself nonempty while the pop scan finds no
+    /// bucketed event and runs off the end of time. `checked_add`
+    /// distinguishes the two cases: `None` means the window already
+    /// covers everything up to and including `u64::MAX` (its true size,
+    /// `u64::MAX − cursor + 1`, is ≤ span exactly when the add overflows,
+    /// so the one-timestamp-per-bucket invariant still holds).
     fn migrate_due(&mut self) {
-        let horizon = self.cursor.saturating_add(self.span());
-        while self.overflow.peek().is_some_and(|p| p.at < horizon) {
+        let horizon = self.cursor.checked_add(self.span());
+        while self
+            .overflow
+            .peek()
+            .is_some_and(|p| horizon.is_none_or(|h| p.at < h))
+        {
             let Parked { at, seq, ev } = self.overflow.pop().expect("peeked");
             self.bucket_insert(at, seq, ev);
         }
@@ -191,9 +206,13 @@ impl<T> CalendarQueue<T> {
         self.buckets = (0..new_span).map(|_| VecDeque::new()).collect();
         self.mask = new_span - 1;
         self.bucketed = 0;
-        let horizon = self.cursor.saturating_add(new_span);
+        // same overflow-aware horizon as `migrate_due`: a `None` means the
+        // widened window reaches the end of the time domain, so nothing
+        // may be parked back into overflow (an event at u64::MAX would
+        // otherwise bounce between grow() and a migrate that never fires)
+        let horizon = self.cursor.checked_add(new_span);
         for (at, seq, ev) in all {
-            if at >= horizon {
+            if horizon.is_some_and(|h| at >= h) {
                 self.overflow.push(Parked { at, seq, ev });
             } else {
                 self.bucket_insert(at, seq, ev);
@@ -407,6 +426,109 @@ mod tests {
         q.push(5, "late-seq"); // 5 - 2 < span: bucket insert at a due time
         assert_eq!(q.pop_next(), Some((5, "early-seq")));
         assert_eq!(q.pop_next(), Some((5, "late-seq")));
+    }
+
+    /// Satellite regression (PR 8): `migrate_due`'s horizon used to be
+    /// `cursor.saturating_add(span)`, which pins at `u64::MAX` — an event
+    /// scheduled *at* `u64::MAX` then never satisfied the strict `<` and
+    /// never migrated out of overflow, so the queue claimed to be
+    /// nonempty while `pop_next_until(u64::MAX)` found nothing bucketed
+    /// and ran its scan cursor off the end of time. Both `QueueKind`s
+    /// must drain events at the saturation boundary.
+    #[test]
+    fn events_at_the_end_of_time_still_pop() {
+        let mut cal = CalendarQueue::default();
+        let mut bt = BTreeQueue::default();
+        for q in [
+            &mut cal as &mut dyn FnPush,
+            &mut bt as &mut dyn FnPush, // both kinds, same sequence
+        ] {
+            q.do_push(3, 0);
+            q.do_push(u64::MAX - 1, 1);
+            q.do_push(u64::MAX, 2);
+            q.do_push(u64::MAX, 3); // FIFO twin at the last representable tick
+        }
+        for q in [&mut cal as &mut dyn FnPush, &mut bt as &mut dyn FnPush] {
+            assert_eq!(q.do_pop(u64::MAX), Some((3, 0)));
+            assert_eq!(q.do_pop(u64::MAX), Some((u64::MAX - 1, 1)));
+            assert_eq!(q.do_pop(u64::MAX), Some((u64::MAX, 2)));
+            assert_eq!(q.do_pop(u64::MAX), Some((u64::MAX, 3)));
+            assert_eq!(q.do_pop(u64::MAX), None);
+        }
+    }
+
+    /// Object-safe push/pop facade so the boundary tests can drive both
+    /// queue kinds through one code path (mirrors `EventQueue`'s match).
+    trait FnPush {
+        fn do_push(&mut self, at: SimTime, v: u32);
+        fn do_pop(&mut self, deadline: SimTime) -> Option<(SimTime, u32)>;
+    }
+    impl FnPush for CalendarQueue<u32> {
+        fn do_push(&mut self, at: SimTime, v: u32) {
+            self.push(at, v);
+        }
+        fn do_pop(&mut self, deadline: SimTime) -> Option<(SimTime, u32)> {
+            self.pop_next_until(deadline)
+        }
+    }
+    impl FnPush for BTreeQueue<u32> {
+        fn do_push(&mut self, at: SimTime, v: u32) {
+            self.push(at, v);
+        }
+        fn do_pop(&mut self, deadline: SimTime) -> Option<(SimTime, u32)> {
+            self.pop_next_until(deadline)
+        }
+    }
+
+    /// A deadline below the far event must leave it queued — and the
+    /// cursor parked — even when the event sits at `u64::MAX`.
+    #[test]
+    fn deadline_below_the_boundary_leaves_the_last_event_queued() {
+        let mut q = CalendarQueue::with_span(4);
+        q.push(u64::MAX, "omega");
+        assert_eq!(q.pop_next_until(u64::MAX - 1), None);
+        assert_eq!(q.len(), 1, "the boundary event must not be lost");
+        assert_eq!(q.pop_next_until(u64::MAX), Some((u64::MAX, "omega")));
+        assert!(q.is_empty());
+    }
+
+    /// Pushing at `u64::MAX` once the cursor itself sits at `u64::MAX`
+    /// takes the bucket path (distance 0 < span); the overflow twin
+    /// parked earlier must still pop first (FIFO by sequence).
+    #[test]
+    fn push_at_a_saturated_cursor_keeps_fifo_with_parked_twins() {
+        let mut q = CalendarQueue::with_span(4);
+        q.push(u64::MAX, "first");
+        q.push(10, "near");
+        assert_eq!(q.pop_next(), Some((10, "near")));
+        // cursor advances to u64::MAX on the next pop's overflow jump;
+        // push another twin before that pop to exercise push-side
+        // migration at the pinned horizon
+        q.push(u64::MAX, "second");
+        assert_eq!(q.pop_next(), Some((u64::MAX, "first")));
+        assert_eq!(q.pop_next(), Some((u64::MAX, "second")));
+        assert_eq!(q.pop_next(), None);
+    }
+
+    /// Window growth with the cursor near the top of the time domain:
+    /// `grow()`'s re-homing horizon overflows `u64`, and everything —
+    /// including events at `u64::MAX` — must land in buckets, not bounce
+    /// back into overflow forever.
+    #[test]
+    fn window_growth_at_the_boundary_rehomes_everything() {
+        let mut q = CalendarQueue::with_span(2);
+        let base = u64::MAX - 64;
+        q.push(base, 0u64);
+        assert_eq!(q.pop_next(), Some((base, 0)), "advance cursor near MAX");
+        // flood the overflow heap to force grow() while cursor ~ MAX
+        for i in 1..=64u64 {
+            q.push(base + i, i);
+        }
+        assert!(q.span() > 2, "overflow pressure must widen the window");
+        for i in 1..=64u64 {
+            assert_eq!(q.pop_next(), Some((base + i, i)));
+        }
+        assert_eq!(q.pop_next(), None);
     }
 
     proptest! {

@@ -35,7 +35,10 @@
 //! that block automatically.
 //!
 //! Re-running with identical arguments reproduces byte-identical output
-//! (modulo the `--pretty` flag, which only reformats).
+//! (modulo the `--pretty` flag, which only reformats). Execution lives in
+//! [`mm_workload::drive`]; this binary only parses flags and loops the
+//! sweep, so the `mm-campaign` matrix runner produces the same bytes by
+//! construction.
 //!
 //! # Observability
 //!
@@ -57,31 +60,11 @@
 //! `--throughput` adds wall-clock events/sec, and `--verbose` restores
 //! the per-scenario stderr progress lines.
 
-use mm_core::robust::Replicated;
-use mm_core::strategies::{Broadcast, Checkerboard, HashLocate, PortMapped};
 use mm_obs::{TraceConfig, TraceFile};
 use mm_sim::{CostModel, QueueKind};
-use mm_topo::{gen, Graph};
-use mm_workload::{
-    scenarios, ClientModel, LiveScenarioRunner, ScenarioReport, ScenarioRunner, ThinkTime,
-};
+use mm_workload::drive::{self, ObsOptions, RunConfig, RuntimeKind, LIVE_THREAD_LIMIT};
+use mm_workload::{scenarios, ClientModel, ScenarioReport, ThinkTime};
 use std::time::Instant;
-
-/// Above this size a literal complete graph (O(n²) adjacency) stops being
-/// buildable; under the uniform cost model edges are never consulted, so
-/// the sweep substitutes an edgeless graph with the same name and runs to
-/// 64k+ nodes unchanged.
-const COMPLETE_MATERIALIZE_LIMIT: usize = 4096;
-
-/// One OS thread per node: past this the live runtime would exhaust the
-/// default thread budget long before it said anything new.
-const LIVE_THREAD_LIMIT: usize = 4096;
-
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum Runtime {
-    Sim,
-    Live,
-}
 
 struct Args {
     ns: Vec<usize>,
@@ -91,7 +74,7 @@ struct Args {
     topology: String,
     cost: CostModel,
     queue: QueueKind,
-    runtime: Runtime,
+    runtime: RuntimeKind,
     /// `--clients N` closed-loop override applied on top of the scenario.
     clients: Option<usize>,
     think: ThinkTime,
@@ -170,7 +153,7 @@ fn parse_args() -> Args {
         topology: "complete".into(),
         cost: CostModel::Uniform,
         queue: QueueKind::Calendar,
-        runtime: Runtime::Sim,
+        runtime: RuntimeKind::Sim,
         clients: None,
         think: ThinkTime::Fixed { ticks: 2 },
         retries: 1,
@@ -214,18 +197,10 @@ fn parse_args() -> Args {
                 }
             }
             "--queue" => {
-                args.queue = match value(&argv, &mut i).as_str() {
-                    "calendar" => QueueKind::Calendar,
-                    "btree" => QueueKind::BTree,
-                    _ => usage(),
-                }
+                args.queue = drive::parse_queue(&value(&argv, &mut i)).unwrap_or_else(|| usage())
             }
             "--runtime" => {
-                args.runtime = match value(&argv, &mut i).as_str() {
-                    "sim" => Runtime::Sim,
-                    "live" => Runtime::Live,
-                    _ => usage(),
-                }
+                args.runtime = RuntimeKind::parse(&value(&argv, &mut i)).unwrap_or_else(|| usage())
             }
             "--clients" => {
                 args.clients = Some(value(&argv, &mut i).parse().unwrap_or_else(|_| usage()));
@@ -263,7 +238,7 @@ fn parse_args() -> Args {
     // reject impossible live-runtime combinations before any scenario
     // runs: a failed sweep should not burn minutes of completed work
     // first and then discard it at the incompatible size
-    if args.runtime == Runtime::Live {
+    if args.runtime == RuntimeKind::Live {
         if args.topology != "complete" || args.cost != CostModel::Uniform {
             eprintln!("error: --runtime live is a complete network under uniform cost");
             std::process::exit(2);
@@ -305,188 +280,44 @@ fn trace_cmd(path: &str) -> ! {
     std::process::exit(0);
 }
 
-fn build_graph(topology: &str, n: usize, cost: CostModel) -> Graph {
-    match topology {
-        "complete" => match cost {
-            // uniform never routes: an edgeless stand-in is behaviorally
-            // identical and O(n) instead of O(n²) to build
-            CostModel::Uniform => gen::complete_shell(n),
-            CostModel::Hops if n <= COMPLETE_MATERIALIZE_LIMIT => gen::complete(n),
-            CostModel::Hops => {
-                eprintln!(
-                    "error: --cost hops with --topology complete materializes O(n^2) \
-                     edges; use --n <= {COMPLETE_MATERIALIZE_LIMIT} or a sparse topology"
-                );
-                std::process::exit(2);
-            }
-        },
-        "ring" => gen::ring(n),
-        "grid" => {
-            // the closest p x q >= n rectangle
-            let p = (n as f64).sqrt().ceil() as usize;
-            let q = n.div_ceil(p);
-            let mut g = gen::grid(p, q, false);
-            if p * q != n {
-                eprintln!("note: grid topology rounded n from {n} to {}", p * q);
-            }
-            g.set_name(format!("grid({p}x{q})"));
-            g
-        }
-        "hypercube" => {
-            let d = (n as f64).log2().round() as u32;
-            if 1usize << d != n {
-                eprintln!("error: --topology hypercube needs --n to be a power of two (got {n})");
-                std::process::exit(2);
-            }
-            gen::hypercube(d)
-        }
-        _ => usage(),
-    }
-}
-
-/// Resolves the library spec and applies any `--clients` closed-loop
-/// override, failing fast (with the validator's explanation) on
-/// incompatible combinations instead of panicking mid-sweep.
-fn build_spec(args: &Args, name: &str, n: usize) -> mm_workload::Workload {
-    let mut spec = scenarios::by_name(name, n, args.seed).unwrap_or_else(|| usage());
-    if let Some(clients) = args.clients {
-        spec.clients = Some(ClientModel {
+/// One scenario × size of the sweep as a [`drive::RunConfig`].
+fn to_config(args: &Args, name: &str, n: usize) -> RunConfig {
+    RunConfig {
+        scenario: name.to_string(),
+        n,
+        seed: args.seed,
+        strategy: args.strategy.clone(),
+        topology: args.topology.clone(),
+        cost: args.cost,
+        queue: args.queue,
+        runtime: args.runtime,
+        clients: args.clients.map(|clients| ClientModel {
             clients,
             think: args.think,
             retry_budget: args.retries,
             retry_backoff: args.backoff,
             window: args.window,
-        });
-    }
-    if let Err(e) = spec.validate() {
-        eprintln!("error: {name}: {e}");
-        std::process::exit(2);
-    }
-    spec
-}
-
-/// The strategy copies `--replication F` superimposes (`F + 1`; 1 = base),
-/// failing fast when the universe is too small to carry them.
-fn replication_factor(args: &Args, n: usize) -> usize {
-    let r = args.replication as usize + 1;
-    if r > n {
-        eprintln!("error: --replication {} needs n >= {r}", args.replication);
-        std::process::exit(2);
-    }
-    r
-}
-
-fn run_one(args: &Args, name: &str, n: usize) -> (ScenarioReport, Option<TraceFile>) {
-    if args.runtime == Runtime::Live {
-        return run_one_live(args, name, n);
-    }
-    let graph = build_graph(&args.topology, n, args.cost);
-    // the grid topology may round n up; size the workload (churn widths
-    // etc.) from the node count actually run, not the requested one
-    let n = graph.node_count();
-    let spec = build_spec(args, name, n);
-    let r = replication_factor(args, n);
-    match (args.strategy.as_str(), r) {
-        ("checkerboard", 1) => run_spec(spec, graph, Checkerboard::new(n), args, "checkerboard"),
-        ("checkerboard", _) => {
-            let s = Replicated::new(Checkerboard::new(n), r);
-            run_spec(spec, graph, s, args, &format!("checkerboard-r{r}"))
-        }
-        ("broadcast", 1) => run_spec(spec, graph, Broadcast::new(n), args, "broadcast"),
-        ("broadcast", _) => {
-            let s = Replicated::new(Broadcast::new(n), r);
-            run_spec(spec, graph, s, args, &format!("broadcast-r{r}"))
-        }
-        // Hash Locate's replica count *is* its redundancy level (§5):
-        // `--replication F` raises it from the default 3 to F+1
-        ("hash", 1) => run_spec(spec, graph, HashLocate::new(n, 3.min(n)), args, "hash"),
-        ("hash", _) => run_spec(
-            spec,
-            graph,
-            HashLocate::new(n, r),
-            args,
-            &format!("hash-r{r}"),
-        ),
-        _ => usage(),
+        }),
+        replication: args.replication,
     }
 }
 
-fn run_one_live(args: &Args, name: &str, n: usize) -> (ScenarioReport, Option<TraceFile>) {
-    // incompatible flag combinations were rejected in parse_args
-    let spec = build_spec(args, name, n);
-    let r = replication_factor(args, n);
-    match (args.strategy.as_str(), r) {
-        ("checkerboard", 1) => run_spec_live(spec, n, Checkerboard::new(n), args, "checkerboard"),
-        ("checkerboard", _) => {
-            let s = Replicated::new(Checkerboard::new(n), r);
-            run_spec_live(spec, n, s, args, &format!("checkerboard-r{r}"))
-        }
-        ("broadcast", 1) => run_spec_live(spec, n, Broadcast::new(n), args, "broadcast"),
-        ("broadcast", _) => {
-            let s = Replicated::new(Broadcast::new(n), r);
-            run_spec_live(spec, n, s, args, &format!("broadcast-r{r}"))
-        }
-        ("hash", 1) => run_spec_live(spec, n, HashLocate::new(n, 3.min(n)), args, "hash"),
-        ("hash", _) => run_spec_live(spec, n, HashLocate::new(n, r), args, &format!("hash-r{r}")),
-        _ => usage(),
+/// The observability switches the flags select.
+fn to_obs(args: &Args) -> ObsOptions {
+    ObsOptions {
+        trace: args
+            .trace
+            .as_ref()
+            .map(|_| TraceConfig::with_rate(args.seed, args.trace_rate)),
+        obs: args.obs,
+        throughput: args.throughput,
     }
 }
 
-/// Applies the observability flags to a simulator runner.
-fn apply_obs<PM: PortMapped>(runner: &mut ScenarioRunner<PM>, args: &Args) {
-    if args.trace.is_some() {
-        runner.set_trace(TraceConfig::with_rate(args.seed, args.trace_rate));
-    }
-    if args.obs {
-        runner.enable_obs();
-    }
-    if args.throughput {
-        runner.enable_throughput();
-    }
-    if args.replication > 0 {
-        runner.enable_robustness(args.replication + 1);
-    }
-}
-
-/// Applies the observability flags to a live runner.
-fn apply_obs_live<PM: PortMapped>(runner: &mut LiveScenarioRunner<PM>, args: &Args) {
-    if args.trace.is_some() {
-        runner.set_trace(TraceConfig::with_rate(args.seed, args.trace_rate));
-    }
-    if args.obs {
-        runner.enable_obs();
-    }
-    if args.throughput {
-        runner.enable_throughput();
-    }
-    if args.replication > 0 {
-        runner.enable_robustness(args.replication + 1);
-    }
-}
-
-fn run_spec<PM: PortMapped>(
-    spec: mm_workload::Workload,
-    graph: Graph,
-    resolver: PM,
-    args: &Args,
-    label: &str,
-) -> (ScenarioReport, Option<TraceFile>) {
-    let mut runner =
-        ScenarioRunner::with_queue(spec, graph, resolver, args.cost, label, args.queue);
-    apply_obs(&mut runner, args);
-    runner.run_traced()
-}
-
-fn run_spec_live<PM: PortMapped>(
-    spec: mm_workload::Workload,
-    n: usize,
-    resolver: PM,
-    args: &Args,
-    label: &str,
-) -> (ScenarioReport, Option<TraceFile>) {
-    let mut runner = LiveScenarioRunner::new(spec, n, resolver, label);
-    apply_obs_live(&mut runner, args);
-    runner.run_traced()
+/// Maps a drive error to the CLI's invalid-invocation exit.
+fn fail(e: String) -> ! {
+    eprintln!("error: {e}");
+    std::process::exit(2);
 }
 
 fn main() {
@@ -518,8 +349,10 @@ fn main() {
     // sweep must not complete half its work and then discard it mid-way
     // (spec validity does not depend on n, so the first size suffices)
     for name in &names {
-        build_spec(&args, name, args.ns[0]);
+        let cfg = to_config(&args, name, args.ns[0]);
+        drive::build_spec(&cfg, args.ns[0]).unwrap_or_else(|e| fail(e));
     }
+    let obs = to_obs(&args);
 
     let mut reports = Vec::new();
     let mut trace_out: Option<TraceFile> = None;
@@ -528,8 +361,9 @@ fn main() {
             if args.verbose {
                 eprintln!("running {name} at n={n} (seed {}) ...", args.seed);
             }
+            let cfg = to_config(&args, name, n);
             let t0 = Instant::now();
-            let (report, trace) = run_one(&args, name, n);
+            let (report, trace) = drive::run_traced(&cfg, &obs).unwrap_or_else(|e| fail(e));
             let wall = t0.elapsed().as_secs_f64();
             if args.verbose {
                 // wall-clock throughput goes to stderr only: stdout JSON
@@ -561,11 +395,5 @@ fn main() {
         return;
     }
 
-    let json = if args.pretty {
-        serde_json::to_string_pretty(&reports)
-    } else {
-        serde_json::to_string(&reports)
-    }
-    .expect("reports always serialize");
-    println!("{json}");
+    print!("{}", drive::reports_to_json(&reports, args.pretty));
 }

@@ -31,6 +31,11 @@
 //!   (`tests/live_workload_equivalence.rs`).
 //! * [`report`] — the report structs and builders shared by both
 //!   runtimes, plus the per-operation verdict log they both produce.
+//! * [`drive`] — programmatic single-run invocation ([`RunConfig`] →
+//!   [`ScenarioReport`]), the shared execution path behind the
+//!   `scenarios` CLI and the `mm-campaign` experiment-matrix runner —
+//!   which is what makes a campaign's per-run JSON byte-identical to the
+//!   equivalent CLI invocation.
 //! * [`scenarios`] — the library: steady-state, flash-crowd,
 //!   rolling-churn, migrate-under-load, cold-vs-warm-cache (open-loop)
 //!   plus overload-ramp and flash-crowd-recovery (closed-loop), and the
@@ -64,6 +69,7 @@
 //! ```
 
 mod clients;
+pub mod drive;
 pub mod live_runner;
 mod observe;
 pub mod report;
@@ -73,6 +79,7 @@ pub mod spec;
 mod timeline;
 pub mod traffic;
 
+pub use drive::{ObsOptions, RunConfig, RuntimeKind};
 pub use live_runner::LiveScenarioRunner;
 pub use report::{
     ClosedLoopStats, LocateRecord, LocateVerdict, PhaseReport, RobustnessReport, ScenarioReport,

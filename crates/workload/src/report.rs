@@ -16,7 +16,7 @@
 
 use crate::clients::ClientOpRecord;
 use crate::timeline::PhaseBounds;
-use mm_analysis::stats::percentile_sorted;
+use mm_analysis::stats::percentile_or_zero;
 use mm_analysis::ExperimentRecord;
 use mm_core::strategies::PortMapped;
 use mm_core::Port;
@@ -341,16 +341,10 @@ pub(crate) struct Acc {
     pub false_match: u64,
 }
 
-/// Percentile of a sorted sample, 0.0 when the sample is empty (a
-/// zero-node metrics snapshot or a phase with no closed-loop operations
-/// must yield zeroed stats, not a panic).
-fn percentile_or_zero(sorted: &[f64], q: f64) -> f64 {
-    if sorted.is_empty() {
-        0.0
-    } else {
-        percentile_sorted(sorted, q)
-    }
-}
+// Percentile interpolation is deliberately NOT implemented here: every
+// percentile in a report flows through `mm_analysis::stats`, the same
+// code the campaign aggregation pipeline uses, so per-phase reports and
+// campaign tables can never disagree on what "p99" means.
 
 /// Builds one [`PhaseReport`] from the phase's operation counters and the
 /// runtime metrics delta — the single code path for both runtimes. Rate

@@ -1,0 +1,68 @@
+//! Cross-crate percentile consistency (PR 8 satellite).
+//!
+//! The per-phase workload reports (`mm-workload::report`) and the
+//! campaign aggregation layer (`mm-analysis::stats::Summary`) both
+//! interpolate percentiles through `mm_analysis::stats`. This suite pins
+//! the interpolation on shared fixtures so the two consumers can never
+//! drift apart again — the repo used to carry two independently written
+//! implementations (`percentile_or_zero` in report.rs next to
+//! `percentile_sorted` in stats.rs), and a campaign table that disagrees
+//! with the per-run report it aggregates is worse than no table.
+
+use mm_analysis::stats::{percentile_or_zero, percentile_sorted, Summary};
+
+/// The shared fixture: an 11-point sorted sample with hand-computed
+/// linear-interpolation percentiles (`pos = q·(len−1)`).
+const FIXTURE: [f64; 11] = [
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0,
+];
+
+#[test]
+fn fixture_percentiles_are_pinned() {
+    // pos = 0.5 * 10 = 5 exactly -> sorted[5]
+    assert_eq!(percentile_sorted(&FIXTURE, 0.5), 32.0);
+    // pos = 0.95 * 10 = 9.5 -> midpoint of sorted[9], sorted[10]
+    assert_eq!(percentile_sorted(&FIXTURE, 0.95), 768.0);
+    // pos = 0.99 * 10 = 9.9 -> 0.1*512 + 0.9*1024
+    assert!((percentile_sorted(&FIXTURE, 0.99) - 972.8).abs() < 1e-9);
+    // extremes are exact
+    assert_eq!(percentile_sorted(&FIXTURE, 0.0), 1.0);
+    assert_eq!(percentile_sorted(&FIXTURE, 1.0), 1024.0);
+}
+
+#[test]
+fn summary_and_report_percentiles_agree_on_the_fixture() {
+    // Summary::of is what campaign aggregates use; percentile_or_zero is
+    // what build_phase_report / ClosedLoopStats use. Same fixture, same
+    // quantile, same answer — down to the last bit.
+    let s = Summary::of(&FIXTURE).unwrap();
+    assert_eq!(s.median, percentile_or_zero(&FIXTURE, 0.5));
+    assert_eq!(s.p95, percentile_or_zero(&FIXTURE, 0.95));
+    assert_eq!(s.p99, percentile_or_zero(&FIXTURE, 0.99));
+    assert_eq!(s.min, FIXTURE[0]);
+    assert_eq!(s.max, FIXTURE[10]);
+}
+
+#[test]
+fn agreement_holds_across_awkward_sample_counts() {
+    // 1, 2, 3 and prime-sized samples exercise every interpolation
+    // branch (singleton short-circuit, exact index, fractional index)
+    for len in [1usize, 2, 3, 7, 13, 100] {
+        let v: Vec<f64> = (0..len).map(|i| (i * i) as f64).collect();
+        let s = Summary::of(&v).unwrap();
+        for (q, got) in [(0.5, s.median), (0.95, s.p95), (0.99, s.p99)] {
+            assert_eq!(
+                got,
+                percentile_or_zero(&v, q),
+                "len={len} q={q}: Summary and report interpolation diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn empty_sample_conventions_are_explicit() {
+    // reports zero empty samples; Summary refuses them — both documented
+    assert_eq!(percentile_or_zero(&[], 0.99), 0.0);
+    assert!(Summary::of(&[]).is_none());
+}

@@ -1,15 +1,19 @@
-//! Vendored, offline subset of the `crossbeam` crate: just
-//! [`channel::bounded`]/[`channel::unbounded`] with cloneable senders,
-//! implemented over `std::sync::mpsc`. The live runtime only needs
-//! multi-producer/single-consumer mailboxes plus `recv_timeout`, which
-//! std's channels provide directly.
+//! Vendored, offline subset of the `crossbeam` crate:
+//! [`channel::bounded`]/[`channel::unbounded`] with cloneable senders
+//! *and* cloneable receivers, plus [`thread::scope`], implemented over
+//! `std::sync`. The live runtime needs multi-producer/single-consumer
+//! mailboxes with `recv_timeout`; the campaign executor additionally
+//! needs the multi-consumer half (a shared work queue that `N` worker
+//! threads drain) and scoped spawning — this shim provides exactly that
+//! surface and nothing more.
 
-/// Multi-producer channels (subset of `crossbeam-channel`).
+/// Multi-producer multi-consumer channels (subset of `crossbeam-channel`).
 pub mod channel {
     use std::sync::mpsc;
+    use std::sync::{Arc, Mutex, PoisonError};
     use std::time::Duration;
 
-    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
 
     /// The sending half; cloneable.
     #[derive(Debug)]
@@ -44,18 +48,40 @@ pub mod channel {
         }
     }
 
-    /// The receiving half.
+    /// The receiving half; cloneable — clones share one queue, so a
+    /// message goes to exactly one of them (work-queue semantics, as in
+    /// real `crossbeam-channel`).
+    ///
+    /// Multi-consumer behavior is layered over std's single-consumer
+    /// receiver with a mutex. A receiver blocked in [`recv`](Self::recv)
+    /// holds the lock until a message (or disconnect) arrives, so
+    /// contending receivers are admitted one at a time — correct, and
+    /// plenty for a work queue whose items take far longer to process
+    /// than to dequeue.
     #[derive(Debug)]
-    pub struct Receiver<T>(mpsc::Receiver<T>);
+    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
 
     impl<T> Receiver<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, mpsc::Receiver<T>> {
+            // a panicking worker must not wedge the queue for its peers;
+            // the underlying mpsc receiver has no invariant a panic can
+            // half-apply, so poisoning carries no information here
+            self.0.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+
         /// Blocks until a message arrives.
         ///
         /// # Errors
         ///
         /// [`RecvError`] when the channel is empty and disconnected.
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.0.recv()
+            self.lock().recv()
         }
 
         /// Blocks up to `timeout` for a message.
@@ -64,29 +90,56 @@ pub mod channel {
         ///
         /// [`RecvTimeoutError`] on timeout or disconnection.
         pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
-            self.0.recv_timeout(timeout)
+            self.lock().recv_timeout(timeout)
         }
 
         /// Non-blocking receive.
         ///
         /// # Errors
         ///
-        /// [`mpsc::TryRecvError`] when empty or disconnected.
-        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
-            self.0.try_recv()
+        /// [`TryRecvError`] when empty or disconnected.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.lock().try_recv()
+        }
+
+        /// A blocking iterator over received messages; ends when the
+        /// channel is empty and every sender is gone. The worker-loop
+        /// idiom: `for job in rx.iter() { … }`.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    /// Blocking iterator returned by [`Receiver::iter`].
+    #[derive(Debug)]
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
         }
     }
 
     /// An unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
-        (Sender(Flavor::Unbounded(tx)), Receiver(rx))
+        (
+            Sender(Flavor::Unbounded(tx)),
+            Receiver(Arc::new(Mutex::new(rx))),
+        )
     }
 
     /// A bounded channel with capacity `cap` (0 = rendezvous).
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::sync_channel(cap);
-        (Sender(Flavor::Bounded(tx)), Receiver(rx))
+        (
+            Sender(Flavor::Bounded(tx)),
+            Receiver(Arc::new(Mutex::new(rx))),
+        )
     }
 
     #[cfg(test)]
@@ -114,5 +167,47 @@ pub mod channel {
                 Err(RecvTimeoutError::Timeout)
             );
         }
+
+        #[test]
+        fn multi_consumer_partitions_the_queue() {
+            // 100 jobs, 4 cloned receivers: every job is consumed exactly
+            // once and the union of what the workers saw is the full set
+            let (tx, rx) = unbounded();
+            for i in 0..100u32 {
+                tx.send(i).unwrap();
+            }
+            drop(tx); // disconnect so iter() terminates
+            let mut got = crate::thread::scope(|s| {
+                let handles: Vec<_> = (0..4)
+                    .map(|_| {
+                        let rx = rx.clone();
+                        s.spawn(move || rx.iter().collect::<Vec<u32>>())
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().unwrap())
+                    .collect::<Vec<u32>>()
+            });
+            got.sort_unstable();
+            assert_eq!(got, (0..100).collect::<Vec<u32>>());
+        }
+
+        #[test]
+        fn cloned_receiver_sees_disconnect() {
+            let (tx, rx) = unbounded::<u8>();
+            let rx2 = rx.clone();
+            drop(tx);
+            assert!(rx.recv().is_err());
+            assert!(rx2.recv().is_err());
+            assert_eq!(rx2.try_recv(), Err(TryRecvError::Disconnected));
+        }
     }
+}
+
+/// Scoped threads (subset of `crossbeam-utils`' `thread` module). Std
+/// grew an equivalent [`std::thread::scope`] in 1.63; the shim re-exports
+/// it so callers keep the `crossbeam::thread::scope` spelling.
+pub mod thread {
+    pub use std::thread::{scope, Scope, ScopedJoinHandle};
 }
