@@ -152,7 +152,9 @@ pub fn load(paths: &[PathBuf]) -> Result<Aggregate, String> {
     Ok(Aggregate { unique, violations })
 }
 
-/// [`load`] over every `*.json` directly inside `dir`.
+/// [`load`] over every `*.json` directly inside `dir`, excluding the
+/// executor's `manifest.json` ledger (which is campaign bookkeeping,
+/// not a run report).
 ///
 /// # Errors
 ///
@@ -162,6 +164,7 @@ pub fn load_dir(dir: &Path) -> Result<Aggregate, String> {
         .map_err(|e| format!("reading {}: {e}", dir.display()))?
         .filter_map(|entry| entry.ok().map(|e| e.path()))
         .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .filter(|p| p.file_name().is_none_or(|f| f != "manifest.json"))
         .collect();
     if paths.is_empty() {
         return Err(format!("{}: no run files (*.json)", dir.display()));

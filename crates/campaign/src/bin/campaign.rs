@@ -13,13 +13,18 @@
 //! output unchanged. Exit status: 0 when every run produced its file,
 //! 1 when any run failed, 2 on invalid invocation.
 
-use mm_campaign::{by_id, execute, EXPERIMENTS};
+use mm_campaign::{by_id, execute_with_budget, EXPERIMENTS};
 use std::path::PathBuf;
+use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: campaign EXPERIMENT_ID --out DIR [--jobs N] [--dry-run] [--verbose]\n\
-         usage: campaign --list\n\nexperiments:"
+        "usage: campaign EXPERIMENT_ID --out DIR [--jobs N] [--budget-secs S] [--dry-run] [--verbose]\n\
+         usage: campaign --list\n\n\
+         --budget-secs S stops dispatching new runs once S seconds of wall clock\n\
+         have elapsed; undispatched runs are recorded as skipped in the output\n\
+         directory's manifest.json (completed files stay byte-identical to an\n\
+         unbudgeted campaign's, and aggregation accepts the partial set)\n\nexperiments:"
     );
     for e in EXPERIMENTS {
         eprintln!("  {:<18} {} [{} runs]", e.id, e.description, e.runs());
@@ -38,6 +43,7 @@ fn main() {
     let mut id: Option<String> = None;
     let mut out: Option<PathBuf> = None;
     let mut jobs = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let mut budget: Option<Duration> = None;
     let mut dry_run = false;
     let mut verbose = false;
     let mut i = 0;
@@ -54,6 +60,15 @@ fn main() {
                     .ok()
                     .filter(|&j: &usize| j > 0)
                     .unwrap_or_else(|| usage());
+            }
+            "--budget-secs" => {
+                budget = Some(
+                    value(&argv, &mut i)
+                        .parse()
+                        .ok()
+                        .map(Duration::from_secs)
+                        .unwrap_or_else(|| usage()),
+                );
             }
             "--dry-run" => dry_run = true,
             "--verbose" => verbose = true,
@@ -86,7 +101,7 @@ fn main() {
         jobs.min(configs.len().max(1)),
         out.display()
     );
-    let report = execute(&configs, &out, jobs, verbose).unwrap_or_else(|e| {
+    let report = execute_with_budget(&configs, &out, jobs, verbose, budget).unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(1);
     });
@@ -101,5 +116,13 @@ fn main() {
         );
         std::process::exit(1);
     }
-    eprintln!("campaign: {id}: {} run files written", report.written.len());
+    if report.skipped.is_empty() {
+        eprintln!("campaign: {id}: {} run files written", report.written.len());
+    } else {
+        eprintln!(
+            "campaign: {id}: {} run files written, {} skipped on budget (see manifest.json)",
+            report.written.len(),
+            report.skipped.len()
+        );
+    }
 }

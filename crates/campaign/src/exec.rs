@@ -8,10 +8,21 @@
 //! path as the `scenarios` binary — and lands in its own file named by
 //! the run's canonical label. The resulting directory is a pure function
 //! of the expanded paramset, whatever the thread interleaving was.
+//!
+//! A campaign may carry a **wall-clock budget**: once the deadline
+//! passes, workers stop dispatching queued runs and record them as
+//! skipped instead. A budgeted campaign still writes a complete, exact
+//! prefix-closed-by-nothing *subset* of the full run set — every file
+//! that exists is byte-identical to its unbudgeted twin, and the
+//! [`agg`](crate::agg) pipeline is order-independent over whatever
+//! subset landed. The `manifest.json` in the output directory records
+//! which runs completed, failed or were skipped, so a later invocation
+//! (or a human) can finish the remainder.
 
 use crossbeam::channel;
 use mm_workload::drive::{self, RunConfig};
 use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 /// What one [`execute`] call did.
 #[derive(Debug)]
@@ -20,24 +31,31 @@ pub struct ExecReport {
     pub written: Vec<PathBuf>,
     /// Failed runs as `(label, error)`, in expansion order.
     pub failures: Vec<(String, String)>,
+    /// Runs never dispatched because the time budget expired, in
+    /// expansion order. Skips are not failures: a budgeted campaign that
+    /// completes a clean subset exits clean.
+    pub skipped: Vec<String>,
 }
 
 impl ExecReport {
-    /// `true` when every run produced its file.
+    /// `true` when every *dispatched* run produced its file.
     pub fn all_ok(&self) -> bool {
         self.failures.is_empty()
     }
 }
 
+/// How one queued run ended.
+#[derive(Debug)]
+enum RunOutcome {
+    Wrote(PathBuf),
+    Failed(String),
+    Skipped,
+}
+
 /// Runs every config, `jobs` at a time, writing
 /// `<out_dir>/<label>.json` per run — each file byte-identical to the
-/// stdout of the equivalent single `scenarios` invocation.
-///
-/// Worker threads pull from one shared MPMC channel, so a slow run never
-/// idles the pool the way static slicing would. `verbose` prints a
-/// completion line per run to stderr (completion order, which is the one
-/// nondeterministic thing here and is why it is *not* part of any
-/// artifact).
+/// stdout of the equivalent single `scenarios` invocation. Equivalent to
+/// [`execute_with_budget`] with no deadline.
 ///
 /// # Errors
 ///
@@ -50,9 +68,38 @@ pub fn execute(
     jobs: usize,
     verbose: bool,
 ) -> Result<ExecReport, String> {
+    execute_with_budget(configs, out_dir, jobs, verbose, None)
+}
+
+/// [`execute`] under an optional wall-clock budget: once `budget`
+/// elapses, remaining queued runs are recorded as skipped instead of
+/// dispatched (runs already in flight finish and keep their files).
+///
+/// Worker threads pull from one shared MPMC channel, so a slow run never
+/// idles the pool the way static slicing would. `verbose` prints a
+/// completion line per run to stderr (completion order, which is the one
+/// nondeterministic thing here and is why it is *not* part of any
+/// artifact).
+///
+/// Every invocation writes `<out_dir>/manifest.json` listing completed,
+/// failed and skipped run labels in expansion order — the resume ledger
+/// for budget-truncated campaigns.
+///
+/// # Errors
+///
+/// An error creating the output directory, spawning workers, or writing
+/// the manifest; per-run failures are collected in the report instead.
+pub fn execute_with_budget(
+    configs: &[RunConfig],
+    out_dir: &Path,
+    jobs: usize,
+    verbose: bool,
+    budget: Option<Duration>,
+) -> Result<ExecReport, String> {
     std::fs::create_dir_all(out_dir).map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
     let total = configs.len();
     let workers = jobs.max(1).min(total.max(1));
+    let deadline = budget.map(|b| Instant::now() + b);
 
     let (tx, rx) = channel::unbounded();
     for (idx, cfg) in configs.iter().enumerate() {
@@ -62,35 +109,49 @@ pub fn execute(
 
     // (idx, label, outcome) per run, gathered from each worker's return
     // value and re-sorted into expansion order afterwards
-    let mut outcomes: Vec<(usize, String, Result<PathBuf, String>)> =
-        crossbeam::thread::scope(|s| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    let rx = rx.clone();
-                    s.spawn(move || {
-                        let mut done = Vec::new();
-                        for (idx, cfg) in rx.iter() {
-                            let label = cfg.label();
-                            let outcome = run_to_file(&cfg, out_dir);
+    let mut outcomes: Vec<(usize, String, RunOutcome)> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let rx = rx.clone();
+                s.spawn(move || {
+                    let mut done = Vec::new();
+                    for (idx, cfg) in rx.iter() {
+                        let label = cfg.label();
+                        // the budget gates *dispatch*: a run either gets
+                        // its full deterministic execution or none at all
+                        if deadline.is_some_and(|d| Instant::now() >= d) {
                             if verbose {
-                                match &outcome {
-                                    Ok(_) => eprintln!("campaign: [{}/{total}] {label}", idx + 1),
-                                    Err(e) => {
-                                        eprintln!("campaign: [{}/{total}] {label}: {e}", idx + 1)
-                                    }
-                                }
+                                eprintln!(
+                                    "campaign: [{}/{total}] {label}: skipped (budget exhausted)",
+                                    idx + 1
+                                );
                             }
-                            done.push((idx, label, outcome));
+                            done.push((idx, label, RunOutcome::Skipped));
+                            continue;
                         }
-                        done
-                    })
+                        let outcome = match run_to_file(&cfg, out_dir) {
+                            Ok(path) => RunOutcome::Wrote(path),
+                            Err(e) => RunOutcome::Failed(e),
+                        };
+                        if verbose {
+                            match &outcome {
+                                RunOutcome::Failed(e) => {
+                                    eprintln!("campaign: [{}/{total}] {label}: {e}", idx + 1)
+                                }
+                                _ => eprintln!("campaign: [{}/{total}] {label}", idx + 1),
+                            }
+                        }
+                        done.push((idx, label, outcome));
+                    }
+                    done
                 })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().unwrap_or_default())
-                .collect()
-        });
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap_or_default())
+            .collect()
+    });
     outcomes.sort_by_key(|(idx, _, _)| *idx);
     if outcomes.len() != total {
         // only possible if a worker panicked mid-queue; the runs it had
@@ -106,14 +167,62 @@ pub fn execute(
     let mut report = ExecReport {
         written: Vec::new(),
         failures: Vec::new(),
+        skipped: Vec::new(),
     };
     for (_, label, outcome) in outcomes {
         match outcome {
-            Ok(path) => report.written.push(path),
-            Err(e) => report.failures.push((label, e)),
+            RunOutcome::Wrote(path) => report.written.push(path),
+            RunOutcome::Failed(e) => report.failures.push((label, e)),
+            RunOutcome::Skipped => report.skipped.push(label),
         }
     }
+    write_manifest(&report, total, out_dir)?;
     Ok(report)
+}
+
+/// The campaign ledger: run dispositions in expansion order. Content is
+/// a pure function of the outcome set (no timestamps), so an unbudgeted
+/// re-run reproduces it byte for byte.
+#[derive(Debug, serde::Serialize)]
+struct Manifest {
+    total: usize,
+    completed: Vec<String>,
+    skipped: Vec<String>,
+    failures: Vec<ManifestFailure>,
+}
+
+#[derive(Debug, serde::Serialize)]
+struct ManifestFailure {
+    label: String,
+    error: String,
+}
+
+fn write_manifest(report: &ExecReport, total: usize, out_dir: &Path) -> Result<(), String> {
+    let manifest = Manifest {
+        total,
+        completed: report
+            .written
+            .iter()
+            .map(|p| {
+                p.file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_default()
+            })
+            .collect(),
+        skipped: report.skipped.clone(),
+        failures: report
+            .failures
+            .iter()
+            .map(|(label, error)| ManifestFailure {
+                label: label.clone(),
+                error: error.clone(),
+            })
+            .collect(),
+    };
+    let path = out_dir.join("manifest.json");
+    let json = serde_json::to_string_pretty(&manifest).expect("manifest always serializes");
+    std::fs::write(&path, format!("{json}\n"))
+        .map_err(|e| format!("writing {}: {e}", path.display()))
 }
 
 /// One run, one file: exactly the bytes `scenarios … > file` would leave.
@@ -145,6 +254,7 @@ mod tests {
         let dir = scratch("parallel");
         let rep = execute(&configs, &dir, 3, false).unwrap();
         assert!(rep.all_ok());
+        assert!(rep.skipped.is_empty());
         assert_eq!(rep.written.len(), 3);
         for (cfg, path) in configs.iter().zip(&rep.written) {
             let got = std::fs::read_to_string(path).unwrap();
@@ -170,5 +280,63 @@ mod tests {
         assert!(rep.failures[0].0.starts_with("no-such-scenario"));
         assert!(dir.join(format!("{}.json", good.label())).exists());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn exhausted_budget_skips_runs_and_records_the_manifest() {
+        let configs: Vec<RunConfig> = (0..6)
+            .map(|seed| RunConfig::new("steady-state", 32, seed))
+            .collect();
+        let dir = scratch("budget");
+        // a zero budget is already exhausted at dispatch: every run skips
+        let rep = execute_with_budget(&configs, &dir, 2, false, Some(Duration::ZERO)).unwrap();
+        assert!(rep.all_ok(), "skips are not failures");
+        assert!(rep.written.is_empty());
+        assert_eq!(rep.skipped.len(), 6);
+        // skips are recorded in expansion order
+        let labels: Vec<String> = configs.iter().map(|c| c.label()).collect();
+        assert_eq!(rep.skipped, labels);
+        let manifest = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
+        assert!(manifest.contains(&labels[5]), "manifest lists skipped runs");
+        assert!(manifest.contains("\"total\": 6"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn partial_budgeted_campaign_files_equal_their_unbudgeted_twins() {
+        let configs: Vec<RunConfig> = (0..4)
+            .map(|seed| RunConfig::new("steady-state", 32, seed))
+            .collect();
+        let full_dir = scratch("budget-full");
+        let part_dir = scratch("budget-part");
+        execute(&configs, &full_dir, 2, false).unwrap();
+        // generous budget: everything completes; the point is that a
+        // budgeted run's files are the same bytes as an unbudgeted one's
+        let rep = execute_with_budget(
+            &configs,
+            &part_dir,
+            2,
+            false,
+            Some(Duration::from_secs(600)),
+        )
+        .unwrap();
+        assert!(rep.all_ok());
+        // the manifest rides alongside the run files without confusing
+        // the aggregator, and grouping is label-keyed, so any subset of
+        // the full run set aggregates cleanly
+        let agg = crate::agg::load_dir(&part_dir).unwrap();
+        assert_eq!(agg.unique.len(), rep.written.len());
+        for cfg in &configs {
+            let name = format!("{}.json", cfg.label());
+            if part_dir.join(&name).exists() {
+                assert_eq!(
+                    std::fs::read_to_string(part_dir.join(&name)).unwrap(),
+                    std::fs::read_to_string(full_dir.join(&name)).unwrap(),
+                    "{name}: budgeted file differs from unbudgeted"
+                );
+            }
+        }
+        std::fs::remove_dir_all(&full_dir).unwrap();
+        std::fs::remove_dir_all(&part_dir).unwrap();
     }
 }

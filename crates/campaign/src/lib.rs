@@ -32,5 +32,5 @@ pub mod exec;
 pub mod paramset;
 
 pub use agg::{Aggregate, BenchCase};
-pub use exec::{execute, ExecReport};
+pub use exec::{execute, execute_with_budget, ExecReport};
 pub use paramset::{by_id, Experiment, EXPERIMENTS};

@@ -2,13 +2,14 @@
 //! run configurations.
 //!
 //! Expansion order is part of the contract — nested loops over
-//! `scenario → n → strategy → queue → runtime → seed`, each axis in its
-//! declared order — so run indices, progress lines and file listings are
-//! stable across machines and re-runs. The *results* are order-free
-//! anyway (each run is an independent deterministic simulation keyed by
-//! its own config), but a stable expansion makes campaigns diffable.
+//! `scenario → n → strategy → topology → cost → queue → runtime → seed`,
+//! each axis in its declared order — so run indices, progress lines and
+//! file listings are stable across machines and re-runs. The *results*
+//! are order-free anyway (each run is an independent deterministic
+//! simulation keyed by its own config), but a stable expansion makes
+//! campaigns diffable.
 
-use mm_sim::QueueKind;
+use mm_sim::{CostModel, QueueKind};
 use mm_workload::drive::RunConfig;
 use mm_workload::RuntimeKind;
 
@@ -27,6 +28,15 @@ pub struct Experiment {
     pub ns: &'static [usize],
     /// Strategy axis.
     pub strategies: &'static [&'static str],
+    /// Topology axis (CLI topology names). A single `"complete"` entry
+    /// reproduces the historical labels byte for byte.
+    pub topologies: &'static [&'static str],
+    /// Cost-model axis paired positionally 1:1 with `topologies` — each
+    /// entry names a `topology × cost` *cell*, not an independent axis,
+    /// because the interesting combinations are sparse (complete is only
+    /// buildable under uniform at scale; sparse topologies are only
+    /// interesting under hops).
+    pub costs: &'static [CostModel],
     /// Event-queue axis. More than one entry turns the campaign into a
     /// conformance experiment: the aggregator requires runs differing
     /// only in queue to be byte-identical.
@@ -43,25 +53,41 @@ impl Experiment {
         self.scenarios.len()
             * self.ns.len()
             * self.strategies.len()
+            * self.topologies.len()
             * self.queues.len()
             * self.runtimes.len()
             * self.seeds.len()
     }
 
     /// Expands the cross-product in the canonical order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topologies` and `costs` differ in length (they are
+    /// paired cells, not independent axes).
     pub fn expand(&self) -> Vec<RunConfig> {
+        assert_eq!(
+            self.topologies.len(),
+            self.costs.len(),
+            "{}: topologies and costs pair 1:1",
+            self.id
+        );
         let mut out = Vec::with_capacity(self.runs());
         for &scenario in self.scenarios {
             for &n in self.ns {
                 for &strategy in self.strategies {
-                    for &queue in self.queues {
-                        for &runtime in self.runtimes {
-                            for &seed in self.seeds {
-                                let mut cfg = RunConfig::new(scenario, n, seed);
-                                cfg.strategy = strategy.to_string();
-                                cfg.queue = queue;
-                                cfg.runtime = runtime;
-                                out.push(cfg);
+                    for (&topology, &cost) in self.topologies.iter().zip(self.costs) {
+                        for &queue in self.queues {
+                            for &runtime in self.runtimes {
+                                for &seed in self.seeds {
+                                    let mut cfg = RunConfig::new(scenario, n, seed);
+                                    cfg.strategy = strategy.to_string();
+                                    cfg.topology = topology.to_string();
+                                    cfg.cost = cost;
+                                    cfg.queue = queue;
+                                    cfg.runtime = runtime;
+                                    out.push(cfg);
+                                }
                             }
                         }
                     }
@@ -72,6 +98,11 @@ impl Experiment {
     }
 }
 
+/// The default topology cell: the paper's complete network under the
+/// uniform cost model — what every pre-existing experiment ran.
+const DEFAULT_TOPO: &[&str] = &["complete"];
+const DEFAULT_COST: &[CostModel] = &[CostModel::Uniform];
+
 /// The experiment library.
 pub const EXPERIMENTS: &[Experiment] = &[
     Experiment {
@@ -80,6 +111,8 @@ pub const EXPERIMENTS: &[Experiment] = &[
         scenarios: &["steady-state", "flash-crowd"],
         ns: &[64, 256],
         strategies: &["checkerboard", "hash"],
+        topologies: DEFAULT_TOPO,
+        costs: DEFAULT_COST,
         queues: &[QueueKind::Calendar],
         runtimes: &[RuntimeKind::Sim],
         seeds: &[7, 11],
@@ -90,6 +123,8 @@ pub const EXPERIMENTS: &[Experiment] = &[
         scenarios: &["steady-state", "flash-crowd"],
         ns: &[64, 128],
         strategies: &["checkerboard"],
+        topologies: DEFAULT_TOPO,
+        costs: DEFAULT_COST,
         queues: &[QueueKind::Calendar],
         runtimes: &[RuntimeKind::Sim],
         seeds: &[7, 11],
@@ -100,6 +135,8 @@ pub const EXPERIMENTS: &[Experiment] = &[
         scenarios: &["steady-state"],
         ns: &[64],
         strategies: &["checkerboard"],
+        topologies: DEFAULT_TOPO,
+        costs: DEFAULT_COST,
         queues: &[QueueKind::Calendar, QueueKind::BTree],
         runtimes: &[RuntimeKind::Sim, RuntimeKind::Live],
         seeds: &[7],
@@ -110,6 +147,26 @@ pub const EXPERIMENTS: &[Experiment] = &[
         scenarios: &["steady-state"],
         ns: &[64, 256, 1024],
         strategies: &["checkerboard", "hash", "broadcast"],
+        topologies: DEFAULT_TOPO,
+        costs: DEFAULT_COST,
+        queues: &[QueueKind::Calendar],
+        runtimes: &[RuntimeKind::Sim],
+        seeds: &[7],
+    },
+    Experiment {
+        id: "topology-matrix",
+        description: "topology x cost sweep: 2 scenarios x {64,256} x {checkerboard,hash} x \
+                      {complete/uniform,grid/hops,ring/hops,hypercube/hops} (32 runs)",
+        scenarios: &["steady-state", "rolling-churn"],
+        ns: &[64, 256],
+        strategies: &["checkerboard", "hash"],
+        topologies: &["complete", "grid", "ring", "hypercube"],
+        costs: &[
+            CostModel::Uniform,
+            CostModel::Hops,
+            CostModel::Hops,
+            CostModel::Hops,
+        ],
         queues: &[QueueKind::Calendar],
         runtimes: &[RuntimeKind::Sim],
         seeds: &[7],
@@ -159,5 +216,33 @@ mod tests {
             assert!(by_id(e.id).is_some());
         }
         assert!(by_id("no-such-experiment").is_none());
+    }
+
+    #[test]
+    fn topology_matrix_sweeps_paired_cells_with_unique_labels() {
+        let e = by_id("topology-matrix").unwrap();
+        let runs = e.expand();
+        assert_eq!(runs.len(), 32);
+        // complete rides uniform; every sparse topology rides hops
+        for cfg in &runs {
+            match cfg.topology.as_str() {
+                "complete" => assert_eq!(cfg.cost, mm_sim::CostModel::Uniform),
+                _ => assert_eq!(cfg.cost, mm_sim::CostModel::Hops),
+            }
+        }
+        // the non-default cells extend the label, so file stems stay
+        // collision-free within the sweep
+        let mut labels: Vec<String> = runs.iter().map(|c| c.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), 32, "labels must be unique");
+        assert!(runs.iter().any(|c| c.label().contains("-grid-hops-")));
+    }
+
+    #[test]
+    fn default_topology_cell_keeps_historical_labels() {
+        let e = by_id("core-matrix").unwrap();
+        let labels: Vec<String> = e.expand().iter().map(|c| c.label()).collect();
+        assert!(labels.contains(&"steady-state-n64-checkerboard-calendar-sim-s7".to_string()));
     }
 }

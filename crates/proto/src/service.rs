@@ -14,7 +14,7 @@
 use crate::shotgun::{LocateOutcome, RequestOutcome, ShotgunEngine};
 use mm_core::strategies::PortMapped;
 use mm_core::Port;
-use mm_sim::{CostModel, QueueKind};
+use mm_sim::{CostModel, QueueKind, ShardMode};
 use mm_topo::{Graph, NodeId};
 use std::fmt;
 
@@ -70,6 +70,24 @@ impl<PM: PortMapped> ServiceNet<PM> {
     pub fn with_queue(graph: Graph, resolver: PM, cost_model: CostModel, kind: QueueKind) -> Self {
         ServiceNet {
             engine: ShotgunEngine::with_queue(graph, resolver, cost_model, kind),
+        }
+    }
+
+    /// Builds a service network on an explicit execution core (see
+    /// [`ShardMode`]); output is byte-identical across modes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resolver universe differs from the graph size.
+    pub fn with_shards(
+        graph: Graph,
+        resolver: PM,
+        cost_model: CostModel,
+        kind: QueueKind,
+        mode: ShardMode,
+    ) -> Self {
+        ServiceNet {
+            engine: ShotgunEngine::with_shards(graph, resolver, cost_model, kind, mode),
         }
     }
 

@@ -25,7 +25,9 @@ use crate::intern::TargetInterner;
 use crate::messages::ProtoMsg;
 use mm_core::strategies::PortMapped;
 use mm_core::Port;
-use mm_sim::{CostModel, Envelope, Metrics, Node, NodeApi, QueueKind, Sim, SimTime, TargetSet};
+use mm_sim::{
+    CostModel, Envelope, Metrics, Node, NodeApi, QueueKind, ShardMode, Sim, SimTime, TargetSet,
+};
 use mm_topo::{Graph, NodeId};
 use std::collections::{BTreeSet, HashMap};
 
@@ -366,6 +368,25 @@ impl<PM: PortMapped> ShotgunEngine<PM> {
     ///
     /// Panics if the resolver's universe size differs from the graph's.
     pub fn with_queue(graph: Graph, resolver: PM, cost_model: CostModel, kind: QueueKind) -> Self {
+        Self::with_shards(graph, resolver, cost_model, kind, ShardMode::Single)
+    }
+
+    /// Builds an engine on an explicit execution core (see [`ShardMode`]).
+    /// `ProtoMsg` and `NsNode` are `Send` (plain data plus `TargetSet`,
+    /// whose sharing is an atomically refcounted `Arc`), so protocol state
+    /// may migrate to the sharded core's worker threads; output stays
+    /// byte-identical to [`ShardMode::Single`] by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resolver's universe size differs from the graph's.
+    pub fn with_shards(
+        graph: Graph,
+        resolver: PM,
+        cost_model: CostModel,
+        kind: QueueKind,
+        mode: ShardMode,
+    ) -> Self {
         assert_eq!(
             graph.node_count(),
             resolver.node_count(),
@@ -374,7 +395,7 @@ impl<PM: PortMapped> ShotgunEngine<PM> {
         let n = graph.node_count();
         let nodes = (0..n).map(|_| NsNode::default()).collect();
         ShotgunEngine {
-            sim: Sim::with_queue(graph, nodes, cost_model, kind),
+            sim: Sim::with_shards(graph, nodes, cost_model, kind, mode),
             resolver,
             interner: TargetInterner::default(),
             next_locate: 0,

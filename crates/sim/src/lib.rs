@@ -16,6 +16,14 @@
 //! * fault injection — [`Sim::crash`]/[`Sim::restore`]: crashed processors
 //!   neither receive nor forward; messages die at the first crashed node
 //!   on their path, and the passes spent up to that point stay spent.
+//! * [`ShardMode`] — the execution core: `Single` is the original
+//!   one-queue event loop; `Sharded` partitions nodes across per-shard
+//!   calendar queues (keyed by the `√n` decomposition) and executes each
+//!   tick's events on a worker pool, with a canonical merge that replays
+//!   the single core's `(time, sequence)` order exactly. Output is
+//!   byte-identical across shard and thread counts — the single core is
+//!   the oracle the sharded core is cross-checked against, exactly as
+//!   [`QueueKind::BTree`] is the oracle for the calendar queue.
 //!
 //! Everything is deterministic: events execute in `(time, sequence)` order
 //! and the only randomness is whatever the embedded protocols draw from
@@ -49,16 +57,20 @@
 //! ```
 
 pub mod metrics;
+mod pool;
 pub mod queue;
+mod route;
+mod shard;
+mod single;
 pub mod targets;
 
 pub use metrics::Metrics;
 pub use queue::QueueKind;
 pub use targets::TargetSet;
 
-use mm_topo::spanning::multicast_cost;
 use mm_topo::{Graph, NodeId, RoutingTable};
-use queue::EventQueue;
+use shard::ShardedCore;
+use single::SingleCore;
 
 /// Simulated time in abstract ticks (one tick = one hop of latency).
 pub type SimTime = u64;
@@ -103,7 +115,7 @@ pub trait Node<M> {
 /// Buffered actions a handler can take; applied by the simulator after the
 /// handler returns (so handlers can't observe in-flight state).
 #[derive(Debug)]
-enum Op<M> {
+pub(crate) enum Op<M> {
     Send { to: NodeId, msg: M },
     Multicast { to: TargetSet, msg: M },
     Timer { delay: SimTime, tag: u64 },
@@ -112,9 +124,9 @@ enum Op<M> {
 /// The per-invocation API handed to [`Node`] handlers.
 #[derive(Debug)]
 pub struct NodeApi<'a, M> {
-    ops: &'a mut Vec<Op<M>>,
-    now: SimTime,
-    me: NodeId,
+    pub(crate) ops: &'a mut Vec<Op<M>>,
+    pub(crate) now: SimTime,
+    pub(crate) me: NodeId,
 }
 
 impl<M> NodeApi<'_, M> {
@@ -163,39 +175,61 @@ impl<M> NodeApi<'_, M> {
     }
 }
 
+/// A scheduled simulator event.
 #[derive(Debug)]
-enum Event<M> {
+pub(crate) enum Event<M> {
     Deliver(Envelope<M>),
     Timer { at: NodeId, tag: u64 },
 }
 
-/// The simulator: a graph, one [`Node`] state machine per graph node, an
-/// event queue, and exact message-pass metrics.
-#[derive(Debug)]
-pub struct Sim<M, N> {
-    graph: Graph,
-    /// Built only under [`CostModel::Hops`]; `Uniform` never routes.
-    routing: Option<RoutingTable>,
-    nodes: Vec<N>,
-    crashed: Vec<bool>,
-    queue: EventQueue<Event<M>>,
-    now: SimTime,
-    cost_model: CostModel,
-    metrics: Metrics,
-    /// Handler-op buffer reused across `step` calls (no per-event `Vec`).
-    scratch: Vec<Op<M>>,
-    /// Log₂ histogram of queue depth, sampled at every push: bucket 0
-    /// holds depth 0, bucket `k > 0` holds depths in `[2^(k-1), 2^k)`.
-    /// Identical across queue implementations (same pending-event set).
-    depth_buckets: [u64; QUEUE_DEPTH_BUCKETS],
+impl<M> Event<M> {
+    /// The node this event executes on (delivery destination / timer
+    /// owner) — the sharded core's partition key.
+    pub(crate) fn target(&self) -> NodeId {
+        match self {
+            Event::Deliver(env) => env.to,
+            Event::Timer { at, .. } => *at,
+        }
+    }
 }
 
 /// Number of log₂ queue-depth buckets tracked by [`Sim`].
 pub const QUEUE_DEPTH_BUCKETS: usize = 65;
 
+/// Which execution core drives the event loop.
+///
+/// Output (metrics, depth histogram, handler-observable delivery order) is
+/// byte-identical across every mode — `Sharded` reconstructs the single
+/// core's global `(time, sequence)` execution order at each tick boundary.
+/// `Single` remains the oracle for conformance checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardMode {
+    /// One queue, one thread: the original exact event loop.
+    Single,
+    /// Nodes partitioned over `shards` calendar queues (keyed by the `√n`
+    /// decomposition), ticks executed by `threads` pooled workers.
+    /// `shards` is clamped to `[1, n]`; `threads` is clamped to the
+    /// effective shard count, and `threads <= 1` runs the shard rounds
+    /// inline on the calling thread (still sharded, still identical).
+    Sharded { shards: usize, threads: usize },
+}
+
+#[derive(Debug)]
+enum Core<M, N> {
+    Single(SingleCore<M, N>),
+    Sharded(ShardedCore<M, N>),
+}
+
+/// The simulator: a graph, one [`Node`] state machine per graph node, an
+/// event queue (or several, sharded), and exact message-pass metrics.
+#[derive(Debug)]
+pub struct Sim<M, N> {
+    core: Core<M, N>,
+}
+
 impl<M: Clone, N: Node<M>> Sim<M, N> {
     /// Creates a simulator over `graph` with one handler per node, using
-    /// the production calendar event queue.
+    /// the production calendar event queue on the single-threaded core.
     ///
     /// # Panics
     ///
@@ -212,49 +246,78 @@ impl<M: Clone, N: Node<M>> Sim<M, N> {
     ///
     /// Panics if `nodes.len() != graph.node_count()`.
     pub fn with_queue(graph: Graph, nodes: Vec<N>, cost_model: CostModel, kind: QueueKind) -> Self {
-        assert_eq!(
-            nodes.len(),
-            graph.node_count(),
-            "one handler per graph node required"
-        );
-        let routing = match cost_model {
-            CostModel::Hops => Some(RoutingTable::new(&graph)),
-            CostModel::Uniform => None,
-        };
-        let n = graph.node_count();
         Sim {
-            graph,
-            routing,
-            nodes,
-            crashed: vec![false; n],
-            queue: EventQueue::new(kind),
-            now: 0,
-            cost_model,
-            metrics: Metrics::new(n),
-            scratch: Vec::new(),
-            depth_buckets: [0; QUEUE_DEPTH_BUCKETS],
+            core: Core::Single(SingleCore::with_queue(graph, nodes, cost_model, kind)),
         }
     }
 
     /// The simulated network graph.
     pub fn graph(&self) -> &Graph {
-        &self.graph
+        match &self.core {
+            Core::Single(c) => c.graph(),
+            Core::Sharded(c) => c.graph(),
+        }
     }
 
     /// The routing tables in use (`None` under [`CostModel::Uniform`],
     /// which never routes).
     pub fn routing(&self) -> Option<&RoutingTable> {
-        self.routing.as_ref()
+        match &self.core {
+            Core::Single(c) => c.routing(),
+            Core::Sharded(c) => c.routing(),
+        }
     }
 
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
-        self.now
+        match &self.core {
+            Core::Single(c) => c.now(),
+            Core::Sharded(c) => c.now(),
+        }
     }
 
     /// Accumulated metrics.
     pub fn metrics(&self) -> &Metrics {
-        &self.metrics
+        match &self.core {
+            Core::Single(c) => c.metrics(),
+            Core::Sharded(c) => c.metrics(),
+        }
+    }
+
+    /// Per-shard metrics under [`ShardMode::Sharded`] (`None` on the
+    /// single core). Every global sample is attributed to exactly one
+    /// shard, so [`Sim::merged_shard_metrics`] equals [`Sim::metrics`].
+    pub fn shard_metrics(&self) -> Option<&[Metrics]> {
+        match &self.core {
+            Core::Single(_) => None,
+            Core::Sharded(c) => Some(c.shard_metrics()),
+        }
+    }
+
+    /// Folds the per-shard metrics back into one global `Metrics`
+    /// (`None` on the single core). Equals [`Sim::metrics`] exactly.
+    pub fn merged_shard_metrics(&self) -> Option<Metrics> {
+        match &self.core {
+            Core::Single(_) => None,
+            Core::Sharded(c) => Some(c.merged_shard_metrics()),
+        }
+    }
+
+    /// Effective shard count (1 on the single core).
+    pub fn shard_count(&self) -> usize {
+        match &self.core {
+            Core::Single(_) => 1,
+            Core::Sharded(c) => c.shard_count(),
+        }
+    }
+
+    /// Worker threads executing shard rounds (1 on the single core and
+    /// for inline sharded execution).
+    pub fn shard_threads(&self) -> usize {
+        match &self.core {
+            Core::Single(_) => 1,
+            Core::Sharded(c) => c.threads(),
+        }
     }
 
     /// Immutable access to a node's state.
@@ -263,7 +326,10 @@ impl<M: Clone, N: Node<M>> Sim<M, N> {
     ///
     /// Panics if `v` is out of range.
     pub fn node(&self, v: NodeId) -> &N {
-        &self.nodes[v.index()]
+        match &self.core {
+            Core::Single(c) => c.node(v),
+            Core::Sharded(c) => c.node(v),
+        }
     }
 
     /// Mutable access to a node's state (for test setup and inspection —
@@ -273,7 +339,10 @@ impl<M: Clone, N: Node<M>> Sim<M, N> {
     ///
     /// Panics if `v` is out of range.
     pub fn node_mut(&mut self, v: NodeId) -> &mut N {
-        &mut self.nodes[v.index()]
+        match &mut self.core {
+            Core::Single(c) => c.node_mut(v),
+            Core::Sharded(c) => c.node_mut(v),
+        }
     }
 
     /// Marks `v` crashed: it stops receiving, forwarding and firing timers.
@@ -282,8 +351,10 @@ impl<M: Clone, N: Node<M>> Sim<M, N> {
     ///
     /// Panics if `v` is out of range.
     pub fn crash(&mut self, v: NodeId) {
-        self.crashed[v.index()] = true;
-        self.metrics.crashes += 1;
+        match &mut self.core {
+            Core::Single(c) => c.crash(v),
+            Core::Sharded(c) => c.crash(v),
+        }
     }
 
     /// Restores a crashed node (its state is as it was; protocols decide
@@ -293,7 +364,10 @@ impl<M: Clone, N: Node<M>> Sim<M, N> {
     ///
     /// Panics if `v` is out of range.
     pub fn restore(&mut self, v: NodeId) {
-        self.crashed[v.index()] = false;
+        match &mut self.core {
+            Core::Single(c) => c.restore(v),
+            Core::Sharded(c) => c.restore(v),
+        }
     }
 
     /// Is `v` currently crashed?
@@ -302,46 +376,47 @@ impl<M: Clone, N: Node<M>> Sim<M, N> {
     ///
     /// Panics if `v` is out of range.
     pub fn is_crashed(&self, v: NodeId) -> bool {
-        self.crashed[v.index()]
+        match &self.core {
+            Core::Single(c) => c.is_crashed(v),
+            Core::Sharded(c) => c.is_crashed(v),
+        }
     }
 
     /// Injects an external message to `at` (delivered at the current time,
     /// no message passes charged — models a local request arriving at a
     /// process, e.g. "locate port X").
     pub fn inject(&mut self, from: NodeId, at: NodeId, msg: M) {
-        let env = Envelope {
-            from,
-            to: at,
-            sent_at: self.now,
-            msg,
-        };
-        self.push(self.now, Event::Deliver(env));
+        match &mut self.core {
+            Core::Single(c) => c.inject(from, at, msg),
+            Core::Sharded(c) => c.inject(from, at, msg),
+        }
     }
 
     /// Schedules a timer externally (e.g. protocol drivers).
     pub fn inject_timer(&mut self, at: NodeId, delay: SimTime, tag: u64) {
-        self.push(self.now + delay, Event::Timer { at, tag });
-    }
-
-    fn push(&mut self, at: SimTime, ev: Event<M>) {
-        self.queue.push(at, ev);
-        let depth = self.queue.len() as u64;
-        if depth > self.metrics.peak_queue_depth {
-            self.metrics.peak_queue_depth = depth;
+        match &mut self.core {
+            Core::Single(c) => c.inject_timer(at, delay, tag),
+            Core::Sharded(c) => c.inject_timer(at, delay, tag),
         }
-        self.depth_buckets[(64 - depth.leading_zeros()) as usize] += 1;
     }
 
     /// Cumulative queue-depth histogram (one observation per event
     /// push). Snapshot and subtract to attribute pressure to a phase.
+    /// The sharded core samples the *conceptual global* depth at the
+    /// canonical merge, so the histogram is identical across modes.
     pub fn queue_depth_buckets(&self) -> &[u64; QUEUE_DEPTH_BUCKETS] {
-        &self.depth_buckets
+        match &self.core {
+            Core::Single(c) => c.queue_depth_buckets(),
+            Core::Sharded(c) => c.queue_depth_buckets(),
+        }
     }
 
     /// Runs until the event queue drains; returns the final time.
     pub fn run(&mut self) -> SimTime {
-        while self.step() {}
-        self.now
+        match &mut self.core {
+            Core::Single(c) => c.run(),
+            Core::Sharded(c) => c.run(),
+        }
     }
 
     /// Runs every event scheduled at or before `deadline`, then advances
@@ -350,235 +425,49 @@ impl<M: Clone, N: Node<M>> Sim<M, N> {
     /// moves backwards: a `deadline` already in the past only drains
     /// events due now.
     pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
-        while self.step_until(deadline) {}
-        self.now = self.now.max(deadline);
-        self.now
+        match &mut self.core {
+            Core::Single(c) => c.run_until(deadline),
+            Core::Sharded(c) => c.run_until(deadline),
+        }
     }
 
-    /// Executes the next event. Returns `false` when idle.
+    /// Executes the next unit of work; returns `false` when idle. On the
+    /// single core this is one event; on the sharded core it is one
+    /// *tick* (every event due at the next time, all shards). Callers
+    /// needing event-granular stepping use [`ShardMode::Single`].
     pub fn step(&mut self) -> bool {
-        self.step_until(SimTime::MAX)
-    }
-
-    /// Executes the next event if it is due at or before `deadline`.
-    fn step_until(&mut self, deadline: SimTime) -> bool {
-        let Some((t, ev)) = self.queue.pop_next_until(deadline) else {
-            return false;
-        };
-        self.now = t;
-        self.metrics.events_executed += 1;
-        // reuse one ops buffer across events instead of allocating per
-        // handler invocation; apply_ops drains it back to empty
-        let mut ops = std::mem::take(&mut self.scratch);
-        debug_assert!(ops.is_empty());
-        match ev {
-            Event::Deliver(env) => {
-                let at = env.to;
-                if self.crashed[at.index()] {
-                    self.metrics.dropped += 1;
-                    self.scratch = ops;
-                    return true;
-                }
-                self.metrics.delivered += 1;
-                self.metrics.node_load[at.index()] += 1;
-                let mut api = NodeApi {
-                    ops: &mut ops,
-                    now: self.now,
-                    me: at,
-                };
-                self.nodes[at.index()].on_message(env, &mut api);
-                self.apply_ops(at, &mut ops);
-            }
-            Event::Timer { at, tag } => {
-                if self.crashed[at.index()] {
-                    self.scratch = ops;
-                    return true;
-                }
-                let mut api = NodeApi {
-                    ops: &mut ops,
-                    now: self.now,
-                    me: at,
-                };
-                self.nodes[at.index()].on_timer(tag, &mut api);
-                self.apply_ops(at, &mut ops);
-            }
-        }
-        self.scratch = ops;
-        true
-    }
-
-    fn apply_ops(&mut self, from: NodeId, ops: &mut Vec<Op<M>>) {
-        for op in ops.drain(..) {
-            match op {
-                Op::Send { to, msg } => self.route(from, to, msg),
-                Op::Multicast { to, msg } => self.route_multicast(from, &to, msg),
-                Op::Timer { delay, tag } => {
-                    self.push(self.now + delay, Event::Timer { at: from, tag })
-                }
-            }
+        match &mut self.core {
+            Core::Single(c) => c.step(),
+            Core::Sharded(c) => c.step(),
         }
     }
+}
 
-    /// Point-to-point routing with hop accounting and crash truncation.
-    fn route(&mut self, from: NodeId, to: NodeId, msg: M) {
-        self.metrics.sends += 1;
-        if from == to {
-            // local delivery is free (intra-host communication)
-            let env = Envelope {
-                from,
-                to,
-                sent_at: self.now,
-                msg,
-            };
-            self.push(self.now, Event::Deliver(env));
-            return;
-        }
-        match self.cost_model {
-            CostModel::Uniform => {
-                self.metrics.message_passes += 1;
-                let env = Envelope {
-                    from,
-                    to,
-                    sent_at: self.now,
-                    msg,
-                };
-                self.push(self.now + 1, Event::Deliver(env));
-            }
-            CostModel::Hops => {
-                let routing = self.routing.as_ref().expect("Hops model builds routing");
-                if routing.distance(from, to).is_none() {
-                    self.metrics.dropped += 1;
-                    return;
-                }
-                // walk the next-hop entries directly (no path `Vec`);
-                // die at the first crashed intermediate
-                let mut travelled = 0u64;
-                let mut blocked = false;
-                for hop in routing.hops(from, to) {
-                    travelled += 1;
-                    if self.crashed[hop.index()] {
-                        blocked = true;
-                        break;
-                    }
-                }
-                // passes spent up to (and into) a crash point stay spent
-                self.metrics.message_passes += travelled;
-                if blocked {
-                    self.metrics.dropped += 1;
-                    return;
-                }
-                let env = Envelope {
-                    from,
-                    to,
-                    sent_at: self.now,
-                    msg,
-                };
-                self.push(self.now + travelled, Event::Deliver(env));
-            }
-        }
-    }
-
-    /// Multicast with shared-prefix (spanning/Steiner tree) accounting.
+impl<M: Clone + Send, N: Node<M> + Send> Sim<M, N> {
+    /// Creates a simulator on an explicit execution core. `Send` bounds
+    /// on the message and handler types are required here — the only
+    /// construction path for a core that may own a worker pool — which is
+    /// what makes the pool's type-erased job dispatch sound.
     ///
-    /// `targets` is already sorted and duplicate-free ([`TargetSet`]'s
-    /// construction invariant), so no per-operation sort/dedup happens
-    /// here.
-    fn route_multicast(&mut self, from: NodeId, targets: &TargetSet, msg: M) {
-        match self.cost_model {
-            CostModel::Uniform => {
-                for t in targets.iter() {
-                    if t == from {
-                        let env = Envelope {
-                            from,
-                            to: t,
-                            sent_at: self.now,
-                            msg: msg.clone(),
-                        };
-                        self.push(self.now, Event::Deliver(env));
-                        continue;
-                    }
-                    self.metrics.sends += 1;
-                    self.metrics.message_passes += 1;
-                    let env = Envelope {
-                        from,
-                        to: t,
-                        sent_at: self.now,
-                        msg: msg.clone(),
-                    };
-                    self.push(self.now + 1, Event::Deliver(env));
-                }
+    /// # Panics
+    ///
+    /// Panics if `nodes.len() != graph.node_count()`.
+    pub fn with_shards(
+        graph: Graph,
+        nodes: Vec<N>,
+        cost_model: CostModel,
+        kind: QueueKind,
+        mode: ShardMode,
+    ) -> Self {
+        let core = match mode {
+            ShardMode::Single => {
+                Core::Single(SingleCore::with_queue(graph, nodes, cost_model, kind))
             }
-            CostModel::Hops => {
-                // charge the Steiner-tree cost once; deliver along
-                // shortest paths, truncated at crashed nodes. The remote
-                // slice is the target set itself unless the sender is a
-                // member (the only case that still copies).
-                let routing = self.routing.as_ref().expect("Hops model builds routing");
-                let self_in_set = targets.contains(from);
-                let filtered: Vec<NodeId>;
-                let remote: &[NodeId] = if self_in_set {
-                    filtered = targets.iter().filter(|&t| t != from).collect();
-                    &filtered
-                } else {
-                    targets.as_slice()
-                };
-                if let Some(cost) = multicast_cost(&self.graph, routing, from, remote) {
-                    self.metrics.message_passes += cost;
-                } else {
-                    // unreachable targets: fall back to per-target routing
-                    for &t in remote {
-                        self.route(from, t, msg.clone());
-                    }
-                    // plus local copy if requested
-                    if self_in_set {
-                        let env = Envelope {
-                            from,
-                            to: from,
-                            sent_at: self.now,
-                            msg,
-                        };
-                        self.push(self.now, Event::Deliver(env));
-                    }
-                    return;
-                }
-                self.metrics.sends += remote.len() as u64;
-                for t in targets.iter() {
-                    if t == from {
-                        let env = Envelope {
-                            from,
-                            to: t,
-                            sent_at: self.now,
-                            msg: msg.clone(),
-                        };
-                        self.push(self.now, Event::Deliver(env));
-                        continue;
-                    }
-                    // walk next-hop entries: hop count plus
-                    // first-crashed-intermediate check, no path `Vec`
-                    let routing = self.routing.as_ref().expect("Hops model builds routing");
-                    let mut d = 0u64;
-                    let mut blocked = false;
-                    for hop in routing.hops(from, t) {
-                        d += 1;
-                        if self.crashed[hop.index()] {
-                            blocked = true;
-                            break;
-                        }
-                    }
-                    if blocked {
-                        self.metrics.dropped += 1;
-                        continue;
-                    }
-                    let env = Envelope {
-                        from,
-                        to: t,
-                        sent_at: self.now,
-                        msg: msg.clone(),
-                    };
-                    self.push(self.now + d, Event::Deliver(env));
-                }
-            }
-        }
+            ShardMode::Sharded { shards, threads } => Core::Sharded(ShardedCore::new(
+                graph, nodes, cost_model, kind, shards, threads,
+            )),
+        };
+        Sim { core }
     }
 }
 
@@ -586,6 +475,7 @@ impl<M: Clone, N: Node<M>> Sim<M, N> {
 mod tests {
     use super::*;
     use mm_topo::gen;
+    use proptest::prelude::*;
 
     #[derive(Clone, Debug, PartialEq)]
     enum Msg {
@@ -832,5 +722,217 @@ mod tests {
         let buckets = sim.queue_depth_buckets();
         assert_eq!(buckets.iter().sum::<u64>(), 2, "one sample per push");
         assert_eq!(buckets[1], 2, "both pushes saw depth 1");
+    }
+
+    // ---- sharded core equivalence against the single-threaded oracle ----
+
+    /// Drives one busy scenario (pings, multicasts, timers, a crash +
+    /// restore, phased `run_until`) on the given core and returns every
+    /// observable output.
+    fn drive(mode: Option<ShardMode>) -> SimOutput {
+        let g = gen::grid(6, 6, false);
+        let n = 36;
+        let mut sim = match mode {
+            None => Sim::new(g, recorders(n), CostModel::Hops),
+            Some(mode) => {
+                Sim::with_shards(g, recorders(n), CostModel::Hops, QueueKind::Calendar, mode)
+            }
+        };
+        sim.inject(nid(0), nid(35), Msg::Ping);
+        sim.inject(nid(3), nid(30), Msg::Ping);
+        sim.inject(nid(5), nid(5), Msg::Spread(vec![nid(0), nid(17), nid(35)]));
+        sim.inject_timer(nid(9), 7, 42);
+        sim.run_until(6);
+        sim.crash(nid(14));
+        sim.inject(nid(2), nid(14), Msg::Note);
+        sim.inject(nid(20), nid(20), Msg::Spread(vec![nid(8), nid(26)]));
+        sim.run_until(40);
+        sim.restore(nid(14));
+        sim.inject(nid(2), nid(14), Msg::Ping);
+        sim.run();
+        let logs = (0..n)
+            .map(|v| sim.node(nid(v as u32)).got.clone())
+            .collect();
+        let timers = (0..n)
+            .map(|v| sim.node(nid(v as u32)).timers.clone())
+            .collect();
+        SimOutput {
+            metrics: sim.metrics().clone(),
+            merged: sim.merged_shard_metrics(),
+            buckets: *sim.queue_depth_buckets(),
+            now: sim.now(),
+            logs,
+            timers,
+        }
+    }
+
+    struct SimOutput {
+        metrics: Metrics,
+        merged: Option<Metrics>,
+        buckets: [u64; QUEUE_DEPTH_BUCKETS],
+        now: SimTime,
+        logs: Vec<Vec<(NodeId, Msg, SimTime)>>,
+        timers: Vec<Vec<u64>>,
+    }
+
+    #[test]
+    fn sharded_core_matches_single_oracle() {
+        let oracle = drive(None);
+        for (shards, threads) in [(1, 1), (4, 1), (4, 2), (16, 4), (36, 3)] {
+            let got = drive(Some(ShardMode::Sharded { shards, threads }));
+            assert_eq!(got.metrics, oracle.metrics, "s={shards} t={threads}");
+            assert_eq!(got.buckets, oracle.buckets, "s={shards} t={threads}");
+            assert_eq!(got.now, oracle.now, "s={shards} t={threads}");
+            assert_eq!(got.logs, oracle.logs, "s={shards} t={threads}");
+            assert_eq!(got.timers, oracle.timers, "s={shards} t={threads}");
+            assert_eq!(
+                got.merged.as_ref(),
+                Some(&oracle.metrics),
+                "per-shard metrics must merge to the global view (s={shards} t={threads})"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_mode_single_is_the_plain_core() {
+        let oracle = drive(None);
+        let got = drive(Some(ShardMode::Single));
+        assert_eq!(got.metrics, oracle.metrics);
+        assert_eq!(got.buckets, oracle.buckets);
+        assert!(got.merged.is_none());
+    }
+
+    #[test]
+    fn shard_counts_report_clamping() {
+        let g = gen::ring(8);
+        let sim: Sim<Msg, Recorder> = Sim::with_shards(
+            g,
+            recorders(8),
+            CostModel::Uniform,
+            QueueKind::Calendar,
+            ShardMode::Sharded {
+                shards: 64,
+                threads: 64,
+            },
+        );
+        assert!(sim.shard_count() <= 8);
+        assert!(sim.shard_threads() <= sim.shard_count());
+        let single: Sim<Msg, Recorder> = Sim::new(gen::ring(3), recorders(3), CostModel::Uniform);
+        assert_eq!(single.shard_count(), 1);
+        assert_eq!(single.shard_threads(), 1);
+    }
+
+    /// splitmix64 — deterministic traffic generator for the property
+    /// suite (no external RNG state, reproduces per test name).
+    fn mix(x: &mut u64) -> u64 {
+        *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Drives a deterministic pseudo-random batch of pings, multicasts,
+    /// timers, phased `run_until`s and a crash/restore cycle.
+    fn random_traffic(sim: &mut Sim<Msg, Recorder>, n: usize, mut s: u64) {
+        let node = |s: &mut u64| nid((mix(s) % n as u64) as u32);
+        for phase in 0..4 {
+            for _ in 0..6 {
+                match mix(&mut s) % 4 {
+                    0 => {
+                        let (a, b) = (node(&mut s), node(&mut s));
+                        sim.inject(a, b, Msg::Ping);
+                    }
+                    1 => {
+                        let from = node(&mut s);
+                        let targets: Vec<NodeId> =
+                            (0..1 + mix(&mut s) % 5).map(|_| node(&mut s)).collect();
+                        sim.inject(from, from, Msg::Spread(targets));
+                    }
+                    2 => {
+                        let at = node(&mut s);
+                        sim.inject_timer(at, 1 + mix(&mut s) % 40, mix(&mut s));
+                    }
+                    _ => {
+                        let v = node(&mut s);
+                        if sim.is_crashed(v) {
+                            sim.restore(v);
+                        } else {
+                            sim.crash(v);
+                        }
+                    }
+                }
+            }
+            let deadline = sim.now() + 10 + mix(&mut s) % 30;
+            sim.run_until(deadline);
+            if phase == 2 {
+                // drain fully once mid-sequence, then keep going
+                sim.run();
+            }
+        }
+        sim.run();
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Random traffic, random shard/thread counts: the sharded core
+        /// reproduces the single-core metrics and depth histogram, and
+        /// the per-shard metrics merge to exactly the global `Metrics`.
+        #[test]
+        fn random_traffic_is_core_invariant_and_shard_metrics_merge(
+            seed in any::<u64>(),
+            shards in 1usize..24,
+            threads in 1usize..5,
+            w in 3usize..7,
+            h in 3usize..7,
+        ) {
+            let n = w * h;
+            let mut single = Sim::new(gen::grid(w, h, false), recorders(n), CostModel::Hops);
+            random_traffic(&mut single, n, seed);
+            let mut sharded = Sim::with_shards(
+                gen::grid(w, h, false),
+                recorders(n),
+                CostModel::Hops,
+                QueueKind::Calendar,
+                ShardMode::Sharded { shards, threads },
+            );
+            random_traffic(&mut sharded, n, seed);
+            prop_assert_eq!(sharded.metrics(), single.metrics());
+            prop_assert_eq!(sharded.queue_depth_buckets(), single.queue_depth_buckets());
+            prop_assert_eq!(sharded.now(), single.now());
+            prop_assert_eq!(
+                sharded.merged_shard_metrics().as_ref(),
+                Some(sharded.metrics()),
+                "per-shard metrics must merge to exactly the global view"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_uniform_model_matches_oracle() {
+        let run = |mode: Option<ShardMode>| {
+            let g = gen::complete(12);
+            let mut sim = match mode {
+                None => Sim::new(g, recorders(12), CostModel::Uniform),
+                Some(m) => {
+                    Sim::with_shards(g, recorders(12), CostModel::Uniform, QueueKind::Calendar, m)
+                }
+            };
+            for v in 0..12u32 {
+                sim.inject(nid(v), nid((v + 5) % 12), Msg::Ping);
+            }
+            sim.inject(nid(0), nid(0), Msg::Spread((0..12).map(nid).collect()));
+            sim.run();
+            (sim.metrics().clone(), *sim.queue_depth_buckets())
+        };
+        let oracle = run(None);
+        for threads in [1, 2, 4] {
+            assert_eq!(
+                run(Some(ShardMode::Sharded { shards: 4, threads })),
+                oracle,
+                "t={threads}"
+            );
+        }
     }
 }

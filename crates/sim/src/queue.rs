@@ -139,13 +139,23 @@ impl<T> CalendarQueue<T> {
     /// schedules into the past); pushing earlier than the last popped time
     /// would violate the bucket-window invariant.
     pub fn push(&mut self, at: SimTime, ev: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.push_seq(at, seq, ev);
+    }
+
+    /// Schedules `ev` at `at` under an externally assigned sequence
+    /// number. The sharded executor owns one global sequence space at the
+    /// coordinator and feeds each shard queue slices of it; within any
+    /// timestamp, successive pushes must carry strictly increasing `seq`
+    /// (the coordinator's merge emits them in ascending order, so the
+    /// per-bucket FIFO invariant is preserved by construction).
+    pub fn push_seq(&mut self, at: SimTime, seq: u64, ev: T) {
         debug_assert!(
             at >= self.cursor,
             "push into the past: {at} < {}",
             self.cursor
         );
-        let seq = self.seq;
-        self.seq += 1;
         if at.saturating_sub(self.cursor) >= self.span() {
             self.overflow.push(Parked { at, seq, ev });
             if self.overflow.len() > self.buckets.len() && self.span() < MAX_SPAN {
@@ -227,6 +237,13 @@ impl<T> CalendarQueue<T> {
     /// though the internal scan cursor may advance up to the earliest
     /// event time).
     pub fn pop_next_until(&mut self, deadline: SimTime) -> Option<(SimTime, T)> {
+        self.pop_seq_until(deadline).map(|(at, _seq, ev)| (at, ev))
+    }
+
+    /// [`pop_next_until`](Self::pop_next_until), additionally exposing the
+    /// event's sequence number — the sharded executor's merge needs it to
+    /// reconstruct the global execution order.
+    pub fn pop_seq_until(&mut self, deadline: SimTime) -> Option<(SimTime, u64, T)> {
         if self.is_empty() {
             return None;
         }
@@ -253,9 +270,37 @@ impl<T> CalendarQueue<T> {
                     return None;
                 }
                 self.cursor = t;
-                let (at, _seq, ev) = b.pop_front().expect("front observed");
+                let (at, seq, ev) = b.pop_front().expect("front observed");
                 self.bucketed -= 1;
-                return Some((at, ev));
+                return Some((at, seq, ev));
+            }
+            t += 1;
+            debug_assert!(
+                t - self.cursor <= self.span(),
+                "bucketed > 0 guarantees a hit within one window"
+            );
+        }
+    }
+
+    /// The timestamp of the earliest queued event without removing it.
+    ///
+    /// `&mut` because due overflow events migrate into buckets first (an
+    /// order-preserving internal reshuffle); the scan itself leaves the
+    /// cursor untouched, so a subsequent push at any time `>=` the last
+    /// popped event remains legal.
+    pub fn peek_next_time(&mut self) -> Option<SimTime> {
+        if self.is_empty() {
+            return None;
+        }
+        self.migrate_due();
+        if self.bucketed == 0 {
+            return Some(self.overflow.peek().expect("len > 0").at);
+        }
+        let mut t = self.cursor;
+        loop {
+            if let Some(&(at, _, _)) = self.buckets[(t & self.mask) as usize].front() {
+                debug_assert_eq!(at, t, "one timestamp per bucket inside the window");
+                return Some(t);
             }
             t += 1;
             debug_assert!(
@@ -304,14 +349,31 @@ impl<T> BTreeQueue<T> {
         self.seq += 1;
     }
 
+    /// Schedules `ev` at `at` under an externally assigned sequence
+    /// number (see [`CalendarQueue::push_seq`]).
+    pub fn push_seq(&mut self, at: SimTime, seq: u64, ev: T) {
+        self.map.insert((at, seq), ev);
+    }
+
     /// Pops the earliest event if its time is `<= deadline`.
     pub fn pop_next_until(&mut self, deadline: SimTime) -> Option<(SimTime, T)> {
+        self.pop_seq_until(deadline).map(|(at, _seq, ev)| (at, ev))
+    }
+
+    /// [`pop_next_until`](Self::pop_next_until) with the sequence number.
+    pub fn pop_seq_until(&mut self, deadline: SimTime) -> Option<(SimTime, u64, T)> {
         let (&(t, _), _) = self.map.iter().next()?;
         if t > deadline {
             return None;
         }
-        let ((t, _), ev) = self.map.pop_first().expect("nonempty");
-        Some((t, ev))
+        let ((t, seq), ev) = self.map.pop_first().expect("nonempty");
+        Some((t, seq, ev))
+    }
+
+    /// The timestamp of the earliest queued event without removing it
+    /// (`&mut` only for signature parity with [`CalendarQueue`]).
+    pub fn peek_next_time(&mut self) -> Option<SimTime> {
+        self.map.keys().next().map(|&(t, _)| t)
     }
 
     /// Pops the earliest event unconditionally.
@@ -349,10 +411,31 @@ impl<T> EventQueue<T> {
         }
     }
 
+    pub(crate) fn push_seq(&mut self, at: SimTime, seq: u64, ev: T) {
+        match self {
+            EventQueue::Calendar(q) => q.push_seq(at, seq, ev),
+            EventQueue::BTree(q) => q.push_seq(at, seq, ev),
+        }
+    }
+
     pub(crate) fn pop_next_until(&mut self, deadline: SimTime) -> Option<(SimTime, T)> {
         match self {
             EventQueue::Calendar(q) => q.pop_next_until(deadline),
             EventQueue::BTree(q) => q.pop_next_until(deadline),
+        }
+    }
+
+    pub(crate) fn pop_seq_until(&mut self, deadline: SimTime) -> Option<(SimTime, u64, T)> {
+        match self {
+            EventQueue::Calendar(q) => q.pop_seq_until(deadline),
+            EventQueue::BTree(q) => q.pop_seq_until(deadline),
+        }
+    }
+
+    pub(crate) fn peek_next_time(&mut self) -> Option<SimTime> {
+        match self {
+            EventQueue::Calendar(q) => q.peek_next_time(),
+            EventQueue::BTree(q) => q.peek_next_time(),
         }
     }
 }
@@ -477,6 +560,48 @@ mod tests {
         }
         fn do_pop(&mut self, deadline: SimTime) -> Option<(SimTime, u32)> {
             self.pop_next_until(deadline)
+        }
+    }
+
+    /// Explicit-sequence pushes (the sharded executor's path) must honor
+    /// the externally assigned order, and `peek_next_time` must report the
+    /// earliest event without disturbing pop order or legal push times.
+    #[test]
+    fn explicit_seq_push_and_peek() {
+        let mut cal = CalendarQueue::with_span(4);
+        let mut bt = BTreeQueue::default();
+        // coordinator-assigned seqs: ascending per timestamp, but sparse
+        for (at, seq) in [(7u64, 10u64), (7, 42), (3, 5), (900, 17)] {
+            cal.push_seq(at, seq, seq);
+            bt.push_seq(at, seq, seq);
+        }
+        assert_eq!(cal.peek_next_time(), Some(3));
+        assert_eq!(bt.peek_next_time(), Some(3));
+        for q in [&mut cal as &mut dyn FnPopSeq, &mut bt as &mut dyn FnPopSeq] {
+            assert_eq!(q.do_pop_seq(u64::MAX), Some((3, 5, 5)));
+            assert_eq!(q.do_pop_seq(u64::MAX), Some((7, 10, 10)));
+            assert_eq!(q.do_pop_seq(u64::MAX), Some((7, 42, 42)));
+        }
+        // peek after pops sees the overflow-parked event; a later push at
+        // a nearer time is still legal (the peek scan left the cursor put)
+        assert_eq!(cal.peek_next_time(), Some(900));
+        cal.push_seq(8, 50, 50);
+        assert_eq!(cal.pop_seq_until(u64::MAX), Some((8, 50, 50)));
+        assert_eq!(cal.pop_seq_until(u64::MAX), Some((900, 17, 17)));
+        assert_eq!(cal.peek_next_time(), None);
+    }
+
+    trait FnPopSeq {
+        fn do_pop_seq(&mut self, deadline: SimTime) -> Option<(SimTime, u64, u64)>;
+    }
+    impl FnPopSeq for CalendarQueue<u64> {
+        fn do_pop_seq(&mut self, deadline: SimTime) -> Option<(SimTime, u64, u64)> {
+            self.pop_seq_until(deadline)
+        }
+    }
+    impl FnPopSeq for BTreeQueue<u64> {
+        fn do_pop_seq(&mut self, deadline: SimTime) -> Option<(SimTime, u64, u64)> {
+            self.pop_seq_until(deadline)
         }
     }
 

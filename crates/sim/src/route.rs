@@ -1,0 +1,225 @@
+//! Routing shared by the single-threaded and sharded executor cores.
+//!
+//! This is the old `Sim::route`/`Sim::route_multicast` logic, extracted
+//! so both cores charge message passes identically by construction: the
+//! single core feeds `emit` straight into its event queue, while a shard
+//! records the emissions for the coordinator's canonical merge. Counter
+//! deltas accumulate in [`RouteCounters`] (additive, so the caller may
+//! fold them into its `Metrics` in any order without affecting output).
+
+use crate::{CostModel, Envelope, Event, Op, SimTime, TargetSet};
+use mm_topo::spanning::multicast_cost;
+use mm_topo::{Graph, NodeId, RoutingTable};
+
+/// Read-only world view routing needs: topology, routes, crash state.
+pub(crate) struct NetEnv<'a> {
+    pub graph: &'a Graph,
+    /// Built only under [`CostModel::Hops`]; `Uniform` never routes.
+    pub routing: Option<&'a RoutingTable>,
+    pub crashed: &'a [bool],
+    pub cost_model: CostModel,
+}
+
+/// Additive metric deltas produced while routing one batch of ops.
+#[derive(Debug, Default)]
+pub(crate) struct RouteCounters {
+    pub sends: u64,
+    pub passes: u64,
+    pub dropped: u64,
+}
+
+/// Applies a handler's buffered ops: routes sends/multicasts, schedules
+/// timers. Every scheduled event is handed to `emit(at, event)` in a
+/// deterministic order (op order, and within a multicast, target order).
+pub(crate) fn apply_ops<M: Clone>(
+    env: &NetEnv<'_>,
+    now: SimTime,
+    from: NodeId,
+    ops: &mut Vec<Op<M>>,
+    c: &mut RouteCounters,
+    emit: &mut impl FnMut(SimTime, Event<M>),
+) {
+    for op in ops.drain(..) {
+        match op {
+            Op::Send { to, msg } => route(env, now, from, to, msg, c, emit),
+            Op::Multicast { to, msg } => route_multicast(env, now, from, &to, msg, c, emit),
+            Op::Timer { delay, tag } => emit(now + delay, Event::Timer { at: from, tag }),
+        }
+    }
+}
+
+/// Point-to-point routing with hop accounting and crash truncation.
+pub(crate) fn route<M>(
+    env: &NetEnv<'_>,
+    now: SimTime,
+    from: NodeId,
+    to: NodeId,
+    msg: M,
+    c: &mut RouteCounters,
+    emit: &mut impl FnMut(SimTime, Event<M>),
+) {
+    c.sends += 1;
+    if from == to {
+        // local delivery is free (intra-host communication)
+        let env_msg = Envelope {
+            from,
+            to,
+            sent_at: now,
+            msg,
+        };
+        emit(now, Event::Deliver(env_msg));
+        return;
+    }
+    match env.cost_model {
+        CostModel::Uniform => {
+            c.passes += 1;
+            let env_msg = Envelope {
+                from,
+                to,
+                sent_at: now,
+                msg,
+            };
+            emit(now + 1, Event::Deliver(env_msg));
+        }
+        CostModel::Hops => {
+            let routing = env.routing.expect("Hops model builds routing");
+            if routing.distance(from, to).is_none() {
+                c.dropped += 1;
+                return;
+            }
+            // walk the next-hop entries directly (no path `Vec`);
+            // die at the first crashed intermediate
+            let mut travelled = 0u64;
+            let mut blocked = false;
+            for hop in routing.hops(from, to) {
+                travelled += 1;
+                if env.crashed[hop.index()] {
+                    blocked = true;
+                    break;
+                }
+            }
+            // passes spent up to (and into) a crash point stay spent
+            c.passes += travelled;
+            if blocked {
+                c.dropped += 1;
+                return;
+            }
+            let env_msg = Envelope {
+                from,
+                to,
+                sent_at: now,
+                msg,
+            };
+            emit(now + travelled, Event::Deliver(env_msg));
+        }
+    }
+}
+
+/// Multicast with shared-prefix (spanning/Steiner tree) accounting.
+///
+/// `targets` is already sorted and duplicate-free ([`TargetSet`]'s
+/// construction invariant), so no per-operation sort/dedup happens here.
+pub(crate) fn route_multicast<M: Clone>(
+    env: &NetEnv<'_>,
+    now: SimTime,
+    from: NodeId,
+    targets: &TargetSet,
+    msg: M,
+    c: &mut RouteCounters,
+    emit: &mut impl FnMut(SimTime, Event<M>),
+) {
+    match env.cost_model {
+        CostModel::Uniform => {
+            for t in targets.iter() {
+                if t == from {
+                    let env_msg = Envelope {
+                        from,
+                        to: t,
+                        sent_at: now,
+                        msg: msg.clone(),
+                    };
+                    emit(now, Event::Deliver(env_msg));
+                    continue;
+                }
+                c.sends += 1;
+                c.passes += 1;
+                let env_msg = Envelope {
+                    from,
+                    to: t,
+                    sent_at: now,
+                    msg: msg.clone(),
+                };
+                emit(now + 1, Event::Deliver(env_msg));
+            }
+        }
+        CostModel::Hops => {
+            // charge the Steiner-tree cost once; deliver along
+            // shortest paths, truncated at crashed nodes. The remote
+            // slice is the target set itself unless the sender is a
+            // member (the only case that still copies).
+            let routing = env.routing.expect("Hops model builds routing");
+            let self_in_set = targets.contains(from);
+            let filtered: Vec<NodeId>;
+            let remote: &[NodeId] = if self_in_set {
+                filtered = targets.iter().filter(|&t| t != from).collect();
+                &filtered
+            } else {
+                targets.as_slice()
+            };
+            if let Some(cost) = multicast_cost(env.graph, routing, from, remote) {
+                c.passes += cost;
+            } else {
+                // unreachable targets: fall back to per-target routing
+                for &t in remote {
+                    route(env, now, from, t, msg.clone(), c, emit);
+                }
+                // plus local copy if requested
+                if self_in_set {
+                    let env_msg = Envelope {
+                        from,
+                        to: from,
+                        sent_at: now,
+                        msg,
+                    };
+                    emit(now, Event::Deliver(env_msg));
+                }
+                return;
+            }
+            c.sends += remote.len() as u64;
+            for t in targets.iter() {
+                if t == from {
+                    let env_msg = Envelope {
+                        from,
+                        to: t,
+                        sent_at: now,
+                        msg: msg.clone(),
+                    };
+                    emit(now, Event::Deliver(env_msg));
+                    continue;
+                }
+                // walk next-hop entries: hop count plus
+                // first-crashed-intermediate check, no path `Vec`
+                let mut d = 0u64;
+                let mut blocked = false;
+                for hop in routing.hops(from, t) {
+                    d += 1;
+                    if env.crashed[hop.index()] {
+                        blocked = true;
+                        break;
+                    }
+                }
+                if blocked {
+                    c.dropped += 1;
+                    continue;
+                }
+                let env_msg = Envelope {
+                    from,
+                    to: t,
+                    sent_at: now,
+                    msg: msg.clone(),
+                };
+                emit(now + d, Event::Deliver(env_msg));
+            }
+        }
+    }
+}

@@ -1,0 +1,696 @@
+//! The sharded parallel executor core.
+//!
+//! Nodes are partitioned across a fixed number of shards (keyed by the
+//! `√n` decomposition via [`mm_topo::decompose::shard_map`]), each shard
+//! owning one calendar queue and its nodes' handler state. Execution is
+//! conservative parallel discrete-event simulation with a per-tick
+//! barrier: the minimum cross-shard hop cost is one tick (every remote
+//! send costs ≥ 1 tick under both cost models; zero-delay events are
+//! strictly node-local), so all shards can execute one tick's events
+//! concurrently without ever seeing a message from the "future".
+//!
+//! # Determinism: exact replay of the single-core order
+//!
+//! Byte-identical output regardless of shard count and worker-thread
+//! count is achieved by *reconstructing the single core's global
+//! `(time, sequence)` execution order* at every tick boundary, not by
+//! merely approximating it:
+//!
+//! * One global sequence counter lives at the coordinator. Every event in
+//!   any shard queue carries the seq it would have had in the single
+//!   core's queue.
+//! * During a tick, a shard executes its due events in local `(seq, FIFO)`
+//!   order — provably the projection of the single core's global order
+//!   onto that shard (zero-delay children are node-local, and their
+//!   breadth-first FIFO order matches global seq order restricted to the
+//!   shard) — recording a flat execution log: outcome, routing counter
+//!   deltas, and emitted pushes, in order.
+//! * After the barrier, the coordinator performs a k-way merge of the
+//!   shard logs by ascending seq, replaying pops and pushes in exactly
+//!   the single core's order: it assigns fresh seqs to pushes from the
+//!   global counter, samples the queue-depth histogram at the same
+//!   depths, accumulates `Metrics` in the same order, and routes
+//!   future-tick events into the destination shard's inbox.
+//!
+//! The merge is sequential but cheap (tens of ns per event) compared to
+//! handler execution; Amdahl leaves near-linear scaling to a handful of
+//! worker threads.
+
+use crate::metrics::Metrics;
+use crate::pool::{Job, ShardPool};
+use crate::queue::{EventQueue, QueueKind};
+use crate::route::{self, NetEnv, RouteCounters};
+use crate::{CostModel, Envelope, Event, Node, NodeApi, Op, SimTime, QUEUE_DEPTH_BUCKETS};
+use mm_topo::{Graph, NodeId, RoutingTable};
+use std::collections::VecDeque;
+
+/// Where an executed event came from, as recorded in a shard's log.
+#[derive(Debug, Clone, Copy)]
+enum Source {
+    /// Popped from the shard queue under this coordinator-assigned seq.
+    Queue(u64),
+    /// Zero-delay child executed within the tick; its seq is assigned by
+    /// the coordinator's merge when the parent's push is replayed.
+    Child,
+}
+
+/// How one event's execution ended (drives the merge's metric replay).
+#[derive(Debug, Clone, Copy)]
+enum Outcome {
+    Delivered,
+    DroppedAtCrashed,
+    TimerFired,
+    TimerSkipped,
+}
+
+/// One executed event in a shard's per-tick log.
+#[derive(Debug)]
+struct ExecRec {
+    src: Source,
+    /// The node the event targeted (for `node_load`).
+    node: NodeId,
+    outcome: Outcome,
+    sends: u64,
+    passes: u64,
+    route_dropped: u64,
+    /// Number of entries this event appended to the shard's flat push
+    /// buffer (the merge consumes them with a per-shard cursor).
+    push_count: u32,
+}
+
+/// One event emission recorded during shard execution.
+#[derive(Debug)]
+struct PushRec<M> {
+    at: SimTime,
+    dest: NodeId,
+    /// `None` for zero-delay (same-node, hence same-shard) children:
+    /// their payload went straight onto the shard's work deque and only
+    /// the seq assignment happens at the coordinator.
+    ev: Option<Event<M>>,
+}
+
+/// Per-shard state: handler slices, queue, inbox, and round buffers.
+#[derive(Debug)]
+struct ShardState<M, N> {
+    /// Handlers owned by this shard, in ascending global `NodeId` order.
+    nodes: Vec<N>,
+    /// Local index → global id (inverse of the coordinator's `local_idx`).
+    local_ids: Vec<NodeId>,
+    queue: EventQueue<Event<M>>,
+    /// Cross-round mail from the coordinator, in ascending seq order.
+    inbox: Vec<(SimTime, u64, Event<M>)>,
+    /// Earliest `at` currently in the inbox.
+    inbox_min: Option<SimTime>,
+    /// The queue's next event time as of the end of this shard's last
+    /// round (`None` before the first round / when drained).
+    cached_next: Option<SimTime>,
+    /// Round output: executed events in local order.
+    log: Vec<ExecRec>,
+    /// Round output: emitted pushes, flat, in log order.
+    pushes: Vec<PushRec<M>>,
+    /// Merge scratch: seqs assigned to zero-delay children whose exec
+    /// records have not been replayed yet (FIFO).
+    pending: VecDeque<u64>,
+    /// Reusable work deque for the tick-local breadth-first execution.
+    fifo: VecDeque<(Source, Event<M>)>,
+    /// Reusable handler-op buffer.
+    scratch: Vec<Op<M>>,
+}
+
+impl<M, N> ShardState<M, N> {
+    fn push_inbox(&mut self, at: SimTime, seq: u64, ev: Event<M>) {
+        self.inbox.push((at, seq, ev));
+        if self.inbox_min.is_none_or(|m| at < m) {
+            self.inbox_min = Some(at);
+        }
+    }
+
+    /// Earliest event time owned by this shard (queue or inbox).
+    fn next_time(&self) -> Option<SimTime> {
+        match (self.cached_next, self.inbox_min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+}
+
+/// Read-only world view shared by every shard during one round, plus the
+/// tick being executed. Non-generic so it erases to one pointer.
+struct RoundCtx<'a> {
+    graph: &'a Graph,
+    routing: Option<&'a RoutingTable>,
+    crashed: &'a [bool],
+    cost_model: CostModel,
+    local_idx: &'a [u32],
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    shard_of: &'a [u32],
+    tick: SimTime,
+}
+
+/// Executes one shard's share of tick `ctx.tick`: drain the inbox into
+/// the queue, pop everything due, run the tick-local breadth-first
+/// cascade (zero-delay children execute inline, never entering the
+/// queue), and record the execution log for the coordinator's merge.
+fn run_shard_round<M: Clone, N: Node<M>>(st: &mut ShardState<M, N>, ctx: &RoundCtx<'_>) {
+    for (at, seq, ev) in st.inbox.drain(..) {
+        st.queue.push_seq(at, seq, ev);
+    }
+    st.inbox_min = None;
+    let t = ctx.tick;
+    debug_assert!(st.log.is_empty() && st.pushes.is_empty());
+    let mut fifo = std::mem::take(&mut st.fifo);
+    debug_assert!(fifo.is_empty());
+    while let Some((at, seq, ev)) = st.queue.pop_seq_until(t) {
+        debug_assert_eq!(at, t, "rounds run at the global minimum event time");
+        fifo.push_back((Source::Queue(seq), ev));
+    }
+    let env = NetEnv {
+        graph: ctx.graph,
+        routing: ctx.routing,
+        crashed: ctx.crashed,
+        cost_model: ctx.cost_model,
+    };
+    let mut ops = std::mem::take(&mut st.scratch);
+    debug_assert!(ops.is_empty());
+    while let Some((src, ev)) = fifo.pop_front() {
+        let node = ev.target();
+        let crashed = ctx.crashed[node.index()];
+        let mut c = RouteCounters::default();
+        let pushes_before = st.pushes.len();
+        let outcome = match ev {
+            Event::Deliver(_) if crashed => Outcome::DroppedAtCrashed,
+            Event::Timer { .. } if crashed => Outcome::TimerSkipped,
+            ev => {
+                let mut api = NodeApi {
+                    ops: &mut ops,
+                    now: t,
+                    me: node,
+                };
+                let handler = &mut st.nodes[ctx.local_idx[node.index()] as usize];
+                let outcome = match ev {
+                    Event::Deliver(env_msg) => {
+                        handler.on_message(env_msg, &mut api);
+                        Outcome::Delivered
+                    }
+                    Event::Timer { tag, .. } => {
+                        handler.on_timer(tag, &mut api);
+                        Outcome::TimerFired
+                    }
+                };
+                let pushes = &mut st.pushes;
+                route::apply_ops(&env, t, node, &mut ops, &mut c, &mut |at, child| {
+                    if at == t {
+                        // zero-delay events are node-local by the cost
+                        // models' construction — this is the conservative
+                        // lookahead the per-tick barrier relies on
+                        debug_assert_eq!(
+                            ctx.shard_of[child.target().index()],
+                            ctx.shard_of[node.index()],
+                            "zero-delay events must be shard-local"
+                        );
+                        pushes.push(PushRec {
+                            at,
+                            dest: child.target(),
+                            ev: None,
+                        });
+                        fifo.push_back((Source::Child, child));
+                    } else {
+                        let dest = child.target();
+                        pushes.push(PushRec {
+                            at,
+                            dest,
+                            ev: Some(child),
+                        });
+                    }
+                });
+                outcome
+            }
+        };
+        st.log.push(ExecRec {
+            src,
+            node,
+            outcome,
+            sends: c.sends,
+            passes: c.passes,
+            route_dropped: c.dropped,
+            push_count: (st.pushes.len() - pushes_before) as u32,
+        });
+    }
+    st.scratch = ops;
+    st.fifo = fifo;
+    st.cached_next = st.queue.peek_next_time();
+}
+
+/// Erased round entry point handed to the worker pool. Monomorphized at
+/// [`ShardedCore::new`], where the concrete `M`/`N` are known and their
+/// `Send` obligations are discharged.
+///
+/// # Safety
+///
+/// `state` must point to a live `ShardState<M, N>` with no other borrows
+/// for the duration of the call, and `ctx` to a `RoundCtx` that outlives
+/// it.
+unsafe fn shard_job<M: Clone, N: Node<M>>(state: *mut (), ctx: *const ()) {
+    let st = unsafe { &mut *(state.cast::<ShardState<M, N>>()) };
+    let ctx = unsafe { &*(ctx.cast::<RoundCtx<'_>>()) };
+    run_shard_round(st, ctx);
+}
+
+/// The sharded parallel core: per-shard queues + handler slices, a
+/// coordinator-owned global sequence space, and a canonical per-tick
+/// merge that replays the single core's execution order exactly.
+#[derive(Debug)]
+pub(crate) struct ShardedCore<M, N> {
+    graph: Graph,
+    routing: Option<RoutingTable>,
+    crashed: Vec<bool>,
+    cost_model: CostModel,
+    /// Global node id → owning shard.
+    shard_of: Vec<u32>,
+    /// Global node id → index within its shard's `nodes`.
+    local_idx: Vec<u32>,
+    // boxed so each shard's state keeps a stable heap address for the
+    // type-erased job pointers handed to the worker pool
+    #[allow(clippy::vec_box)]
+    shards: Vec<Box<ShardState<M, N>>>,
+    /// Worker pool (`None` ⇒ rounds run inline on the coordinator).
+    pool: Option<ShardPool>,
+    /// Monomorphized erased round entry point (see [`shard_job`]).
+    job: unsafe fn(*mut (), *const ()),
+    now: SimTime,
+    /// The single global sequence counter (mirrors the single core's
+    /// queue-internal counter exactly).
+    next_seq: u64,
+    /// Conceptual global queue depth (what the single core's queue `len`
+    /// would be), maintained by the merge replay.
+    global_depth: u64,
+    metrics: Metrics,
+    /// Per-shard metrics: every sample/count of the global `metrics` is
+    /// attributed to exactly one shard (the executing/pushing shard;
+    /// coordinator injects and crashes to the owning shard), so additive
+    /// fields sum — and peaks max — to the global values exactly.
+    shard_metrics: Vec<Metrics>,
+    depth_buckets: [u64; QUEUE_DEPTH_BUCKETS],
+    /// Round scratch: indices of shards active at the current tick.
+    active: Vec<usize>,
+}
+
+impl<M: Clone, N: Node<M>> ShardedCore<M, N> {
+    pub(crate) fn new(
+        graph: Graph,
+        nodes: Vec<N>,
+        cost_model: CostModel,
+        kind: QueueKind,
+        shard_count: usize,
+        threads: usize,
+    ) -> Self
+    where
+        M: Send,
+        N: Send,
+    {
+        // the erased-job contract additionally needs the shared world
+        // view to be safely shareable across workers
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<Graph>();
+        assert_sync::<RoutingTable>();
+
+        assert_eq!(
+            nodes.len(),
+            graph.node_count(),
+            "one handler per graph node required"
+        );
+        let n = graph.node_count();
+        let routing = match cost_model {
+            CostModel::Hops => Some(RoutingTable::new(&graph)),
+            CostModel::Uniform => None,
+        };
+        let shard_of = mm_topo::decompose::shard_map(&graph, shard_count);
+        let shard_count = shard_of.iter().map(|&s| s as usize + 1).max().unwrap_or(1);
+        let mut counts = vec![0u32; shard_count];
+        let mut local_idx = vec![0u32; n];
+        for v in 0..n {
+            let s = shard_of[v] as usize;
+            local_idx[v] = counts[s];
+            counts[s] += 1;
+        }
+        let mut shards: Vec<Box<ShardState<M, N>>> = counts
+            .iter()
+            .map(|&c| {
+                Box::new(ShardState {
+                    nodes: Vec::with_capacity(c as usize),
+                    local_ids: Vec::with_capacity(c as usize),
+                    queue: EventQueue::new(kind),
+                    inbox: Vec::new(),
+                    inbox_min: None,
+                    cached_next: None,
+                    log: Vec::new(),
+                    pushes: Vec::new(),
+                    pending: VecDeque::new(),
+                    fifo: VecDeque::new(),
+                    scratch: Vec::new(),
+                })
+            })
+            .collect();
+        for (v, node) in nodes.into_iter().enumerate() {
+            let s = &mut shards[shard_of[v] as usize];
+            s.nodes.push(node);
+            s.local_ids.push(NodeId::new(v as u32));
+        }
+        let shard_metrics = counts.iter().map(|&c| Metrics::new(c as usize)).collect();
+        let pool =
+            (threads > 1 && shard_count > 1).then(|| ShardPool::new(threads.min(shard_count)));
+        ShardedCore {
+            graph,
+            routing,
+            crashed: vec![false; n],
+            cost_model,
+            shard_of,
+            local_idx,
+            shards,
+            pool,
+            job: shard_job::<M, N>,
+            now: 0,
+            next_seq: 0,
+            global_depth: 0,
+            metrics: Metrics::new(n),
+            shard_metrics,
+            depth_buckets: [0; QUEUE_DEPTH_BUCKETS],
+            active: Vec::new(),
+        }
+    }
+
+    pub(crate) fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    pub(crate) fn routing(&self) -> Option<&RoutingTable> {
+        self.routing.as_ref()
+    }
+
+    pub(crate) fn now(&self) -> SimTime {
+        self.now
+    }
+
+    pub(crate) fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    pub(crate) fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    pub(crate) fn threads(&self) -> usize {
+        self.pool.as_ref().map_or(1, ShardPool::threads)
+    }
+
+    pub(crate) fn shard_metrics(&self) -> &[Metrics] {
+        &self.shard_metrics
+    }
+
+    /// Folds the per-shard metrics back into one global view: additive
+    /// fields sum, peaks max, per-shard `node_load` scatters through the
+    /// local→global id map. Equals [`Self::metrics`] exactly (asserted by
+    /// the cross-shard determinism suite).
+    pub(crate) fn merged_shard_metrics(&self) -> Metrics {
+        let mut m = Metrics::new(self.graph.node_count());
+        for (i, sm) in self.shard_metrics.iter().enumerate() {
+            m.message_passes += sm.message_passes;
+            m.sends += sm.sends;
+            m.delivered += sm.delivered;
+            m.dropped += sm.dropped;
+            m.crashes += sm.crashes;
+            m.events_executed += sm.events_executed;
+            m.peak_queue_depth = m.peak_queue_depth.max(sm.peak_queue_depth);
+            for (li, &load) in sm.node_load.iter().enumerate() {
+                m.node_load[self.shards[i].local_ids[li].index()] += load;
+            }
+        }
+        m
+    }
+
+    pub(crate) fn node(&self, v: NodeId) -> &N {
+        let s = &self.shards[self.shard_of[v.index()] as usize];
+        &s.nodes[self.local_idx[v.index()] as usize]
+    }
+
+    pub(crate) fn node_mut(&mut self, v: NodeId) -> &mut N {
+        let s = &mut self.shards[self.shard_of[v.index()] as usize];
+        &mut s.nodes[self.local_idx[v.index()] as usize]
+    }
+
+    pub(crate) fn crash(&mut self, v: NodeId) {
+        self.crashed[v.index()] = true;
+        self.metrics.crashes += 1;
+        self.shard_metrics[self.shard_of[v.index()] as usize].crashes += 1;
+    }
+
+    pub(crate) fn restore(&mut self, v: NodeId) {
+        self.crashed[v.index()] = false;
+    }
+
+    pub(crate) fn is_crashed(&self, v: NodeId) -> bool {
+        self.crashed[v.index()]
+    }
+
+    pub(crate) fn inject(&mut self, from: NodeId, at: NodeId, msg: M) {
+        let env = Envelope {
+            from,
+            to: at,
+            sent_at: self.now,
+            msg,
+        };
+        self.push_external(self.now, Event::Deliver(env));
+    }
+
+    pub(crate) fn inject_timer(&mut self, at: NodeId, delay: SimTime, tag: u64) {
+        self.push_external(self.now + delay, Event::Timer { at, tag });
+    }
+
+    /// Coordinator-side push (injects between rounds): assigns the next
+    /// global seq, samples depth, and mails the owning shard.
+    fn push_external(&mut self, at: SimTime, ev: Event<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.global_depth += 1;
+        let d = self.shard_of[ev.target().index()] as usize;
+        self.sample_depth(d);
+        self.shards[d].push_inbox(at, seq, ev);
+    }
+
+    /// One depth-histogram observation at the current conceptual global
+    /// depth, attributed to `shard`.
+    fn sample_depth(&mut self, shard: usize) {
+        let depth = self.global_depth;
+        if depth > self.metrics.peak_queue_depth {
+            self.metrics.peak_queue_depth = depth;
+        }
+        let sm = &mut self.shard_metrics[shard];
+        if depth > sm.peak_queue_depth {
+            sm.peak_queue_depth = depth;
+        }
+        self.depth_buckets[(64 - depth.leading_zeros()) as usize] += 1;
+    }
+
+    pub(crate) fn queue_depth_buckets(&self) -> &[u64; QUEUE_DEPTH_BUCKETS] {
+        &self.depth_buckets
+    }
+
+    /// Earliest event time across every shard (queues and inboxes).
+    fn next_time(&self) -> Option<SimTime> {
+        self.shards.iter().filter_map(|s| s.next_time()).min()
+    }
+
+    pub(crate) fn run(&mut self) -> SimTime {
+        while self.step() {}
+        self.now
+    }
+
+    pub(crate) fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        while let Some(t) = self.next_time() {
+            if t > deadline {
+                break;
+            }
+            self.now = t;
+            self.round(t);
+        }
+        self.now = self.now.max(deadline);
+        self.now
+    }
+
+    /// Executes one *round* (every event due at the next tick, across all
+    /// shards). The single core's `step` runs one event; a sharded step
+    /// is one tick — callers that need event-granular stepping use
+    /// `ShardMode::Single`.
+    pub(crate) fn step(&mut self) -> bool {
+        let Some(t) = self.next_time() else {
+            return false;
+        };
+        self.now = t;
+        self.round(t);
+        true
+    }
+
+    /// Runs tick `t` on every shard that has work due, then merges.
+    fn round(&mut self, t: SimTime) {
+        let mut active = std::mem::take(&mut self.active);
+        active.clear();
+        for (i, s) in self.shards.iter().enumerate() {
+            if s.next_time() == Some(t) {
+                active.push(i);
+            }
+        }
+        debug_assert!(!active.is_empty(), "a round only runs at an event time");
+        {
+            let ctx = RoundCtx {
+                graph: &self.graph,
+                routing: self.routing.as_ref(),
+                crashed: &self.crashed,
+                cost_model: self.cost_model,
+                local_idx: &self.local_idx,
+                shard_of: &self.shard_of,
+                tick: t,
+            };
+            let ctx_ptr = (&raw const ctx).cast::<()>();
+            match &self.pool {
+                Some(pool) if active.len() > 1 => {
+                    let jobs: Vec<Job> = active
+                        .iter()
+                        .map(|&i| Job {
+                            run: self.job,
+                            state: (&raw mut *self.shards[i]).cast::<()>(),
+                            ctx: ctx_ptr,
+                        })
+                        .collect();
+                    // blocks until every shard's round completes — the
+                    // barrier that bounds the erased pointers' lifetimes
+                    pool.run(jobs);
+                }
+                _ => {
+                    for &i in &active {
+                        // SAFETY: unique state pointer, live ctx, same
+                        // M/N monomorphization as at construction.
+                        unsafe { (self.job)((&raw mut *self.shards[i]).cast::<()>(), ctx_ptr) };
+                    }
+                }
+            }
+        }
+        self.merge_round(t, &active);
+        self.active = active;
+    }
+
+    /// Replays the shard logs in ascending global-seq order — exactly the
+    /// single core's execution order at tick `t` — assigning push seqs,
+    /// sampling queue depth, accumulating metrics, and mailing
+    /// future-tick events to their destination shards.
+    fn merge_round(&mut self, t: SimTime, active: &[usize]) {
+        struct Cursor<M> {
+            shard: usize,
+            log: Vec<ExecRec>,
+            pushes: Vec<PushRec<M>>,
+            pending: VecDeque<u64>,
+            r: usize,
+            p: usize,
+        }
+        let mut cursors: Vec<Cursor<M>> = active
+            .iter()
+            .map(|&i| {
+                let s = &mut self.shards[i];
+                Cursor {
+                    shard: i,
+                    log: std::mem::take(&mut s.log),
+                    pushes: std::mem::take(&mut s.pushes),
+                    pending: std::mem::take(&mut s.pending),
+                    r: 0,
+                    p: 0,
+                }
+            })
+            .collect();
+        loop {
+            // k-way pick: smallest next seq across shard logs (k is the
+            // shard count, so a linear scan beats a heap by locality)
+            let mut best: Option<(usize, u64)> = None;
+            for (k, w) in cursors.iter().enumerate() {
+                if w.r < w.log.len() {
+                    let seq = match w.log[w.r].src {
+                        Source::Queue(s) => s,
+                        Source::Child => *w
+                            .pending
+                            .front()
+                            .expect("child seq assigned before its exec record"),
+                    };
+                    if best.is_none_or(|(_, b)| seq < b) {
+                        best = Some((k, seq));
+                    }
+                }
+            }
+            let Some((k, _)) = best else { break };
+            let w = &mut cursors[k];
+            let rec = &w.log[w.r];
+            w.r += 1;
+            if matches!(rec.src, Source::Child) {
+                w.pending.pop_front();
+            }
+            // the pop, in oracle order
+            self.global_depth -= 1;
+            self.metrics.events_executed += 1;
+            let sm = &mut self.shard_metrics[w.shard];
+            sm.events_executed += 1;
+            match rec.outcome {
+                Outcome::Delivered => {
+                    self.metrics.delivered += 1;
+                    self.metrics.node_load[rec.node.index()] += 1;
+                    sm.delivered += 1;
+                    sm.node_load[self.local_idx[rec.node.index()] as usize] += 1;
+                }
+                Outcome::DroppedAtCrashed => {
+                    self.metrics.dropped += 1;
+                    sm.dropped += 1;
+                }
+                Outcome::TimerFired | Outcome::TimerSkipped => {}
+            }
+            sm.sends += rec.sends;
+            sm.message_passes += rec.passes;
+            sm.dropped += rec.route_dropped;
+            self.metrics.sends += rec.sends;
+            self.metrics.message_passes += rec.passes;
+            self.metrics.dropped += rec.route_dropped;
+            // the pushes, in oracle order
+            let push_count = rec.push_count as usize;
+            let shard = w.shard;
+            let p0 = w.p;
+            w.p += push_count;
+            for j in 0..push_count {
+                let (at, dest, ev) = {
+                    let p = &mut cursors[k].pushes[p0 + j];
+                    (p.at, p.dest, p.ev.take())
+                };
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.global_depth += 1;
+                self.sample_depth(shard);
+                if at == t {
+                    debug_assert!(ev.is_none(), "zero-delay payloads stay shard-local");
+                    cursors[k].pending.push_back(seq);
+                } else {
+                    let ev = ev.expect("future push carries its payload");
+                    let d = self.shard_of[dest.index()] as usize;
+                    self.shards[d].push_inbox(at, seq, ev);
+                }
+            }
+        }
+        // hand the (now empty) buffers back for reuse
+        for w in cursors {
+            debug_assert!(
+                w.pending.is_empty(),
+                "zero-delay children all execute within their round"
+            );
+            debug_assert_eq!(w.p, w.pushes.len(), "every recorded push replayed");
+            let s = &mut self.shards[w.shard];
+            s.log = w.log;
+            s.log.clear();
+            s.pushes = w.pushes;
+            s.pushes.clear();
+            s.pending = w.pending;
+        }
+    }
+}

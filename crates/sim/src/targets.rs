@@ -30,6 +30,17 @@ pub struct TargetSet {
     ids: Arc<[NodeId]>,
 }
 
+// Concurrency audit (sharded executor): `TargetSet` rides inside messages
+// that cross shard — and therefore worker-thread — boundaries. The share
+// is an `Arc` (atomic refcount, not `Rc`) over an immutable slice, so
+// clones/drops from concurrent shard rounds are sound and the contents
+// can never be observed mid-mutation. Pinned here so a future swap to a
+// non-atomic smart pointer fails to compile instead of racing.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<TargetSet>();
+};
+
 impl TargetSet {
     /// Builds a set from arbitrary targets (copies, sorts, dedups).
     pub fn new(targets: &[NodeId]) -> Self {

@@ -83,6 +83,10 @@ struct Args {
     window: u64,
     /// `--replication F`: tolerated rendezvous faults; 0 = base strategy.
     replication: u64,
+    /// `--shards S`: simulator shard count (0 = single-threaded core).
+    shards: usize,
+    /// `--shard-threads T`: worker threads driving shard rounds.
+    shard_threads: usize,
     pretty: bool,
     records: bool,
     /// `--trace FILE`: write the causal span trace as JSONL.
@@ -104,7 +108,8 @@ fn usage() -> ! {
          [--topology complete|grid|ring|hypercube] [--cost uniform|hops] \
          [--queue calendar|btree] [--runtime sim|live] \
          [--clients N] [--think zero|fixed:T|exp:M] [--retries R] \
-         [--backoff B] [--window W] [--replication F] [--pretty] [--records] \
+         [--backoff B] [--window W] [--replication F] \
+         [--shards S] [--shard-threads T] [--pretty] [--records] \
          [--trace FILE] [--trace-rate R] [--obs] [--throughput] [--verbose]\n\
          \nusage: scenarios trace FILE    (analyze a recorded trace: \
          measured m(P,Q),\nlatency attribution, conservation check — \
@@ -117,7 +122,10 @@ fn usage() -> ! {
          the JSON ('all' stays the open-loop five).\n\
          --replication F superimposes F+1 strategy copies (paper 2.4: \
          tolerate F rendezvous\ncrashes per pair) and reports the \
-         robustness block with the measured overhead.\n\nopen-loop \
+         robustness block with the measured overhead.\n\
+         --shards S --shard-threads T executes the simulator on the \
+         sharded parallel core\n(JSON stays byte-identical to the \
+         single-threaded default at any S and T).\n\nopen-loop \
          scenarios: {}\nclosed-loop scenarios: {}\nhostile scenarios: {}",
         scenarios::ALL.join(", "),
         scenarios::CLOSED_LOOP.join(", "),
@@ -160,6 +168,8 @@ fn parse_args() -> Args {
         backoff: 8,
         window: 250,
         replication: 0,
+        shards: 0,
+        shard_threads: 1,
         pretty: false,
         records: false,
         trace: None,
@@ -213,6 +223,10 @@ fn parse_args() -> Args {
             "--window" => args.window = value(&argv, &mut i).parse().unwrap_or_else(|_| usage()),
             "--replication" => {
                 args.replication = value(&argv, &mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--shards" => args.shards = value(&argv, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--shard-threads" => {
+                args.shard_threads = value(&argv, &mut i).parse().unwrap_or_else(|_| usage())
             }
             "--pretty" => args.pretty = true,
             "--records" => args.records = true,
@@ -299,6 +313,8 @@ fn to_config(args: &Args, name: &str, n: usize) -> RunConfig {
             window: args.window,
         }),
         replication: args.replication,
+        shards: args.shards,
+        shard_threads: args.shard_threads,
     }
 }
 

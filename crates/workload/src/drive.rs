@@ -23,7 +23,7 @@ use crate::LiveScenarioRunner;
 use mm_core::robust::Replicated;
 use mm_core::strategies::{Broadcast, Checkerboard, HashLocate, PortMapped};
 use mm_obs::{TraceConfig, TraceFile};
-use mm_sim::{CostModel, QueueKind};
+use mm_sim::{CostModel, QueueKind, ShardMode};
 use mm_topo::{gen, Graph};
 
 /// Above this size a literal complete graph (O(n²) adjacency) stops being
@@ -111,6 +111,14 @@ pub struct RunConfig {
     /// superimposes `F + 1` strategy copies (§2.4) and reports the
     /// robustness block.
     pub replication: u64,
+    /// Simulator shard count; 0 selects the single-threaded core. Any
+    /// value produces byte-identical reports (the sharded executor
+    /// replays the single core's event order exactly), so this axis —
+    /// like `queue` — only affects wall clock, never output.
+    pub shards: usize,
+    /// Worker threads driving shard rounds (relevant when `shards > 0`;
+    /// clamped to the effective shard count).
+    pub shard_threads: usize,
 }
 
 impl RunConfig {
@@ -129,24 +137,50 @@ impl RunConfig {
             runtime: RuntimeKind::Sim,
             clients: None,
             replication: 0,
+            shards: 0,
+            shard_threads: 1,
+        }
+    }
+
+    /// The execution core this config selects (see [`ShardMode`]).
+    pub fn shard_mode(&self) -> ShardMode {
+        if self.shards == 0 {
+            ShardMode::Single
+        } else {
+            ShardMode::Sharded {
+                shards: self.shards,
+                threads: self.shard_threads.max(1),
+            }
         }
     }
 
     /// Canonical run label, used as the campaign per-run file stem:
-    /// `{scenario}-n{n}-{strategy}-{queue}-{runtime}-s{seed}`. Every axis
-    /// that can change the run (or is asserted byte-equal across its
-    /// values, like queue and runtime) is spelled out, so a directory of
-    /// campaign runs is self-describing.
+    /// `{scenario}-n{n}-{strategy}-{queue}-{runtime}[-{topology}][-{cost}]-s{seed}`.
+    /// Every axis that can change the run (or is asserted byte-equal
+    /// across its values, like queue and runtime) is spelled out, so a
+    /// directory of campaign runs is self-describing. The topology and
+    /// cost segments appear only off their historical defaults
+    /// (`complete`, `uniform`), keeping every pre-existing label — and
+    /// thus every pinned campaign file name — byte-identical. Shards are
+    /// deliberately absent: the sharded core is output-invariant.
     pub fn label(&self) -> String {
-        format!(
-            "{}-n{}-{}-{}-{}-s{}",
+        let mut label = format!(
+            "{}-n{}-{}-{}-{}",
             self.scenario,
             self.n,
             self.strategy,
             queue_label(self.queue),
             self.runtime.label(),
-            self.seed
-        )
+        );
+        if self.topology != "complete" {
+            label.push('-');
+            label.push_str(&self.topology);
+        }
+        if self.cost != CostModel::Uniform {
+            label.push_str("-hops");
+        }
+        label.push_str(&format!("-s{}", self.seed));
+        label
     }
 }
 
@@ -353,7 +387,15 @@ fn run_spec<PM: PortMapped>(
     obs: &ObsOptions,
     label: &str,
 ) -> Result<(ScenarioReport, Option<TraceFile>), String> {
-    let mut runner = ScenarioRunner::with_queue(spec, graph, resolver, cfg.cost, label, cfg.queue);
+    let mut runner = ScenarioRunner::with_shards(
+        spec,
+        graph,
+        resolver,
+        cfg.cost,
+        label,
+        cfg.queue,
+        cfg.shard_mode(),
+    );
     if let Some(trace) = obs.trace {
         runner.set_trace(trace);
     }

@@ -33,7 +33,7 @@ use mm_obs::{Registry, TraceConfig, TraceFile, Tracer, HIST_BUCKETS};
 use mm_proto::service::ServiceNet;
 use mm_proto::shotgun::RequestOutcome;
 use mm_proto::{FaultProfile, LocateHandle, LocateOutcome, ShotgunEngine};
-use mm_sim::{CostModel, QueueKind, SimTime};
+use mm_sim::{CostModel, QueueKind, ShardMode, SimTime};
 use mm_topo::{Graph, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -285,6 +285,36 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
         strategy: &str,
         queue: QueueKind,
     ) -> Self {
+        Self::with_shards(
+            spec,
+            graph,
+            resolver,
+            cost_model,
+            strategy,
+            queue,
+            ShardMode::Single,
+        )
+    }
+
+    /// Like [`ScenarioRunner::with_queue`] on an explicit execution core
+    /// (see [`ShardMode`]): the sharded core partitions nodes across
+    /// per-shard calendar queues and executes ticks on worker threads,
+    /// with reports byte-identical to [`ShardMode::Single`] at every
+    /// shard/thread count — the cross-core determinism suite enforces it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`Workload::validate`] or the resolver
+    /// universe differs from the graph size.
+    pub fn with_shards(
+        spec: Workload,
+        graph: Graph,
+        resolver: PM,
+        cost_model: CostModel,
+        strategy: &str,
+        queue: QueueKind,
+        mode: ShardMode,
+    ) -> Self {
         if let Err(e) = spec.validate() {
             panic!("invalid workload {:?}: {e}", spec.name);
         }
@@ -302,7 +332,7 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
         }
         let topology = graph.name().to_string();
         let sampler = PopularitySampler::new(spec.ports, spec.popularity);
-        let net = ServiceNet::with_queue(graph, resolver, cost_model, queue);
+        let net = ServiceNet::with_shards(graph, resolver, cost_model, queue, mode);
         let op_timeout = match net.engine().sim().routing() {
             // double-sweep BFS estimate of the diameter via the routing
             // table: eccentricity of node 0, then of the farthest node

@@ -1,13 +1,47 @@
-//! Vendored, offline subset of `parking_lot`: a [`Mutex`] whose `lock()`
-//! returns the guard directly (no poisoning `Result`), backed by
-//! `std::sync::Mutex`. Poisoned locks are recovered into the inner guard,
-//! matching parking_lot's no-poisoning semantics.
+//! Vendored, offline subset of `parking_lot`: [`Mutex`], [`Condvar`] and
+//! [`RwLock`] without lock poisoning, backed by `std::sync`. Poisoned
+//! locks are recovered into the inner guard, matching parking_lot's
+//! no-poisoning semantics.
+//!
+//! [`Mutex::lock`] returns an owned [`MutexGuard`] (not std's) so that
+//! [`Condvar::wait`] can take `&mut MutexGuard` exactly like the real
+//! crate — the guard internally re-acquires through the wait without any
+//! `unsafe`. This is the synchronization surface the sharded simulator
+//! core needs: worker parking (`Mutex` + `Condvar` completion countdown)
+//! and shared read-mostly state (`RwLock`).
 
-use std::sync::{Mutex as StdMutex, MutexGuard, PoisonError};
+use std::ops::{Deref, DerefMut};
+use std::sync::{
+    Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, PoisonError,
+    RwLock as StdRwLock, RwLockReadGuard, RwLockWriteGuard,
+};
+use std::time::Duration;
 
 /// A mutual-exclusion lock without lock poisoning.
 #[derive(Debug, Default)]
 pub struct Mutex<T>(StdMutex<T>);
+
+/// RAII guard returned by [`Mutex::lock`]. Dereferences to the protected
+/// value; the lock is released on drop.
+///
+/// The inner std guard lives in an `Option` solely so [`Condvar::wait`]
+/// can move it through `std`'s ownership-based wait and put the
+/// re-acquired guard back — outside that window it is always `Some`.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T>(Option<StdMutexGuard<'a, T>>);
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.0.as_ref().expect("guard held")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.0.as_mut().expect("guard held")
+    }
+}
 
 impl<T> Mutex<T> {
     /// Wraps `value`.
@@ -17,7 +51,7 @@ impl<T> Mutex<T> {
 
     /// Acquires the lock, blocking until available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+        MutexGuard(Some(self.0.lock().unwrap_or_else(PoisonError::into_inner)))
     }
 
     /// Consumes the mutex, returning the inner value.
@@ -26,9 +60,78 @@ impl<T> Mutex<T> {
     }
 }
 
+/// A condition variable paired with [`Mutex`] (no poisoning, no spurious
+/// `Result`s); `wait` takes the guard by `&mut` as in real parking_lot.
+#[derive(Debug, Default)]
+pub struct Condvar(StdCondvar);
+
+impl Condvar {
+    /// A new condition variable.
+    pub fn new() -> Self {
+        Condvar(StdCondvar::new())
+    }
+
+    /// Atomically releases the guarded lock and blocks until notified;
+    /// re-acquires before returning. Spurious wakeups are possible —
+    /// callers loop on their predicate.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.0.take().expect("guard held");
+        guard.0 = Some(self.0.wait(inner).unwrap_or_else(PoisonError::into_inner));
+    }
+
+    /// [`wait`](Self::wait) with a timeout; returns `true` if the wait
+    /// timed out.
+    pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: Duration) -> bool {
+        let inner = guard.0.take().expect("guard held");
+        let (inner, result) = self
+            .0
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.0 = Some(inner);
+        result.timed_out()
+    }
+
+    /// Wakes one blocked waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes every blocked waiter.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+/// A readers-writer lock without lock poisoning.
+#[derive(Debug, Default)]
+pub struct RwLock<T>(StdRwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Wraps `value`.
+    pub fn new(value: T) -> Self {
+        RwLock(StdRwLock::new(value))
+    }
+
+    /// Acquires shared read access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquires exclusive write access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     #[test]
     fn lock_and_mutate() {
@@ -36,5 +139,53 @@ mod tests {
         m.lock().push(3);
         assert_eq!(*m.lock(), [1, 2, 3]);
         assert_eq!(m.into_inner(), [1, 2, 3]);
+    }
+
+    #[test]
+    fn condvar_countdown_rendezvous() {
+        // the sharded pool's completion idiom: N workers decrement, the
+        // coordinator waits for zero
+        let done = Arc::new((Mutex::new(3usize), Condvar::new()));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let done = Arc::clone(&done);
+                std::thread::spawn(move || {
+                    let mut n = done.0.lock();
+                    *n -= 1;
+                    if *n == 0 {
+                        done.1.notify_one();
+                    }
+                })
+            })
+            .collect();
+        let mut n = done.0.lock();
+        while *n > 0 {
+            done.1.wait(&mut n);
+        }
+        drop(n);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*done.0.lock(), 0);
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out() {
+        let pair = (Mutex::new(()), Condvar::new());
+        let mut g = pair.0.lock();
+        assert!(pair.1.wait_for(&mut g, Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn rwlock_shared_then_exclusive() {
+        let l = RwLock::new(7u32);
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!((*a, *b), (7, 7));
+        }
+        *l.write() += 1;
+        assert_eq!(*l.read(), 8);
+        assert_eq!(l.into_inner(), 8);
     }
 }
