@@ -1,0 +1,105 @@
+//! Routing hot-path microbench (ISSUE 10, satellite 3): analytic
+//! closed-form routers vs the O(n²) BFS table oracle on the operations
+//! the simulator actually issues — `distance` lookups (the crash-free
+//! delivery fast path) and full `hops` walks (crash truncation and
+//! multicast coverage). The table stops at n = 4096 (its memory
+//! ceiling); the analytic forms continue to 1,048,576 unchanged, which
+//! is the point: same work per query, none of the O(n²) build/residency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mm_topo::{gen, AnyRouter, NodeId, Router};
+
+/// A deterministic scatter of (src, dst) pairs spanning the id range.
+fn pairs(n: usize, count: usize) -> Vec<(NodeId, NodeId)> {
+    let n = n as u64;
+    (0..count as u64)
+        .map(|i| {
+            let a = (i * 2_654_435_761) % n;
+            let b = (i * 40_503 + 12_289) % n;
+            (NodeId::new(a as u32), NodeId::new(b as u32))
+        })
+        .collect()
+}
+
+/// Sums walked hops over the pair set: the multicast/crash walk pattern.
+fn walk_all<R: Router>(rt: &R, pairs: &[(NodeId, NodeId)]) -> u64 {
+    let mut total = 0u64;
+    for &(a, b) in pairs {
+        total += rt.hops(a, b).count() as u64;
+    }
+    total
+}
+
+/// Sums distances over the pair set: the crash-free delivery pattern.
+fn distance_all<R: Router>(rt: &R, pairs: &[(NodeId, NodeId)]) -> u64 {
+    let mut total = 0u64;
+    for &(a, b) in pairs {
+        total += u64::from(rt.distance(a, b).unwrap());
+    }
+    total
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("routing_hot_path");
+    g.sample_size(10);
+
+    // head-to-head at the oracle's ceiling: identical answers, different
+    // memory class (ring(4096): 128 MB of table vs 16 bytes of router)
+    for (name, graph) in [
+        ("ring", gen::ring(4096)),
+        ("grid", gen::grid(64, 64, false)),
+        ("hypercube", gen::hypercube(12)),
+    ] {
+        let ps = pairs(graph.node_count(), 512);
+        let analytic = AnyRouter::for_graph(&graph);
+        let table = AnyRouter::table_for(&graph);
+        g.bench_with_input(
+            BenchmarkId::new("walk_analytic_4096", name),
+            &ps,
+            |b, ps| b.iter(|| walk_all(&analytic, ps)),
+        );
+        g.bench_with_input(BenchmarkId::new("walk_table_4096", name), &ps, |b, ps| {
+            b.iter(|| walk_all(&table, ps))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("distance_analytic_4096", name),
+            &ps,
+            |b, ps| b.iter(|| distance_all(&analytic, ps)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("distance_table_4096", name),
+            &ps,
+            |b, ps| b.iter(|| distance_all(&table, ps)),
+        );
+    }
+
+    // analytic-only scale points: no graph, no table, same query cost
+    for (name, router, n) in [
+        (
+            "ring",
+            AnyRouter::analytic_for("ring(1048576)", 1 << 20).unwrap(),
+            1usize << 20,
+        ),
+        (
+            "torus",
+            AnyRouter::analytic_for("torus(1024x1024)", 1 << 20).unwrap(),
+            1 << 20,
+        ),
+        (
+            "hypercube",
+            AnyRouter::analytic_for("hypercube(20)", 1 << 20).unwrap(),
+            1 << 20,
+        ),
+    ] {
+        let ps = pairs(n, 512);
+        g.bench_with_input(
+            BenchmarkId::new("distance_analytic_1m", name),
+            &ps,
+            |b, ps| b.iter(|| distance_all(&router, ps)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -45,6 +45,12 @@ pub struct Experiment {
     pub runtimes: &'static [RuntimeKind],
     /// Seed axis (independent trials per cell).
     pub seeds: &'static [u64],
+    /// Simulator shard count for every run (0 = single-threaded core).
+    /// Output-invariant — sharding never changes bytes — so it is a
+    /// scalar, not an axis: it only buys wall-clock at large `ns`.
+    pub shards: usize,
+    /// Worker threads driving shard rounds (relevant when `shards > 0`).
+    pub shard_threads: usize,
 }
 
 impl Experiment {
@@ -86,6 +92,8 @@ impl Experiment {
                                     cfg.cost = cost;
                                     cfg.queue = queue;
                                     cfg.runtime = runtime;
+                                    cfg.shards = self.shards;
+                                    cfg.shard_threads = self.shard_threads;
                                     out.push(cfg);
                                 }
                             }
@@ -116,6 +124,8 @@ pub const EXPERIMENTS: &[Experiment] = &[
         queues: &[QueueKind::Calendar],
         runtimes: &[RuntimeKind::Sim],
         seeds: &[7, 11],
+        shards: 0,
+        shard_threads: 1,
     },
     Experiment {
         id: "ci-smoke",
@@ -128,6 +138,8 @@ pub const EXPERIMENTS: &[Experiment] = &[
         queues: &[QueueKind::Calendar],
         runtimes: &[RuntimeKind::Sim],
         seeds: &[7, 11],
+        shards: 0,
+        shard_threads: 1,
     },
     Experiment {
         id: "conformance",
@@ -140,6 +152,8 @@ pub const EXPERIMENTS: &[Experiment] = &[
         queues: &[QueueKind::Calendar, QueueKind::BTree],
         runtimes: &[RuntimeKind::Sim, RuntimeKind::Live],
         seeds: &[7],
+        shards: 0,
+        shard_threads: 1,
     },
     Experiment {
         id: "strategy-scaling",
@@ -152,17 +166,20 @@ pub const EXPERIMENTS: &[Experiment] = &[
         queues: &[QueueKind::Calendar],
         runtimes: &[RuntimeKind::Sim],
         seeds: &[7],
+        shards: 0,
+        shard_threads: 1,
     },
     Experiment {
         id: "topology-matrix",
         description: "topology x cost sweep: 2 scenarios x {64,256} x {checkerboard,hash} x \
-                      {complete/uniform,grid/hops,ring/hops,hypercube/hops} (32 runs)",
+                      {complete/uniform,grid/hops,torus/hops,ring/hops,hypercube/hops} (40 runs)",
         scenarios: &["steady-state", "rolling-churn"],
         ns: &[64, 256],
         strategies: &["checkerboard", "hash"],
-        topologies: &["complete", "grid", "ring", "hypercube"],
+        topologies: &["complete", "grid", "torus", "ring", "hypercube"],
         costs: &[
             CostModel::Uniform,
+            CostModel::Hops,
             CostModel::Hops,
             CostModel::Hops,
             CostModel::Hops,
@@ -170,6 +187,28 @@ pub const EXPERIMENTS: &[Experiment] = &[
         queues: &[QueueKind::Calendar],
         runtimes: &[RuntimeKind::Sim],
         seeds: &[7],
+        shards: 0,
+        shard_threads: 1,
+    },
+    Experiment {
+        id: "topology-scale",
+        description: "O(1)-memory routing at scale: steady-state x {65536,1048576} x \
+                      {grid,torus,hypercube,ring}/hops, sharded core (8 runs)",
+        scenarios: &["steady-state"],
+        ns: &[65_536, 1_048_576],
+        strategies: &["checkerboard"],
+        topologies: &["grid", "torus", "hypercube", "ring"],
+        costs: &[
+            CostModel::Hops,
+            CostModel::Hops,
+            CostModel::Hops,
+            CostModel::Hops,
+        ],
+        queues: &[QueueKind::Calendar],
+        runtimes: &[RuntimeKind::Sim],
+        seeds: &[7],
+        shards: 8,
+        shard_threads: 4,
     },
 ];
 
@@ -222,7 +261,7 @@ mod tests {
     fn topology_matrix_sweeps_paired_cells_with_unique_labels() {
         let e = by_id("topology-matrix").unwrap();
         let runs = e.expand();
-        assert_eq!(runs.len(), 32);
+        assert_eq!(runs.len(), 40);
         // complete rides uniform; every sparse topology rides hops
         for cfg in &runs {
             match cfg.topology.as_str() {
@@ -235,8 +274,29 @@ mod tests {
         let mut labels: Vec<String> = runs.iter().map(|c| c.label()).collect();
         labels.sort();
         labels.dedup();
-        assert_eq!(labels.len(), 32, "labels must be unique");
+        assert_eq!(labels.len(), 40, "labels must be unique");
         assert!(runs.iter().any(|c| c.label().contains("-grid-hops-")));
+        assert!(runs.iter().any(|c| c.label().contains("-torus-hops-")));
+    }
+
+    #[test]
+    fn topology_scale_runs_sharded_with_analytic_memory_footprint() {
+        let e = by_id("topology-scale").unwrap();
+        let runs = e.expand();
+        assert_eq!(runs.len(), 8);
+        for cfg in &runs {
+            assert_eq!(cfg.cost, mm_sim::CostModel::Hops);
+            assert_eq!(cfg.shards, 8, "scale cells run the sharded core");
+            assert_eq!(cfg.shard_threads, 4);
+            // the default Auto router resolves these analytically: the
+            // million-node cells would be unbuildable through the table
+            assert_eq!(cfg.router, mm_sim::RouterKind::Auto);
+            // sharding and the router are output-invariant: labels must
+            // not mention them, so files stay comparable to single-core
+            // table-backed runs of the same cell
+            assert!(!cfg.label().contains("shard"));
+        }
+        assert!(runs.iter().any(|c| c.n == 1_048_576));
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! *back-to-front* (reverse path forwarding) to walk "straight lines"
 //! away from the beam's origin.
 
-use mm_topo::{Graph, NodeId, RoutingTable};
+use mm_topo::{NodeId, Router};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -224,13 +224,16 @@ impl LighthouseWorld {
 }
 
 /// A beam of length `len` on a point-to-point network, simulated with
-/// routing tables used back-to-front (reverse path forwarding, §4): each
-/// step moves to a neighbor whose route to `origin` passes through the
-/// current node — i.e. strictly *away* from the origin. Returns the nodes
-/// visited (excluding `origin`); stops early at local maxima.
-pub fn network_beam<R: Rng + ?Sized>(
-    g: &Graph,
-    rt: &RoutingTable,
+/// routing used back-to-front (reverse path forwarding, §4): each step
+/// moves to a neighbor whose route to `origin` passes through the current
+/// node — i.e. strictly *away* from the origin. Returns the nodes visited
+/// (excluding `origin`); stops early at local maxima.
+///
+/// Generic over [`Router`], so the beam needs neither a materialized
+/// graph nor an O(n²) table: an analytic backend answers
+/// `reverse_next_hops` from closed-form neighborhoods alone.
+pub fn network_beam<RT: Router, R: Rng + ?Sized>(
+    rt: &RT,
     origin: NodeId,
     len: u32,
     rng: &mut R,
@@ -238,7 +241,7 @@ pub fn network_beam<R: Rng + ?Sized>(
     let mut path = Vec::with_capacity(len as usize);
     let mut cur = origin;
     for _ in 0..len {
-        let away = rt.reverse_next_hops(g, origin, cur);
+        let away = rt.reverse_next_hops(origin, cur);
         if away.is_empty() {
             break;
         }
@@ -343,11 +346,11 @@ mod tests {
     #[test]
     fn network_beam_moves_away_from_origin() {
         let g = gen::grid(9, 9, false);
-        let rt = RoutingTable::new(&g);
+        let rt = mm_topo::RoutingTable::new(&g);
         let origin = NodeId::new(40); // center
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..50 {
-            let beam = network_beam(&g, &rt, origin, 6, &mut rng);
+            let beam = network_beam(&rt, origin, 6, &mut rng);
             let mut last = 0;
             for v in &beam {
                 let d = rt.distance(origin, *v).unwrap();
@@ -360,9 +363,29 @@ mod tests {
     #[test]
     fn network_beam_stops_at_periphery() {
         let g = gen::path(5);
-        let rt = RoutingTable::new(&g);
+        let rt = mm_topo::RoutingTable::new(&g);
         let mut rng = StdRng::seed_from_u64(1);
-        let beam = network_beam(&g, &rt, NodeId::new(0), 100, &mut rng);
+        let beam = network_beam(&rt, NodeId::new(0), 100, &mut rng);
         assert_eq!(beam.len(), 4, "path graph beam ends at the far end");
+    }
+
+    #[test]
+    fn network_beam_is_identical_on_analytic_and_table_routers() {
+        // beams draw from the rng per step, so identical reverse-hop
+        // lists are required for identical beams — a direct probe of the
+        // analytic routers' neighbor ordering.
+        let g = gen::grid(7, 7, true);
+        let table = mm_topo::AnyRouter::table_for(&g);
+        let analytic = mm_topo::AnyRouter::for_graph(&g);
+        assert!(analytic.is_analytic());
+        for seed in 0..20 {
+            let origin = NodeId::new(seed % 49);
+            let mut r1 = StdRng::seed_from_u64(u64::from(seed));
+            let mut r2 = StdRng::seed_from_u64(u64::from(seed));
+            assert_eq!(
+                network_beam(&table, origin, 8, &mut r1),
+                network_beam(&analytic, origin, 8, &mut r2)
+            );
+        }
     }
 }

@@ -14,7 +14,7 @@
 use crate::shotgun::{LocateOutcome, RequestOutcome, ShotgunEngine};
 use mm_core::strategies::PortMapped;
 use mm_core::Port;
-use mm_sim::{CostModel, QueueKind, ShardMode};
+use mm_sim::{CostModel, QueueKind, RouterKind, ShardMode};
 use mm_topo::{Graph, NodeId};
 use std::fmt;
 
@@ -86,8 +86,27 @@ impl<PM: PortMapped> ServiceNet<PM> {
         kind: QueueKind,
         mode: ShardMode,
     ) -> Self {
+        Self::with_router(graph, resolver, cost_model, kind, mode, RouterKind::Auto)
+    }
+
+    /// Builds a service network with an explicit routing backend as well
+    /// (see [`RouterKind`]); routing is output-invariant like the queue
+    /// and core choices, so this only changes memory/speed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resolver universe differs from the graph size, or if
+    /// `router` is `RouterKind::Analytic` on a non-structured graph.
+    pub fn with_router(
+        graph: Graph,
+        resolver: PM,
+        cost_model: CostModel,
+        kind: QueueKind,
+        mode: ShardMode,
+        router: RouterKind,
+    ) -> Self {
         ServiceNet {
-            engine: ShotgunEngine::with_shards(graph, resolver, cost_model, kind, mode),
+            engine: ShotgunEngine::with_router(graph, resolver, cost_model, kind, mode, router),
         }
     }
 

@@ -26,7 +26,8 @@ use crate::messages::ProtoMsg;
 use mm_core::strategies::PortMapped;
 use mm_core::Port;
 use mm_sim::{
-    CostModel, Envelope, Metrics, Node, NodeApi, QueueKind, ShardMode, Sim, SimTime, TargetSet,
+    CostModel, Envelope, Metrics, Node, NodeApi, QueueKind, RouterKind, ShardMode, Sim, SimTime,
+    TargetSet,
 };
 use mm_topo::{Graph, NodeId};
 use std::collections::{BTreeSet, HashMap};
@@ -387,6 +388,26 @@ impl<PM: PortMapped> ShotgunEngine<PM> {
         kind: QueueKind,
         mode: ShardMode,
     ) -> Self {
+        Self::with_router(graph, resolver, cost_model, kind, mode, RouterKind::Auto)
+    }
+
+    /// Builds an engine with an explicit routing backend on top of the
+    /// queue and core choices (see [`RouterKind`]). All three axes are
+    /// output-invariant; the conformance suite uses this to pit analytic
+    /// routers against the table oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resolver's universe size differs from the graph's,
+    /// or if `router` is `RouterKind::Analytic` on a non-structured graph.
+    pub fn with_router(
+        graph: Graph,
+        resolver: PM,
+        cost_model: CostModel,
+        kind: QueueKind,
+        mode: ShardMode,
+        router: RouterKind,
+    ) -> Self {
         assert_eq!(
             graph.node_count(),
             resolver.node_count(),
@@ -395,7 +416,7 @@ impl<PM: PortMapped> ShotgunEngine<PM> {
         let n = graph.node_count();
         let nodes = (0..n).map(|_| NsNode::default()).collect();
         ShotgunEngine {
-            sim: Sim::with_shards(graph, nodes, cost_model, kind, mode),
+            sim: Sim::with_router(graph, nodes, cost_model, kind, mode, router),
             resolver,
             interner: TargetInterner::default(),
             next_locate: 0,
@@ -578,12 +599,22 @@ impl<PM: PortMapped> ShotgunEngine<PM> {
 
     /// The current state of a locate operation.
     ///
-    /// # Panics
-    ///
-    /// Panics if the handle was never issued by this engine.
+    /// A handle whose issue message was lost — the client crashed in the
+    /// same tick it called [`locate`](Self::locate), so the self-delivered
+    /// `DoLocate` was dropped before the pending record existed — reports
+    /// as permanently [`LocateOutcome::Unresolved`]; the caller's
+    /// operation timeout classifies it.
     pub fn outcome(&self, h: LocateHandle) -> LocateOutcome {
         let node = self.sim.node(h.client);
-        let p = node.pending.get(&h.id).expect("unknown locate handle");
+        let Some(p) = node.pending.get(&h.id) else {
+            return LocateOutcome::Unresolved {
+                hits: 0,
+                misses: 0,
+                missing: 0,
+                best: None,
+                dissent: 0,
+            };
+        };
         match p.completed_at {
             Some(done) => match p.best() {
                 Some((addr, stamp)) => {

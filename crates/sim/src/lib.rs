@@ -68,9 +68,53 @@ pub use metrics::Metrics;
 pub use queue::QueueKind;
 pub use targets::TargetSet;
 
-use mm_topo::{Graph, NodeId, RoutingTable};
+use mm_topo::{AnyRouter, Graph, NodeId};
 use shard::ShardedCore;
 use single::SingleCore;
+
+/// Which routing backend a hop-cost simulation uses.
+///
+/// Output-invariant by construction: the analytic routers are
+/// byte-conformant to the [`mm_topo::RoutingTable`] oracle,
+/// so every variant produces identical simulations — they differ only in
+/// memory (O(1) vs O(n²)) and next-hop cost. Like [`QueueKind`] and
+/// [`ShardMode`], the non-default variants exist for conformance checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RouterKind {
+    /// Closed-form router when the graph is a recognized structured
+    /// family (by generator name), BFS table otherwise. The default.
+    #[default]
+    Auto,
+    /// Closed-form router, or panic if the graph is not a recognized
+    /// structured family — the guard for shell graphs, where a silent
+    /// table fallback would BFS an edgeless graph and break routing.
+    Analytic,
+    /// Always the O(n²) BFS [`mm_topo::RoutingTable`] oracle of §3.
+    Table,
+}
+
+impl RouterKind {
+    /// Builds the routing backend for `g` under this policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is [`RouterKind::Analytic`] and `g` is not a
+    /// recognized structured family.
+    pub fn build(self, g: &Graph) -> AnyRouter {
+        match self {
+            RouterKind::Auto => AnyRouter::for_graph(g),
+            RouterKind::Analytic => AnyRouter::analytic_for(g.name(), g.node_count())
+                .unwrap_or_else(|| {
+                    panic!(
+                        "no analytic router for graph {:?} (n = {})",
+                        g.name(),
+                        g.node_count()
+                    )
+                }),
+            RouterKind::Table => AnyRouter::table_for(g),
+        }
+    }
+}
 
 /// Simulated time in abstract ticks (one tick = one hop of latency).
 pub type SimTime = u64;
@@ -247,7 +291,13 @@ impl<M: Clone, N: Node<M>> Sim<M, N> {
     /// Panics if `nodes.len() != graph.node_count()`.
     pub fn with_queue(graph: Graph, nodes: Vec<N>, cost_model: CostModel, kind: QueueKind) -> Self {
         Sim {
-            core: Core::Single(SingleCore::with_queue(graph, nodes, cost_model, kind)),
+            core: Core::Single(SingleCore::with_queue(
+                graph,
+                nodes,
+                cost_model,
+                kind,
+                RouterKind::Auto,
+            )),
         }
     }
 
@@ -259,9 +309,9 @@ impl<M: Clone, N: Node<M>> Sim<M, N> {
         }
     }
 
-    /// The routing tables in use (`None` under [`CostModel::Uniform`],
+    /// The routing backend in use (`None` under [`CostModel::Uniform`],
     /// which never routes).
-    pub fn routing(&self) -> Option<&RoutingTable> {
+    pub fn routing(&self) -> Option<&AnyRouter> {
         match &self.core {
             Core::Single(c) => c.routing(),
             Core::Sharded(c) => c.routing(),
@@ -459,12 +509,32 @@ impl<M: Clone + Send, N: Node<M> + Send> Sim<M, N> {
         kind: QueueKind,
         mode: ShardMode,
     ) -> Self {
+        Self::with_router(graph, nodes, cost_model, kind, mode, RouterKind::Auto)
+    }
+
+    /// Creates a simulator with every backend choice explicit: event
+    /// queue, execution core, and routing backend. All three axes are
+    /// output-invariant; this is the constructor conformance suites use
+    /// to pit the analytic routers against the table oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len() != graph.node_count()`, or if `router` is
+    /// [`RouterKind::Analytic`] and the graph is not a structured family.
+    pub fn with_router(
+        graph: Graph,
+        nodes: Vec<N>,
+        cost_model: CostModel,
+        kind: QueueKind,
+        mode: ShardMode,
+        router: RouterKind,
+    ) -> Self {
         let core = match mode {
-            ShardMode::Single => {
-                Core::Single(SingleCore::with_queue(graph, nodes, cost_model, kind))
-            }
+            ShardMode::Single => Core::Single(SingleCore::with_queue(
+                graph, nodes, cost_model, kind, router,
+            )),
             ShardMode::Sharded { shards, threads } => Core::Sharded(ShardedCore::new(
-                graph, nodes, cost_model, kind, shards, threads,
+                graph, nodes, cost_model, kind, shards, threads, router,
             )),
         };
         Sim { core }

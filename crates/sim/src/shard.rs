@@ -40,8 +40,10 @@ use crate::metrics::Metrics;
 use crate::pool::{Job, ShardPool};
 use crate::queue::{EventQueue, QueueKind};
 use crate::route::{self, NetEnv, RouteCounters};
-use crate::{CostModel, Envelope, Event, Node, NodeApi, Op, SimTime, QUEUE_DEPTH_BUCKETS};
-use mm_topo::{Graph, NodeId, RoutingTable};
+use crate::{
+    CostModel, Envelope, Event, Node, NodeApi, Op, RouterKind, SimTime, QUEUE_DEPTH_BUCKETS,
+};
+use mm_topo::{AnyRouter, Graph, NodeId};
 use std::collections::VecDeque;
 
 /// Where an executed event came from, as recorded in a shard's log.
@@ -137,9 +139,9 @@ impl<M, N> ShardState<M, N> {
 /// Read-only world view shared by every shard during one round, plus the
 /// tick being executed. Non-generic so it erases to one pointer.
 struct RoundCtx<'a> {
-    graph: &'a Graph,
-    routing: Option<&'a RoutingTable>,
+    routing: Option<&'a AnyRouter>,
     crashed: &'a [bool],
+    crashed_count: usize,
     cost_model: CostModel,
     local_idx: &'a [u32],
     #[cfg_attr(not(debug_assertions), allow(dead_code))]
@@ -165,9 +167,9 @@ fn run_shard_round<M: Clone, N: Node<M>>(st: &mut ShardState<M, N>, ctx: &RoundC
         fifo.push_back((Source::Queue(seq), ev));
     }
     let env = NetEnv {
-        graph: ctx.graph,
         routing: ctx.routing,
         crashed: ctx.crashed,
+        crashed_count: ctx.crashed_count,
         cost_model: ctx.cost_model,
     };
     let mut ops = std::mem::take(&mut st.scratch);
@@ -262,8 +264,11 @@ unsafe fn shard_job<M: Clone, N: Node<M>>(state: *mut (), ctx: *const ()) {
 #[derive(Debug)]
 pub(crate) struct ShardedCore<M, N> {
     graph: Graph,
-    routing: Option<RoutingTable>,
+    routing: Option<AnyRouter>,
     crashed: Vec<bool>,
+    /// Number of currently crashed nodes (lets routing skip hop walks
+    /// entirely while everyone is alive).
+    crashed_count: usize,
     cost_model: CostModel,
     /// Global node id → owning shard.
     shard_of: Vec<u32>,
@@ -303,6 +308,7 @@ impl<M: Clone, N: Node<M>> ShardedCore<M, N> {
         kind: QueueKind,
         shard_count: usize,
         threads: usize,
+        router: RouterKind,
     ) -> Self
     where
         M: Send,
@@ -312,7 +318,7 @@ impl<M: Clone, N: Node<M>> ShardedCore<M, N> {
         // view to be safely shareable across workers
         fn assert_sync<T: Sync>() {}
         assert_sync::<Graph>();
-        assert_sync::<RoutingTable>();
+        assert_sync::<AnyRouter>();
 
         assert_eq!(
             nodes.len(),
@@ -321,7 +327,7 @@ impl<M: Clone, N: Node<M>> ShardedCore<M, N> {
         );
         let n = graph.node_count();
         let routing = match cost_model {
-            CostModel::Hops => Some(RoutingTable::new(&graph)),
+            CostModel::Hops => Some(router.build(&graph)),
             CostModel::Uniform => None,
         };
         let shard_of = mm_topo::decompose::shard_map(&graph, shard_count);
@@ -363,6 +369,7 @@ impl<M: Clone, N: Node<M>> ShardedCore<M, N> {
             graph,
             routing,
             crashed: vec![false; n],
+            crashed_count: 0,
             cost_model,
             shard_of,
             local_idx,
@@ -383,7 +390,7 @@ impl<M: Clone, N: Node<M>> ShardedCore<M, N> {
         &self.graph
     }
 
-    pub(crate) fn routing(&self) -> Option<&RoutingTable> {
+    pub(crate) fn routing(&self) -> Option<&AnyRouter> {
         self.routing.as_ref()
     }
 
@@ -439,13 +446,19 @@ impl<M: Clone, N: Node<M>> ShardedCore<M, N> {
     }
 
     pub(crate) fn crash(&mut self, v: NodeId) {
-        self.crashed[v.index()] = true;
+        if !self.crashed[v.index()] {
+            self.crashed[v.index()] = true;
+            self.crashed_count += 1;
+        }
         self.metrics.crashes += 1;
         self.shard_metrics[self.shard_of[v.index()] as usize].crashes += 1;
     }
 
     pub(crate) fn restore(&mut self, v: NodeId) {
-        self.crashed[v.index()] = false;
+        if self.crashed[v.index()] {
+            self.crashed[v.index()] = false;
+            self.crashed_count -= 1;
+        }
     }
 
     pub(crate) fn is_crashed(&self, v: NodeId) -> bool {
@@ -542,9 +555,9 @@ impl<M: Clone, N: Node<M>> ShardedCore<M, N> {
         debug_assert!(!active.is_empty(), "a round only runs at an event time");
         {
             let ctx = RoundCtx {
-                graph: &self.graph,
                 routing: self.routing.as_ref(),
                 crashed: &self.crashed,
+                crashed_count: self.crashed_count,
                 cost_model: self.cost_model,
                 local_idx: &self.local_idx,
                 shard_of: &self.shard_of,

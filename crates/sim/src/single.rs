@@ -6,8 +6,10 @@
 use crate::metrics::Metrics;
 use crate::queue::{EventQueue, QueueKind};
 use crate::route::{self, NetEnv, RouteCounters};
-use crate::{CostModel, Envelope, Event, Node, NodeApi, Op, SimTime, QUEUE_DEPTH_BUCKETS};
-use mm_topo::{Graph, NodeId, RoutingTable};
+use crate::{
+    CostModel, Envelope, Event, Node, NodeApi, Op, RouterKind, SimTime, QUEUE_DEPTH_BUCKETS,
+};
+use mm_topo::{AnyRouter, Graph, NodeId};
 
 /// Single-threaded core: a graph, one [`Node`] state machine per graph
 /// node, an event queue, and exact message-pass metrics.
@@ -15,9 +17,12 @@ use mm_topo::{Graph, NodeId, RoutingTable};
 pub(crate) struct SingleCore<M, N> {
     graph: Graph,
     /// Built only under [`CostModel::Hops`]; `Uniform` never routes.
-    routing: Option<RoutingTable>,
+    routing: Option<AnyRouter>,
     nodes: Vec<N>,
     crashed: Vec<bool>,
+    /// Number of currently crashed nodes (lets routing skip hop walks
+    /// entirely while everyone is alive).
+    crashed_count: usize,
     queue: EventQueue<Event<M>>,
     now: SimTime,
     cost_model: CostModel,
@@ -36,6 +41,7 @@ impl<M: Clone, N: Node<M>> SingleCore<M, N> {
         nodes: Vec<N>,
         cost_model: CostModel,
         kind: QueueKind,
+        router: RouterKind,
     ) -> Self {
         assert_eq!(
             nodes.len(),
@@ -43,7 +49,7 @@ impl<M: Clone, N: Node<M>> SingleCore<M, N> {
             "one handler per graph node required"
         );
         let routing = match cost_model {
-            CostModel::Hops => Some(RoutingTable::new(&graph)),
+            CostModel::Hops => Some(router.build(&graph)),
             CostModel::Uniform => None,
         };
         let n = graph.node_count();
@@ -52,6 +58,7 @@ impl<M: Clone, N: Node<M>> SingleCore<M, N> {
             routing,
             nodes,
             crashed: vec![false; n],
+            crashed_count: 0,
             queue: EventQueue::new(kind),
             now: 0,
             cost_model,
@@ -65,7 +72,7 @@ impl<M: Clone, N: Node<M>> SingleCore<M, N> {
         &self.graph
     }
 
-    pub(crate) fn routing(&self) -> Option<&RoutingTable> {
+    pub(crate) fn routing(&self) -> Option<&AnyRouter> {
         self.routing.as_ref()
     }
 
@@ -86,12 +93,18 @@ impl<M: Clone, N: Node<M>> SingleCore<M, N> {
     }
 
     pub(crate) fn crash(&mut self, v: NodeId) {
-        self.crashed[v.index()] = true;
+        if !self.crashed[v.index()] {
+            self.crashed[v.index()] = true;
+            self.crashed_count += 1;
+        }
         self.metrics.crashes += 1;
     }
 
     pub(crate) fn restore(&mut self, v: NodeId) {
-        self.crashed[v.index()] = false;
+        if self.crashed[v.index()] {
+            self.crashed[v.index()] = false;
+            self.crashed_count -= 1;
+        }
     }
 
     pub(crate) fn is_crashed(&self, v: NodeId) -> bool {
@@ -189,9 +202,9 @@ impl<M: Clone, N: Node<M>> SingleCore<M, N> {
 
     fn apply_ops(&mut self, from: NodeId, ops: &mut Vec<Op<M>>) {
         let env = NetEnv {
-            graph: &self.graph,
             routing: self.routing.as_ref(),
             crashed: &self.crashed,
+            crashed_count: self.crashed_count,
             cost_model: self.cost_model,
         };
         let mut c = RouteCounters::default();

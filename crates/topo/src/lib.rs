@@ -8,6 +8,9 @@
 //!   (the paper assumes "each node has a table containing the names of all
 //!   other nodes together with the minimum cost to reach them and the
 //!   neighbor at which the minimum cost path starts"),
+//! * [`router`] — the [`Router`] trait with closed-form, O(1)-memory
+//!   next-hop routing for the structured families (ring, grid, torus,
+//!   hypercube, complete), byte-conformant to the [`RoutingTable`] oracle,
 //! * [`spanning`] — spanning-tree broadcast and multicast (Steiner) cost
 //!   accounting in *message passes*, the paper's complexity unit,
 //! * [`decompose`] — the Erdős–Gerencsér–Máté style division of a connected
@@ -37,10 +40,12 @@ pub mod gen;
 pub mod gf;
 pub mod graph;
 pub mod props;
+pub mod router;
 pub mod routing;
 pub mod spanning;
 
 pub use decompose::Decomposition;
 pub use gen::projective::ProjectivePlane;
 pub use graph::{Graph, NodeId, TopoError};
+pub use router::{AnyRouter, Router};
 pub use routing::RoutingTable;

@@ -6,9 +6,27 @@
 //! exactly that: all-pairs hop distances plus first-hop (next-hop) entries,
 //! computed by `n` breadth-first searches. It also supports the
 //! *reverse-path* trick of §4 (Dalal–Metcalfe tables used "back-to-front")
-//! via [`RoutingTable::reverse_next_hops`].
+//! via [`Router::reverse_next_hops`](crate::router::Router::reverse_next_hops).
+//!
+//! The table is *canonical*: when several neighbors start a shortest path,
+//! the next hop is always the lowest-numbered one. That pins a unique path
+//! per (src, dst) pair, which is what lets the closed-form routers in
+//! [`crate::router`] reproduce table-backed runs byte-for-byte.
 
 use crate::graph::{Graph, NodeId};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Global count of [`RoutingTable::new`] invocations (process-wide).
+///
+/// This exists for the memory-regression guard: structured-topology runs
+/// that resolve to an analytic [`crate::router::AnyRouter`] must never
+/// build an O(n²) table, and tests assert it by diffing this counter
+/// around a run. Monotonic; never reset.
+pub fn table_build_count() -> u64 {
+    TABLE_BUILDS.load(Ordering::Relaxed)
+}
+
+static TABLE_BUILDS: AtomicU64 = AtomicU64::new(0);
 
 /// Result of a single-source BFS: hop distances and BFS-tree parents.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -83,25 +101,34 @@ pub struct RoutingTable {
 
 impl RoutingTable {
     /// Builds the all-pairs table for `g`.
+    ///
+    /// Next hops are canonical: `next[s][v]` is the *lowest-numbered*
+    /// neighbor `u` of `s` with `dist(u, v) + 1 == dist(s, v)`. This makes
+    /// the table a deterministic oracle independent of BFS visit order, so
+    /// the analytic routers in [`crate::router`] can match it exactly.
     pub fn new(g: &Graph) -> Self {
+        TABLE_BUILDS.fetch_add(1, Ordering::Relaxed);
         let n = g.node_count();
         let mut dist = vec![u32::MAX; n * n];
-        let mut next = vec![u32::MAX; n * n];
         for s in 0..n {
             let b = bfs(g, NodeId::new(s as u32));
-            let row = &mut dist[s * n..(s + 1) * n];
-            row.copy_from_slice(&b.dist);
+            dist[s * n..(s + 1) * n].copy_from_slice(&b.dist);
+        }
+        let mut next = vec![u32::MAX; n * n];
+        for s in 0..n {
             for v in 0..n {
-                if v == s || b.dist[v] == u32::MAX {
+                let d = dist[s * n + v];
+                if v == s || d == u32::MAX {
                     continue;
                 }
-                // walk from v back toward s; the node *after* s on that walk
-                // is the first hop from s to v.
-                let mut cur = v as u32;
-                while b.parent[cur as usize] != s as u32 {
-                    cur = b.parent[cur as usize];
+                // adjacency lists are sorted ascending, so the first
+                // distance-decreasing neighbor is the lowest-numbered one.
+                for &u in g.neighbors(NodeId::new(s as u32)) {
+                    if dist[u as usize * n + v] + 1 == d {
+                        next[s * n + v] = u;
+                        break;
+                    }
                 }
-                next[s * n + v] = cur;
             }
         }
         RoutingTable { n, dist, next }
@@ -174,25 +201,6 @@ impl RoutingTable {
             cur: a,
             dest: b,
         }
-    }
-
-    /// The neighbors of `v` that route *toward* `v` from some other node,
-    /// i.e. the neighbors `u` such that `next_hop(u, v) == Some(...)` along
-    /// `u`'s shortest path — used "back-to-front" to simulate straight-line
-    /// beams in the paper's §4 (reverse path forwarding, Dalal & Metcalfe).
-    ///
-    /// Concretely: given the beam origin `origin` and current node `v`, a
-    /// beam continues to any neighbor `u` of `v` such that `v` is the first
-    /// hop on `u`'s route to `origin` — walking such edges moves strictly
-    /// *away* from the origin.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `origin` or `v` is out of range.
-    pub fn reverse_next_hops(&self, g: &Graph, origin: NodeId, v: NodeId) -> Vec<NodeId> {
-        g.neighbor_ids(v)
-            .filter(|&u| self.next_hop(u, origin) == Some(v))
-            .collect()
     }
 
     /// Eccentricity of `v`: max distance to any reachable node.
@@ -351,11 +359,12 @@ mod tests {
 
     #[test]
     fn reverse_next_hops_move_away_from_origin() {
+        use crate::router::Router;
         let g = gen::grid(5, 5, false);
         let rt = RoutingTable::new(&g);
         let origin = n(12); // center of the 5x5 grid
         for v in g.nodes() {
-            for u in rt.reverse_next_hops(&g, origin, v) {
+            for u in rt.reverse_next_hops(origin, v) {
                 let dv = rt.distance(origin, v).unwrap();
                 let du = rt.distance(origin, u).unwrap();
                 assert_eq!(du, dv + 1, "beam step must increase distance from origin");

@@ -16,9 +16,14 @@
 //! shortest paths): this is what a reasonable implementation would achieve
 //! with per-node routing tables, and it degrades gracefully to the
 //! spanning-tree number when the target set is locally connected.
+//!
+//! Cost accounting is generic over [`Router`], so it works equally on the
+//! O(n²) table oracle and on the closed-form analytic routers — no
+//! materialized graph or table is required.
 
 use crate::graph::{Graph, NodeId};
-use crate::routing::{bfs, RoutingTable};
+use crate::router::Router;
+use crate::routing::bfs;
 
 /// A rooted spanning tree of (the reachable part of) a graph.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -74,10 +79,18 @@ impl SpanningTree {
 /// Message passes to deliver one message from `src` to every node in
 /// `targets`, multicasting over a tree of shortest paths.
 ///
-/// Builds a Steiner-tree approximation: starting from `{src}`, repeatedly
-/// connect the closest not-yet-connected target through a shortest path to
-/// the partial tree, and count each newly used edge as one message pass.
-/// Duplicate targets and `src` itself are ignored.
+/// Builds a Steiner-tree approximation: targets are connected in ascending
+/// node order, each through the canonical shortest path from its nearest
+/// *anchor* — the source or an earlier-connected target, first-scanned wins
+/// a distance tie — and each edge reaching a not-yet-covered node counts as
+/// one message pass. Shared path prefixes are charged once. Duplicate
+/// targets and `src` itself are ignored.
+///
+/// The accounting uses only [`Router::distance`] and [`Router::hops`], so
+/// the cost of computing the cost is O(|targets|² + Σ path lengths) —
+/// independent of which backend routes, and never O(n·|targets|²) like a
+/// tree-membership scan would be. That is what keeps hop-cost multicast
+/// feasible at n = 1,048,576.
 ///
 /// Returns `None` if some target is unreachable from `src`.
 ///
@@ -93,63 +106,45 @@ impl SpanningTree {
 /// let g = gen::path(5); // 0-1-2-3-4
 /// let rt = RoutingTable::new(&g);
 /// // reaching nodes 2 and 4 from 0 shares the prefix 0-1-2: 4 passes total
-/// let cost = multicast_cost(&g, &rt, NodeId::new(0),
+/// let cost = multicast_cost(&rt, NodeId::new(0),
 ///                           &[NodeId::new(2), NodeId::new(4)]).unwrap();
 /// assert_eq!(cost, 4);
 /// ```
-pub fn multicast_cost(
-    g: &Graph,
-    rt: &RoutingTable,
-    src: NodeId,
-    targets: &[NodeId],
-) -> Option<u64> {
-    let n = g.node_count();
-    let mut in_tree = vec![false; n];
-    in_tree[src.index()] = true;
-    let mut remaining: Vec<NodeId> = targets
+pub fn multicast_cost<R: Router>(rt: &R, src: NodeId, targets: &[NodeId]) -> Option<u64> {
+    let n = rt.node_count();
+    let mut covered = vec![false; n];
+    covered[src.index()] = true;
+    let sorted: Vec<NodeId> = targets
         .iter()
         .copied()
         .filter(|&t| t != src)
         .collect::<std::collections::BTreeSet<_>>()
         .into_iter()
         .collect();
+    let mut anchors: Vec<NodeId> = Vec::with_capacity(sorted.len() + 1);
+    anchors.push(src);
     let mut cost = 0u64;
 
-    while !remaining.is_empty() {
-        // Closest remaining target to the current tree. With all-pairs
-        // distances this is exact: min over (tree node, target) pairs would
-        // be O(|tree|·|targets|); we keep it near-linear by running a BFS
-        // from the tree frontier instead when the tree grows large.
-        let mut best: Option<(u32, usize, NodeId)> = None; // (dist, idx, attach)
-        for (idx, &t) in remaining.iter().enumerate() {
-            // distance from t to nearest tree node, via routing table rows
-            let mut local_best: Option<(u32, NodeId)> = None;
-            for (v, &in_t) in in_tree.iter().enumerate() {
-                if !in_t {
-                    continue;
+    for &t in &sorted {
+        // nearest anchor; on ties the earliest-connected anchor wins.
+        let mut best: Option<(u32, NodeId)> = None;
+        for &a in &anchors {
+            if let Some(d) = rt.distance(a, t) {
+                if best.is_none_or(|(bd, _)| d < bd) {
+                    best = Some((d, a));
                 }
-                if let Some(d) = rt.distance(NodeId::new(v as u32), t) {
-                    if local_best.is_none_or(|(bd, _)| d < bd) {
-                        local_best = Some((d, NodeId::new(v as u32)));
-                    }
-                }
-            }
-            let (d, attach) = local_best?;
-            if best.is_none_or(|(bd, _, _)| d < bd) {
-                best = Some((d, idx, attach));
             }
         }
-        let (_, idx, attach) = best?;
-        let t = remaining.swap_remove(idx);
-        // walk the shortest path without materializing it
+        let (_, attach) = best?;
+        // walk the canonical shortest path without materializing it; each
+        // edge reaching a new node is one message pass.
         for hop in rt.hops(attach, t) {
-            // each newly traversed edge is one message pass; nodes joining
-            // the tree stop needing re-delivery
-            if !in_tree[hop.index()] {
-                in_tree[hop.index()] = true;
+            if !covered[hop.index()] {
+                covered[hop.index()] = true;
                 cost += 1;
             }
         }
+        anchors.push(t);
     }
     Some(cost)
 }
@@ -161,7 +156,7 @@ pub fn multicast_cost(
 /// # Panics
 ///
 /// Panics if `src` or `dst` is out of range.
-pub fn unicast_cost(rt: &RoutingTable, src: NodeId, dst: NodeId) -> Option<u64> {
+pub fn unicast_cost<R: Router>(rt: &R, src: NodeId, dst: NodeId) -> Option<u64> {
     rt.distance(src, dst).map(u64::from)
 }
 
@@ -169,6 +164,7 @@ pub fn unicast_cost(rt: &RoutingTable, src: NodeId, dst: NodeId) -> Option<u64> 
 mod tests {
     use super::*;
     use crate::gen;
+    use crate::routing::RoutingTable;
 
     fn n(i: u32) -> NodeId {
         NodeId::new(i)
@@ -198,7 +194,7 @@ mod tests {
         let g = gen::complete(6);
         let rt = RoutingTable::new(&g);
         let targets: Vec<NodeId> = (1..5).map(n).collect();
-        assert_eq!(multicast_cost(&g, &rt, n(0), &targets), Some(4));
+        assert_eq!(multicast_cost(&rt, n(0), &targets), Some(4));
     }
 
     #[test]
@@ -206,22 +202,22 @@ mod tests {
         let g = gen::path(7);
         let rt = RoutingTable::new(&g);
         // targets 3 and 6 share prefix 0-1-2-3: total = 6 edges not 9
-        assert_eq!(multicast_cost(&g, &rt, n(0), &[n(3), n(6)]), Some(6));
+        assert_eq!(multicast_cost(&rt, n(0), &[n(3), n(6)]), Some(6));
     }
 
     #[test]
     fn multicast_ignores_duplicates_and_source() {
         let g = gen::path(4);
         let rt = RoutingTable::new(&g);
-        assert_eq!(multicast_cost(&g, &rt, n(0), &[n(0), n(2), n(2)]), Some(2));
-        assert_eq!(multicast_cost(&g, &rt, n(0), &[]), Some(0));
+        assert_eq!(multicast_cost(&rt, n(0), &[n(0), n(2), n(2)]), Some(2));
+        assert_eq!(multicast_cost(&rt, n(0), &[]), Some(0));
     }
 
     #[test]
     fn multicast_unreachable_target_is_none() {
         let g = Graph::from_edges(4, [(0, 1)]).unwrap();
         let rt = RoutingTable::new(&g);
-        assert_eq!(multicast_cost(&g, &rt, n(0), &[n(3)]), None);
+        assert_eq!(multicast_cost(&rt, n(0), &[n(3)]), None);
     }
 
     #[test]
@@ -240,6 +236,46 @@ mod tests {
         let rt = RoutingTable::new(&g);
         // row 2 = nodes 12..18
         let row: Vec<NodeId> = (12..18).map(n).collect();
-        assert_eq!(multicast_cost(&g, &rt, n(14), &row), Some(5));
+        assert_eq!(multicast_cost(&rt, n(14), &row), Some(5));
+    }
+
+    /// Cost pins on every analytic family: the table oracle and the
+    /// closed-form router must charge identical passes, and the values are
+    /// pinned so accounting drift is loud.
+    #[test]
+    fn multicast_and_unicast_pin_on_all_generators() {
+        use crate::router::AnyRouter;
+        let cases: [(Graph, u32, Vec<u32>, u64); 5] = [
+            // complete: every target one hop → #targets
+            (gen::complete(8), 0, (1..6).collect(), 5),
+            // ring(12): targets 3,6,9 from 0 — 0→3 (3), 3→6 (3), 9 via
+            // 0 backwards (3): contiguous sweeps, 9 passes
+            (gen::ring(12), 0, vec![3, 6, 9], 9),
+            // grid(3x4): row 1 (4..8) plus far corner 11 from 5 — the
+            // corner attaches to row-end 7, one hop down: 4 total
+            (gen::grid(3, 4, false), 5, vec![4, 6, 7, 11], 4),
+            // torus(4x4): opposite corner is 2 hops with wrap
+            (gen::grid(4, 4, true), 0, vec![15], 2),
+            // hypercube(4): antipode + two of its neighbors share a prefix
+            (gen::hypercube(4), 0, vec![15, 14, 7], 6),
+        ];
+        for (g, src, targets, want) in cases {
+            let targets: Vec<NodeId> = targets.into_iter().map(n).collect();
+            let table = AnyRouter::table_for(&g);
+            let analytic = AnyRouter::for_graph(&g);
+            assert!(analytic.is_analytic(), "{}", g.name());
+            let via_table = multicast_cost(&table, n(src), &targets);
+            let via_closed = multicast_cost(&analytic, n(src), &targets);
+            assert_eq!(via_table, via_closed, "{}", g.name());
+            assert_eq!(via_table, Some(want), "{}", g.name());
+            for &t in &targets {
+                assert_eq!(
+                    unicast_cost(&table, n(src), t),
+                    unicast_cost(&analytic, n(src), t),
+                    "{}",
+                    g.name()
+                );
+            }
+        }
     }
 }

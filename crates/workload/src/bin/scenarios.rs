@@ -61,7 +61,7 @@
 //! the per-scenario stderr progress lines.
 
 use mm_obs::{TraceConfig, TraceFile};
-use mm_sim::{CostModel, QueueKind};
+use mm_sim::{CostModel, QueueKind, RouterKind};
 use mm_workload::drive::{self, ObsOptions, RunConfig, RuntimeKind, LIVE_THREAD_LIMIT};
 use mm_workload::{scenarios, ClientModel, ScenarioReport, ThinkTime};
 use std::time::Instant;
@@ -87,6 +87,8 @@ struct Args {
     shards: usize,
     /// `--shard-threads T`: worker threads driving shard rounds.
     shard_threads: usize,
+    /// `--router auto|analytic|table`: routing backend under hop cost.
+    router: RouterKind,
     pretty: bool,
     records: bool,
     /// `--trace FILE`: write the causal span trace as JSONL.
@@ -105,8 +107,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: scenarios [--n N | --sweep N1,N2,..] [--seed S] \
          [--scenario NAME|all] [--strategy checkerboard|hash|broadcast] \
-         [--topology complete|grid|ring|hypercube] [--cost uniform|hops] \
-         [--queue calendar|btree] [--runtime sim|live] \
+         [--topology complete|grid|torus|ring|hypercube] [--cost uniform|hops] \
+         [--queue calendar|btree] [--router auto|analytic|table] \
+         [--runtime sim|live] \
          [--clients N] [--think zero|fixed:T|exp:M] [--retries R] \
          [--backoff B] [--window W] [--replication F] \
          [--shards S] [--shard-threads T] [--pretty] [--records] \
@@ -125,7 +128,10 @@ fn usage() -> ! {
          robustness block with the measured overhead.\n\
          --shards S --shard-threads T executes the simulator on the \
          sharded parallel core\n(JSON stays byte-identical to the \
-         single-threaded default at any S and T).\n\nopen-loop \
+         single-threaded default at any S and T).\n\
+         --router picks the hop-cost routing backend: auto (default) \
+         routes structured\ntopologies in O(1) memory, table forces the \
+         O(n^2) oracle (byte-identical output).\n\nopen-loop \
          scenarios: {}\nclosed-loop scenarios: {}\nhostile scenarios: {}",
         scenarios::ALL.join(", "),
         scenarios::CLOSED_LOOP.join(", "),
@@ -170,6 +176,7 @@ fn parse_args() -> Args {
         replication: 0,
         shards: 0,
         shard_threads: 1,
+        router: RouterKind::Auto,
         pretty: false,
         records: false,
         trace: None,
@@ -227,6 +234,9 @@ fn parse_args() -> Args {
             "--shards" => args.shards = value(&argv, &mut i).parse().unwrap_or_else(|_| usage()),
             "--shard-threads" => {
                 args.shard_threads = value(&argv, &mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--router" => {
+                args.router = drive::parse_router(&value(&argv, &mut i)).unwrap_or_else(|| usage())
             }
             "--pretty" => args.pretty = true,
             "--records" => args.records = true,
@@ -315,6 +325,7 @@ fn to_config(args: &Args, name: &str, n: usize) -> RunConfig {
         replication: args.replication,
         shards: args.shards,
         shard_threads: args.shard_threads,
+        router: args.router,
     }
 }
 

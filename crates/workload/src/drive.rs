@@ -23,14 +23,21 @@ use crate::LiveScenarioRunner;
 use mm_core::robust::Replicated;
 use mm_core::strategies::{Broadcast, Checkerboard, HashLocate, PortMapped};
 use mm_obs::{TraceConfig, TraceFile};
-use mm_sim::{CostModel, QueueKind, ShardMode};
+use mm_sim::{CostModel, QueueKind, RouterKind, ShardMode};
 use mm_topo::{gen, Graph};
 
 /// Above this size a literal complete graph (O(n²) adjacency) stops being
 /// buildable; under the uniform cost model edges are never consulted, so
 /// runs substitute an edgeless graph with the same name and scale to 64k+
-/// nodes unchanged.
+/// nodes unchanged. Under hop cost the same holds for *every* structured
+/// topology once the analytic routers answer next hops — only the
+/// `--router table` oracle still materializes edges.
 pub const COMPLETE_MATERIALIZE_LIMIT: usize = 4096;
+
+/// Ceiling for `--router table` under hop cost: the O(n²) table at 4096
+/// nodes is ~134 MB, which is as far as the conformance oracle needs to
+/// go (the byte-identity suite proptests exactly this range).
+pub const TABLE_ROUTER_LIMIT: usize = 4096;
 
 /// One OS thread per node: past this the live runtime would exhaust the
 /// default thread budget long before it said anything new.
@@ -67,6 +74,26 @@ impl RuntimeKind {
     }
 }
 
+/// Canonical lower-case label of a router policy, as the CLI spells it
+/// (`auto` / `analytic` / `table`).
+pub fn router_label(router: RouterKind) -> &'static str {
+    match router {
+        RouterKind::Auto => "auto",
+        RouterKind::Analytic => "analytic",
+        RouterKind::Table => "table",
+    }
+}
+
+/// Parses the CLI spelling of a router policy.
+pub fn parse_router(s: &str) -> Option<RouterKind> {
+    match s {
+        "auto" => Some(RouterKind::Auto),
+        "analytic" => Some(RouterKind::Analytic),
+        "table" => Some(RouterKind::Table),
+        _ => None,
+    }
+}
+
 /// Canonical lower-case label of a queue implementation, as the CLI
 /// spells it (`calendar` / `btree`).
 pub fn queue_label(queue: QueueKind) -> &'static str {
@@ -96,7 +123,7 @@ pub struct RunConfig {
     pub seed: u64,
     /// Strategy name: `checkerboard`, `hash` or `broadcast`.
     pub strategy: String,
-    /// Topology name: `complete`, `grid`, `ring` or `hypercube`.
+    /// Topology name: `complete`, `grid`, `torus`, `ring` or `hypercube`.
     pub topology: String,
     /// Cost model.
     pub cost: CostModel,
@@ -119,6 +146,12 @@ pub struct RunConfig {
     /// Worker threads driving shard rounds (relevant when `shards > 0`;
     /// clamped to the effective shard count).
     pub shard_threads: usize,
+    /// Routing backend under hop cost. Output-invariant like `queue` and
+    /// `shards` (the analytic routers are byte-conformant to the table
+    /// oracle), so it never appears in [`RunConfig::label`]; it decides
+    /// only memory — `Table` materializes the O(n²) §3 tables, the
+    /// default `Auto` routes structured topologies in O(1) space.
+    pub router: RouterKind,
 }
 
 impl RunConfig {
@@ -139,6 +172,7 @@ impl RunConfig {
             replication: 0,
             shards: 0,
             shard_threads: 1,
+            router: RouterKind::Auto,
         }
     }
 
@@ -161,8 +195,9 @@ impl RunConfig {
     /// directory of campaign runs is self-describing. The topology and
     /// cost segments appear only off their historical defaults
     /// (`complete`, `uniform`), keeping every pre-existing label — and
-    /// thus every pinned campaign file name — byte-identical. Shards are
-    /// deliberately absent: the sharded core is output-invariant.
+    /// thus every pinned campaign file name — byte-identical. Shards and
+    /// the router backend are deliberately absent: both are
+    /// output-invariant.
     pub fn label(&self) -> String {
         let mut label = format!(
             "{}-n{}-{}-{}-{}",
@@ -197,31 +232,66 @@ pub struct ObsOptions {
 }
 
 /// Builds the graph for a topology name, mirroring the CLI's rules
-/// (edgeless complete stand-in under uniform cost, grid rounding to the
-/// closest `p × q ≥ n` rectangle, hypercube power-of-two requirement).
-pub fn build_graph(topology: &str, n: usize, cost: CostModel) -> Result<Graph, String> {
+/// (edgeless stand-ins wherever routing never consults adjacency, grid
+/// and torus rounding to the closest `p × q ≥ n` rectangle, hypercube
+/// power-of-two requirement).
+///
+/// Adjacency is materialized only when something will actually read it:
+/// under uniform cost only non-complete topologies build edges (they feed
+/// the sharded core's locality-aware `shard_map`), and under hop cost
+/// only the `--router table` oracle does. The analytic routers answer
+/// next hops from closed forms, so a hop-cost ring at n = 1,048,576 is an
+/// O(n)-memory run — no adjacency, no table.
+pub fn build_graph(
+    topology: &str,
+    n: usize,
+    cost: CostModel,
+    router: RouterKind,
+) -> Result<Graph, String> {
+    // under hop cost the analytic backends route by name alone; only the
+    // table oracle (and its BFS build) needs real edges
+    let analytic = cost == CostModel::Hops && router != RouterKind::Table;
+    if cost == CostModel::Hops && router == RouterKind::Table && n > TABLE_ROUTER_LIMIT {
+        return Err(format!(
+            "router `table` materializes the O(n^2) routing table; \
+             use n <= {TABLE_ROUTER_LIMIT} or `--router analytic`"
+        ));
+    }
     match topology {
         "complete" => match cost {
             // uniform never routes: an edgeless stand-in is behaviorally
             // identical and O(n) instead of O(n²) to build
             CostModel::Uniform => Ok(gen::complete_shell(n)),
+            CostModel::Hops if analytic => Ok(gen::complete_shell(n)),
             CostModel::Hops if n <= COMPLETE_MATERIALIZE_LIMIT => Ok(gen::complete(n)),
             CostModel::Hops => Err(format!(
                 "cost model `hops` with topology `complete` materializes O(n^2) edges; \
                  use n <= {COMPLETE_MATERIALIZE_LIMIT} or a sparse topology"
             )),
         },
-        "ring" => Ok(gen::ring(n)),
-        "grid" => {
+        "ring" => {
+            if analytic {
+                Ok(Graph::with_name(n, format!("ring({n})")))
+            } else {
+                Ok(gen::ring(n))
+            }
+        }
+        "grid" | "torus" => {
             // the closest p x q >= n rectangle
             let p = (n as f64).sqrt().ceil() as usize;
             let q = n.div_ceil(p);
-            let mut g = gen::grid(p, q, false);
             if p * q != n {
-                eprintln!("note: grid topology rounded n from {n} to {}", p * q);
+                eprintln!("note: {topology} topology rounded n from {n} to {}", p * q);
             }
-            g.set_name(format!("grid({p}x{q})"));
-            Ok(g)
+            let wrap = topology == "torus";
+            let name = format!("{topology}({p}x{q})");
+            if analytic {
+                Ok(Graph::with_name(p * q, name))
+            } else {
+                let mut g = gen::grid(p, q, wrap);
+                g.set_name(name);
+                Ok(g)
+            }
         }
         "hypercube" => {
             let d = (n as f64).log2().round() as u32;
@@ -230,7 +300,11 @@ pub fn build_graph(topology: &str, n: usize, cost: CostModel) -> Result<Graph, S
                     "topology `hypercube` needs n to be a power of two (got {n})"
                 ));
             }
-            Ok(gen::hypercube(d))
+            if analytic {
+                Ok(Graph::with_name(n, format!("hypercube({d})")))
+            } else {
+                Ok(gen::hypercube(d))
+            }
         }
         other => Err(format!("unknown topology `{other}`")),
     }
@@ -303,7 +377,7 @@ fn run_sim(
     cfg: &RunConfig,
     obs: &ObsOptions,
 ) -> Result<(ScenarioReport, Option<TraceFile>), String> {
-    let graph = build_graph(&cfg.topology, cfg.n, cfg.cost)?;
+    let graph = build_graph(&cfg.topology, cfg.n, cfg.cost, cfg.router)?;
     // the grid topology may round n up; size the workload (churn widths
     // etc.) from the node count actually run, not the requested one
     let n = graph.node_count();
@@ -387,7 +461,7 @@ fn run_spec<PM: PortMapped>(
     obs: &ObsOptions,
     label: &str,
 ) -> Result<(ScenarioReport, Option<TraceFile>), String> {
-    let mut runner = ScenarioRunner::with_shards(
+    let mut runner = ScenarioRunner::with_router(
         spec,
         graph,
         resolver,
@@ -395,6 +469,7 @@ fn run_spec<PM: PortMapped>(
         label,
         cfg.queue,
         cfg.shard_mode(),
+        cfg.router,
     );
     if let Some(trace) = obs.trace {
         runner.set_trace(trace);

@@ -33,8 +33,8 @@ use mm_obs::{Registry, TraceConfig, TraceFile, Tracer, HIST_BUCKETS};
 use mm_proto::service::ServiceNet;
 use mm_proto::shotgun::RequestOutcome;
 use mm_proto::{FaultProfile, LocateHandle, LocateOutcome, ShotgunEngine};
-use mm_sim::{CostModel, QueueKind, ShardMode, SimTime};
-use mm_topo::{Graph, NodeId};
+use mm_sim::{CostModel, QueueKind, RouterKind, ShardMode, SimTime};
+use mm_topo::{Graph, NodeId, Router as _};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -315,6 +315,39 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
         queue: QueueKind,
         mode: ShardMode,
     ) -> Self {
+        Self::with_router(
+            spec,
+            graph,
+            resolver,
+            cost_model,
+            strategy,
+            queue,
+            mode,
+            RouterKind::Auto,
+        )
+    }
+
+    /// Like [`ScenarioRunner::with_shards`] with an explicit routing
+    /// backend (see [`RouterKind`]): analytic closed-form routers for the
+    /// structured families versus the O(n²) table oracle, byte-identical
+    /// reports either way — the router conformance suite enforces it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`Workload::validate`], the resolver
+    /// universe differs from the graph size, or `router` is
+    /// `RouterKind::Analytic` on a non-structured graph.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_router(
+        spec: Workload,
+        graph: Graph,
+        resolver: PM,
+        cost_model: CostModel,
+        strategy: &str,
+        queue: QueueKind,
+        mode: ShardMode,
+        router: RouterKind,
+    ) -> Self {
         if let Err(e) = spec.validate() {
             panic!("invalid workload {:?}: {e}", spec.name);
         }
@@ -332,10 +365,10 @@ impl<PM: PortMapped> ScenarioRunner<PM> {
         }
         let topology = graph.name().to_string();
         let sampler = PopularitySampler::new(spec.ports, spec.popularity);
-        let net = ServiceNet::with_shards(graph, resolver, cost_model, queue, mode);
+        let net = ServiceNet::with_router(graph, resolver, cost_model, queue, mode, router);
         let op_timeout = match net.engine().sim().routing() {
-            // double-sweep BFS estimate of the diameter via the routing
-            // table: eccentricity of node 0, then of the farthest node
+            // double-sweep estimate of the diameter via the router:
+            // eccentricity of node 0, then of the farthest node
             Some(rt) => {
                 let ecc = |from: NodeId| -> (NodeId, u32) {
                     (0..n)

@@ -77,7 +77,7 @@ fn main() {
     let origin = NodeId::new(40);
     let mut rng = StdRng::seed_from_u64(4);
     for i in 0..4 {
-        let beam = network_beam(&g, &rt, origin, 5, &mut rng);
+        let beam = network_beam(&rt, origin, 5, &mut rng);
         let cells: Vec<String> = beam.iter().map(|v| v.to_string()).collect();
         println!(
             "  beam {i}: {} (each hop moves away from {origin})",

@@ -57,7 +57,7 @@ pub mod prelude {
     pub use mm_proto::service::{ServiceError, ServiceNet};
     pub use mm_proto::{LocateOutcome, ShotgunEngine};
     pub use mm_sim::{CostModel, Metrics, Sim};
-    pub use mm_topo::{gen, Decomposition, Graph, NodeId, RoutingTable};
+    pub use mm_topo::{gen, AnyRouter, Decomposition, Graph, NodeId, Router, RoutingTable};
 }
 
 #[cfg(test)]

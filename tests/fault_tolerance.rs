@@ -143,3 +143,38 @@ fn stale_address_recovery_through_service_layer() {
     let err = net.call(NodeId::new(20), "absent", 0);
     assert_eq!(err, Err(ServiceError::NotLocated));
 }
+
+#[test]
+fn locate_issued_by_a_node_that_crashes_same_tick_reports_unresolved() {
+    // The issue message is a self-delivered `DoLocate`; if the client
+    // crashes in the same tick it called `locate`, that delivery is
+    // dropped and no pending record ever exists. Polling the handle
+    // must report a permanent Unresolved, not panic — closed-loop
+    // drivers classify it through their operation timeout.
+    let n = 36;
+    let mut eng = ShotgunEngine::new(gen::complete(n), Checkerboard::new(n), CostModel::Hops);
+    let port = Port::from_name("doomed-svc");
+    eng.register_server(NodeId::new(7), port);
+    eng.run();
+    let client = NodeId::new(30);
+    let h = eng.locate(client, port);
+    eng.crash(client);
+    eng.run();
+    let lost = |o: LocateOutcome| match o {
+        LocateOutcome::Unresolved {
+            hits,
+            best,
+            dissent,
+            ..
+        } => hits == 0 && best.is_none() && dissent == 0,
+        _ => false,
+    };
+    assert!(
+        lost(eng.outcome(h)),
+        "dropped issue must read as Unresolved"
+    );
+    // restoring the client later cannot resurrect the lost operation
+    eng.restore(client);
+    eng.run();
+    assert!(lost(eng.outcome(h)), "restore must not resurrect the op");
+}

@@ -1,0 +1,46 @@
+//! Memory-regression guard (ISSUE 10, satellite 5): structured-topology
+//! runs under the default router must never build a BFS routing table.
+//! The O(n²) table is the exact thing the analytic routers exist to
+//! avoid — a code path that silently reintroduces one would "work" at
+//! n = 64 and OOM at n = 1,048,576, so the guard watches the process-wide
+//! build counter instead of trusting the type system.
+//!
+//! This file intentionally holds a single test: `table_build_count()` is
+//! process-global, and cargo runs tests within one binary concurrently,
+//! so the delta assertions below must not race another test that
+//! legitimately builds tables.
+
+use mm_sim::RouterKind;
+use mm_topo::routing::table_build_count;
+use mm_workload::drive::{self, RunConfig};
+
+fn run(topology: &str, router: RouterKind) {
+    let mut cfg = RunConfig::new("steady-state", 64, 7);
+    cfg.topology = topology.to_string();
+    cfg.cost = mm_sim::CostModel::Hops;
+    cfg.router = router;
+    drive::run(&cfg).expect("run succeeds");
+}
+
+#[test]
+fn structured_runs_never_materialize_a_routing_table() {
+    let before = table_build_count();
+    for topology in ["grid", "torus", "ring", "hypercube", "complete"] {
+        run(topology, RouterKind::Auto);
+    }
+    assert_eq!(
+        table_build_count(),
+        before,
+        "a structured-topology run built a routing table; \
+         the analytic seam has regressed to O(n^2) memory"
+    );
+
+    // the counter itself must be live: forcing the oracle builds exactly
+    // the tables the analytic path avoided
+    let before_forced = table_build_count();
+    run("grid", RouterKind::Table);
+    assert!(
+        table_build_count() > before_forced,
+        "forced table run did not register a build; the guard is blind"
+    );
+}
